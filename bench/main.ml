@@ -1,0 +1,381 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 4).
+
+     fig1    — breakdown of dynamic instructions (computation vs
+               communication) under plain MTCG, for GREMIO and DSWP
+     fig6    — machine configuration and benchmark-function tables
+     fig7    — dynamic communication remaining after COCO (relative to
+               MTCG), plus memory-synchronization removal
+     fig8    — speedup over single-threaded execution, with and without
+               COCO
+     compile — Bechamel micro-benchmarks of compilation-phase costs
+               (supporting the paper's claim that COCO's min-cuts do not
+               meaningfully lengthen compilation)
+     ablate  — extensions: 4-thread communication reduction, COCO without
+               control-flow penalties
+
+   Run with no arguments for the main figures; pass section names to
+   select (e.g. `dune exec bench/main.exe fig7 fig8 ablate`). *)
+
+module V = Gmt_core.Velocity
+module W = Gmt_workloads.Workload
+module Suite = Gmt_workloads.Suite
+module Config = Gmt_machine.Config
+
+type row = {
+  w : W.t;
+  st : V.metrics;
+  gremio : V.metrics;
+  gremio_coco : V.metrics;
+  dswp : V.metrics;
+  dswp_coco : V.metrics;
+}
+
+let compute_row w =
+  let st = V.measure_single w in
+  let m tech coco = V.measure (V.compile ~coco tech w) in
+  {
+    w;
+    st;
+    gremio = m V.Gremio false;
+    gremio_coco = m V.Gremio true;
+    dswp = m V.Dswp false;
+    dswp_coco = m V.Dswp true;
+  }
+
+let rows : row list Lazy.t =
+  lazy
+    (List.map
+       (fun w ->
+         Printf.eprintf "[bench] measuring %s...\n%!" w.W.name;
+         compute_row w)
+       (Suite.all ()))
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+let speedup st m = float_of_int st.V.cycles /. float_of_int m.V.cycles
+let hr () = print_endline (String.make 78 '-')
+
+(* ---------------------------------------------------------------- *)
+
+let fig1 () =
+  print_endline "";
+  print_endline
+    "Figure 1: dynamic instruction breakdown under MTCG (communication %)";
+  hr ();
+  Printf.printf "%-12s | %26s | %26s\n" "benchmark" "GREMIO comm/total (%)"
+    "DSWP comm/total (%)";
+  hr ();
+  let gsum = ref 0.0 and dsum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun r ->
+      let g = pct r.gremio.V.comm_instrs r.gremio.V.dyn_instrs in
+      let d = pct r.dswp.V.comm_instrs r.dswp.V.dyn_instrs in
+      gsum := !gsum +. g;
+      dsum := !dsum +. d;
+      incr n;
+      Printf.printf "%-12s | %9d/%-9d %5.1f%% | %9d/%-9d %5.1f%%\n" r.w.W.name
+        r.gremio.V.comm_instrs r.gremio.V.dyn_instrs g r.dswp.V.comm_instrs
+        r.dswp.V.dyn_instrs d)
+    (Lazy.force rows);
+  hr ();
+  Printf.printf "%-12s | %25.1f%% | %25.1f%%\n" "average"
+    (!gsum /. float_of_int !n)
+    (!dsum /. float_of_int !n);
+  print_endline
+    "(paper: communication reaches up to ~25% of dynamic instructions;\n\
+    \ GREMIO incurs more communication than DSWP)"
+
+let fig6 () =
+  print_endline "";
+  print_endline "Figure 6(a): machine configuration";
+  hr ();
+  Format.printf "%a@." Config.pp (Config.itanium2 ());
+  print_endline "";
+  print_endline "Figure 6(b): selected benchmark functions";
+  hr ();
+  Printf.printf "%-12s %-18s %-28s %s\n" "benchmark" "suite" "function"
+    "exec%";
+  List.iter
+    (fun (w : W.t) ->
+      Printf.printf "%-12s %-18s %-28s %d\n" w.W.name w.W.suite w.W.func_name
+        w.W.exec_pct)
+    (Suite.all ())
+
+let fig7 () =
+  print_endline "";
+  print_endline
+    "Figure 7: dynamic communication remaining after COCO (% of MTCG)";
+  hr ();
+  Printf.printf "%-12s | %9s | %9s | %s\n" "benchmark" "GREMIO" "DSWP"
+    "GREMIO mem-syncs (MTCG -> COCO)";
+  hr ();
+  let gsum = ref 0.0 and dsum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun r ->
+      let g = pct r.gremio_coco.V.comm_instrs r.gremio.V.comm_instrs in
+      let d = pct r.dswp_coco.V.comm_instrs r.dswp.V.comm_instrs in
+      gsum := !gsum +. g;
+      dsum := !dsum +. d;
+      incr n;
+      Printf.printf "%-12s | %8.1f%% | %8.1f%% | %d -> %d\n" r.w.W.name g d
+        r.gremio.V.mem_syncs r.gremio_coco.V.mem_syncs)
+    (Lazy.force rows);
+  hr ();
+  Printf.printf "%-12s | %8.1f%% | %8.1f%%\n" "average"
+    (!gsum /. float_of_int !n)
+    (!dsum /. float_of_int !n);
+  print_endline
+    "(paper: average 65.6% remaining for GREMIO / 76.2% for DSWP; largest\n\
+    \ reduction ks with GREMIO, to 26.3%; adpcmenc/GREMIO had no\n\
+    \ opportunity; >99% of mesa & gromacs memory syncs removed)"
+
+let fig8 () =
+  print_endline "";
+  print_endline "Figure 8: speedup over single-threaded execution";
+  hr ();
+  Printf.printf "%-12s | %7s %7s | %7s %7s | %9s %9s\n" "benchmark" "GREMIO"
+    "+COCO" "DSWP" "+COCO" "G-gain" "D-gain";
+  hr ();
+  let ggain = ref 0.0 and dgain = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun r ->
+      let g = speedup r.st r.gremio
+      and gc = speedup r.st r.gremio_coco
+      and d = speedup r.st r.dswp
+      and dc = speedup r.st r.dswp_coco in
+      let gg = 100.0 *. ((gc /. g) -. 1.0) in
+      let dg = 100.0 *. ((dc /. d) -. 1.0) in
+      ggain := !ggain +. gg;
+      dgain := !dgain +. dg;
+      incr n;
+      Printf.printf "%-12s | %7.2f %7.2f | %7.2f %7.2f | %8.1f%% %8.1f%%\n"
+        r.w.W.name g gc d dc gg dg)
+    (Lazy.force rows);
+  hr ();
+  Printf.printf "%-12s | %27s | %8.1f%% %8.1f%%\n" "average"
+    "(COCO gain over MTCG ->)"
+    (!ggain /. float_of_int !n)
+    (!dgain /. float_of_int !n);
+  print_endline
+    "(paper: COCO improves GREMIO speedups by 15.6% on average and DSWP by\n\
+    \ 2.7%; the largest gain is ks with GREMIO, +47.6%)"
+
+(* ---------------------------------------------------------------- *)
+
+let train_profile (w : W.t) =
+  (Gmt_machine.Interp.run ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem
+     w.W.func ~mem_size:w.W.mem_size)
+    .Gmt_machine.Interp.profile
+
+let comm_of_plan (w : W.t) ~n_threads ~coco ~control_penalty =
+  let profile = train_profile w in
+  let pdg = Gmt_pdg.Pdg.build w.W.func in
+  let part = Gmt_sched.Gremio.partition ~n_threads pdg profile in
+  let plan =
+    if coco then fst (Gmt_coco.Coco.optimize ~control_penalty pdg part profile)
+    else Gmt_mtcg.Mtcg.baseline_plan pdg part
+  in
+  let mtp = Gmt_mtcg.Mtcg.generate pdg part plan in
+  let mt =
+    Gmt_machine.Mt_interp.run ~init_regs:w.W.reference.W.regs
+      ~init_mem:w.W.reference.W.mem mtp ~queue_capacity:32
+      ~mem_size:w.W.mem_size
+  in
+  if mt.Gmt_machine.Mt_interp.deadlocked then failwith "deadlock";
+  Gmt_machine.Mt_interp.total_comm mt
+
+let ablate () =
+  print_endline "";
+  print_endline
+    "Ablation: static profile estimates instead of train-input profiles";
+  hr ();
+  Printf.printf "%-12s | %16s | %16s\n" "benchmark" "comm (train prof)"
+    "comm (static est)";
+  List.iter
+    (fun (w : W.t) ->
+      try
+        let m mode = V.measure (V.compile ~coco:true ~profile_mode:mode V.Gremio w) in
+        let train = m `Train and static_ = m `Static in
+        Printf.printf "%-12s | %16d | %16d\n" w.W.name train.V.comm_instrs
+          static_.V.comm_instrs
+      with Failure msg -> Printf.printf "%-12s | failed: %s\n" w.W.name msg)
+    (Suite.all ());
+  print_endline
+    "(the paper notes static estimates [28] are also accurate; shapes should\n\
+    \ broadly agree with the profiled run)";
+  print_endline "";
+  print_endline
+    "Ablation: loop-invariant offset disambiguation (paper Sec 4's\n\
+    \ 'more powerful memory disambiguation' direction), DSWP";
+  hr ();
+  Printf.printf "%-12s | %12s | %12s\n" "benchmark" "mem arcs" "mem arcs+dis";
+  List.iter
+    (fun (w : W.t) ->
+      let count dis =
+        let pdg = Gmt_pdg.Pdg.build ~disambiguate_offsets:dis w.W.func in
+        List.length
+          (List.filter
+             (fun (a : Gmt_pdg.Pdg.arc) ->
+               match a.Gmt_pdg.Pdg.kind with
+               | Gmt_pdg.Pdg.Mem _ -> true
+               | _ -> false)
+             (Gmt_pdg.Pdg.arcs pdg))
+      in
+      Printf.printf "%-12s | %12d | %12d\n" w.W.name (count false) (count true))
+    (Suite.all ());
+  print_endline "";
+  print_endline
+    "Ablation: classical pre-pass optimizations (constfold/copyprop/DCE)";
+  hr ();
+  Printf.printf "%-12s | %14s | %14s | %10s\n" "benchmark" "instrs (plain)"
+    "instrs (opt)" "speedup-opt";
+  List.iter
+    (fun (w : W.t) ->
+      try
+        let st = V.measure_single w in
+        let m = V.measure (V.compile ~coco:true ~optimize:true V.Gremio w) in
+        let plain = V.measure (V.compile ~coco:true V.Gremio w) in
+        Printf.printf "%-12s | %14d | %14d | %9.2fx\n" w.W.name
+          plain.V.dyn_instrs m.V.dyn_instrs
+          (float_of_int st.V.cycles /. float_of_int m.V.cycles)
+      with Failure msg -> Printf.printf "%-12s | failed: %s\n" w.W.name msg)
+    (Suite.all ());
+  print_endline "";
+  print_endline
+    "Ablation: COCO without control-flow penalties (Sec 3.1.2), GREMIO";
+  hr ();
+  Printf.printf "%-12s | %16s | %16s\n" "benchmark" "comm w/ penalty"
+    "comm w/o penalty";
+  List.iter
+    (fun (w : W.t) ->
+      try
+        let with_p =
+          comm_of_plan w ~n_threads:2 ~coco:true ~control_penalty:true
+        in
+        let without =
+          comm_of_plan w ~n_threads:2 ~coco:true ~control_penalty:false
+        in
+        Printf.printf "%-12s | %16d | %16d\n" w.W.name with_p without
+      with Failure m -> Printf.printf "%-12s | failed: %s\n" w.W.name m)
+    (Suite.all ());
+  print_endline "";
+  print_endline
+    "Ablation: 4 threads, GREMIO (paper Sec 6 expects larger COCO benefit)";
+  hr ();
+  Printf.printf "%-12s | %10s | %10s | %9s | %7s %7s\n" "benchmark"
+    "comm MTCG" "comm +COCO" "remaining" "spd" "+COCO";
+  List.iter
+    (fun (w : W.t) ->
+      try
+        let st = V.measure_single w in
+        let m coco = V.measure (V.compile ~n_threads:4 ~coco V.Gremio w) in
+        let base = m false and coco = m true in
+        Printf.printf "%-12s | %10d | %10d | %8.1f%% | %7.2f %7.2f\n" w.W.name
+          base.V.comm_instrs coco.V.comm_instrs
+          (pct coco.V.comm_instrs base.V.comm_instrs)
+          (speedup st base) (speedup st coco)
+      with Failure m -> Printf.printf "%-12s | failed: %s\n" w.W.name m)
+    (Suite.all ())
+
+let caches () =
+  print_endline "";
+  print_endline
+    "Cache behaviour: single core vs DSWP on two cores (private L2s)";
+  hr ();
+  Printf.printf "%-12s | %22s | %22s\n" "benchmark" "ST L1/L2/L3/mem"
+    "DSWP L1/L2/L3/mem";
+  List.iter
+    (fun name ->
+      let w = Suite.find name in
+      let mc = V.machine_config V.Dswp in
+      let stats (r : Gmt_machine.Sim.result) =
+        let t = Array.fold_left (fun (a, b, c, d) s ->
+            Gmt_machine.Sim.(a + s.l1_hits, b + s.l2_hits, c + s.l3_hits,
+                              d + s.mem_accesses))
+            (0, 0, 0, 0) r.Gmt_machine.Sim.per_core
+        in
+        let a, b, c, d = t in
+        Printf.sprintf "%d/%d/%d/%d" a b c d
+      in
+      let st =
+        Gmt_machine.Sim.run_single ~init_regs:w.W.reference.W.regs
+          ~init_mem:w.W.reference.W.mem mc w.W.func ~mem_size:w.W.mem_size
+      in
+      let c = V.compile V.Dswp w in
+      let mt =
+        Gmt_machine.Sim.run ~init_regs:w.W.reference.W.regs
+          ~init_mem:w.W.reference.W.mem mc c.V.mtp ~mem_size:w.W.mem_size
+      in
+      Printf.printf "%-12s | %22s | %22s\n" w.W.name (stats st) (stats mt))
+    [ "435.gromacs"; "183.equake"; "177.mesa" ];
+  print_endline
+    "(the paper attributes gromacs's DSWP speedup partly to the doubled\n\
+    \ private L2 capacity across the two cores)"
+
+(* ---------------------------------------------------------------- *)
+
+let compile_bench () =
+  print_endline "";
+  print_endline
+    "Compilation-phase micro-benchmarks (Bechamel, monotonic clock)";
+  hr ();
+  let open Bechamel in
+  let open Toolkit in
+  let w = Suite.find "ks" in
+  let profile = train_profile w in
+  let pdg = Gmt_pdg.Pdg.build w.W.func in
+  let part = Gmt_sched.Gremio.partition pdg profile in
+  let tests =
+    Test.make_grouped ~name:"compile"
+      [
+        Test.make ~name:"pdg-build"
+          (Staged.stage (fun () -> ignore (Gmt_pdg.Pdg.build w.W.func)));
+        Test.make ~name:"gremio-partition"
+          (Staged.stage (fun () ->
+               ignore (Gmt_sched.Gremio.partition pdg profile)));
+        Test.make ~name:"dswp-partition"
+          (Staged.stage (fun () ->
+               ignore (Gmt_sched.Dswp.partition pdg profile)));
+        Test.make ~name:"mtcg-generate"
+          (Staged.stage (fun () ->
+               ignore
+                 (Gmt_mtcg.Mtcg.generate pdg part
+                    (Gmt_mtcg.Mtcg.baseline_plan pdg part))));
+        Test.make ~name:"coco-optimize"
+          (Staged.stage (fun () ->
+               ignore (Gmt_coco.Coco.optimize pdg part profile)));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols (List.hd instances) raw in
+  let items = ref [] in
+  Hashtbl.iter (fun name v -> items := (name, v) :: !items) results;
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] ->
+        Printf.printf "  %-28s %10.1f us/run\n" name (est /. 1e3)
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    (List.sort compare !items);
+  print_endline
+    "(paper: Edmonds-Karp min-cuts did not significantly increase\n\
+    \ compilation time; COCO here runs in the same order as the other\n\
+    \ compilation phases)"
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let want s = args = [] || List.mem s args in
+  if want "fig6" then fig6 ();
+  if want "fig1" then fig1 ();
+  if want "fig7" then fig7 ();
+  if want "fig8" then fig8 ();
+  if want "caches" then caches ();
+  if want "compile" then compile_bench ();
+  if List.mem "ablate" args then ablate ()

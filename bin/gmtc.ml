@@ -1,0 +1,199 @@
+(* gmtc — command-line driver for the GMT instruction-scheduling compiler.
+
+     gmtc list                         show the benchmark suite
+     gmtc show ks                      print a kernel's IR
+     gmtc pdg ks                       print its program dependence graph
+     gmtc compile ks -t gremio --coco  partition + generate thread code
+     gmtc run ks -t dswp --coco        compile, verify, simulate, report
+     gmtc sweep ks --threads 4         communication across thread counts *)
+
+open Cmdliner
+module V = Gmt_core.Velocity
+module W = Gmt_workloads.Workload
+module Suite = Gmt_workloads.Suite
+open Gmt_ir
+
+let find_workload name =
+  try Ok (Suite.find name)
+  with Not_found ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown benchmark %S; known: %s" name
+           (String.concat ", " (Suite.names ()))))
+
+let workload_conv = Arg.conv (find_workload, fun ppf w -> Fmt.string ppf w.W.name)
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some workload_conv) None
+    & info [] ~docv:"BENCHMARK" ~doc:"Benchmark kernel name (see $(b,gmtc list)).")
+
+let technique_arg =
+  let parse = function
+    | "gremio" -> Ok V.Gremio
+    | "dswp" -> Ok V.Dswp
+    | s -> Error (`Msg (Printf.sprintf "unknown technique %S (gremio|dswp)" s))
+  in
+  let print ppf t = Fmt.string ppf (V.technique_name t) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) V.Gremio
+    & info [ "t"; "technique" ] ~docv:"TECH"
+        ~doc:"Partitioner: $(b,gremio) or $(b,dswp).")
+
+let coco_arg =
+  Arg.(value & flag & info [ "coco" ] ~doc:"Optimize communication with COCO.")
+
+let threads_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "j"; "threads" ] ~docv:"N" ~doc:"Number of threads to extract.")
+
+(* ------------------------------ list ------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-12s %-18s %-28s %s\n" "name" "suite" "function" "exec%";
+    List.iter
+      (fun (w : W.t) ->
+        Printf.printf "%-12s %-18s %-28s %d\n" w.W.name w.W.suite w.W.func_name
+          w.W.exec_pct)
+      (Suite.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (paper Figure 6(b)).")
+    Term.(const run $ const ())
+
+(* ------------------------------ show ------------------------------ *)
+
+let show_cmd =
+  let run (w : W.t) =
+    Format.printf "%a@." Printer.pp_func w.W.func;
+    Printf.printf "\nregions:";
+    Array.iteri (fun i n -> Printf.printf " m%d=%s" i n) w.W.func.Func.regions;
+    print_newline ()
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a kernel's IR.")
+    Term.(const run $ bench_arg)
+
+(* ------------------------------ pdg ------------------------------ *)
+
+let pdg_cmd =
+  let run (w : W.t) =
+    let pdg = Gmt_pdg.Pdg.build w.W.func in
+    Format.printf "%a@." Gmt_pdg.Pdg.pp pdg
+  in
+  Cmd.v (Cmd.info "pdg" ~doc:"Print a kernel's program dependence graph.")
+    Term.(const run $ bench_arg)
+
+(* ---------------------------- compile ---------------------------- *)
+
+let compile_cmd =
+  let run (w : W.t) tech coco threads =
+    let c = V.compile ~n_threads:threads ~coco tech w in
+    Format.printf "%a@.@." Gmt_sched.Partition.pp c.V.partition;
+    Printf.printf "communication plan (%d transfers):\n"
+      (List.length c.V.plan.Gmt_mtcg.Mtcg.comms);
+    List.iter
+      (fun cm -> Format.printf "  %a@." Gmt_mtcg.Comm.pp cm)
+      c.V.plan.Gmt_mtcg.Mtcg.comms;
+    Format.printf "@.%a@." Printer.pp_mtprog c.V.mtp
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Partition a kernel and print the generated thread code.")
+    Term.(const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg)
+
+(* ------------------------------ run ------------------------------ *)
+
+let run_cmd =
+  let run (w : W.t) tech coco threads =
+    let st = V.measure_single w in
+    let c = V.compile ~n_threads:threads ~coco tech w in
+    let m = V.measure c in
+    Printf.printf "%s / %s%s / %d threads\n" w.W.name (V.technique_name tech)
+      (if coco then "+COCO" else "")
+      threads;
+    Printf.printf "  single-threaded : %8d instrs %8d cycles\n" st.V.dyn_instrs
+      st.V.cycles;
+    Printf.printf "  multi-threaded  : %8d instrs %8d cycles\n" m.V.dyn_instrs
+      m.V.cycles;
+    Printf.printf "  communication   : %8d instrs (%.1f%%), %d memory syncs\n"
+      m.V.comm_instrs
+      (100.0 *. float_of_int m.V.comm_instrs /. float_of_int m.V.dyn_instrs)
+      m.V.mem_syncs;
+    Printf.printf "  speedup         : %.2fx\n"
+      (float_of_int st.V.cycles /. float_of_int m.V.cycles);
+    print_endline "  (memory state verified against the single-threaded run)"
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Compile a kernel, verify the generated code and report simulated \
+          performance.")
+    Term.(const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg)
+
+(* ------------------------------ dot ------------------------------ *)
+
+let dot_cmd =
+  let run (w : W.t) tech coco threads mt =
+    if mt then begin
+      let c = V.compile ~n_threads:threads ~coco tech w in
+      Format.printf "%a" Dot.mtprog c.V.mtp
+    end
+    else Format.printf "%a" Dot.cfg w.W.func
+  in
+  let mt_arg =
+    Arg.(
+      value & flag
+      & info [ "mt" ]
+          ~doc:"Emit the partitioned multi-threaded CFGs instead of the \
+                original.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a Graphviz rendering of a kernel's CFG(s).")
+    Term.(const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ mt_arg)
+
+(* ----------------------------- sweep ----------------------------- *)
+
+let sweep_cmd =
+  let run (w : W.t) max_threads =
+    let profile =
+      (Gmt_machine.Interp.run ~init_regs:w.W.train.W.regs
+         ~init_mem:w.W.train.W.mem w.W.func ~mem_size:w.W.mem_size)
+        .Gmt_machine.Interp.profile
+    in
+    let pdg = Gmt_pdg.Pdg.build w.W.func in
+    Printf.printf "%8s | %12s | %12s | %s\n" "threads" "comm(MTCG)"
+      "comm(+COCO)" "remaining";
+    for n = 2 to max_threads do
+      let part = Gmt_sched.Gremio.partition ~n_threads:n pdg profile in
+      let measure plan =
+        let mtp = Gmt_mtcg.Mtcg.generate pdg part plan in
+        let r =
+          Gmt_machine.Mt_interp.run ~init_regs:w.W.reference.W.regs
+            ~init_mem:w.W.reference.W.mem mtp ~queue_capacity:32
+            ~mem_size:w.W.mem_size
+        in
+        Gmt_machine.Mt_interp.total_comm r
+      in
+      let base = measure (Gmt_mtcg.Mtcg.baseline_plan pdg part) in
+      let coco = measure (fst (Gmt_coco.Coco.optimize pdg part profile)) in
+      Printf.printf "%8d | %12d | %12d | %8.1f%%\n" n base coco
+        (100.0 *. float_of_int coco /. float_of_int (max 1 base))
+    done
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep thread counts and report communication.")
+    Term.(const run $ bench_arg $ threads_arg)
+
+let () =
+  let doc =
+    "global multi-threaded instruction scheduling (GREMIO/DSWP + MTCG + COCO)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "gmtc" ~version:"1.0.0" ~doc)
+          [ list_cmd; show_cmd; pdg_cmd; compile_cmd; run_cmd; sweep_cmd;
+            dot_cmd ]))

@@ -1,0 +1,75 @@
+(* Tour one of the paper's benchmarks end-to-end: show its structure,
+   partition it with GREMIO and DSWP, apply COCO, and report dynamic
+   communication and simulated speedups.
+
+   Run with: dune exec examples/benchmark_tour.exe -- [benchmark]
+   (defaults to ks; `dune exec examples/benchmark_tour.exe -- --list`
+   shows the suite) *)
+
+module V = Gmt_core.Velocity
+module W = Gmt_workloads.Workload
+module Suite = Gmt_workloads.Suite
+open Gmt_ir
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--list" args then begin
+    List.iter
+      (fun (w : W.t) ->
+        Printf.printf "%-12s %-18s %s\n" w.W.name w.W.suite w.W.description)
+      (Suite.all ());
+    exit 0
+  end;
+  let name = match args with n :: _ -> n | [] -> "ks" in
+  let w =
+    try Suite.find name
+    with Not_found ->
+      Printf.eprintf "unknown benchmark %s (try --list)\n" name;
+      exit 1
+  in
+  Printf.printf "=== %s (%s, %s, %d%% of benchmark runtime) ===\n" w.W.name
+    w.W.suite w.W.func_name w.W.exec_pct;
+  Printf.printf "%s\n\n" w.W.description;
+  let cfg = w.W.func.Func.cfg in
+  let nest = Gmt_analysis.Loopnest.compute w.W.func in
+  Printf.printf "IR: %d blocks, %d instructions, %d loops, %d memory regions\n"
+    (Cfg.n_blocks cfg) (Cfg.n_instrs cfg)
+    (Gmt_analysis.Loopnest.n_loops nest)
+    (Func.n_regions w.W.func);
+  let pdg = Gmt_pdg.Pdg.build w.W.func in
+  let arcs = Gmt_pdg.Pdg.arcs pdg in
+  let count p = List.length (List.filter p arcs) in
+  Printf.printf "PDG: %d arcs (%d register, %d memory, %d control, %d transitive)\n\n"
+    (List.length arcs)
+    (count (fun a -> match a.Gmt_pdg.Pdg.kind with Gmt_pdg.Pdg.Reg _ -> true | _ -> false))
+    (count (fun a -> match a.Gmt_pdg.Pdg.kind with Gmt_pdg.Pdg.Mem _ -> true | _ -> false))
+    (count (fun a -> match a.Gmt_pdg.Pdg.kind with Gmt_pdg.Pdg.Ctrl -> true | _ -> false))
+    (count (fun a -> match a.Gmt_pdg.Pdg.kind with Gmt_pdg.Pdg.Ctrl_trans -> true | _ -> false));
+  let st = V.measure_single w in
+  Printf.printf "single-threaded: %d instructions, %d cycles\n\n"
+    st.V.dyn_instrs st.V.cycles;
+  List.iter
+    (fun tech ->
+      Printf.printf "--- %s ---\n" (V.technique_name tech);
+      List.iter
+        (fun coco ->
+          let c = V.compile ~coco tech w in
+          let m = V.measure c in
+          let sizes =
+            Array.to_list c.V.mtp.Mtprog.threads
+            |> List.map (fun (t : Func.t) ->
+                   string_of_int (Cfg.n_instrs t.Func.cfg))
+            |> String.concat "+"
+          in
+          Printf.printf
+            "%-12s threads(%s instrs)  comm=%d (%.1f%%)  syncs=%d  cycles=%d  \
+             speedup=%.2fx\n"
+            (if coco then "MTCG+COCO" else "MTCG")
+            sizes m.V.comm_instrs
+            (100.0 *. float_of_int m.V.comm_instrs /. float_of_int m.V.dyn_instrs)
+            m.V.mem_syncs m.V.cycles
+            (float_of_int st.V.cycles /. float_of_int m.V.cycles))
+        [ false; true ];
+      print_newline ())
+    [ V.Gremio; V.Dswp ];
+  print_endline "all configurations verified against the single-threaded memory state."

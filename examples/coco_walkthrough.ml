@@ -1,0 +1,151 @@
+(* A guided tour of the paper's worked examples.
+
+   Figure 3: a register defined on two paths and consumed in another
+   thread — MTCG communicates at both definitions and replicates two
+   branches; COCO's min-cut moves the single communication to the join.
+
+   Figure 4: a value produced inside a loop but consumed only after it —
+   MTCG communicates every iteration and drags the whole loop into the
+   consumer thread; COCO communicates once, after the loop, and the
+   consumer thread loses the loop entirely.
+
+   Run with: dune exec examples/coco_walkthrough.exe *)
+
+open Gmt_ir
+module Pdg = Gmt_pdg.Pdg
+module Partition = Gmt_sched.Partition
+module Mtcg = Gmt_mtcg.Mtcg
+module Comm = Gmt_mtcg.Comm
+module Coco = Gmt_coco.Coco
+module Interp = Gmt_machine.Interp
+module Mt_interp = Gmt_machine.Mt_interp
+
+let mem_size = 1024
+
+let partition_all func ~lone =
+  let pairs = ref [] in
+  Cfg.iter_instrs func.Func.cfg (fun _ (i : Instr.t) ->
+      if not (Instr.is_structural i) then
+        pairs := (i.Instr.id, if List.mem i.Instr.id lone then 1 else 0) :: !pairs);
+  Partition.make ~n_threads:2 !pairs
+
+let dyn_comm mtp ~init_regs =
+  let r = Mt_interp.run ~init_regs mtp ~queue_capacity:4 ~mem_size in
+  assert (not r.Mt_interp.deadlocked);
+  Mt_interp.total_comm r
+
+let show_plan title plan =
+  Printf.printf "%s (%d transfers):\n" title (List.length plan.Mtcg.comms);
+  List.iter
+    (fun c -> Format.printf "    %a@." Comm.pp c)
+    plan.Mtcg.comms
+
+let compare_plans func pdg partition ~init_regs =
+  let profile =
+    (Interp.run ~init_regs func ~mem_size).Interp.profile
+  in
+  let base_plan = Mtcg.baseline_plan pdg partition in
+  let coco_plan, _ = Coco.optimize pdg partition profile in
+  show_plan "  MTCG placement" base_plan;
+  show_plan "  COCO placement" coco_plan;
+  let base = Mtcg.generate pdg partition base_plan in
+  let coco = Mtcg.generate pdg partition coco_plan in
+  Printf.printf "  dynamic communication instructions: MTCG %d -> COCO %d\n"
+    (dyn_comm base ~init_regs) (dyn_comm coco ~init_regs);
+  (base, coco)
+
+(* --------------------------- Figure 3 --------------------------- *)
+
+let fig3 () =
+  print_endline "=== Figure 3: two definitions, one consumer ===";
+  let b = Builder.create ~name:"fig3" () in
+  let r0 = Builder.reg b in
+  (* branch input 1 *)
+  let r1 = Builder.reg b in
+  (* branch input 2 *)
+  let r2 = Builder.reg b in
+  (* the communicated value *)
+  let r3 = Builder.reg b in
+  let addr = Builder.reg b in
+  let out = Builder.region b "out" in
+  let out2 = Builder.region b "out2" in
+  let b0 = Builder.block b in
+  let b1 = Builder.block b in
+  let b2 = Builder.block b in
+  let b3 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (r2, 5)));
+  (* A *)
+  ignore (Builder.terminate b b0 (Instr.Branch (r0, b1, b2)));
+  (* B *)
+  ignore (Builder.add b b1 (Instr.Binop (Instr.Add, r3, r1, r1)));
+  (* C *)
+  ignore (Builder.terminate b b1 (Instr.Branch (r1, b2, b3)));
+  (* D *)
+  ignore (Builder.add b b3 (Instr.Const (r2, 7)));
+  (* E *)
+  ignore (Builder.terminate b b3 (Instr.Jump b2));
+  let f_store = Builder.add b b2 (Instr.Store (out, addr, 0, r2)) in
+  (* F *)
+  ignore (Builder.add b b2 (Instr.Store (out2, addr, 1, r3)));
+  (* G *)
+  ignore (Builder.terminate b b2 Instr.Return);
+  let func = Builder.finish b ~live_in:[ r0; r1; addr ] ~live_out:[] in
+  Format.printf "%a@." Printer.pp_func func;
+  let pdg = Pdg.build func in
+  Printf.printf "\nPDG (note the transitive control arcs into F):\n";
+  Format.printf "%a@." Pdg.pp pdg;
+  let partition = partition_all func ~lone:[ f_store.Instr.id ] in
+  Printf.printf "\npartition: thread 2 holds only F (the store of r2)\n";
+  let init_regs = [ (r0, 1); (r1, 0); (addr, 100) ] in
+  ignore (compare_plans func pdg partition ~init_regs);
+  print_endline
+    "  -> COCO found the single communication point at the join's entry,\n\
+    \     making branches B and D irrelevant to thread 2.\n"
+
+(* --------------------------- Figure 4 --------------------------- *)
+
+let fig4 () =
+  print_endline "=== Figure 4: loop live-out consumed once ===";
+  let b = Builder.create ~name:"fig4" () in
+  let r1 = Builder.reg b and r6 = Builder.reg b and r9 = Builder.reg b in
+  let tmp = Builder.reg b and lim = Builder.reg b in
+  let two = Builder.reg b and one = Builder.reg b in
+  let out = Builder.region b "out" in
+  let b0 = Builder.block b in
+  let b1 = Builder.block b in
+  let b2 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (r9, 0)));
+  ignore (Builder.add b b0 (Instr.Const (two, 2)));
+  ignore (Builder.add b b0 (Instr.Const (one, 1)));
+  ignore (Builder.add b b0 (Instr.Const (lim, 10)));
+  ignore (Builder.terminate b b0 (Instr.Jump b1));
+  ignore (Builder.add b b1 (Instr.Binop (Instr.Mul, r1, r9, two)));
+  (* B: the value *)
+  ignore (Builder.add b b1 (Instr.Binop (Instr.Add, r9, r9, one)));
+  ignore (Builder.add b b1 (Instr.Binop (Instr.Lt, tmp, r9, lim)));
+  ignore (Builder.terminate b b1 (Instr.Branch (tmp, b1, b2)));
+  (* C *)
+  let e = Builder.add b b2 (Instr.Store (out, r6, 0, r1)) in
+  (* E: consumer *)
+  ignore (Builder.terminate b b2 Instr.Return);
+  let func = Builder.finish b ~live_in:[ r6 ] ~live_out:[] in
+  Format.printf "%a@." Printer.pp_func func;
+  let pdg = Pdg.build func in
+  let partition = partition_all func ~lone:[ e.Instr.id ] in
+  Printf.printf "\npartition: thread 2 holds only E (the post-loop consumer)\n";
+  let init_regs = [ (r6, 200) ] in
+  let base, coco = compare_plans func pdg partition ~init_regs in
+  let has_branch (f : Func.t) =
+    List.exists Instr.is_branch (Cfg.instrs f.Func.cfg)
+  in
+  Printf.printf
+    "  consumer thread contains a loop branch?  MTCG: %b   COCO: %b\n"
+    (has_branch base.Mtprog.threads.(1))
+    (has_branch coco.Mtprog.threads.(1));
+  print_endline
+    "  -> with COCO the consumer thread is loop-free: the paper's ks case,\n\
+    \     where 73.7% of dynamic communication disappeared.\n"
+
+let () =
+  fig3 ();
+  fig4 ()

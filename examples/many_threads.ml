@@ -1,0 +1,51 @@
+(* Beyond the paper's two threads: partition a kernel onto 2..4 cores and
+   watch communication grow — the effect the paper's conclusion predicts
+   makes COCO increasingly important.
+
+   Run with: dune exec examples/many_threads.exe -- [benchmark] *)
+
+module W = Gmt_workloads.Workload
+module Suite = Gmt_workloads.Suite
+module Interp = Gmt_machine.Interp
+module Mt_interp = Gmt_machine.Mt_interp
+module Mtcg = Gmt_mtcg.Mtcg
+
+let () =
+  let name =
+    match List.tl (Array.to_list Sys.argv) with n :: _ -> n | [] -> "177.mesa"
+  in
+  let w = Suite.find name in
+  let profile =
+    (Interp.run ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem w.W.func
+       ~mem_size:w.W.mem_size)
+      .Interp.profile
+  in
+  let st =
+    Interp.run ~init_regs:w.W.reference.W.regs ~init_mem:w.W.reference.W.mem
+      w.W.func ~mem_size:w.W.mem_size
+  in
+  let pdg = Gmt_pdg.Pdg.build w.W.func in
+  Printf.printf "%s: scaling GREMIO from 2 to 4 threads\n" w.W.name;
+  Printf.printf "%8s | %12s | %12s | %s\n" "threads" "comm (MTCG)"
+    "comm (+COCO)" "remaining";
+  List.iter
+    (fun n ->
+      let part = Gmt_sched.Gremio.partition ~n_threads:n pdg profile in
+      let measure plan =
+        let mtp = Mtcg.generate pdg part plan in
+        let r =
+          Mt_interp.run ~init_regs:w.W.reference.W.regs
+            ~init_mem:w.W.reference.W.mem mtp ~queue_capacity:32
+            ~mem_size:w.W.mem_size
+        in
+        assert (not r.Mt_interp.deadlocked);
+        assert (r.Mt_interp.memory = st.Interp.memory);
+        Mt_interp.total_comm r
+      in
+      let base = measure (Mtcg.baseline_plan pdg part) in
+      let coco =
+        measure (fst (Gmt_coco.Coco.optimize pdg part profile))
+      in
+      Printf.printf "%8d | %12d | %12d | %8.1f%%\n" n base coco
+        (100.0 *. float_of_int coco /. float_of_int (max 1 base)))
+    [ 2; 3; 4 ]

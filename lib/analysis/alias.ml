@@ -1,0 +1,27 @@
+open Gmt_ir
+
+type kind = Raw | War | Waw
+
+let regions_of i =
+  match (Instr.mem_read i, Instr.mem_write i) with
+  | Some r, None -> Some (r, false)
+  | None, Some r -> Some (r, true)
+  | None, None -> None
+  | Some _, Some _ -> assert false (* no load-store instructions in the IR *)
+
+let may_alias i j =
+  match (regions_of i, regions_of j) with
+  | Some (ri, _), Some (rj, _) -> ri = rj
+  | _ -> false
+
+let dep_kind ~earlier ~later =
+  match (regions_of earlier, regions_of later) with
+  | Some (ri, wi), Some (rj, wj) when ri = rj -> (
+    match (wi, wj) with
+    | true, false -> Some Raw
+    | false, true -> Some War
+    | true, true -> Some Waw
+    | false, false -> None)
+  | _ -> None
+
+let kind_to_string = function Raw -> "RAW" | War -> "WAR" | Waw -> "WAW"

@@ -1,0 +1,29 @@
+(** Memory disambiguation.
+
+    Stands in for the context-sensitive points-to analysis the paper's
+    compiler uses (Nystrom et al. [14]): memory is partitioned into named
+    regions at IR construction time, accesses to distinct regions never
+    alias, and accesses to the same region conservatively may alias.
+
+    Soundness contract: because the machine model exposes one flat address
+    space, IR producers must keep distinct regions at disjoint address
+    ranges (every workload does). An address computed for region A that
+    lands in region B's range would make the no-alias answer wrong, just
+    as a type-unsafe cast would defeat a real points-to analysis. *)
+
+open Gmt_ir
+
+type kind = Raw | War | Waw
+(** Flow (store→load), anti (load→store) and output (store→store)
+    dependence, respectively, for an earlier instruction [i] and a later
+    instruction [j]. *)
+
+(** [may_alias i j] — both access memory and their regions coincide. *)
+val may_alias : Instr.t -> Instr.t -> bool
+
+(** [dep_kind ~earlier ~later] is the memory dependence from [earlier]
+    to [later], if both touch memory, the regions may alias, and at least
+    one writes. *)
+val dep_kind : earlier:Instr.t -> later:Instr.t -> kind option
+
+val kind_to_string : kind -> string

@@ -1,0 +1,76 @@
+open Gmt_ir
+module Dom = Gmt_graphalg.Dom
+module Digraph = Gmt_graphalg.Digraph
+
+type t = {
+  cfg : Cfg.t;
+  dep : Instr.label list array;      (* block -> controlling blocks *)
+  ctl : Instr.label list array;      (* branch block -> controlled blocks *)
+  pdom : Dom.t;
+}
+
+let compute (f : Func.t) =
+  let cfg = f.cfg in
+  let n = Cfg.n_blocks cfg in
+  let g, exit_node = Cfg.digraph_with_exit cfg in
+  let pdom = Dom.compute (Digraph.transpose g) exit_node in
+  let dep = Array.make n [] in
+  let ctl = Array.make n [] in
+  let add_dep b a =
+    if not (List.mem a dep.(b)) then begin
+      dep.(b) <- a :: dep.(b);
+      ctl.(a) <- b :: ctl.(a)
+    end
+  in
+  for a = 0 to n - 1 do
+    let succs = Cfg.succs cfg a in
+    (* Only branches create control dependences (single-successor blocks
+       decide nothing). *)
+    if List.length succs > 1 then
+      List.iter
+        (fun s ->
+          if Dom.is_reachable pdom s && Dom.is_reachable pdom a then begin
+            let stop =
+              match Dom.idom pdom a with Some p -> p | None -> exit_node
+            in
+            let rec walk t =
+              if t <> stop && t <> exit_node then begin
+                add_dep t a;
+                match Dom.idom pdom t with
+                | Some p -> walk p
+                | None -> ()
+              end
+            in
+            if not (Dom.dominates pdom s a) || s = a then walk s
+            else (* s post-dominates a: no dependence along this edge *) ()
+          end)
+        succs
+  done;
+  Array.iteri (fun i l -> dep.(i) <- List.rev l) dep;
+  Array.iteri (fun i l -> ctl.(i) <- List.rev l) ctl;
+  { cfg; dep; ctl; pdom }
+
+let deps t l = t.dep.(l)
+
+let closure_deps t l =
+  (* BFS over the controlled-by relation. *)
+  let n = Array.length t.dep in
+  let seen = Array.make n false in
+  let out = ref [] in
+  let q = Queue.create () in
+  List.iter (fun a -> Queue.push a q) t.dep.(l);
+  while not (Queue.is_empty q) do
+    let a = Queue.pop q in
+    if not seen.(a) then begin
+      seen.(a) <- true;
+      out := a :: !out;
+      List.iter (fun p -> Queue.push p q) t.dep.(a)
+    end
+  done;
+  List.rev !out
+
+let branch_deps t l =
+  List.map (fun a -> (Cfg.terminator t.cfg a).Instr.id) t.dep.(l)
+
+let controls t l = t.ctl.(l)
+let postdom t = t.pdom

@@ -1,0 +1,29 @@
+(** Control dependence (Ferrante–Ottenstein–Warren, via post-dominance).
+
+    Block [b] is control dependent on block [a] when [a]'s branch decides
+    whether [b] executes: there is a CFG edge [a -> s] with [b]
+    post-dominating [s] but not [a]. All instructions of [b] — and every
+    program point in [b], including its entry — inherit [b]'s control
+    dependences, since basic blocks are single-entry straight-line code. *)
+
+open Gmt_ir
+
+type t
+
+val compute : Func.t -> t
+
+(** Blocks whose terminating branch controls [l] (no duplicates). *)
+val deps : t -> Instr.label -> Instr.label list
+
+(** Ids of the controlling branch instructions of [l]. *)
+val branch_deps : t -> Instr.label -> int list
+
+(** Blocks controlled by the branch terminating block [l]. *)
+val controls : t -> Instr.label -> Instr.label list
+
+(** Transitive closure of {!deps}: all blocks whose branches directly or
+    transitively control [l] (chains of control dependence). *)
+val closure_deps : t -> Instr.label -> Instr.label list
+
+(** The post-dominator tree used (root = virtual exit = [Cfg.n_blocks]). *)
+val postdom : t -> Gmt_graphalg.Dom.t

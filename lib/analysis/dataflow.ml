@@ -1,0 +1,105 @@
+open Gmt_ir
+
+type direction = Forward | Backward
+
+module type PROBLEM = sig
+  type fact
+
+  val direction : direction
+  val equal : fact -> fact -> bool
+  val meet : fact -> fact -> fact
+  val boundary : fact
+  val start : fact
+  val transfer : Instr.t -> fact -> fact
+end
+
+module Make (P : PROBLEM) = struct
+  type result = { cfg : Cfg.t; inf : P.fact array; outf : P.fact array }
+
+  (* Apply the block transfer: forward folds the body left-to-right,
+     backward right-to-left. *)
+  let block_transfer body fact =
+    match P.direction with
+    | Forward -> List.fold_left (fun f i -> P.transfer i f) fact body
+    | Backward -> List.fold_right P.transfer body fact
+
+  let solve cfg =
+    let n = Cfg.n_blocks cfg in
+    let inf = Array.make n P.start in
+    let outf = Array.make n P.start in
+    let exits = Cfg.exit_blocks cfg in
+    let worklist = Queue.create () in
+    let in_q = Array.make n false in
+    let push b =
+      if not in_q.(b) then begin
+        in_q.(b) <- true;
+        Queue.push b worklist
+      end
+    in
+    for b = 0 to n - 1 do
+      push b
+    done;
+    while not (Queue.is_empty worklist) do
+      let b = Queue.pop worklist in
+      in_q.(b) <- false;
+      let body = Cfg.body cfg b in
+      match P.direction with
+      | Forward ->
+        let from_preds =
+          List.fold_left
+            (fun acc p -> P.meet acc outf.(p))
+            (if b = Cfg.entry cfg then P.boundary else P.start)
+            (Cfg.preds cfg b)
+        in
+        inf.(b) <- from_preds;
+        let out = block_transfer body from_preds in
+        if not (P.equal out outf.(b)) then begin
+          outf.(b) <- out;
+          List.iter push (Cfg.succs cfg b)
+        end
+      | Backward ->
+        let from_succs =
+          List.fold_left
+            (fun acc s -> P.meet acc inf.(s))
+            (if List.mem b exits then P.boundary else P.start)
+            (Cfg.succs cfg b)
+        in
+        outf.(b) <- from_succs;
+        let newin = block_transfer body from_succs in
+        if not (P.equal newin inf.(b)) then begin
+          inf.(b) <- newin;
+          List.iter push (Cfg.preds cfg b)
+        end
+    done;
+    { cfg; inf; outf }
+
+  let block_in r l = r.inf.(l)
+  let block_out r l = r.outf.(l)
+
+  (* Recompute facts within the block up to the requested instruction. *)
+  let at r id ~want_before =
+    let l, idx = Cfg.position r.cfg id in
+    let body = Cfg.body r.cfg l in
+    match P.direction with
+    | Forward ->
+      let fact = ref r.inf.(l) in
+      List.iteri
+        (fun i ins ->
+          if i < idx || ((not want_before) && i = idx) then
+            fact := P.transfer ins !fact)
+        body;
+      !fact
+    | Backward ->
+      let m = List.length body in
+      let fact = ref r.outf.(l) in
+      List.iteri
+        (fun j ins ->
+          let i = m - 1 - j in
+          if i > idx || (want_before && i = idx) then
+            fact := P.transfer ins !fact)
+        (List.rev body);
+      !fact
+
+  let before r id = at r id ~want_before:true
+  let after r id = at r id ~want_before:false
+end

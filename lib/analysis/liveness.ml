@@ -1,0 +1,44 @@
+open Gmt_ir
+
+module Solver (B : sig
+  val boundary : Reg.Set.t
+end) =
+Dataflow.Make (struct
+  type fact = Reg.Set.t
+
+  let direction = Dataflow.Backward
+  let equal = Reg.Set.equal
+  let meet = Reg.Set.union
+  let boundary = B.boundary
+  let start = Reg.Set.empty
+
+  let transfer i fact =
+    let fact =
+      List.fold_left (fun s d -> Reg.Set.remove d s) fact (Instr.defs i)
+    in
+    List.fold_left (fun s u -> Reg.Set.add u s) fact (Instr.uses i)
+end)
+
+type t = {
+  in_ : Instr.label -> Reg.Set.t;
+  out : Instr.label -> Reg.Set.t;
+  bef : int -> Reg.Set.t;
+  aft : int -> Reg.Set.t;
+}
+
+let compute (f : Func.t) =
+  let module S = Solver (struct
+    let boundary = Reg.Set.of_list f.live_out
+  end) in
+  let r = S.solve f.cfg in
+  {
+    in_ = S.block_in r;
+    out = S.block_out r;
+    bef = S.before r;
+    aft = S.after r;
+  }
+
+let live_in t l = t.in_ l
+let live_out t l = t.out l
+let live_before t id = t.bef id
+let live_after t id = t.aft id

@@ -1,0 +1,16 @@
+(** Classic backward liveness of virtual registers. *)
+
+open Gmt_ir
+
+type t
+
+(** [compute f] uses [f.live_out] as the boundary fact at [Return]. *)
+val compute : Func.t -> t
+
+val live_in : t -> Instr.label -> Reg.Set.t
+val live_out : t -> Instr.label -> Reg.Set.t
+
+(** Liveness just before / after an instruction (by id). *)
+val live_before : t -> int -> Reg.Set.t
+
+val live_after : t -> int -> Reg.Set.t

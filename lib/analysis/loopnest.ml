@@ -1,0 +1,133 @@
+open Gmt_ir
+module Dom = Gmt_graphalg.Dom
+module Iset = Set.Make (Int)
+
+type loop = {
+  id : int;
+  header : Instr.label;
+  body : Instr.label list;
+  depth : int;
+  parent : int option;
+  children : int list;
+}
+
+type t = {
+  loops : loop array;
+  inner : int option array; (* block -> innermost loop id *)
+  backs : (Instr.label * Instr.label) list;
+}
+
+let natural_loop cfg header sources =
+  (* header + all blocks that reach a back-edge source without passing
+     through the header. *)
+  let body = ref (Iset.singleton header) in
+  let stack = ref sources in
+  List.iter (fun s -> if s <> header then body := Iset.add s !body) sources;
+  stack := List.filter (fun s -> s <> header) sources;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+      stack := rest;
+      List.iter
+        (fun p ->
+          if not (Iset.mem p !body) then begin
+            body := Iset.add p !body;
+            stack := p :: !stack
+          end)
+        (Cfg.preds cfg b)
+  done;
+  !body
+
+let compute (f : Func.t) =
+  let cfg = f.cfg in
+  let n = Cfg.n_blocks cfg in
+  let g = Cfg.digraph cfg in
+  let dom = Dom.compute g (Cfg.entry cfg) in
+  (* Collect back edges, grouped by header. *)
+  let backs = ref [] in
+  let by_header = Hashtbl.create 8 in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun h ->
+        if Dom.is_reachable dom u && Dom.dominates dom h u then begin
+          backs := (u, h) :: !backs;
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_header h) in
+          Hashtbl.replace by_header h (u :: cur)
+        end)
+      (Cfg.succs cfg u)
+  done;
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) by_header [] in
+  let headers = List.sort compare headers in
+  let bodies =
+    List.map
+      (fun h -> (h, natural_loop cfg h (Hashtbl.find by_header h)))
+      headers
+  in
+  (* Sort by body size descending so parents precede children; containment
+     of natural loops with distinct headers is a partial order. *)
+  let sorted =
+    List.stable_sort
+      (fun (_, b1) (_, b2) -> compare (Iset.cardinal b2) (Iset.cardinal b1))
+      bodies
+  in
+  let nl = List.length sorted in
+  let arr = Array.of_list sorted in
+  let parent = Array.make nl None in
+  for i = 0 to nl - 1 do
+    let _, body_i = arr.(i) in
+    (* innermost enclosing loop = smallest strict superset *)
+    let best = ref None in
+    for j = 0 to nl - 1 do
+      if i <> j then begin
+        let _, body_j = arr.(j) in
+        if Iset.subset body_i body_j && Iset.cardinal body_j > Iset.cardinal body_i
+        then
+          match !best with
+          | None -> best := Some j
+          | Some k ->
+            let _, body_k = arr.(k) in
+            if Iset.cardinal body_j < Iset.cardinal body_k then best := Some j
+      end
+    done;
+    parent.(i) <- !best
+  done;
+  let rec depth_of i =
+    match parent.(i) with None -> 1 | Some p -> 1 + depth_of p
+  in
+  let children = Array.make nl [] in
+  Array.iteri
+    (fun i p -> match p with Some p -> children.(p) <- i :: children.(p) | None -> ())
+    parent;
+  let loops =
+    Array.init nl (fun i ->
+        let header, body = arr.(i) in
+        {
+          id = i;
+          header;
+          body = Iset.elements body;
+          depth = depth_of i;
+          parent = parent.(i);
+          children = List.rev children.(i);
+        })
+  in
+  let inner = Array.make n None in
+  (* Assign blocks to their deepest containing loop. *)
+  Array.iter
+    (fun lp ->
+      List.iter
+        (fun b ->
+          match inner.(b) with
+          | None -> inner.(b) <- Some lp.id
+          | Some cur -> if loops.(cur).depth < lp.depth then inner.(b) <- Some lp.id)
+        lp.body)
+    loops;
+  { loops; inner; backs = List.rev !backs }
+
+let loops t = Array.to_list t.loops
+let n_loops t = Array.length t.loops
+let loop t i = t.loops.(i)
+let innermost t b = Option.map (fun i -> t.loops.(i)) t.inner.(b)
+let depth t b = match t.inner.(b) with None -> 0 | Some i -> t.loops.(i).depth
+let back_edges t = t.backs
+let roots t = List.filter (fun l -> l.parent = None) (loops t)

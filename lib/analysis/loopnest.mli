@@ -1,0 +1,37 @@
+(** Natural loops and the loop-nest tree.
+
+    Back edges are CFG edges whose target dominates their source; the
+    natural loop of a header is the union of the bodies induced by its
+    back edges. The nest tree (containment order) drives GREMIO's
+    hierarchical scheduling and the static profile estimator. *)
+
+open Gmt_ir
+
+type loop = {
+  id : int;
+  header : Instr.label;
+  body : Instr.label list;  (** includes the header; sorted *)
+  depth : int;              (** 1 for outermost loops *)
+  parent : int option;      (** enclosing loop id *)
+  children : int list;
+}
+
+type t
+
+val compute : Func.t -> t
+
+val loops : t -> loop list
+val n_loops : t -> int
+val loop : t -> int -> loop
+
+(** Innermost loop containing a block, if any. *)
+val innermost : t -> Instr.label -> loop option
+
+(** Nesting depth of a block: 0 if in no loop. *)
+val depth : t -> Instr.label -> int
+
+(** Back edges (source, header). *)
+val back_edges : t -> (Instr.label * Instr.label) list
+
+(** Top-level loops (no parent). *)
+val roots : t -> loop list

@@ -1,0 +1,50 @@
+open Gmt_ir
+
+type t = {
+  edges : (Instr.label * Instr.label, int) Hashtbl.t;
+  blocks : (Instr.label, int) Hashtbl.t;
+}
+
+let create () = { edges = Hashtbl.create 32; blocks = Hashtbl.create 32 }
+
+let bump tbl key n =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (cur + n)
+
+let bump_edge t ~src ~dst n = bump t.edges (src, dst) n
+let bump_block t l n = bump t.blocks l n
+
+let edge t ~src ~dst =
+  Option.value ~default:0 (Hashtbl.find_opt t.edges (src, dst))
+
+let block t l = Option.value ~default:0 (Hashtbl.find_opt t.blocks l)
+
+let static_estimate (f : Func.t) =
+  let t = create () in
+  let nest = Loopnest.compute f in
+  let pow8 d =
+    let rec go acc d = if d <= 0 then acc else go (acc * 8) (d - 1) in
+    go 1 d
+  in
+  Cfg.iter_blocks f.cfg (fun b ->
+      let w = pow8 (Loopnest.depth nest b.label) in
+      bump_block t b.label w;
+      let succs = Cfg.succs f.cfg b.label in
+      let k = List.length succs in
+      List.iter
+        (fun s -> bump_edge t ~src:b.label ~dst:s (max 1 (w / max 1 k)))
+        succs);
+  t
+
+let total_blocks t = Hashtbl.fold (fun _ v acc -> acc + v) t.blocks 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>profile:";
+  let items =
+    Hashtbl.fold (fun (s, d) w acc -> (s, d, w) :: acc) t.edges []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (s, d, w) -> Format.fprintf ppf "@,  B%d -> B%d : %d" s d w)
+    items;
+  Format.fprintf ppf "@]"

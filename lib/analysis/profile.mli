@@ -1,0 +1,29 @@
+(** Edge and block execution profiles.
+
+    COCO's min-cut costs are edge execution counts; control-flow penalties
+    use branch (block) execution counts. Profiles come either from running
+    the single-threaded interpreter on a training input, or from the static
+    estimator (the paper notes static estimates are also accurate [28]). *)
+
+open Gmt_ir
+
+type t
+
+val create : unit -> t
+
+(** Accumulate counts. *)
+val bump_edge : t -> src:Instr.label -> dst:Instr.label -> int -> unit
+
+val bump_block : t -> Instr.label -> int -> unit
+
+val edge : t -> src:Instr.label -> dst:Instr.label -> int
+val block : t -> Instr.label -> int
+
+(** Static estimator: block weight = 8^(loop depth), edge weight splits a
+    block's weight evenly across its successors (at least 1 on each). *)
+val static_estimate : Func.t -> t
+
+(** Total of all block weights (for reporting). *)
+val total_blocks : t -> int
+
+val pp : Format.formatter -> t -> unit

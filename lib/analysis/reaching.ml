@@ -1,0 +1,67 @@
+open Gmt_ir
+module Iset = Set.Make (Int)
+
+let entry_def r = -1 - Reg.to_int r
+let is_entry_def id = id < 0
+
+let entry_def_reg id =
+  if id >= 0 then invalid_arg "Reaching.entry_def_reg";
+  Reg.of_int (-1 - id)
+
+type t = { cfg : Cfg.t; def_reg : int -> Reg.t; solver : solver }
+
+and solver = {
+  before : int -> Iset.t;
+  after : int -> Iset.t;
+}
+
+let compute (f : Func.t) =
+  (* def_reg: which register a definition id defines. *)
+  let tbl = Hashtbl.create 64 in
+  Cfg.iter_instrs f.cfg (fun _ (i : Instr.t) ->
+      match Instr.defs i with
+      | [ d ] -> Hashtbl.replace tbl i.id d
+      | [] -> ()
+      | _ -> invalid_arg "Reaching: multi-def instruction");
+  let def_reg id =
+    if is_entry_def id then entry_def_reg id
+    else
+      match Hashtbl.find_opt tbl id with
+      | Some r -> r
+      | None -> invalid_arg "Reaching.def_reg: not a definition"
+  in
+  let boundary = Iset.of_list (List.map entry_def f.live_in) in
+  let module S = Dataflow.Make (struct
+    type fact = Iset.t
+
+    let direction = Dataflow.Forward
+    let equal = Iset.equal
+    let meet = Iset.union
+    let boundary = boundary
+    let start = Iset.empty
+
+    let transfer (i : Instr.t) fact =
+      match Instr.defs i with
+      | [] -> fact
+      | [ d ] ->
+        let killed = Iset.filter (fun id -> not (Reg.equal (def_reg id) d)) fact in
+        Iset.add i.id killed
+      | _ -> assert false
+  end) in
+  let r = S.solve f.cfg in
+  { cfg = f.cfg; def_reg; solver = { before = S.before r; after = S.after r } }
+
+let defs_of_reg_before t id r =
+  Iset.elements
+    (Iset.filter (fun d -> Reg.equal (t.def_reg d) r) (t.solver.before id))
+
+let du_chains t =
+  let acc = ref [] in
+  Cfg.iter_instrs t.cfg (fun _ (u : Instr.t) ->
+      List.iter
+        (fun r ->
+          List.iter
+            (fun d -> acc := (d, u.id, r) :: !acc)
+            (defs_of_reg_before t u.id r))
+        (Instr.uses u));
+  List.rev !acc

@@ -1,0 +1,30 @@
+(** Reaching definitions.
+
+    Definitions are instruction ids. Function inputs ([live_in] registers)
+    get a virtual entry definition encoded as [entry_def r] (a negative
+    pseudo-id), so a use reached only by the entry definition has no
+    defining instruction inside the region. *)
+
+open Gmt_ir
+
+type t
+
+(** Pseudo-id of the virtual entry definition of register [r]. *)
+val entry_def : Reg.t -> int
+
+val is_entry_def : int -> bool
+
+(** Register defined by an entry pseudo-id.
+    @raise Invalid_argument if not an entry def. *)
+val entry_def_reg : int -> Reg.t
+
+val compute : Func.t -> t
+
+(** Ids of definitions of [r] that reach the point just before
+    instruction [id]. *)
+val defs_of_reg_before : t -> int -> Reg.t -> int list
+
+(** All (def_id, use_instr_id, register) du-triples of the function: for
+    each use of [r] in instruction [u], one triple per reaching definition
+    of [r]. Entry definitions are included (negative ids). *)
+val du_chains : t -> (int * int * Reg.t) list

@@ -1,0 +1,240 @@
+open Gmt_ir
+module Controldep = Gmt_analysis.Controldep
+module Profile = Gmt_analysis.Profile
+module Partition = Gmt_sched.Partition
+module Relevant = Gmt_mtcg.Relevant
+module Comm = Gmt_mtcg.Comm
+module Maxflow = Gmt_graphalg.Maxflow
+module Multicut = Gmt_graphalg.Multicut
+
+type ctx = {
+  func : Func.t;
+  cd : Controldep.t;
+  profile : Profile.t;
+  partition : Partition.t;
+  rel : Relevant.t;
+  src_thread : int;
+  dst_thread : int;
+  control_penalty : bool;
+}
+
+type cut_result = { points : Comm.point list; cost : int; finite : bool }
+
+let sat_add a b = if a >= Maxflow.infinity - b then Maxflow.infinity else a + b
+
+(* Branch blocks whose relevance the point's placement requires: the
+   transitive controllers of the point's block; for an edge point, the
+   branch guarding the edge as well. *)
+let controlling_blocks ctx (point : Comm.point) =
+  let cfg = ctx.func.cfg in
+  match point with
+  | Comm.On_edge (a, _) ->
+    let term = Cfg.terminator cfg a in
+    let own = if Instr.is_branch term then [ a ] else [] in
+    own @ Controldep.closure_deps ctx.cd a
+  | _ -> Controldep.closure_deps ctx.cd (Comm.block_of_point cfg point)
+
+(* Cost of placing communication at [point]: infinite when unsafe or not
+   relevant to the source thread; otherwise base plus the Section 3.1.2
+   penalty — the execution weight of every branch that would newly become
+   relevant to the target thread. *)
+let point_cost ctx ~base ~safe point =
+  if not safe then Maxflow.infinity
+  else if
+    not
+      (Relevant.point_relevant ctx.rel ~thread:ctx.src_thread ctx.func.cfg
+         ctx.cd point)
+  then Maxflow.infinity
+  else begin
+    let cfg = ctx.func.cfg in
+    let penalty =
+      if not ctx.control_penalty then 0
+      else
+        List.fold_left
+          (fun acc bl ->
+            let term = Cfg.terminator cfg bl in
+            if
+              Instr.is_branch term
+              && not
+                   (Relevant.is_relevant_branch ctx.rel ~thread:ctx.dst_thread
+                      ~branch_id:term.Instr.id)
+            then sat_add acc (max 1 (Profile.block ctx.profile bl))
+            else acc)
+          0
+          (controlling_blocks ctx point)
+    in
+    sat_add base penalty
+  end
+
+(* Generic construction. [point_live] says whether a point carries flow
+   (register liveness w.r.t. the target thread; always true for memory);
+   [point_safe] is the Property 3 filter (always true for memory). *)
+type built = {
+  n : int;
+  net_arcs : (int * int * int * Comm.point) list; (* u, v, cost, point *)
+  node_of_instr : (int, int) Hashtbl.t;
+}
+
+type node_key = Knode of int | Kentry of Instr.label
+
+let build_arcs ctx ~point_live ~point_safe =
+  let cfg = ctx.func.cfg in
+  let node_tbl : (node_key, int) Hashtbl.t = Hashtbl.create 64 in
+  let n = ref 0 in
+  let node k =
+    match Hashtbl.find_opt node_tbl k with
+    | Some x -> x
+    | None ->
+      let x = !n in
+      Hashtbl.replace node_tbl k x;
+      incr n;
+      x
+  in
+  let arcs = ref [] in
+  let add_arc u v point base =
+    let cost = point_cost ctx ~base ~safe:(point_safe point) point in
+    arcs := (u, v, cost, point) :: !arcs
+  in
+  Cfg.iter_blocks cfg (fun blk ->
+      let l = blk.Cfg.label in
+      (* Weights are floored at 1: a point the training input never reached
+         can still execute on other inputs, so cutting there is never free. *)
+      let w_block = max 1 (Profile.block ctx.profile l) in
+      (* entry -> first instruction *)
+      (match blk.Cfg.body with
+      | first :: _ ->
+        let p = Comm.Block_entry l in
+        if point_live p then
+          add_arc (node (Kentry l)) (node (Knode first.Instr.id)) p w_block
+      | [] -> ());
+      (* adjacent instructions *)
+      let rec chain = function
+        | (a : Instr.t) :: (b : Instr.t) :: rest ->
+          let p = Comm.After a.id in
+          if point_live p then
+            add_arc (node (Knode a.id)) (node (Knode b.id)) p w_block;
+          chain (b :: rest)
+        | _ -> ()
+      in
+      chain blk.Cfg.body;
+      (* terminator -> successor block entries. The placement point is
+         normalized to a jump-free location when possible: the successor's
+         entry when this is its only incoming edge, the point before the
+         terminator when the edge is the block's only outgoing one. A true
+         critical edge needs a split block in both endpoint threads — two
+         extra jumps per traversal — which is charged into the cost. *)
+      let term = Cfg.terminator cfg l in
+      let succs = List.sort_uniq compare (Cfg.succs cfg l) in
+      List.iter
+        (fun s ->
+          let w_edge = max 1 (Profile.edge ctx.profile ~src:l ~dst:s) in
+          let point, extra =
+            if List.length (Cfg.preds cfg s) = 1 then (Comm.Block_entry s, 0)
+            else if List.length succs = 1 then (Comm.Before term.Instr.id, 0)
+            else (Comm.On_edge (l, s), 2 * w_edge)
+          in
+          if point_live (Comm.On_edge (l, s)) then
+            add_arc
+              (node (Knode term.Instr.id))
+              (node (Kentry s))
+              point (w_edge + extra))
+        succs);
+  let node_of_instr = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun k v ->
+      match k with Knode id -> Hashtbl.replace node_of_instr id v | Kentry _ -> ())
+    node_tbl;
+  ({ n = !n; net_arcs = List.rev !arcs; node_of_instr }, node)
+
+let solve_register ctx ~reg ~safety ~tlive =
+  let cfg = ctx.func.cfg in
+  let r = reg in
+  let live_set s = Reg.Set.mem r s in
+  let point_live = function
+    | Comm.Block_entry l -> live_set (Thread_live.live_at_entry tlive l)
+    | Comm.After id -> live_set (Thread_live.live_after tlive id)
+    | Comm.Before id -> live_set (Thread_live.live_before tlive id)
+    | Comm.On_edge (a, b) ->
+      live_set (Thread_live.live_at_entry tlive b)
+      && live_set (Thread_live.live_after tlive (Cfg.terminator cfg a).Instr.id)
+  in
+  let point_safe = function
+    | Comm.Block_entry l -> Reg.Set.mem r (Safety.safe_at_entry safety l)
+    | Comm.After id -> Reg.Set.mem r (Safety.safe_after safety id)
+    | Comm.Before id -> Reg.Set.mem r (Safety.safe_before safety id)
+    | Comm.On_edge (a, _) ->
+      Reg.Set.mem r (Safety.safe_after safety (Cfg.terminator cfg a).Instr.id)
+  in
+  let built, _node = build_arcs ctx ~point_live ~point_safe in
+  (* Special source/sink nodes appended after the program-point nodes. *)
+  let src_node = built.n and sink_node = built.n + 1 in
+  let defs = ref [] in
+  Cfg.iter_instrs cfg (fun _ (i : Instr.t) ->
+      if
+        List.exists (Reg.equal r) (Instr.defs i)
+        && Partition.thread_of_opt ctx.partition i.id = Some ctx.src_thread
+        && Reg.Set.mem r (Thread_live.live_after tlive i.id)
+      then defs := i.id :: !defs);
+  let users = Thread_live.users_of tlive r in
+  let net = Maxflow.create (built.n + 2) in
+  let point_of_arc = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, cost, point) ->
+      let id = Maxflow.add_arc net u v cost in
+      Hashtbl.replace point_of_arc id point)
+    built.net_arcs;
+  let baseline_points = List.rev_map (fun d -> Comm.After d) !defs in
+  let connected = ref false in
+  List.iter
+    (fun d ->
+      match Hashtbl.find_opt built.node_of_instr d with
+      | Some nd ->
+        ignore (Maxflow.add_arc net src_node nd Maxflow.infinity);
+        connected := true
+      | None -> ())
+    !defs;
+  List.iter
+    (fun u ->
+      match Hashtbl.find_opt built.node_of_instr u with
+      | Some nu -> ignore (Maxflow.add_arc net nu sink_node Maxflow.infinity)
+      | None -> ())
+    users;
+  if (not !connected) || users = [] then { points = []; cost = 0; finite = true }
+  else begin
+    let cut = Maxflow.min_cut net ~src:src_node ~sink:sink_node in
+    if cut.Maxflow.value >= Maxflow.infinity then
+      (* No finite cut: fall back to the MTCG placement. Should not occur;
+         kept as a safety net. *)
+      { points = baseline_points; cost = cut.Maxflow.value; finite = false }
+    else
+      let points =
+        List.filter_map
+          (fun (_, _, id) -> Hashtbl.find_opt point_of_arc id)
+          cut.Maxflow.arcs
+      in
+      { points; cost = cut.Maxflow.value; finite = true }
+  end
+
+let solve_memory ctx ~pairs =
+  let all_live _ = true in
+  let built, _node = build_arcs ctx ~point_live:all_live ~point_safe:all_live in
+  let arcs =
+    List.mapi
+      (fun tag (u, v, cost, _point) -> { Multicut.u; v; cap = cost; tag })
+      built.net_arcs
+  in
+  let point_of_tag = Array.of_list (List.map (fun (_, _, _, p) -> p) built.net_arcs) in
+  let node_pairs =
+    List.filter_map
+      (fun (s, d) ->
+        match
+          (Hashtbl.find_opt built.node_of_instr s,
+           Hashtbl.find_opt built.node_of_instr d)
+        with
+        | Some ns, Some nd -> Some (ns, nd)
+        | _ -> None)
+      pairs
+  in
+  let result = Multicut.solve ~n:built.n ~arcs ~pairs:node_pairs in
+  let points = List.map (fun tag -> point_of_tag.(tag)) result.Multicut.cut_tags in
+  { points; cost = result.Multicut.total_cost; finite = true }

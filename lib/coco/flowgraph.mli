@@ -1,0 +1,51 @@
+(** Flow-graph construction for communication placement (Sections
+    3.1.1–3.1.3).
+
+    The graph [G_f] is the CFG at instruction granularity: one node per
+    instruction (restricted to the target-thread live range of the
+    register, for register problems), one node per basic-block entry, and
+    the special source/sink nodes. Normal arcs carry profile-weight costs
+    and are annotated with the program point cutting them corresponds to;
+    arcs where placement would violate Safety (Property 3) or source-
+    thread relevance (Property 2) cost infinity, and arcs whose point
+    would make currently-irrelevant branches relevant to the target thread
+    carry those branches' weights as a penalty (Section 3.1.2). *)
+
+open Gmt_ir
+module Comm = Gmt_mtcg.Comm
+
+(** The common inputs of a placement problem for the thread pair
+    [(src_thread, dst_thread)]. *)
+type ctx = {
+  func : Func.t;
+  cd : Gmt_analysis.Controldep.t;
+  profile : Gmt_analysis.Profile.t;
+  partition : Gmt_sched.Partition.t;
+  rel : Gmt_mtcg.Relevant.t;  (** current relevant sets (Algorithm 2 state) *)
+  src_thread : int;
+  dst_thread : int;
+  control_penalty : bool;  (** apply Section 3.1.2 penalties (default on) *)
+}
+
+type cut_result = {
+  points : Comm.point list;  (** program points to place communication at *)
+  cost : int;                (** cut cost (profile-weighted) *)
+  finite : bool;             (** false when only infinite cuts exist *)
+}
+
+(** Optimal register communication placement for [reg] (min-cut). Returns
+    [finite = false] — with the baseline fallback points — if no finite
+    cut exists (which indicates a modelling bug; tests assert it never
+    happens). Returns an empty point list when the register needs no
+    communication (no live definition reaches a target use). *)
+val solve_register :
+  ctx ->
+  reg:Reg.t ->
+  safety:Safety.t ->
+  tlive:Thread_live.t ->
+  cut_result
+
+(** Heuristic multi-commodity placement for all memory dependences
+    [pairs = (src_instr, dst_instr) list] from [src_thread] to
+    [dst_thread] (successive single-pair min-cuts with arc removal). *)
+val solve_memory : ctx -> pairs:(int * int) list -> cut_result

@@ -1,0 +1,47 @@
+open Gmt_ir
+module Partition = Gmt_sched.Partition
+
+type t = {
+  bef : int -> Reg.Set.t;
+  aft : int -> Reg.Set.t;
+  entry : Instr.label -> Reg.Set.t;
+}
+
+let compute (f : Func.t) partition ~thread =
+  let universe =
+    List.init f.n_regs (fun i -> Reg.of_int i) |> Reg.Set.of_list
+  in
+  let module S = Gmt_analysis.Dataflow.Make (struct
+    type fact = Reg.Set.t
+
+    let direction = Gmt_analysis.Dataflow.Forward
+    let equal = Reg.Set.equal
+    let meet = Reg.Set.inter
+    let boundary = Reg.Set.empty
+    let start = universe
+
+    let transfer (i : Instr.t) fact =
+      let mine =
+        match Partition.thread_of_opt partition i.id with
+        | Some t -> t = thread
+        | None -> false
+      in
+      if mine then
+        (* SAFE_out = DEF_Ts ∪ USE_Ts ∪ (SAFE_in − DEF):
+           the thread's own accesses re-establish safety. *)
+        List.fold_left
+          (fun s r -> Reg.Set.add r s)
+          fact
+          (Instr.defs i @ Instr.uses i)
+      else
+        (* Another thread's definition staleness. *)
+        List.fold_left (fun s r -> Reg.Set.remove r s) fact (Instr.defs i)
+  end) in
+  let r = S.solve f.cfg in
+  { bef = S.before r; aft = S.after r; entry = S.block_in r }
+
+let safe_before t id = t.bef id
+let safe_after t id = t.aft id
+let safe_at_entry t l = t.entry l
+let is_safe_before t id r = Reg.Set.mem r (t.bef id)
+let is_safe_after t id r = Reg.Set.mem r (t.aft id)

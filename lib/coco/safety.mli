@@ -1,0 +1,23 @@
+(** Thread-aware safety analysis (Property 3, data-flow equations (1)-(2)).
+
+    A register [r] is {e safe} to communicate from thread [Ts] at a point
+    when [Ts] is guaranteed to hold the latest value of [r] there: [Ts]
+    defined or used [r] since any other thread's definition. Forward
+    must-analysis; the entry boundary is empty, as in the paper. *)
+
+open Gmt_ir
+
+type t
+
+val compute : Func.t -> Gmt_sched.Partition.t -> thread:int -> t
+
+(** Safe register set at the point before / after instruction [id]. *)
+val safe_before : t -> int -> Reg.Set.t
+
+val safe_after : t -> int -> Reg.Set.t
+
+(** Safe set at a block's entry. *)
+val safe_at_entry : t -> Instr.label -> Reg.Set.t
+
+val is_safe_before : t -> int -> Reg.t -> bool
+val is_safe_after : t -> int -> Reg.t -> bool

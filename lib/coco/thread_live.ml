@@ -1,0 +1,60 @@
+open Gmt_ir
+module Partition = Gmt_sched.Partition
+module Relevant = Gmt_mtcg.Relevant
+
+type t = {
+  bef : int -> Reg.Set.t;
+  aft : int -> Reg.Set.t;
+  entry : Instr.label -> Reg.Set.t;
+  users : (int, int list) Hashtbl.t; (* reg -> user instruction ids *)
+}
+
+let compute (f : Func.t) partition rel ~thread =
+  let counts_as_use (i : Instr.t) =
+    (match Partition.thread_of_opt partition i.id with
+    | Some t -> t = thread
+    | None -> false)
+    || (Instr.is_branch i
+       && Relevant.is_relevant_branch rel ~thread ~branch_id:i.id)
+  in
+  let boundary =
+    (* Live-outs are consumed by the master thread (thread 0) after the
+       region. *)
+    if thread = 0 then Reg.Set.of_list f.live_out else Reg.Set.empty
+  in
+  let module S = Gmt_analysis.Dataflow.Make (struct
+    type fact = Reg.Set.t
+
+    let direction = Gmt_analysis.Dataflow.Backward
+    let equal = Reg.Set.equal
+    let meet = Reg.Set.union
+    let boundary = boundary
+    let start = Reg.Set.empty
+
+    let transfer (i : Instr.t) fact =
+      let fact =
+        List.fold_left (fun s d -> Reg.Set.remove d s) fact (Instr.defs i)
+      in
+      if counts_as_use i then
+        List.fold_left (fun s u -> Reg.Set.add u s) fact (Instr.uses i)
+      else fact
+  end) in
+  let r = S.solve f.cfg in
+  let users = Hashtbl.create 16 in
+  Cfg.iter_instrs f.cfg (fun _ (i : Instr.t) ->
+      if counts_as_use i then
+        List.iter
+          (fun u ->
+            let k = Reg.to_int u in
+            Hashtbl.replace users k
+              (i.id :: Option.value ~default:[] (Hashtbl.find_opt users k)))
+          (Instr.uses i));
+  { bef = S.before r; aft = S.after r; entry = S.block_in r; users }
+
+let live_before t id = t.bef id
+let live_after t id = t.aft id
+let live_at_entry t l = t.entry l
+
+let users_of t r =
+  List.sort compare
+    (Option.value ~default:[] (Hashtbl.find_opt t.users (Reg.to_int r)))

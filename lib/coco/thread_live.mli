@@ -1,0 +1,25 @@
+(** Thread-aware liveness: the live range of a register considering only
+    its uses in instructions assigned to the target thread [Tt] — plus
+    uses in branches relevant to [Tt], which [Tt] must replicate (the
+    paper treats branch operands as uses in every thread the branch is
+    relevant to, so branch-operand communication is optimized together
+    with data communication). *)
+
+open Gmt_ir
+
+type t
+
+val compute :
+  Func.t ->
+  Gmt_sched.Partition.t ->
+  Gmt_mtcg.Relevant.t ->
+  thread:int ->
+  t
+
+val live_before : t -> int -> Reg.Set.t
+val live_after : t -> int -> Reg.Set.t
+val live_at_entry : t -> Instr.label -> Reg.Set.t
+
+(** Instruction ids counting as uses of [r] for the target thread
+    (assigned instructions and relevant branches). *)
+val users_of : t -> Reg.t -> int list

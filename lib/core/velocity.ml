@@ -1,0 +1,156 @@
+open Gmt_ir
+module Workload = Gmt_workloads.Workload
+module Interp = Gmt_machine.Interp
+module Mt_interp = Gmt_machine.Mt_interp
+module Sim = Gmt_machine.Sim
+module Config = Gmt_machine.Config
+module Pdg = Gmt_pdg.Pdg
+module Partition = Gmt_sched.Partition
+module Mtcg = Gmt_mtcg.Mtcg
+module Coco = Gmt_coco.Coco
+
+type technique = Dswp | Gremio
+
+let technique_name = function Dswp -> "DSWP" | Gremio -> "GREMIO"
+
+type compiled = {
+  workload : Workload.t;
+  technique : technique;
+  coco : bool;
+  n_threads : int;
+  pdg : Pdg.t;
+  partition : Partition.t;
+  plan : Mtcg.plan;
+  mtp : Mtprog.t;
+  coco_stats : Coco.stats option;
+}
+
+let machine_config ?(n_cores = 2) = function
+  | Dswp -> Config.itanium2 ~n_cores ~queue_size:32 ()
+  | Gremio -> Config.itanium2 ~n_cores ~queue_size:1 ()
+
+let compile ?(n_threads = 2) ?(coco = false) ?(profile_mode = `Train)
+    ?(disambiguate_offsets = false) ?(optimize = false) ?(cleanup = true)
+    technique (w : Workload.t) =
+  Validate.check w.func;
+  let w =
+    if optimize then { w with Workload.func = Gmt_opt.Opt.pipeline w.func }
+    else w
+  in
+  let profile =
+    match profile_mode with
+    | `Static -> Gmt_analysis.Profile.static_estimate w.func
+    | `Train ->
+      let r =
+        Interp.run ~init_regs:w.train.Workload.regs
+          ~init_mem:w.train.Workload.mem w.func ~mem_size:w.mem_size
+      in
+      if r.Interp.fuel_exhausted then
+        failwith (w.name ^ ": train run exhausted fuel");
+      r.Interp.profile
+  in
+  let pdg = Pdg.build ~disambiguate_offsets w.func in
+  let partition =
+    match technique with
+    | Dswp -> Gmt_sched.Dswp.partition ~n_threads pdg profile
+    | Gremio -> Gmt_sched.Gremio.partition ~n_threads pdg profile
+  in
+  (match Partition.errors partition w.func with
+  | [] -> ()
+  | es ->
+    failwith
+      (Printf.sprintf "%s/%s: bad partition: %s" w.name
+         (technique_name technique)
+         (String.concat "; " es)));
+  let plan, coco_stats =
+    if coco then
+      let plan, stats = Coco.optimize pdg partition profile in
+      (plan, Some stats)
+    else (Mtcg.baseline_plan pdg partition, None)
+  in
+  (* Fit the plan into the synchronization array's physical queues. *)
+  let queues =
+    let limit = (machine_config technique).Config.n_queues in
+    if Mtcg.n_queues plan > limit then
+      Gmt_mtcg.Queue_alloc.allocate ~max_queues:limit plan.Mtcg.comms
+    else Gmt_mtcg.Queue_alloc.identity plan.Mtcg.comms
+  in
+  let mtp = Mtcg.generate ~queues pdg partition plan in
+  let mtp = if cleanup then Gmt_opt.Opt.cleanup_threads mtp else mtp in
+  Array.iter Validate.check mtp.Mtprog.threads;
+  { workload = w; technique; coco; n_threads; pdg; partition; plan; mtp;
+    coco_stats }
+
+type metrics = {
+  dyn_instrs : int;
+  comm_instrs : int;
+  mem_syncs : int;
+  cycles : int;
+  deadlocked : bool;
+}
+
+let expected_memory (w : Workload.t) =
+  let r =
+    Interp.run ~init_regs:w.reference.Workload.regs
+      ~init_mem:w.reference.Workload.mem w.func ~mem_size:w.mem_size
+  in
+  if r.Interp.fuel_exhausted then failwith (w.name ^ ": ref run exhausted fuel");
+  (r.Interp.memory, r.Interp.dyn_instrs)
+
+let measure c =
+  let w = c.workload in
+  let mc = machine_config ~n_cores:(max 2 c.n_threads) c.technique in
+  let expect, _ = expected_memory w in
+  (* Untimed run for instruction counts + the correctness check. *)
+  let mt =
+    Mt_interp.run ~init_regs:w.reference.Workload.regs
+      ~init_mem:w.reference.Workload.mem c.mtp
+      ~queue_capacity:mc.Config.queue_size ~mem_size:w.mem_size
+  in
+  if mt.Mt_interp.deadlocked then
+    failwith
+      (Printf.sprintf "%s/%s%s: deadlock" w.name
+         (technique_name c.technique)
+         (if c.coco then "+COCO" else ""));
+  if mt.Mt_interp.memory <> expect then
+    failwith
+      (Printf.sprintf "%s/%s%s: multi-threaded memory diverges" w.name
+         (technique_name c.technique)
+         (if c.coco then "+COCO" else ""));
+  (* Timed run for cycles. *)
+  let sim =
+    Sim.run ~init_regs:w.reference.Workload.regs
+      ~init_mem:w.reference.Workload.mem mc c.mtp ~mem_size:w.mem_size
+  in
+  if sim.Sim.deadlocked then
+    failwith (w.name ^ ": simulator deadlock");
+  if sim.Sim.memory <> expect then
+    failwith (w.name ^ ": simulated memory diverges");
+  let syncs =
+    Array.fold_left
+      (fun acc (t : Mt_interp.thread_stats) ->
+        acc + t.Mt_interp.produce_syncs + t.Mt_interp.consume_syncs)
+      0 mt.Mt_interp.threads
+  in
+  {
+    dyn_instrs = Mt_interp.total_dyn mt;
+    comm_instrs = Mt_interp.total_comm mt;
+    mem_syncs = syncs;
+    cycles = sim.Sim.cycles;
+    deadlocked = false;
+  }
+
+let measure_single (w : Workload.t) =
+  let mc = Config.itanium2 () in
+  let sim =
+    Sim.run_single ~init_regs:w.reference.Workload.regs
+      ~init_mem:w.reference.Workload.mem mc w.func ~mem_size:w.mem_size
+  in
+  let _, dyn = expected_memory w in
+  {
+    dyn_instrs = dyn;
+    comm_instrs = 0;
+    mem_syncs = 0;
+    cycles = sim.Sim.cycles;
+    deadlocked = sim.Sim.deadlocked;
+  }

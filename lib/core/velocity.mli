@@ -1,0 +1,73 @@
+(** The end-to-end compilation pipeline, named after the VELOCITY compiler
+    the paper's system was implemented in: profile the kernel on its train
+    input, build the PDG, partition (DSWP or GREMIO), generate
+    multi-threaded code (MTCG, optionally with COCO's optimized
+    communication placement), then measure on the reference input with the
+    untimed interpreter (dynamic instruction counts, Figures 1 and 7) and
+    the cycle simulator (speedups, Figure 8). *)
+
+open Gmt_ir
+module Workload = Gmt_workloads.Workload
+
+type technique = Dswp | Gremio
+
+val technique_name : technique -> string
+
+type compiled = {
+  workload : Workload.t;
+  technique : technique;
+  coco : bool;
+  n_threads : int;
+  pdg : Gmt_pdg.Pdg.t;
+  partition : Gmt_sched.Partition.t;
+  plan : Gmt_mtcg.Mtcg.plan;
+  mtp : Mtprog.t;
+  coco_stats : Gmt_coco.Coco.stats option;
+}
+
+(** Compile a workload.
+
+    [profile_mode] (default [`Train]) selects the edge weights COCO and
+    the partitioners use: [`Train] interprets the workload's train input
+    (the paper's methodology); [`Static] uses the loop-nesting estimator —
+    the paper notes static estimates "have been demonstrated to be also
+    very accurate" [28].
+
+    [disambiguate_offsets] (default false) enables the loop-invariant
+    base + distinct-offset memory disambiguation extension.
+
+    [optimize] (default false) runs the classical pre-pass pipeline
+    (constant folding, copy propagation, DCE, CFG simplification) before
+    scheduling, as the paper's compiler does. [cleanup] (default true)
+    jump-threads and prunes the generated thread CFGs. *)
+val compile :
+  ?n_threads:int ->
+  ?coco:bool ->
+  ?profile_mode:[ `Train | `Static ] ->
+  ?disambiguate_offsets:bool ->
+  ?optimize:bool ->
+  ?cleanup:bool ->
+  technique ->
+  Workload.t ->
+  compiled
+
+type metrics = {
+  dyn_instrs : int;     (** total dynamic instructions, all threads *)
+  comm_instrs : int;    (** produce+consume+sync instructions *)
+  mem_syncs : int;      (** produce_sync + consume_sync only *)
+  cycles : int;         (** simulated cycles (max over cores) *)
+  deadlocked : bool;
+}
+
+(** Execute compiled code on the reference input and also check that its
+    final memory matches the single-threaded run.
+    @raise Failure on divergence or deadlock. *)
+val measure : compiled -> metrics
+
+(** Single-threaded reference numbers on the reference input. *)
+val measure_single : Workload.t -> metrics
+
+(** Machine configuration used for a compiled program's simulation
+    (32-entry queues for DSWP pipelines, single-entry otherwise;
+    [n_cores] defaults to the paper's 2). *)
+val machine_config : ?n_cores:int -> technique -> Gmt_machine.Config.t

@@ -1,0 +1,62 @@
+type t = {
+  n : int;
+  succ : int list array;  (* stored reversed; exposed in insertion order *)
+  pred : int list array;
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; succ = Array.make n []; pred = Array.make n []; edges = 0 }
+
+let n_nodes g = g.n
+
+let check g u =
+  if u < 0 || u >= g.n then invalid_arg "Digraph: node out of range"
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  List.mem v g.succ.(u)
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if not (List.mem v g.succ.(u)) then begin
+    g.succ.(u) <- v :: g.succ.(u);
+    g.pred.(v) <- u :: g.pred.(v);
+    g.edges <- g.edges + 1
+  end
+
+let succs g u = check g u; List.rev g.succ.(u)
+let preds g u = check g u; List.rev g.pred.(u)
+let out_degree g u = check g u; List.length g.succ.(u)
+let in_degree g u = check g u; List.length g.pred.(u)
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> f u v) (List.rev g.succ.(u))
+  done
+
+let n_edges g = g.edges
+
+let transpose g =
+  let t = create g.n in
+  iter_edges g (fun u v -> add_edge t v u);
+  t
+
+let reachable g roots =
+  let seen = Array.make g.n false in
+  let rec go u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter go g.succ.(u)
+    end
+  in
+  List.iter go roots;
+  seen
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph(%d nodes, %d edges)" g.n g.edges;
+  iter_edges g (fun u v -> Format.fprintf ppf "@,  %d -> %d" u v);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** Mutable directed graphs over dense integer node identifiers.
+
+    All graph algorithms in this library operate on [Digraph.t]. Nodes are
+    the integers [0 .. n_nodes - 1]; clients keep their own side tables
+    mapping domain objects (instructions, basic blocks, ...) to node ids.
+    Parallel edges are collapsed: adding an existing edge is a no-op. *)
+
+type t
+
+(** [create n] is an empty graph with nodes [0 .. n-1] and no edges. *)
+val create : int -> t
+
+(** Number of nodes the graph was created with. *)
+val n_nodes : t -> int
+
+(** [add_edge g u v] adds the edge [u -> v]. Idempotent.
+    @raise Invalid_argument if [u] or [v] is out of range. *)
+val add_edge : t -> int -> int -> unit
+
+(** [mem_edge g u v] is [true] iff [u -> v] is present. *)
+val mem_edge : t -> int -> int -> bool
+
+(** Successors of a node, in insertion order. *)
+val succs : t -> int -> int list
+
+(** Predecessors of a node, in insertion order. *)
+val preds : t -> int -> int list
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+(** [iter_edges g f] calls [f u v] for every edge [u -> v]. *)
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** Number of edges. *)
+val n_edges : t -> int
+
+(** [transpose g] is a new graph with every edge reversed. *)
+val transpose : t -> t
+
+(** [reachable g roots] is the set of nodes reachable from [roots]
+    (including the roots), as a boolean array indexed by node. *)
+val reachable : t -> int list -> bool array
+
+val pp : Format.formatter -> t -> unit

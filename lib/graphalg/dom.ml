@@ -1,0 +1,108 @@
+(* Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm". *)
+
+type t = {
+  root : int;
+  idom : int array;       (* idom in node ids; root maps to itself; -1 unreachable *)
+  depth : int array;      (* dominator-tree depth; -1 unreachable *)
+  kids : int list array;
+}
+
+let postorder g root =
+  let seen = Array.make (Digraph.n_nodes g) false in
+  let order = ref [] in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go (Digraph.succs g v);
+      order := v :: !order
+    end
+  in
+  go root;
+  (* !order is reverse postorder *)
+  List.rev !order
+
+let compute g root =
+  let n = Digraph.n_nodes g in
+  let po = postorder g root in
+  let rpo = List.rev po in
+  let po_num = Array.make n (-1) in
+  List.iteri (fun i v -> po_num.(v) <- i) po;
+  let idom = Array.make n (-1) in
+  idom.(root) <- root;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while po_num.(!f1) < po_num.(!f2) do f1 := idom.(!f1) done;
+      while po_num.(!f2) < po_num.(!f1) do f2 := idom.(!f2) done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if v <> root then begin
+          let processed_preds =
+            List.filter
+              (fun p -> po_num.(p) >= 0 && idom.(p) <> -1)
+              (Digraph.preds g v)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(v) <> new_idom then begin
+              idom.(v) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  let depth = Array.make n (-1) in
+  let kids = Array.make n [] in
+  let rec depth_of v =
+    if depth.(v) >= 0 then depth.(v)
+    else if v = root then begin
+      depth.(v) <- 0;
+      0
+    end
+    else begin
+      let d = 1 + depth_of idom.(v) in
+      depth.(v) <- d;
+      d
+    end
+  in
+  List.iter (fun v -> if idom.(v) <> -1 then ignore (depth_of v)) rpo;
+  List.iter
+    (fun v ->
+      if v <> root && idom.(v) <> -1 then kids.(idom.(v)) <- v :: kids.(idom.(v)))
+    po;
+  { root; idom; depth; kids }
+
+let root t = t.root
+let is_reachable t v = t.idom.(v) <> -1
+
+let idom t v =
+  if v = t.root || t.idom.(v) = -1 then None else Some t.idom.(v)
+
+let dominates t a b =
+  if not (is_reachable t a) || not (is_reachable t b) then false
+  else begin
+    let v = ref b in
+    while t.depth.(!v) > t.depth.(a) do
+      v := t.idom.(!v)
+    done;
+    !v = a
+  end
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+let dominators t v =
+  if not (is_reachable t v) then []
+  else begin
+    let rec up v acc = if v = t.root then v :: acc else up t.idom.(v) (v :: acc) in
+    List.rev (up v [])
+  end
+
+let children t v = t.kids.(v)

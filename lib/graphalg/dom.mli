@@ -1,0 +1,32 @@
+(** Dominator trees (Cooper–Harvey–Kennedy iterative algorithm).
+
+    Post-dominance is obtained by running the same algorithm on the
+    transposed graph rooted at the (unique) exit node. *)
+
+type t
+
+(** [compute g root] computes the dominator tree of [g] rooted at [root].
+    Nodes unreachable from [root] have no dominator information. *)
+val compute : Digraph.t -> int -> t
+
+val root : t -> int
+
+(** [idom t v] is the immediate dominator of [v]; [None] for the root and
+    for unreachable nodes. *)
+val idom : t -> int -> int option
+
+(** [dominates t a b] is [true] iff [a] dominates [b] (reflexively). False
+    when either node is unreachable, unless [a = b = root]. *)
+val dominates : t -> int -> int -> bool
+
+(** [strictly_dominates t a b] = [dominates t a b && a <> b]. *)
+val strictly_dominates : t -> int -> int -> bool
+
+(** All nodes on the dominator-tree path from [v] up to the root,
+    inclusive of both. Empty for unreachable nodes. *)
+val dominators : t -> int -> int list
+
+val is_reachable : t -> int -> bool
+
+(** Children of [v] in the dominator tree. *)
+val children : t -> int -> int list

@@ -1,0 +1,167 @@
+(* FIFO push-relabel (Goldberg & Tarjan). Arcs are stored in the same
+   paired layout as Maxflow: forward arc i, reverse arc (i lxor 1). *)
+
+let infinity = max_int / 1024
+
+type t = {
+  n : int;
+  mutable heads : int array;
+  mutable tails : int array;
+  mutable caps : int array;
+  mutable orig : int array;
+  mutable adj : int list array;
+  mutable n_arcs : int;
+}
+
+let create n =
+  {
+    n;
+    heads = Array.make 16 0;
+    tails = Array.make 16 0;
+    caps = Array.make 16 0;
+    orig = Array.make 16 0;
+    adj = Array.make (max n 1) [];
+    n_arcs = 0;
+  }
+
+let n_nodes t = t.n
+
+let ensure t k =
+  let len = Array.length t.heads in
+  if k > len then begin
+    let len' = max (2 * len) k in
+    let grow a =
+      let a' = Array.make len' 0 in
+      Array.blit a 0 a' 0 len;
+      a'
+    in
+    t.heads <- grow t.heads;
+    t.tails <- grow t.tails;
+    t.caps <- grow t.caps;
+    t.orig <- grow t.orig
+  end
+
+let sat_add a b = if a >= infinity - b then infinity else a + b
+
+let add_arc t u v cap =
+  if cap < 0 then invalid_arg "Maxflow_push.add_arc: negative capacity";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Maxflow_push.add_arc: node out of range";
+  let existing =
+    List.find_opt (fun id -> id land 1 = 0 && t.heads.(id) = v) t.adj.(u)
+  in
+  match existing with
+  | Some id ->
+    t.caps.(id) <- sat_add t.caps.(id) cap;
+    t.orig.(id) <- sat_add t.orig.(id) cap;
+    id
+  | None ->
+    let id = t.n_arcs in
+    ensure t (id + 2);
+    t.heads.(id) <- v;
+    t.tails.(id) <- u;
+    t.caps.(id) <- cap;
+    t.orig.(id) <- cap;
+    t.heads.(id + 1) <- u;
+    t.tails.(id + 1) <- v;
+    t.caps.(id + 1) <- 0;
+    t.orig.(id + 1) <- 0;
+    t.adj.(u) <- id :: t.adj.(u);
+    t.adj.(v) <- (id + 1) :: t.adj.(v);
+    t.n_arcs <- id + 2;
+    id
+
+let max_flow t ~src ~sink =
+  if src = sink then invalid_arg "Maxflow_push.max_flow: src = sink";
+  let n = t.n in
+  let excess = Array.make n 0 in
+  let height = Array.make n 0 in
+  let in_queue = Array.make n false in
+  let q = Queue.create () in
+  height.(src) <- n;
+  (* Saturate all arcs out of the source. *)
+  List.iter
+    (fun id ->
+      if id land 1 = 0 && t.caps.(id) > 0 then begin
+        let v = t.heads.(id) in
+        let d = t.caps.(id) in
+        t.caps.(id) <- 0;
+        t.caps.(id lxor 1) <- sat_add t.caps.(id lxor 1) d;
+        excess.(v) <- sat_add excess.(v) d;
+        if v <> sink && v <> src && not in_queue.(v) then begin
+          in_queue.(v) <- true;
+          Queue.push v q
+        end
+      end)
+    t.adj.(src);
+  let discharge u =
+    while excess.(u) > 0 do
+      (* push along admissible residual arcs *)
+      List.iter
+        (fun id ->
+          if excess.(u) > 0 && t.caps.(id) > 0 then begin
+            let v = t.heads.(id) in
+            if height.(u) = height.(v) + 1 then begin
+              let d = min excess.(u) t.caps.(id) in
+              t.caps.(id) <- t.caps.(id) - d;
+              t.caps.(id lxor 1) <- sat_add t.caps.(id lxor 1) d;
+              excess.(u) <- excess.(u) - d;
+              excess.(v) <- sat_add excess.(v) d;
+              if v <> src && v <> sink && not in_queue.(v) then begin
+                in_queue.(v) <- true;
+                Queue.push v q
+              end
+            end
+          end)
+        t.adj.(u);
+      if excess.(u) > 0 then begin
+        (* relabel to one above the lowest residual neighbour; a node with
+           excess always has a residual arc (its inflow's reverse), so the
+           minimum exists and heights stay below 2n. *)
+        let best = ref max_int in
+        List.iter
+          (fun id -> if t.caps.(id) > 0 then best := min !best height.(t.heads.(id)))
+          t.adj.(u);
+        assert (!best < max_int);
+        height.(u) <- !best + 1
+      end
+    done
+  in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    in_queue.(u) <- false;
+    discharge u
+  done;
+  min excess.(sink) infinity
+
+type cut = {
+  value : int;
+  src_side : bool array;
+  arcs : (int * int * int) list;
+}
+
+let min_cut t ~src ~sink =
+  let value = max_flow t ~src ~sink in
+  let seen = Array.make t.n false in
+  seen.(src) <- true;
+  let q = Queue.create () in
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun id ->
+        let v = t.heads.(id) in
+        if (not seen.(v)) && t.caps.(id) > 0 then begin
+          seen.(v) <- true;
+          Queue.push v q
+        end)
+      t.adj.(u)
+  done;
+  let arcs = ref [] in
+  for id = 0 to t.n_arcs - 1 do
+    if id land 1 = 0 && t.orig.(id) >= 0 then begin
+      let u = t.tails.(id) and v = t.heads.(id) in
+      if seen.(u) && not seen.(v) then arcs := (u, v, id) :: !arcs
+    end
+  done;
+  { value; src_side = seen; arcs = List.rev !arcs }

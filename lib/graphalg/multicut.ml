@@ -1,0 +1,39 @@
+type arc = { u : int; v : int; cap : int; tag : int }
+type result = { cut_tags : int list; total_cost : int }
+
+module Iset = Set.Make (Int)
+
+let solve ~n ~arcs ~pairs =
+  let removed = ref Iset.empty in
+  let cut_tags = ref [] in
+  let total = ref 0 in
+  let solve_pair (src, sink) =
+    if src <> sink then begin
+      let net = Maxflow.create n in
+      (* arc id -> tag, for live arcs of this round *)
+      let tag_of = Hashtbl.create 64 in
+      List.iter
+        (fun a ->
+          if not (Iset.mem a.tag !removed) then begin
+            let id = Maxflow.add_arc net a.u a.v a.cap in
+            (* Duplicate (u,v) arcs collapse onto one id; keep first tag. *)
+            if not (Hashtbl.mem tag_of id) then Hashtbl.add tag_of id a.tag
+          end)
+        arcs;
+      let cut = Maxflow.min_cut net ~src ~sink in
+      List.iter
+        (fun (_, _, id) ->
+          match Hashtbl.find_opt tag_of id with
+          | Some tag ->
+            if not (Iset.mem tag !removed) then begin
+              removed := Iset.add tag !removed;
+              cut_tags := tag :: !cut_tags;
+              let _, _, cap = Maxflow.arc_info net id in
+              total := !total + cap
+            end
+          | None -> ())
+        cut.Maxflow.arcs
+    end
+  in
+  List.iter solve_pair pairs;
+  { cut_tags = List.rev !cut_tags; total_cost = !total }

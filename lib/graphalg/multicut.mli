@@ -1,0 +1,23 @@
+(** Multi-commodity minimum cut, heuristic.
+
+    Exact multi-pair min-cut is NP-hard (the paper cites Garey & Johnson), so
+    COCO uses the heuristic of Section 3.1.3: solve each source-sink pair
+    optimally in turn with the single-pair algorithm, removing the cut arcs
+    from the graph after each pair so earlier cuts help disconnect later
+    pairs. *)
+
+type arc = {
+  u : int;
+  v : int;
+  cap : int;  (** use {!Maxflow.infinity} for arcs barred from cutting *)
+  tag : int;  (** client-chosen identifier, reported back for cut arcs *)
+}
+
+type result = {
+  cut_tags : int list;  (** tags of arcs chosen for the cut, in pair order *)
+  total_cost : int;     (** sum of the cut arcs' capacities *)
+}
+
+(** [solve ~n ~arcs ~pairs] disconnects every [(src, sink)] pair. Arc tags
+    must be distinct. Pairs are processed in list order. *)
+val solve : n:int -> arcs:arc list -> pairs:(int * int) list -> result

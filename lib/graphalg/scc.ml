@@ -1,0 +1,73 @@
+(* Tarjan's SCC algorithm, iterative to avoid stack overflow on long
+   CFG-shaped chains. Components are numbered so that a component's index
+   is smaller than that of any component that can reach it. *)
+
+let components g =
+  let n = Digraph.n_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* Explicit DFS state: (node, remaining successors). *)
+  let visit root =
+    let work = Stack.create () in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    Stack.push root stack;
+    on_stack.(root) <- true;
+    Stack.push (root, Digraph.succs g root) work;
+    while not (Stack.is_empty work) do
+      let v, rest = Stack.pop work in
+      match rest with
+      | w :: rest' ->
+        Stack.push (v, rest') work;
+        if index.(w) = -1 then begin
+          index.(w) <- !next_index;
+          lowlink.(w) <- !next_index;
+          incr next_index;
+          Stack.push w stack;
+          on_stack.(w) <- true;
+          Stack.push (w, Digraph.succs g w) work
+        end
+        else if on_stack.(w) then
+          lowlink.(v) <- min lowlink.(v) index.(w)
+      | [] ->
+        if lowlink.(v) = index.(v) then begin
+          let continue = ref true in
+          while !continue do
+            let w = Stack.pop stack in
+            on_stack.(w) <- false;
+            comp.(w) <- !next_comp;
+            if w = v then continue := false
+          done;
+          incr next_comp
+        end;
+        (* Propagate lowlink to the parent frame, if any. *)
+        if not (Stack.is_empty work) then begin
+          let p, _ = Stack.top work in
+          lowlink.(p) <- min lowlink.(p) lowlink.(v)
+        end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  (comp, !next_comp)
+
+let condense g =
+  let comp, nc = components g in
+  let dag = Digraph.create nc in
+  Digraph.iter_edges g (fun u v ->
+      if comp.(u) <> comp.(v) then Digraph.add_edge dag comp.(u) comp.(v));
+  (dag, comp)
+
+let members comp n_comps =
+  let groups = Array.make n_comps [] in
+  for v = Array.length comp - 1 downto 0 do
+    groups.(comp.(v)) <- v :: groups.(comp.(v))
+  done;
+  groups

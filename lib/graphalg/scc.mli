@@ -1,0 +1,18 @@
+(** Strongly connected components (Tarjan's algorithm). *)
+
+(** [components g] returns [(comp, n_comps)] where [comp.(v)] is the
+    component index of node [v]. Component indices are a reverse
+    topological numbering of the condensation: if there is an edge from
+    component [a] to component [b] (with [a <> b]) then [comp a > comp b].
+    Hence iterating components in *decreasing* index order visits them in
+    topological order of the condensation. *)
+val components : Digraph.t -> int array * int
+
+(** [condense g] builds the condensation DAG: one node per SCC, an edge
+    between distinct components whenever some cross-component edge exists.
+    Returns [(dag, comp)] with [comp] as in {!components}. *)
+val condense : Digraph.t -> Digraph.t * int array
+
+(** [members comp n_comps] groups nodes by component: result.(c) lists the
+    nodes of component [c] in increasing node order. *)
+val members : int array -> int -> int list array

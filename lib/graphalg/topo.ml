@@ -1,0 +1,40 @@
+(* Kahn's algorithm; deterministic because ready nodes are taken in
+   increasing node-id order via a priority structure over a simple module
+   of sorted insertion (graphs here are small). *)
+
+module Iset = Set.Make (Int)
+
+let sort_opt g =
+  let n = Digraph.n_nodes g in
+  let indeg = Array.init n (fun v -> Digraph.in_degree g v) in
+  let ready = ref Iset.empty in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then ready := Iset.add v !ready
+  done;
+  let out = ref [] in
+  let count = ref 0 in
+  while not (Iset.is_empty !ready) do
+    let v = Iset.min_elt !ready in
+    ready := Iset.remove v !ready;
+    out := v :: !out;
+    incr count;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then ready := Iset.add w !ready)
+      (Digraph.succs g v)
+  done;
+  if !count = n then Some (List.rev !out) else None
+
+let sort g =
+  match sort_opt g with
+  | Some order -> order
+  | None -> failwith "Topo.sort: graph is cyclic"
+
+let is_acyclic g = Option.is_some (sort_opt g)
+
+let order_index g =
+  let order = sort g in
+  let idx = Array.make (Digraph.n_nodes g) 0 in
+  List.iteri (fun i v -> idx.(v) <- i) order;
+  idx

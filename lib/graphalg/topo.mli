@@ -1,0 +1,16 @@
+(** Topological orderings of directed acyclic graphs. *)
+
+(** [sort g] is a topological order of [g]'s nodes (every edge goes from an
+    earlier to a later node in the returned list).
+    @raise Failure if [g] has a cycle. *)
+val sort : Digraph.t -> int list
+
+(** [sort_opt g] is [Some order], or [None] when [g] is cyclic. *)
+val sort_opt : Digraph.t -> int list option
+
+(** [is_acyclic g] *)
+val is_acyclic : Digraph.t -> bool
+
+(** [order_index g] maps each node to its position in {!sort}'s order.
+    @raise Failure if [g] has a cycle. *)
+val order_index : Digraph.t -> int array

@@ -1,0 +1,108 @@
+type blk = { mutable rev_body : Instr.t list; mutable closed : bool }
+
+type t = {
+  name : string;
+  mutable n_regs : int;
+  mutable next_id : int;
+  mutable blocks : blk array;
+  mutable n_blocks : int;
+  mutable entry : Instr.label option;
+  region_tbl : (string, Instr.region) Hashtbl.t;
+  mutable rev_regions : string list;
+  mutable n_regions : int;
+}
+
+let create ~name () =
+  {
+    name;
+    n_regs = 0;
+    next_id = 0;
+    blocks = Array.make 8 { rev_body = []; closed = false };
+    n_blocks = 0;
+    entry = None;
+    region_tbl = Hashtbl.create 8;
+    rev_regions = [];
+    n_regions = 0;
+  }
+
+let reg b =
+  let r = Reg.of_int b.n_regs in
+  b.n_regs <- b.n_regs + 1;
+  r
+
+let regs b n = List.init n (fun _ -> reg b)
+
+let region b name =
+  match Hashtbl.find_opt b.region_tbl name with
+  | Some r -> r
+  | None ->
+    let r = b.n_regions in
+    Hashtbl.add b.region_tbl name r;
+    b.rev_regions <- name :: b.rev_regions;
+    b.n_regions <- r + 1;
+    r
+
+let block b =
+  if b.n_blocks = Array.length b.blocks then begin
+    let bigger = Array.make (2 * b.n_blocks) b.blocks.(0) in
+    Array.blit b.blocks 0 bigger 0 b.n_blocks;
+    b.blocks <- bigger
+  end;
+  let l = b.n_blocks in
+  b.blocks.(l) <- { rev_body = []; closed = false };
+  b.n_blocks <- l + 1;
+  if b.entry = None then b.entry <- Some l;
+  l
+
+let set_entry b l =
+  if l < 0 || l >= b.n_blocks then invalid_arg "Builder.set_entry";
+  b.entry <- Some l
+
+let get_blk b l =
+  if l < 0 || l >= b.n_blocks then invalid_arg "Builder: bad label";
+  b.blocks.(l)
+
+let fresh_id b =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  id
+
+let append b l ~id op ~terminating =
+  let blk = get_blk b l in
+  if blk.closed then invalid_arg "Builder: block already terminated";
+  let i = Instr.make ~id op in
+  if Instr.is_terminator i <> terminating then
+    invalid_arg
+      (if terminating then "Builder.terminate: op is not a terminator"
+       else "Builder.add: op is a terminator");
+  blk.rev_body <- i :: blk.rev_body;
+  if terminating then blk.closed <- true;
+  if id >= b.next_id then b.next_id <- id + 1;
+  i
+
+let add b l op = append b l ~id:(fresh_id b) op ~terminating:false
+let add_with_id b l ~id op = append b l ~id op ~terminating:false
+let terminate b l op = append b l ~id:(fresh_id b) op ~terminating:true
+let terminate_with_id b l ~id op = append b l ~id op ~terminating:true
+
+let next_id b = b.next_id
+let set_next_id b id = b.next_id <- max b.next_id id
+
+let finish b ~live_in ~live_out =
+  let entry =
+    match b.entry with
+    | Some e -> e
+    | None -> invalid_arg "Builder.finish: no blocks"
+  in
+  let blocks =
+    Array.init b.n_blocks (fun l ->
+        let blk = b.blocks.(l) in
+        if not blk.closed then
+          invalid_arg
+            (Printf.sprintf "Builder.finish: block B%d not terminated" l);
+        { Cfg.label = l; body = List.rev blk.rev_body })
+  in
+  let cfg = Cfg.make ~entry blocks in
+  Func.make ~name:b.name ~cfg ~n_regs:b.n_regs
+    ~regions:(Array.of_list (List.rev b.rev_regions))
+    ~live_in ~live_out

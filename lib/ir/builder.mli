@@ -1,0 +1,48 @@
+(** Imperative construction of {!Func.t} values.
+
+    Typical use: allocate blocks and registers, append instructions (ids are
+    assigned automatically), terminate each block, then {!finish}. The
+    workload kernels and MTCG both build code through this module. *)
+
+type t
+
+val create : name:string -> unit -> t
+
+(** Allocate a fresh virtual register. *)
+val reg : t -> Reg.t
+
+(** Allocate [n] fresh registers. *)
+val regs : t -> int -> Reg.t list
+
+(** Allocate (or look up) a named memory region. *)
+val region : t -> string -> Instr.region
+
+(** Allocate a fresh empty basic block and return its label. *)
+val block : t -> Instr.label
+
+(** First block allocated is the entry by default; override here. *)
+val set_entry : t -> Instr.label -> unit
+
+(** Append a non-terminator instruction to a block, assigning a fresh id.
+    Returns the created instruction.
+    @raise Invalid_argument if the op is a terminator or block is closed. *)
+val add : t -> Instr.label -> Instr.op -> Instr.t
+
+(** Append an instruction reusing a caller-supplied id (used by MTCG to
+    keep the correspondence with original instructions). *)
+val add_with_id : t -> Instr.label -> id:int -> Instr.op -> Instr.t
+
+(** Terminate a block.
+    @raise Invalid_argument if already terminated or op not a terminator. *)
+val terminate : t -> Instr.label -> Instr.op -> Instr.t
+
+val terminate_with_id : t -> Instr.label -> id:int -> Instr.op -> Instr.t
+
+(** Next id that would be assigned; also settable to avoid clashes. *)
+val next_id : t -> int
+val set_next_id : t -> int -> unit
+
+(** [finish b ~live_in ~live_out] checks every block is terminated and
+    builds the function.
+    @raise Invalid_argument if a block lacks a terminator. *)
+val finish : t -> live_in:Reg.t list -> live_out:Reg.t list -> Func.t

@@ -1,0 +1,109 @@
+module Digraph = Gmt_graphalg.Digraph
+
+type block = { label : Instr.label; body : Instr.t list }
+
+type t = {
+  entry : Instr.label;
+  blocks : block array;
+  preds : Instr.label list array;
+  pos : (int, Instr.label * int) Hashtbl.t;
+}
+
+let block_succs b =
+  match List.rev b.body with
+  | [] -> []
+  | last :: _ -> Instr.targets last
+
+let make ~entry blocks =
+  let n = Array.length blocks in
+  if entry < 0 || entry >= n then invalid_arg "Cfg.make: bad entry";
+  Array.iteri
+    (fun i b ->
+      if b.label <> i then invalid_arg "Cfg.make: block label/index mismatch")
+    blocks;
+  let preds = Array.make n [] in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then invalid_arg "Cfg.make: target out of range";
+          if not (List.mem b.label preds.(s)) then
+            preds.(s) <- b.label :: preds.(s))
+        (block_succs b))
+    blocks;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  let pos = Hashtbl.create 64 in
+  Array.iter
+    (fun b ->
+      List.iteri
+        (fun idx (ins : Instr.t) -> Hashtbl.replace pos ins.id (b.label, idx))
+        b.body)
+    blocks;
+  { entry; blocks; preds; pos }
+
+let entry t = t.entry
+let n_blocks t = Array.length t.blocks
+
+let block t l =
+  if l < 0 || l >= Array.length t.blocks then invalid_arg "Cfg.block";
+  t.blocks.(l)
+
+let body t l = (block t l).body
+
+let terminator t l =
+  match List.rev (body t l) with
+  | last :: _ -> last
+  | [] -> invalid_arg "Cfg.terminator: empty block"
+
+let succs t l = block_succs (block t l)
+let preds t l =
+  if l < 0 || l >= Array.length t.preds then invalid_arg "Cfg.preds";
+  t.preds.(l)
+
+let iter_blocks t f = Array.iter f t.blocks
+
+let iter_instrs t f =
+  Array.iter (fun b -> List.iter (fun i -> f b.label i) b.body) t.blocks
+
+let instrs t =
+  Array.fold_left (fun acc b -> acc @ b.body) [] t.blocks
+
+let n_instrs t =
+  Array.fold_left (fun acc b -> acc + List.length b.body) 0 t.blocks
+
+let position t id =
+  match Hashtbl.find_opt t.pos id with
+  | Some p -> p
+  | None -> raise Not_found
+
+let find_instr t id =
+  let l, idx = position t id in
+  List.nth (body t l) idx
+
+let digraph t =
+  let g = Digraph.create (n_blocks t) in
+  Array.iter
+    (fun b -> List.iter (fun s -> Digraph.add_edge g b.label s) (block_succs b))
+    t.blocks;
+  g
+
+let exit_blocks t =
+  Array.to_list t.blocks
+  |> List.filter_map (fun b ->
+         match List.rev b.body with
+         | ({ Instr.op = Instr.Return; _ } : Instr.t) :: _ -> Some b.label
+         | _ -> None)
+
+let digraph_with_exit t =
+  let n = n_blocks t in
+  let g = Digraph.create (n + 1) in
+  Array.iter
+    (fun b -> List.iter (fun s -> Digraph.add_edge g b.label s) (block_succs b))
+    t.blocks;
+  List.iter (fun l -> Digraph.add_edge g l n) (exit_blocks t);
+  (g, n)
+
+let max_instr_id t =
+  let m = ref 0 in
+  iter_instrs t (fun _ (i : Instr.t) -> if i.id >= !m then m := i.id + 1);
+  !m

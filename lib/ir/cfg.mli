@@ -1,0 +1,58 @@
+(** Control-flow graphs.
+
+    A CFG is an array of basic blocks indexed by label. Every block ends in
+    exactly one terminator ([Jump], [Branch] or [Return]) and contains no
+    terminator before its last instruction ({!Validate} enforces this). *)
+
+type block = { label : Instr.label; body : Instr.t list }
+
+type t
+
+val make : entry:Instr.label -> block array -> t
+
+val entry : t -> Instr.label
+val n_blocks : t -> int
+
+(** [block t l]
+    @raise Invalid_argument if [l] is out of range. *)
+val block : t -> Instr.label -> block
+
+val body : t -> Instr.label -> Instr.t list
+val terminator : t -> Instr.label -> Instr.t
+
+(** CFG successor labels of a block (from its terminator). *)
+val succs : t -> Instr.label -> Instr.label list
+
+(** CFG predecessor labels (cached at construction). *)
+val preds : t -> Instr.label -> Instr.label list
+
+val iter_blocks : t -> (block -> unit) -> unit
+
+(** [iter_instrs t f] calls [f label instr] in block order, instruction
+    order within each block. *)
+val iter_instrs : t -> (Instr.label -> Instr.t -> unit) -> unit
+
+val instrs : t -> Instr.t list
+val n_instrs : t -> int
+
+(** Instruction lookup by id.
+    @raise Not_found for unknown ids. *)
+val find_instr : t -> int -> Instr.t
+
+(** [position t id] is [(label, index)] of the instruction within its
+    block. @raise Not_found for unknown ids. *)
+val position : t -> int -> Instr.label * int
+
+(** Block-level digraph over labels [0 .. n_blocks-1]. *)
+val digraph : t -> Gmt_graphalg.Digraph.t
+
+(** Same, plus a virtual exit node (= [n_blocks]) with an edge from every
+    [Return] block; used for post-dominance. Returns [(g, exit_node)]. *)
+val digraph_with_exit : t -> Gmt_graphalg.Digraph.t * int
+
+(** Labels of blocks whose terminator is [Return]. *)
+val exit_blocks : t -> Instr.label list
+
+(** Largest instruction id present, plus one (convenient id allocator
+    base for passes that extend the function). *)
+val max_instr_id : t -> int

@@ -1,0 +1,47 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\l"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let block_label (b : Cfg.block) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "B%d\n" b.Cfg.label);
+  List.iter
+    (fun i -> Buffer.add_string buf (Instr.to_string i ^ "\n"))
+    b.Cfg.body;
+  escape (Buffer.contents buf)
+
+let emit_cfg ppf ~prefix (f : Func.t) =
+  let cfg = f.Func.cfg in
+  Cfg.iter_blocks cfg (fun b ->
+      Format.fprintf ppf "  %sb%d [shape=box, fontname=monospace, label=\"%s\"];@,"
+        prefix b.Cfg.label (block_label b));
+  Cfg.iter_blocks cfg (fun b ->
+      List.iter
+        (fun s -> Format.fprintf ppf "  %sb%d -> %sb%d;@," prefix b.Cfg.label prefix s)
+        (Cfg.succs cfg b.Cfg.label))
+
+let cfg ppf (f : Func.t) =
+  Format.fprintf ppf "@[<v>digraph \"%s\" {@," f.Func.name;
+  Format.fprintf ppf "  label=\"%s\";@," (escape f.Func.name);
+  emit_cfg ppf ~prefix:"" f;
+  Format.fprintf ppf "}@]@."
+
+let mtprog ppf (p : Mtprog.t) =
+  Format.fprintf ppf "@[<v>digraph \"%s\" {@," p.Mtprog.name;
+  Array.iteri
+    (fun t (f : Func.t) ->
+      Format.fprintf ppf "  subgraph cluster_t%d {@," t;
+      Format.fprintf ppf "  label=\"thread %d\";@," t;
+      emit_cfg ppf ~prefix:(Printf.sprintf "t%d_" t) f;
+      Format.fprintf ppf "  }@,")
+    p.Mtprog.threads;
+  Format.fprintf ppf "}@]@."
+
+let cfg_to_string f = Format.asprintf "%a" cfg f

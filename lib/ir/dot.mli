@@ -1,0 +1,9 @@
+(** Graphviz export of CFGs and multi-threaded programs (debugging aid;
+    render with `dot -Tsvg`). *)
+
+val cfg : Format.formatter -> Func.t -> unit
+
+(** One cluster per thread. *)
+val mtprog : Format.formatter -> Mtprog.t -> unit
+
+val cfg_to_string : Func.t -> string

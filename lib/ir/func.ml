@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  cfg : Cfg.t;
+  n_regs : int;
+  regions : string array;
+  live_in : Reg.t list;
+  live_out : Reg.t list;
+}
+
+let make ~name ~cfg ~n_regs ~regions ~live_in ~live_out =
+  { name; cfg; n_regs; regions; live_in; live_out }
+
+let n_regions t = Array.length t.regions
+
+let region_name t r =
+  if r < 0 || r >= Array.length t.regions then invalid_arg "Func.region_name";
+  t.regions.(r)

@@ -1,0 +1,22 @@
+(** Functions: a CFG plus the metadata passes need. *)
+
+type t = {
+  name : string;
+  cfg : Cfg.t;
+  n_regs : int;            (** registers are [r0 .. r_{n_regs-1}] *)
+  regions : string array;  (** memory-region names; index = region id *)
+  live_in : Reg.t list;    (** registers holding inputs at entry *)
+  live_out : Reg.t list;   (** registers observable after [Return] *)
+}
+
+val make :
+  name:string ->
+  cfg:Cfg.t ->
+  n_regs:int ->
+  regions:string array ->
+  live_in:Reg.t list ->
+  live_out:Reg.t list ->
+  t
+
+val n_regions : t -> int
+val region_name : t -> Instr.region -> string

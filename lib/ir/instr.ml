@@ -1,0 +1,148 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Lt | Le | Eq | Ne | Gt | Ge
+  | Min | Max
+  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+type unop = Neg | Not | Abs | Fneg | Fsqrt
+
+type label = int
+type queue = int
+type region = int
+
+type op =
+  | Const of Reg.t * int
+  | Copy of Reg.t * Reg.t
+  | Unop of unop * Reg.t * Reg.t
+  | Binop of binop * Reg.t * Reg.t * Reg.t
+  | Load of region * Reg.t * Reg.t * int
+  | Store of region * Reg.t * int * Reg.t
+  | Jump of label
+  | Branch of Reg.t * label * label
+  | Return
+  | Produce of queue * Reg.t
+  | Consume of Reg.t * queue
+  | Produce_sync of queue
+  | Consume_sync of queue
+  | Nop
+
+type t = { id : int; op : op }
+
+let make ~id op = { id; op }
+
+let defs i =
+  match i.op with
+  | Const (d, _) | Copy (d, _) | Unop (_, d, _) | Binop (_, d, _, _)
+  | Load (_, d, _, _) | Consume (d, _) ->
+    [ d ]
+  | Store _ | Jump _ | Branch _ | Return | Produce _ | Produce_sync _
+  | Consume_sync _ | Nop ->
+    []
+
+let uses i =
+  match i.op with
+  | Const _ | Jump _ | Return | Consume _ | Produce_sync _ | Consume_sync _
+  | Nop ->
+    []
+  | Copy (_, s) | Unop (_, _, s) | Load (_, _, s, _) | Branch (s, _, _)
+  | Produce (_, s) ->
+    [ s ]
+  | Binop (_, _, a, b) -> if Reg.equal a b then [ a ] else [ a; b ]
+  | Store (_, base, _, src) ->
+    if Reg.equal base src then [ base ] else [ base; src ]
+
+let mem_read i = match i.op with Load (r, _, _, _) -> Some r | _ -> None
+let mem_write i = match i.op with Store (r, _, _, _) -> Some r | _ -> None
+
+let is_terminator i =
+  match i.op with Jump _ | Branch _ | Return -> true | _ -> false
+
+let is_branch i = match i.op with Branch _ -> true | _ -> false
+let is_memory i = match i.op with Load _ | Store _ -> true | _ -> false
+
+let is_communication i =
+  match i.op with
+  | Produce _ | Consume _ | Produce_sync _ | Consume_sync _ -> true
+  | _ -> false
+
+let is_structural i =
+  match i.op with Jump _ | Return | Nop -> true | _ -> false
+
+let targets i =
+  match i.op with
+  | Jump l -> [ l ]
+  | Branch (_, l1, l2) -> [ l1; l2 ]
+  | _ -> []
+
+let with_targets i ls =
+  match (i.op, ls) with
+  | Jump _, [ l ] -> { i with op = Jump l }
+  | Branch (c, _, _), [ l1; l2 ] -> { i with op = Branch (c, l1, l2) }
+  | _ -> invalid_arg "Instr.with_targets"
+
+let word_bits = Sys.int_size
+
+let eval_binop op a b =
+  match op with
+  | Add | Fadd -> a + b
+  | Sub | Fsub -> a - b
+  | Mul | Fmul -> a * b
+  | Div | Fdiv -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (((b mod word_bits) + word_bits) mod word_bits)
+  | Shr -> a asr (((b mod word_bits) + word_bits) mod word_bits)
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | Min | Fmin -> min a b
+  | Max | Fmax -> max a b
+
+let eval_unop op a =
+  match op with
+  | Neg | Fneg -> -a
+  | Not -> lnot a
+  | Abs -> abs a
+  | Fsqrt -> if a <= 0 then 0 else int_of_float (sqrt (float_of_int a))
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Lt -> "lt" | Le -> "le" | Eq -> "eq" | Ne -> "ne" | Gt -> "gt" | Ge -> "ge"
+  | Min -> "min" | Max -> "max"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fmin -> "fmin" | Fmax -> "fmax"
+
+let unop_name = function
+  | Neg -> "neg" | Not -> "not" | Abs -> "abs" | Fneg -> "fneg"
+  | Fsqrt -> "fsqrt"
+
+let pp_op ppf op =
+  let f fmt = Format.fprintf ppf fmt in
+  match op with
+  | Const (d, k) -> f "%a = %d" Reg.pp d k
+  | Copy (d, s) -> f "%a = %a" Reg.pp d Reg.pp s
+  | Unop (u, d, s) -> f "%a = %s %a" Reg.pp d (unop_name u) Reg.pp s
+  | Binop (b, d, x, y) ->
+    f "%a = %s %a, %a" Reg.pp d (binop_name b) Reg.pp x Reg.pp y
+  | Load (r, d, base, off) ->
+    f "%a = load m%d[%a + %d]" Reg.pp d r Reg.pp base off
+  | Store (r, base, off, s) ->
+    f "store m%d[%a + %d] = %a" r Reg.pp base off Reg.pp s
+  | Jump l -> f "jump B%d" l
+  | Branch (c, l1, l2) -> f "branch %a ? B%d : B%d" Reg.pp c l1 l2
+  | Return -> f "return"
+  | Produce (q, s) -> f "produce [q%d] = %a" q Reg.pp s
+  | Consume (d, q) -> f "consume %a = [q%d]" Reg.pp d q
+  | Produce_sync q -> f "produce.sync [q%d]" q
+  | Consume_sync q -> f "consume.sync [q%d]" q
+  | Nop -> f "nop"
+
+let pp ppf i = Format.fprintf ppf "i%d: %a" i.id pp_op i.op
+let to_string i = Format.asprintf "%a" pp i

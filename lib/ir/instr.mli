@@ -1,0 +1,92 @@
+(** IR instructions.
+
+    A low-level, assembly-like instruction set: ALU/FP operations over
+    virtual registers, loads and stores against named memory regions,
+    branches, and the produce/consume communication primitives that the
+    MTCG algorithm inserts (register transfer, and the [.sync] variants
+    that carry no operand and only enforce ordering of memory accesses). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Lt | Le | Eq | Ne | Gt | Ge
+  | Min | Max
+  (* FP-class operations: same integer semantics, but dispatched to the
+     floating-point units by the machine model. *)
+  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+type unop = Neg | Not | Abs | Fneg | Fsqrt
+
+type label = int
+(** Basic-block label; indexes into the CFG's block table. *)
+
+type queue = int
+(** Synchronization-array queue number. *)
+
+type region = int
+(** Memory-region id: the granularity at which the alias analysis
+    distinguishes memory (distinct regions never alias). *)
+
+type op =
+  | Const of Reg.t * int                      (** [dst <- imm] *)
+  | Copy of Reg.t * Reg.t                     (** [dst <- src] *)
+  | Unop of unop * Reg.t * Reg.t              (** [dst <- op src] *)
+  | Binop of binop * Reg.t * Reg.t * Reg.t    (** [dst <- src1 op src2] *)
+  | Load of region * Reg.t * Reg.t * int      (** [dst <- region\[base + off\]] *)
+  | Store of region * Reg.t * int * Reg.t     (** [region\[base + off\] <- src] *)
+  | Jump of label
+  | Branch of Reg.t * label * label           (** if cond <> 0 then l1 else l2 *)
+  | Return
+  | Produce of queue * Reg.t                  (** send register value *)
+  | Consume of Reg.t * queue                  (** receive register value *)
+  | Produce_sync of queue                     (** memory-ordering token send *)
+  | Consume_sync of queue                     (** memory-ordering token receive *)
+  | Nop
+
+type t = { id : int; op : op }
+(** [id] is unique within a function and names the instruction in the PDG,
+    in thread partitions, and in all analyses. *)
+
+val make : id:int -> op -> t
+
+(** Registers written / read by an instruction. *)
+val defs : t -> Reg.t list
+val uses : t -> Reg.t list
+
+(** Memory region read / written, if any. *)
+val mem_read : t -> region option
+val mem_write : t -> region option
+
+val is_terminator : t -> bool
+
+(** Conditional branch only. *)
+val is_branch : t -> bool
+
+(** Load or store. *)
+val is_memory : t -> bool
+
+(** Produce / consume / produce_sync / consume_sync. *)
+val is_communication : t -> bool
+
+(** Jump / Return / Nop: pure control glue. Structural instructions are
+    not partitioned among threads — every thread materializes its own —
+    and they carry no dependences out. *)
+val is_structural : t -> bool
+
+(** Branch/jump successor labels ([] for non-terminators and [Return]). *)
+val targets : t -> label list
+
+(** [with_targets t ls] replaces the successor labels of a terminator, in
+    the order reported by {!targets}.
+    @raise Invalid_argument on arity mismatch or non-terminators. *)
+val with_targets : t -> label list -> t
+
+val eval_binop : binop -> int -> int -> int
+(** Total semantics: division/remainder by zero yield 0; shifts are
+    masked to the word size. *)
+
+val eval_unop : unop -> int -> int
+
+val pp : Format.formatter -> t -> unit
+val pp_op : Format.formatter -> op -> unit
+val to_string : t -> string

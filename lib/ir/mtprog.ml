@@ -1,0 +1,7 @@
+type t = { name : string; threads : Func.t array; n_queues : int }
+
+let make ~name ~threads ~n_queues = { name; threads; n_queues }
+let n_threads t = Array.length t.threads
+
+let n_instrs t =
+  Array.fold_left (fun acc (f : Func.t) -> acc + Cfg.n_instrs f.cfg) 0 t.threads

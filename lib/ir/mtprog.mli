@@ -1,0 +1,17 @@
+(** Multi-threaded programs: the output of MTCG.
+
+    Each thread is an ordinary {!Func.t}; threads communicate over the
+    synchronization-array queues referenced by their produce/consume
+    instructions. Queue ids are global to the program. *)
+
+type t = {
+  name : string;
+  threads : Func.t array;
+  n_queues : int;
+}
+
+val make : name:string -> threads:Func.t array -> n_queues:int -> t
+val n_threads : t -> int
+
+(** Total static instruction count across threads. *)
+val n_instrs : t -> int

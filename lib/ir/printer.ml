@@ -1,0 +1,28 @@
+let pp_block ppf (b : Cfg.block) =
+  Format.fprintf ppf "@[<v 2>B%d:" b.label;
+  List.iter (fun i -> Format.fprintf ppf "@,%a" Instr.pp i) b.body;
+  Format.fprintf ppf "@]"
+
+let pp_cfg ppf cfg =
+  Format.fprintf ppf "@[<v>entry: B%d" (Cfg.entry cfg);
+  Cfg.iter_blocks cfg (fun b -> Format.fprintf ppf "@,%a" pp_block b);
+  Format.fprintf ppf "@]"
+
+let pp_regs ppf rs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Reg.pp ppf rs
+
+let pp_func ppf (f : Func.t) =
+  Format.fprintf ppf "@[<v>func %s (regs: %d, live_in: [%a], live_out: [%a])@,%a@]"
+    f.name f.n_regs pp_regs f.live_in pp_regs f.live_out pp_cfg f.cfg
+
+let pp_mtprog ppf (p : Mtprog.t) =
+  Format.fprintf ppf "@[<v>mtprog %s (%d threads, %d queues)" p.name
+    (Array.length p.threads) p.n_queues;
+  Array.iteri
+    (fun i f -> Format.fprintf ppf "@,--- thread %d ---@,%a" i pp_func f)
+    p.threads;
+  Format.fprintf ppf "@]"
+
+let func_to_string f = Format.asprintf "%a" pp_func f

@@ -1,0 +1,7 @@
+(** Pretty-printing of CFGs, functions and multi-threaded programs. *)
+
+val pp_block : Format.formatter -> Cfg.block -> unit
+val pp_cfg : Format.formatter -> Cfg.t -> unit
+val pp_func : Format.formatter -> Func.t -> unit
+val pp_mtprog : Format.formatter -> Mtprog.t -> unit
+val func_to_string : Func.t -> string

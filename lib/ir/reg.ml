@@ -1,0 +1,15 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Reg.of_int: negative";
+  i
+
+let to_int r = r
+let equal = Int.equal
+let compare = Int.compare
+let hash r = r
+let to_string r = "r" ^ string_of_int r
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

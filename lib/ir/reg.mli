@@ -1,0 +1,18 @@
+(** Virtual registers.
+
+    The IR is not in SSA form — exactly like the assembly-level IR the paper
+    operates on — so a register may have several definitions, and data
+    dependences are recovered by reaching-definitions analysis. *)
+
+type t = private int
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

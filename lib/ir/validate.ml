@@ -1,0 +1,56 @@
+module Digraph = Gmt_graphalg.Digraph
+
+let errors (f : Func.t) =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let cfg = f.cfg in
+  let n = Cfg.n_blocks cfg in
+  let seen_ids = Hashtbl.create 64 in
+  Cfg.iter_blocks cfg (fun b ->
+      (match List.rev b.body with
+      | [] -> err "block B%d is empty" b.label
+      | last :: _ ->
+        if not (Instr.is_terminator last) then
+          err "block B%d does not end in a terminator" b.label);
+      List.iteri
+        (fun idx (i : Instr.t) ->
+          if Instr.is_terminator i && idx <> List.length b.body - 1 then
+            err "block B%d has terminator i%d mid-block" b.label i.id;
+          if Hashtbl.mem seen_ids i.id then
+            err "duplicate instruction id i%d (block B%d)" i.id b.label
+          else Hashtbl.add seen_ids i.id ();
+          List.iter
+            (fun l ->
+              if l < 0 || l >= n then
+                err "i%d targets out-of-range block B%d" i.id l)
+            (Instr.targets i);
+          List.iter
+            (fun r ->
+              if Reg.to_int r >= f.n_regs then
+                err "i%d mentions register %s >= n_regs=%d" i.id
+                  (Reg.to_string r) f.n_regs)
+            (Instr.defs i @ Instr.uses i);
+          (match (Instr.mem_read i, Instr.mem_write i) with
+          | Some r, _ | _, Some r ->
+            if r < 0 || r >= Func.n_regions f then
+              err "i%d mentions unknown region m%d" i.id r
+          | None, None -> ()))
+        b.body);
+  (* Some Return must be reachable from the entry. *)
+  let g = Cfg.digraph cfg in
+  let reach = Digraph.reachable g [ Cfg.entry cfg ] in
+  let has_exit =
+    List.exists (fun l -> reach.(l)) (Cfg.exit_blocks cfg)
+  in
+  if not has_exit then err "no Return reachable from entry";
+  List.rev !errs
+
+let check f =
+  match errors f with
+  | [] -> ()
+  | es ->
+    failwith
+      (Printf.sprintf "Validate.check %s: %s" f.Func.name
+         (String.concat "; " es))
+
+let is_valid f = errors f = []

@@ -1,0 +1,16 @@
+(** Structural validation of functions.
+
+    Checked invariants:
+    - every block ends in exactly one terminator, with none mid-block;
+    - branch/jump targets are in range;
+    - all registers mentioned are below [n_regs];
+    - all regions mentioned are below the region count;
+    - instruction ids are unique;
+    - at least one [Return] is reachable from the entry. *)
+
+val errors : Func.t -> string list
+
+(** [check f] @raise Failure listing all violations, if any. *)
+val check : Func.t -> unit
+
+val is_valid : Func.t -> bool

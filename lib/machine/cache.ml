@@ -1,0 +1,66 @@
+type t = {
+  n_sets : int;
+  assoc : int;
+  line : int;
+  tags : int array;   (* n_sets * assoc; -1 = invalid *)
+  stamp : int array;  (* LRU timestamps *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size ~assoc ~line =
+  if assoc <= 0 || line <= 0 then invalid_arg "Cache.create";
+  let n_sets = max 1 (size / (assoc * line)) in
+  {
+    n_sets;
+    assoc;
+    line;
+    tags = Array.make (n_sets * assoc) (-1);
+    stamp = Array.make (n_sets * assoc) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let locate t ~addr =
+  let line_addr = addr / t.line in
+  let set = line_addr mod t.n_sets in
+  let tag = line_addr in
+  let base = set * t.assoc in
+  let found = ref (-1) in
+  for i = base to base + t.assoc - 1 do
+    if t.tags.(i) = tag then found := i
+  done;
+  (base, tag, !found)
+
+let probe t ~addr =
+  let _, _, found = locate t ~addr in
+  found >= 0
+
+let access t ~addr =
+  t.clock <- t.clock + 1;
+  let base, tag, found = locate t ~addr in
+  if found >= 0 then begin
+    t.stamp.(found) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    (* Evict LRU way. *)
+    let victim = ref base in
+    for i = base + 1 to base + t.assoc - 1 do
+      if t.stamp.(i) < t.stamp.(!victim) then victim := i
+    done;
+    t.tags.(!victim) <- tag;
+    t.stamp.(!victim) <- t.clock;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,80 @@
+type t = {
+  n_cores : int;
+  issue_width : int;
+  alu_units : int;
+  mem_ports : int;
+  fp_units : int;
+  branch_units : int;
+  alu_latency : int;
+  fp_latency : int;
+  l1_latency : int;
+  l2_latency : int;
+  l3_latency : int;
+  mem_latency : int;
+  l1_size : int;
+  l1_assoc : int;
+  l1_line : int;
+  l2_size : int;
+  l2_assoc : int;
+  l2_line : int;
+  l3_size : int;
+  l3_assoc : int;
+  l3_line : int;
+  n_queues : int;
+  queue_size : int;
+  sa_latency : int;
+  sa_ports : int;
+  word_bytes : int;
+}
+
+let itanium2 ?(n_cores = 2) ?(queue_size = 32) () =
+  {
+    n_cores;
+    issue_width = 6;
+    alu_units = 6;
+    mem_ports = 4;
+    fp_units = 2;
+    branch_units = 3;
+    alu_latency = 1;
+    fp_latency = 4;
+    l1_latency = 1;
+    l2_latency = 7;
+    l3_latency = 12;
+    mem_latency = 141;
+    l1_size = 16 * 1024;
+    l1_assoc = 4;
+    l1_line = 64;
+    l2_size = 256 * 1024;
+    l2_assoc = 8;
+    l2_line = 128;
+    l3_size = 3 * 512 * 1024;
+    l3_assoc = 12;
+    l3_line = 128;
+    n_queues = 256;
+    queue_size;
+    sa_latency = 1;
+    sa_ports = 4;
+    word_bytes = 8;
+  }
+
+let test_config ?(n_cores = 2) ?(queue_size = 4) () =
+  {
+    (itanium2 ~n_cores ~queue_size ()) with
+    l1_size = 512;
+    l2_size = 2048;
+    l3_size = 8192;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>Core: %d-issue, %d ALU, %d memory, %d FP, %d branch@,\
+     L1D: %d cycles, %d KB, %d-way, %dB lines@,\
+     L2: %d cycles, %d KB, %d-way, %dB lines (private)@,\
+     Shared L3: %d cycles, %d KB, %d-way, %dB lines@,\
+     Main memory: %d cycles@,\
+     Sync array: %d queues x %d entries, %d-cycle access, %d ports@]"
+    c.issue_width c.alu_units c.mem_ports c.fp_units c.branch_units
+    c.l1_latency (c.l1_size / 1024) c.l1_assoc c.l1_line c.l2_latency
+    (c.l2_size / 1024) c.l2_assoc c.l2_line c.l3_latency (c.l3_size / 1024)
+    c.l3_assoc c.l3_line c.mem_latency c.n_queues c.queue_size c.sa_latency
+    c.sa_ports

@@ -1,0 +1,47 @@
+(** Machine model configuration (paper Figure 6(a)).
+
+    The evaluated machine is a dual-core Itanium 2 CMP connected by the
+    synchronization array of Rangan et al. [19]: 256 queues, 1-cycle access,
+    4 request ports shared between the cores; produce/consume use the
+    M (memory) pipeline, bounding them plus memory operations to 4 issues
+    per core per cycle. *)
+
+type t = {
+  n_cores : int;
+  issue_width : int;    (** total issue slots per core per cycle (6) *)
+  alu_units : int;      (** 6 *)
+  mem_ports : int;      (** 4 M-type slots: loads/stores/produce/consume *)
+  fp_units : int;       (** 2 *)
+  branch_units : int;   (** 3 *)
+  (* latencies, cycles *)
+  alu_latency : int;
+  fp_latency : int;
+  l1_latency : int;     (** 1 *)
+  l2_latency : int;     (** 7 (5,7,9 in the paper; we use the middle) *)
+  l3_latency : int;     (** 12+ *)
+  mem_latency : int;    (** 141 *)
+  (* cache geometry *)
+  l1_size : int;        (** bytes, 16 KB *)
+  l1_assoc : int;       (** 4 *)
+  l1_line : int;        (** 64 B *)
+  l2_size : int;        (** 256 KB, private per core *)
+  l2_assoc : int;       (** 8 *)
+  l2_line : int;        (** 128 B *)
+  l3_size : int;        (** 1.5 MB, shared *)
+  l3_assoc : int;       (** 12 *)
+  l3_line : int;        (** 128 B *)
+  (* synchronization array *)
+  n_queues : int;       (** 256 *)
+  queue_size : int;     (** 32 for DSWP pipelines, 1 otherwise *)
+  sa_latency : int;     (** 1 *)
+  sa_ports : int;       (** 4, shared between the cores *)
+  word_bytes : int;     (** bytes per IR memory cell (8) *)
+}
+
+(** The paper's dual-core Itanium 2 model. [queue_size] defaults to 32. *)
+val itanium2 : ?n_cores:int -> ?queue_size:int -> unit -> t
+
+(** A tiny configuration for fast unit tests. *)
+val test_config : ?n_cores:int -> ?queue_size:int -> unit -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** Single-threaded reference interpreter.
+
+    Serves three roles: the semantic oracle multi-threaded code is checked
+    against, the profiler that produces the edge weights COCO's min-cuts
+    use, and the source of single-threaded dynamic instruction counts.
+
+    Memory is a flat word-addressed array of size [mem_size] (a power of
+    two; addresses wrap). Memory regions are an analysis-level fiction:
+    workloads place logically distinct regions at disjoint address ranges. *)
+
+open Gmt_ir
+
+type result = {
+  memory : int array;
+  regs : int array;              (** final register file *)
+  dyn_instrs : int;              (** instructions executed *)
+  profile : Gmt_analysis.Profile.t; (** edge + block execution counts *)
+  fuel_exhausted : bool;
+}
+
+exception Stuck of string
+(** Raised on produce/consume in single-threaded code. *)
+
+val run :
+  ?fuel:int ->
+  ?init_regs:(Reg.t * int) list ->
+  ?init_mem:(int * int) list ->
+  Func.t ->
+  mem_size:int ->
+  result

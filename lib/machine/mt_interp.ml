@@ -1,0 +1,189 @@
+open Gmt_ir
+
+type sched = Round_robin | Random of int
+
+type thread_stats = {
+  dyn_instrs : int;
+  produces : int;
+  consumes : int;
+  produce_syncs : int;
+  consume_syncs : int;
+}
+
+type result = {
+  memory : int array;
+  threads : thread_stats array;
+  deadlocked : bool;
+  fuel_exhausted : bool;
+  queues_drained : bool;
+}
+
+let comm_of s = s.produces + s.consumes + s.produce_syncs + s.consume_syncs
+
+let total_comm r = Array.fold_left (fun acc s -> acc + comm_of s) 0 r.threads
+
+let total_dyn r = Array.fold_left (fun acc s -> acc + s.dyn_instrs) 0 r.threads
+
+type tstate = {
+  func : Func.t;
+  regs : int array;
+  mutable rest : Instr.t list;
+  mutable finished : bool;
+  mutable dyn : int;
+  mutable prod : int;
+  mutable cons : int;
+  mutable psync : int;
+  mutable csync : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Deterministic xorshift PRNG for the Random scheduler. *)
+let make_rng seed =
+  let state = ref (if seed = 0 then 0x2545F491 else seed) in
+  fun bound ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    !state mod bound
+
+let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
+    ?(init_mem = []) (p : Mtprog.t) ~queue_capacity ~mem_size =
+  if not (is_pow2 mem_size) then invalid_arg "Mt_interp.run: mem_size not 2^k";
+  let mask = mem_size - 1 in
+  let memory = Array.make mem_size 0 in
+  List.iter (fun (a, v) -> memory.(a land mask) <- v) init_mem;
+  let sa = Syncarray.create ~n_queues:(max 1 p.n_queues) ~capacity:queue_capacity in
+  let mk_thread (f : Func.t) =
+    let regs = Array.make (max 1 f.n_regs) 0 in
+    List.iter
+      (fun (r, v) ->
+        if Reg.to_int r < Array.length regs then regs.(Reg.to_int r) <- v)
+      init_regs;
+    {
+      func = f;
+      regs;
+      rest = Cfg.body f.cfg (Cfg.entry f.cfg);
+      finished = false;
+      dyn = 0;
+      prod = 0;
+      cons = 0;
+      psync = 0;
+      csync = 0;
+    }
+  in
+  let threads = Array.map mk_thread p.threads in
+  let n = Array.length threads in
+  let fuel_left = ref fuel in
+  let rng = match sched with Random seed -> make_rng seed | Round_robin -> fun _ -> 0 in
+  (* Execute one instruction of thread [t]. Returns true on progress. *)
+  let step t =
+    let st = threads.(t) in
+    if st.finished then false
+    else
+      match st.rest with
+      | [] -> invalid_arg "Mt_interp: block without terminator"
+      | i :: rest -> (
+        let get r = st.regs.(Reg.to_int r) in
+        let set r v = st.regs.(Reg.to_int r) <- v in
+        let goto l = st.rest <- Cfg.body st.func.cfg l in
+        let advance () = st.rest <- rest in
+        let retire () =
+          st.dyn <- st.dyn + 1;
+          decr fuel_left
+        in
+        match i.op with
+        | Const (d, k) -> set d k; advance (); retire (); true
+        | Copy (d, s) -> set d (get s); advance (); retire (); true
+        | Unop (u, d, s) -> set d (Instr.eval_unop u (get s)); advance (); retire (); true
+        | Binop (b, d, x, y) ->
+          set d (Instr.eval_binop b (get x) (get y));
+          advance (); retire (); true
+        | Load (_, d, base, off) ->
+          set d memory.((get base + off) land mask);
+          advance (); retire (); true
+        | Store (_, base, off, s) ->
+          memory.((get base + off) land mask) <- get s;
+          advance (); retire (); true
+        | Jump l -> goto l; retire (); true
+        | Branch (c, l1, l2) ->
+          goto (if get c <> 0 then l1 else l2);
+          retire (); true
+        | Return -> st.finished <- true; retire (); true
+        | Produce (q, s) ->
+          if Syncarray.try_produce sa ~q ~value:(get s) ~ready:0 then begin
+            st.prod <- st.prod + 1;
+            advance (); retire (); true
+          end
+          else false
+        | Consume (d, q) ->
+          if Syncarray.can_consume sa ~q ~now:0 then begin
+            set d (Syncarray.consume sa ~q ~now:0);
+            st.cons <- st.cons + 1;
+            advance (); retire (); true
+          end
+          else false
+        | Produce_sync q ->
+          if Syncarray.try_produce sa ~q ~value:1 ~ready:0 then begin
+            st.psync <- st.psync + 1;
+            advance (); retire (); true
+          end
+          else false
+        | Consume_sync q ->
+          if Syncarray.can_consume sa ~q ~now:0 then begin
+            ignore (Syncarray.consume sa ~q ~now:0);
+            st.csync <- st.csync + 1;
+            advance (); retire (); true
+          end
+          else false
+        | Nop -> advance (); retire (); true)
+  in
+  let deadlocked = ref false in
+  let all_done () = Array.for_all (fun st -> st.finished) threads in
+  (* Run until everyone finishes, fuel runs out, or no thread can step. *)
+  (try
+     while (not (all_done ())) && !fuel_left > 0 do
+       let progressed = ref false in
+       (match sched with
+       | Round_robin ->
+         for t = 0 to n - 1 do
+           if step t then progressed := true
+         done
+       | Random _ ->
+         (* A random permutation pass: try threads starting from a random
+            offset; each runnable thread steps a random number of times. *)
+         let start = rng n in
+         for k = 0 to n - 1 do
+           let t = (start + k) mod n in
+           let burst = 1 + rng 4 in
+           let continue = ref true in
+           for _ = 1 to burst do
+             if !continue then
+               if step t then progressed := true else continue := false
+           done
+         done);
+       if not !progressed then begin
+         deadlocked := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    memory;
+    threads =
+      Array.map
+        (fun st ->
+          {
+            dyn_instrs = st.dyn;
+            produces = st.prod;
+            consumes = st.cons;
+            produce_syncs = st.psync;
+            consume_syncs = st.csync;
+          })
+        threads;
+    deadlocked = !deadlocked;
+    fuel_exhausted = !fuel_left <= 0;
+    queues_drained = Syncarray.all_empty sa;
+  }

@@ -1,0 +1,48 @@
+(** Untimed concurrent interpreter for multi-threaded programs.
+
+    Threads share memory and communicate through a {!Syncarray}. Each
+    thread starts from the same initial register file (thread spawn copies
+    registers, which is how live-ins reach all threads). Scheduling is
+    per-instruction round-robin or seeded-random — correctness of MTCG
+    output must not depend on the interleaving, and tests exercise both.
+
+    This interpreter also yields the dynamic instruction counts behind the
+    paper's Figures 1 and 7 (communication vs computation). *)
+
+open Gmt_ir
+
+type sched = Round_robin | Random of int  (** seed *)
+
+type thread_stats = {
+  dyn_instrs : int;       (** everything executed, communication included *)
+  produces : int;
+  consumes : int;
+  produce_syncs : int;
+  consume_syncs : int;
+}
+
+type result = {
+  memory : int array;
+  threads : thread_stats array;
+  deadlocked : bool;
+  fuel_exhausted : bool;
+  queues_drained : bool;  (** all queues empty at termination *)
+}
+
+val comm_of : thread_stats -> int
+
+(** Total communication instructions executed, all threads. *)
+val total_comm : result -> int
+
+(** Total dynamic instructions, all threads. *)
+val total_dyn : result -> int
+
+val run :
+  ?fuel:int ->
+  ?sched:sched ->
+  ?init_regs:(Reg.t * int) list ->
+  ?init_mem:(int * int) list ->
+  Mtprog.t ->
+  queue_capacity:int ->
+  mem_size:int ->
+  result

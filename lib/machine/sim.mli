@@ -1,0 +1,59 @@
+(** Cycle-level CMP simulator.
+
+    Models the paper's evaluation machine (Figure 6(a)): per-core in-order
+    issue with per-class unit limits (ALU / M / FP / branch), the M-type
+    restriction that loads, stores, produces and consumes share 4 issue
+    slots, a private L1/L2 + shared L3 cache hierarchy with fixed hit
+    latencies, and the synchronization array with its access latency,
+    bounded queues and shared request ports.
+
+    Consumes are {e stall-on-use}: a consume may issue with an empty queue;
+    its destination register becomes ready one SA latency after the
+    matching produce, and only instructions that read it stall
+    ([consume.sync] instead fences later memory operations, giving acquire
+    semantics; [produce.sync] has release semantics for free because issue
+    is in order and stores commit at issue). *)
+
+open Gmt_ir
+
+type core_stats = {
+  instrs : int;
+  comm_instrs : int;
+  stall_data : int;    (** cycles stalled on operand readiness *)
+  stall_queue : int;   (** cycles stalled on queue full / sync fence *)
+  stall_ports : int;   (** cycles lost to structural limits *)
+  loads : int;
+  l1_hits : int;
+  l2_hits : int;
+  l3_hits : int;
+  mem_accesses : int;  (** loads that went to main memory *)
+  finish_cycle : int;
+}
+
+type result = {
+  cycles : int;
+  memory : int array;
+  per_core : core_stats array;
+  deadlocked : bool;
+  fuel_exhausted : bool;
+}
+
+val run :
+  ?fuel:int ->
+  ?init_regs:(Reg.t * int) list ->
+  ?init_mem:(int * int) list ->
+  Config.t ->
+  Mtprog.t ->
+  mem_size:int ->
+  result
+
+(** Run the single-threaded original on one core of the same machine —
+    the baseline of the paper's Figure 8 speedups. *)
+val run_single :
+  ?fuel:int ->
+  ?init_regs:(Reg.t * int) list ->
+  ?init_mem:(int * int) list ->
+  Config.t ->
+  Func.t ->
+  mem_size:int ->
+  result

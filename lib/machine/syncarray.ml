@@ -1,0 +1,50 @@
+type entry = { value : int; ready : int }
+
+type t = {
+  queues : entry Queue.t array;
+  capacity : int;
+  mutable produces : int;
+  mutable consumes : int;
+}
+
+let create ~n_queues ~capacity =
+  if n_queues <= 0 || capacity <= 0 then invalid_arg "Syncarray.create";
+  {
+    queues = Array.init n_queues (fun _ -> Queue.create ());
+    capacity;
+    produces = 0;
+    consumes = 0;
+  }
+
+let n_queues t = Array.length t.queues
+let capacity t = t.capacity
+
+let get t q =
+  if q < 0 || q >= Array.length t.queues then invalid_arg "Syncarray: bad queue";
+  t.queues.(q)
+
+let try_produce t ~q ~value ~ready =
+  let qu = get t q in
+  if Queue.length qu >= t.capacity then false
+  else begin
+    Queue.push { value; ready } qu;
+    t.produces <- t.produces + 1;
+    true
+  end
+
+let can_consume t ~q ~now =
+  let qu = get t q in
+  match Queue.peek_opt qu with
+  | None -> false
+  | Some e -> e.ready <= now
+
+let consume t ~q ~now =
+  if not (can_consume t ~q ~now) then invalid_arg "Syncarray.consume: not ready";
+  let e = Queue.pop (get t q) in
+  t.consumes <- t.consumes + 1;
+  e.value
+
+let occupancy t ~q = Queue.length (get t q)
+let all_empty t = Array.for_all Queue.is_empty t.queues
+let produces t = t.produces
+let consumes t = t.consumes

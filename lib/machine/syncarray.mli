@@ -1,0 +1,31 @@
+(** The synchronization array (Rangan et al. [19]): a set of bounded,
+    blocking scalar queues connecting the cores. Values carry a readiness
+    cycle so the cycle simulator can charge the SA access latency; the
+    untimed interpreter passes [ready:0]. *)
+
+type t
+
+val create : n_queues:int -> capacity:int -> t
+
+val n_queues : t -> int
+val capacity : t -> int
+
+(** [try_produce t ~q ~value ~ready] — enqueue unless full. *)
+val try_produce : t -> q:int -> value:int -> ready:int -> bool
+
+(** Is there an entry whose readiness cycle is [<= now]? *)
+val can_consume : t -> q:int -> now:int -> bool
+
+(** Head entry's value, popping it.
+    @raise Invalid_argument when {!can_consume} is false at [now]. *)
+val consume : t -> q:int -> now:int -> int
+
+val occupancy : t -> q:int -> int
+
+(** True when every queue is empty (used to assert clean termination). *)
+val all_empty : t -> bool
+
+(** Total produces / consumes performed. *)
+val produces : t -> int
+
+val consumes : t -> int

@@ -1,0 +1,40 @@
+open Gmt_ir
+
+type point =
+  | Before of int
+  | After of int
+  | Block_entry of Instr.label
+  | On_edge of Instr.label * Instr.label
+
+type payload = Data of Reg.t | Sync
+
+type t = {
+  index : int;
+  payload : payload;
+  src : int;
+  dst : int;
+  point : point;
+}
+
+let block_of_point cfg = function
+  | Before id | After id -> fst (Cfg.position cfg id)
+  | Block_entry l -> l
+  | On_edge (a, _) -> a
+
+let point_to_string = function
+  | Before id -> Printf.sprintf "before i%d" id
+  | After id -> Printf.sprintf "after i%d" id
+  | Block_entry l -> Printf.sprintf "entry B%d" l
+  | On_edge (a, b) -> Printf.sprintf "edge B%d->B%d" a b
+
+let pp ppf c =
+  let payload =
+    match c.payload with Data r -> Reg.to_string r | Sync -> "sync"
+  in
+  Format.fprintf ppf "comm#%d %s T%d->T%d @%s" c.index payload c.src c.dst
+    (point_to_string c.point)
+
+let number specs =
+  List.mapi
+    (fun index (payload, src, dst, point) -> { index; payload; src; dst; point })
+    specs

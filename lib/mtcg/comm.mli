@@ -1,0 +1,40 @@
+(** Communication plans.
+
+    A [Comm.t] is one planned inter-thread transfer: a produce inserted in
+    the source thread and a matching consume in the target thread, both at
+    the {e same} program point of the original CFG ("corresponding
+    points"), which is what makes the generated code deadlock-free. The
+    baseline MTCG plan puts every communication at the dependence source;
+    COCO computes better points via min-cut. The weaver ({!Mtcg.generate})
+    consumes either plan. *)
+
+open Gmt_ir
+
+(** A program point of the original CFG. *)
+type point =
+  | Before of int                        (** just before instruction [id] *)
+  | After of int                         (** just after instruction [id] *)
+  | Block_entry of Instr.label           (** before a block's first instruction *)
+  | On_edge of Instr.label * Instr.label (** on a CFG edge (requires splitting) *)
+
+type payload =
+  | Data of Reg.t  (** register transfer: [produce q = r] / [consume r = q] *)
+  | Sync           (** memory ordering token: [produce.sync] / [consume.sync] *)
+
+type t = {
+  index : int;  (** unique; doubles as the communication queue number *)
+  payload : payload;
+  src : int;    (** source thread *)
+  dst : int;    (** target thread *)
+  point : point;
+}
+
+(** Block a point belongs to. [On_edge (a, b)] reports [a] (the branch
+    block that guards the edge). *)
+val block_of_point : Cfg.t -> point -> Instr.label
+
+val point_to_string : point -> string
+val pp : Format.formatter -> t -> unit
+
+(** Comms indexed consecutively from 0. *)
+val number : (payload * int * int * point) list -> t list

@@ -1,0 +1,235 @@
+open Gmt_ir
+module Pdg = Gmt_pdg.Pdg
+module Partition = Gmt_sched.Partition
+module Controldep = Gmt_analysis.Controldep
+module Dom = Gmt_graphalg.Dom
+module Iset = Relevant.Iset
+
+type plan = { comms : Comm.t list }
+
+let n_queues plan = List.length plan.comms
+
+(* ------------------------------------------------------------------ *)
+(* Baseline plan: communicate every dependence at its source point.    *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_plan pdg partition =
+  let f = Pdg.func pdg in
+  let cfg = f.Func.cfg in
+  let specs = ref [] in
+  let seen = Hashtbl.create 64 in
+  let add key spec =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      specs := spec :: !specs
+    end
+  in
+  (* Data dependences, communicated at the source instruction's point. *)
+  List.iter
+    (fun (a : Pdg.arc) ->
+      match
+        (Partition.thread_of_opt partition a.src,
+         Partition.thread_of_opt partition a.dst)
+      with
+      | Some ts, Some tt when ts <> tt -> (
+        match a.kind with
+        | Pdg.Reg r ->
+          (* One transfer per (definition, register, target thread). *)
+          add (`R (a.src, Reg.to_int r, tt))
+            (Comm.Data r, ts, tt, Comm.After a.src)
+        | Pdg.Mem _ ->
+          (* One synchronization token per (source access, target). *)
+          add (`M (a.src, tt)) (Comm.Sync, ts, tt, Comm.After a.src)
+        | Pdg.Ctrl | Pdg.Ctrl_trans -> ())
+      | _ -> ())
+    (Pdg.arcs pdg);
+  (* Control dependences: every branch a thread must replicate but does
+     not own has its operand sent right before the branch executes (lines
+     17-20 of Algorithm 1). Relevance already closes over chains of
+     branches and over the controllers of the data communication points
+     above, which is exactly the set of transitive control dependences to
+     implement. *)
+  let data_comms = Comm.number (List.rev !specs) in
+  let cd = Controldep.compute f in
+  let rel = Relevant.compute f cd partition data_comms in
+  for tt = 0 to Partition.n_threads partition - 1 do
+    Relevant.Iset.iter
+      (fun br_id ->
+        let br = Cfg.find_instr cfg br_id in
+        let ts =
+          match Partition.thread_of_opt partition br_id with
+          | Some t -> t
+          | None -> invalid_arg "Mtcg.baseline_plan: unassigned branch"
+        in
+        if ts <> tt then
+          match Instr.uses br with
+          | [ c ] -> add (`C (br_id, tt)) (Comm.Data c, ts, tt, Comm.Before br_id)
+          | _ -> ())
+      (Relevant.branches rel tt)
+  done;
+  { comms = Comm.number (List.rev !specs) }
+
+(* ------------------------------------------------------------------ *)
+(* The weaver.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type edge = Instr.label * Instr.label
+
+let generate ?queues pdg partition plan =
+  let queues =
+    match queues with
+    | Some q -> q
+    | None -> Queue_alloc.identity plan.comms
+  in
+  let f = Pdg.func pdg in
+  let cfg = f.Func.cfg in
+  let cd = Controldep.compute f in
+  let pdom = Controldep.postdom cd in
+  let virtual_exit = Cfg.n_blocks cfg in
+  let rel = Relevant.compute f cd partition plan.comms in
+  let n_threads = Partition.n_threads partition in
+  (* Group communications by point, ordered deterministically by index so
+     both endpoint threads weave them identically. *)
+  let by_before : (int, Comm.t list) Hashtbl.t = Hashtbl.create 32 in
+  let by_after : (int, Comm.t list) Hashtbl.t = Hashtbl.create 32 in
+  let by_entry : (Instr.label, Comm.t list) Hashtbl.t = Hashtbl.create 32 in
+  let by_edge : (edge, Comm.t list) Hashtbl.t = Hashtbl.create 32 in
+  let push tbl k (c : Comm.t) =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+    Hashtbl.replace tbl k
+      (List.sort (fun (a : Comm.t) b -> compare a.index b.index) (c :: cur))
+  in
+  List.iter
+    (fun (c : Comm.t) ->
+      match c.point with
+      | Comm.Before id -> push by_before id c
+      | Comm.After id -> push by_after id c
+      | Comm.Block_entry l -> push by_entry l c
+      | Comm.On_edge (a, b) -> push by_edge (a, b) c)
+    plan.comms;
+  let comms_at tbl key th =
+    Option.value ~default:[] (Hashtbl.find_opt tbl key)
+    |> List.filter (fun (c : Comm.t) -> c.src = th || c.dst = th)
+  in
+  let build_thread th =
+    let relevant = Relevant.blocks rel th in
+    let b = Builder.create ~name:(Printf.sprintf "%s.t%d" f.name th) () in
+    (* Reuse the original register space and regions. *)
+    let rec mk_regs k = if k < f.n_regs then (ignore (Builder.reg b); mk_regs (k + 1)) in
+    mk_regs 0;
+    Array.iter (fun nm -> ignore (Builder.region b nm)) f.regions;
+    Builder.set_next_id b (Cfg.max_instr_id cfg);
+    (* Allocate new labels: one per relevant block, one per comm edge of
+       this thread, and an exit stub. *)
+    let new_label = Hashtbl.create 16 in
+    Iset.iter (fun l -> Hashtbl.replace new_label l (Builder.block b)) relevant;
+    let edge_label = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (a, dstl) cs ->
+        if List.exists (fun (c : Comm.t) -> c.src = th || c.dst = th) cs then
+          Hashtbl.replace edge_label (a, dstl) (Builder.block b))
+      by_edge;
+    let exit_stub = Builder.block b in
+    (* Nearest relevant post-dominator. *)
+    let rec redirect l =
+      if l = virtual_exit then exit_stub
+      else if Iset.mem l relevant then Hashtbl.find new_label l
+      else
+        match Dom.idom pdom l with
+        | Some p -> redirect p
+        | None -> exit_stub
+    in
+    (* Emit the communication instructions of [cs] that involve thread
+       [th], into block [lbl]. *)
+    let emit_comms lbl cs =
+      List.iter
+        (fun (c : Comm.t) ->
+          let q = queues.Queue_alloc.queue_of c.index in
+          if c.src = th then
+            ignore
+              (Builder.add b lbl
+                 (match c.payload with
+                 | Comm.Data r -> Instr.Produce (q, r)
+                 | Comm.Sync -> Instr.Produce_sync q))
+          else if c.dst = th then
+            ignore
+              (Builder.add b lbl
+                 (match c.payload with
+                 | Comm.Data r -> Instr.Consume (r, q)
+                 | Comm.Sync -> Instr.Consume_sync q)))
+        cs
+    in
+    (* Resolve the target of original edge (l, s) for this thread. *)
+    let edge_target l s =
+      match Hashtbl.find_opt edge_label (l, s) with
+      | Some split -> split
+      | None -> redirect s
+    in
+    (* Weave each relevant block. *)
+    Iset.iter
+      (fun l ->
+        let lbl = Hashtbl.find new_label l in
+        emit_comms lbl (comms_at by_entry l th);
+        let body = Cfg.body cfg l in
+        List.iter
+          (fun (i : Instr.t) ->
+            if Instr.is_terminator i then begin
+              emit_comms lbl (comms_at by_before i.id th);
+              match i.op with
+              | Instr.Return ->
+                ignore (Builder.terminate_with_id b lbl ~id:i.id Instr.Return)
+              | Instr.Jump s ->
+                ignore
+                  (Builder.terminate_with_id b lbl ~id:i.id
+                     (Instr.Jump (edge_target l s)))
+              | Instr.Branch (c, s1, s2) ->
+                let owned =
+                  match Partition.thread_of_opt partition i.id with
+                  | Some t -> t = th
+                  | None -> false
+                in
+                if
+                  owned
+                  || Relevant.is_relevant_branch rel ~thread:th ~branch_id:i.id
+                then
+                  ignore
+                    (Builder.terminate_with_id b lbl ~id:i.id
+                       (Instr.Branch (c, edge_target l s1, edge_target l s2)))
+                else begin
+                  let r1 = redirect s1 and r2 = redirect s2 in
+                  if r1 <> r2 then
+                    failwith
+                      (Printf.sprintf
+                         "Mtcg.generate: irrelevant branch i%d of %s has \
+                          diverging relevant successors for thread %d"
+                         i.id f.name th);
+                  ignore (Builder.terminate b lbl (Instr.Jump r1))
+                end
+              | _ -> assert false
+            end
+            else begin
+              emit_comms lbl (comms_at by_before i.id th);
+              (match Partition.thread_of_opt partition i.id with
+              | Some t when t = th ->
+                ignore (Builder.add_with_id b lbl ~id:i.id i.op)
+              | _ -> ());
+              emit_comms lbl (comms_at by_after i.id th)
+            end)
+          body)
+      relevant;
+    (* Edge-split blocks. *)
+    Hashtbl.iter
+      (fun (a, s) split ->
+        emit_comms split (comms_at by_edge (a, s) th);
+        ignore (Builder.terminate b split (Instr.Jump (redirect s))))
+      edge_label;
+    (* Exit stub. *)
+    ignore (Builder.terminate b exit_stub Instr.Return);
+    (* Entry point. *)
+    Builder.set_entry b (redirect (Cfg.entry cfg));
+    Builder.finish b ~live_in:f.live_in ~live_out:f.live_out
+  in
+  let threads = Array.init n_threads build_thread in
+  Mtprog.make ~name:f.name ~threads ~n_queues:queues.Queue_alloc.n_queues
+
+let run pdg partition = generate pdg partition (baseline_plan pdg partition)

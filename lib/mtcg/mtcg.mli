@@ -1,0 +1,41 @@
+(** Multi-Threaded Code Generation (Algorithm 1 of the paper, generalized).
+
+    [baseline_plan] reproduces the original MTCG communication strategy:
+    every inter-thread dependence is communicated at the point of its
+    source instruction — registers right after their definition, memory
+    synchronization right after the source access, branch operands right
+    before the branch (with the branch duplicated in the target thread).
+
+    [generate] is the code generator ("weaver") proper. It accepts {e any}
+    plan whose produce/consume pairs sit at corresponding points of the
+    original CFG — the baseline plan or a COCO-optimized one — and emits
+    one CFG per thread: relevant blocks only, original instructions in
+    original relative order, communication woven in at the planned points
+    (in a deterministic order shared by both endpoint threads, which is
+    what guarantees deadlock freedom), and branch/jump targets re-resolved
+    to each thread's nearest relevant post-dominator. *)
+
+open Gmt_ir
+
+type plan = { comms : Comm.t list }
+
+val n_queues : plan -> int
+
+(** Algorithm 1's communication placement for a partition. *)
+val baseline_plan : Gmt_pdg.Pdg.t -> Gmt_sched.Partition.t -> plan
+
+(** Weave thread CFGs. [queues] maps communications to physical
+    synchronization-array queues (defaults to one queue per
+    communication; see {!Queue_alloc} for fitting large plans into the
+    array). @raise Failure if the plan violates the relevance invariant
+    (an irrelevant branch whose successors redirect to different blocks —
+    indicates an unsound placement). *)
+val generate :
+  ?queues:Queue_alloc.t ->
+  Gmt_pdg.Pdg.t ->
+  Gmt_sched.Partition.t ->
+  plan ->
+  Mtprog.t
+
+(** Convenience: baseline plan + generate. *)
+val run : Gmt_pdg.Pdg.t -> Gmt_sched.Partition.t -> Mtprog.t

@@ -1,0 +1,28 @@
+(** Queue allocation (the paper's footnote to Algorithm 1: "a separate
+    queue is used just for simplicity. Later, a queue-allocation algorithm
+    can reduce the number of queues necessary").
+
+    Any two communications between the same ordered thread pair
+    [(src, dst)] may share a physical queue: both endpoint threads execute
+    their produce/consume instructions at corresponding points of the
+    original execution, so the produce sequence and the consume sequence
+    of a shared FIFO are the same subsequence of the original instruction
+    stream — values never cross. Communications of different thread pairs
+    never share.
+
+    The allocator is the identity while the plan fits the synchronization
+    array; otherwise it gives every pair group at least one queue and
+    splits the remaining physical queues between groups proportionally. *)
+
+type t = {
+  queue_of : int -> int;  (** physical queue of a communication index *)
+  n_queues : int;         (** physical queues used *)
+}
+
+(** [allocate ~max_queues comms]
+    @raise Invalid_argument when there are more thread pairs than
+    [max_queues] (each pair needs at least one queue). *)
+val allocate : max_queues:int -> Comm.t list -> t
+
+(** The identity allocation (one queue per communication). *)
+val identity : Comm.t list -> t

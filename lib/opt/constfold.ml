@@ -1,0 +1,43 @@
+open Gmt_ir
+
+let run (f : Func.t) =
+  let rewrite_block (b : Cfg.block) =
+    let known : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let const_of r = Hashtbl.find_opt known (Reg.to_int r) in
+    let kill r = Hashtbl.remove known (Reg.to_int r) in
+    let set r v = Hashtbl.replace known (Reg.to_int r) v in
+    let body =
+      List.map
+        (fun (i : Instr.t) ->
+          let i' =
+            match i.op with
+            | Instr.Copy (d, s) -> (
+              match const_of s with
+              | Some v -> { i with op = Instr.Const (d, v) }
+              | None -> i)
+            | Instr.Unop (u, d, s) -> (
+              match const_of s with
+              | Some v -> { i with op = Instr.Const (d, Instr.eval_unop u v) }
+              | None -> i)
+            | Instr.Binop (op, d, x, y) -> (
+              match (const_of x, const_of y) with
+              | Some a, Some b ->
+                { i with op = Instr.Const (d, Instr.eval_binop op a b) }
+              | _ -> i)
+            | _ -> i
+          in
+          (* update the constant environment *)
+          (match i'.op with
+          | Instr.Const (d, v) -> set d v
+          | _ -> List.iter kill (Instr.defs i'));
+          i')
+        b.Cfg.body
+    in
+    { b with Cfg.body = body }
+  in
+  let blocks =
+    Array.init (Cfg.n_blocks f.Func.cfg) (fun l ->
+        rewrite_block (Cfg.block f.Func.cfg l))
+  in
+  let cfg = Cfg.make ~entry:(Cfg.entry f.Func.cfg) blocks in
+  { f with Func.cfg }

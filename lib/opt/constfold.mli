@@ -1,0 +1,8 @@
+(** Local constant propagation and folding.
+
+    Within each block, tracks registers holding known constants and
+    rewrites [Binop]/[Unop]/[Copy] instructions whose inputs are all known
+    into [Const]s. Purely local (block-entry state is unknown), so it
+    needs no global analysis and never changes semantics. *)
+
+val run : Gmt_ir.Func.t -> Gmt_ir.Func.t

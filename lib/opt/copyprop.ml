@@ -1,0 +1,55 @@
+open Gmt_ir
+
+let run (f : Func.t) =
+  let rewrite_block (b : Cfg.block) =
+    (* copies.(d) = Some s means d currently equals s *)
+    let copies : (int, Reg.t) Hashtbl.t = Hashtbl.create 8 in
+    let subst r =
+      match Hashtbl.find_opt copies (Reg.to_int r) with
+      | Some s -> s
+      | None -> r
+    in
+    let invalidate r =
+      Hashtbl.remove copies (Reg.to_int r);
+      (* any copy whose source is r is stale now *)
+      let stale =
+        Hashtbl.fold
+          (fun d s acc -> if Reg.equal s r then d :: acc else acc)
+          copies []
+      in
+      List.iter (Hashtbl.remove copies) stale
+    in
+    let body =
+      List.map
+        (fun (i : Instr.t) ->
+          let op' =
+            match i.op with
+            | Instr.Copy (d, s) -> Instr.Copy (d, subst s)
+            | Instr.Unop (u, d, s) -> Instr.Unop (u, d, subst s)
+            | Instr.Binop (op, d, x, y) -> Instr.Binop (op, d, subst x, subst y)
+            | Instr.Load (r, d, base, off) -> Instr.Load (r, d, subst base, off)
+            | Instr.Store (r, base, off, s) ->
+              Instr.Store (r, subst base, off, subst s)
+            | Instr.Branch (c, l1, l2) -> Instr.Branch (subst c, l1, l2)
+            | Instr.Produce (q, s) -> Instr.Produce (q, subst s)
+            | (Instr.Const _ | Instr.Jump _ | Instr.Return | Instr.Consume _
+              | Instr.Produce_sync _ | Instr.Consume_sync _ | Instr.Nop) as op
+              ->
+              op
+          in
+          let i' = { i with op = op' } in
+          List.iter invalidate (Instr.defs i');
+          (match i'.op with
+          | Instr.Copy (d, s) when not (Reg.equal d s) ->
+            Hashtbl.replace copies (Reg.to_int d) s
+          | _ -> ());
+          i')
+        b.Cfg.body
+    in
+    { b with Cfg.body = body }
+  in
+  let blocks =
+    Array.init (Cfg.n_blocks f.Func.cfg) (fun l ->
+        rewrite_block (Cfg.block f.Func.cfg l))
+  in
+  { f with Func.cfg = Cfg.make ~entry:(Cfg.entry f.Func.cfg) blocks }

@@ -1,0 +1,7 @@
+(** Local copy propagation.
+
+    Within each block, a use of [d] after [d = copy s] is rewritten to use
+    [s], as long as neither register has been redefined in between. The
+    copy itself is left for {!Dce} to collect once dead. *)
+
+val run : Gmt_ir.Func.t -> Gmt_ir.Func.t

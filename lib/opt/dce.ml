@@ -1,0 +1,51 @@
+open Gmt_ir
+module Liveness = Gmt_analysis.Liveness
+
+let removable (i : Instr.t) =
+  match i.op with
+  | Instr.Const _ | Instr.Copy _ | Instr.Unop _ | Instr.Binop _
+  | Instr.Load _ | Instr.Nop ->
+    true
+  | Instr.Store _ | Instr.Jump _ | Instr.Branch _ | Instr.Return
+  | Instr.Produce _ | Instr.Consume _ | Instr.Produce_sync _
+  | Instr.Consume_sync _ ->
+    false
+
+(* Note: removing a Load is safe for the region semantics (loads have no
+   side effect), but a Load participating in memory-dependence ordering is
+   only removed when its value is dead — in which case no other
+   instruction observed it, so ordering does not matter either. *)
+
+let one_pass (f : Func.t) =
+  let lv = Liveness.compute f in
+  let changed = ref false in
+  let blocks =
+    Array.init (Cfg.n_blocks f.Func.cfg) (fun l ->
+        let b = Cfg.block f.Func.cfg l in
+        let body =
+          List.filter
+            (fun (i : Instr.t) ->
+              match Instr.defs i with
+              | [ d ]
+                when removable i && not (Reg.Set.mem d (Liveness.live_after lv i.id))
+                ->
+                changed := true;
+                false
+              | _ -> true)
+            b.Cfg.body
+        in
+        { b with Cfg.body = body })
+  in
+  let f' =
+    { f with Func.cfg = Cfg.make ~entry:(Cfg.entry f.Func.cfg) blocks }
+  in
+  (f', !changed)
+
+let run f =
+  let rec go f n =
+    if n = 0 then f
+    else
+      let f', changed = one_pass f in
+      if changed then go f' (n - 1) else f'
+  in
+  go f 50

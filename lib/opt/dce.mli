@@ -1,0 +1,8 @@
+(** Global dead-code elimination.
+
+    Removes side-effect-free instructions whose defined register is dead
+    (liveness-based, iterated to a fixpoint). Stores, communications,
+    terminators and anything without a destination register are never
+    removed. *)
+
+val run : Gmt_ir.Func.t -> Gmt_ir.Func.t

@@ -1,0 +1,26 @@
+open Gmt_ir
+
+let round f = Simplify_cfg.run (Dce.run (Copyprop.run (Constfold.run f)))
+
+let pipeline f =
+  let rec go f k =
+    if k = 0 then f
+    else
+      let f' = round f in
+      if Cfg.n_instrs f'.Func.cfg = Cfg.n_instrs f.Func.cfg then f'
+      else go f' (k - 1)
+  in
+  let f' = go f 10 in
+  Validate.check f';
+  f'
+
+let cleanup_threads (p : Mtprog.t) =
+  let threads =
+    Array.map
+      (fun t ->
+        let t' = Simplify_cfg.run t in
+        Validate.check t';
+        t')
+      p.Mtprog.threads
+  in
+  { p with Mtprog.threads }

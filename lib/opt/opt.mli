@@ -1,0 +1,11 @@
+(** The classical-optimization pipeline the paper's compiler runs before
+    multi-threaded scheduling ("all traditional code optimizations are
+    performed in VELOCITY"): constant folding, copy propagation, dead-code
+    elimination and CFG simplification, iterated to a fixpoint. *)
+
+(** [pipeline f] — semantics-preserving; validates its output. *)
+val pipeline : Gmt_ir.Func.t -> Gmt_ir.Func.t
+
+(** [cleanup_threads p] — run {!Simplify_cfg} on each generated thread
+    (MTCG leaves jump-only blocks and unreachable stubs behind). *)
+val cleanup_threads : Gmt_ir.Mtprog.t -> Gmt_ir.Mtprog.t

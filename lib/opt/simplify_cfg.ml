@@ -1,0 +1,112 @@
+open Gmt_ir
+
+(* One rewrite round; returns (f', changed). *)
+let one_pass (f : Func.t) =
+  let cfg = f.Func.cfg in
+  let n = Cfg.n_blocks cfg in
+  let changed = ref false in
+  (* 1. Jump threading. trivial.(l) = Some t when block l is exactly
+     [Jump t]. Chains are followed with a cycle guard. *)
+  let trivial =
+    Array.init n (fun l ->
+        match Cfg.body cfg l with
+        | [ { Instr.op = Instr.Jump t; _ } ] -> Some t
+        | _ -> None)
+  in
+  let resolve l =
+    let rec go l steps =
+      if steps > n then l
+      else match trivial.(l) with Some t when t <> l -> go t (steps + 1) | _ -> l
+    in
+    go l 0
+  in
+  let retarget (i : Instr.t) =
+    match Instr.targets i with
+    | [] -> i
+    | ts ->
+      let ts' = List.map resolve ts in
+      if ts' <> ts then begin
+        changed := true;
+        Instr.with_targets i ts'
+      end
+      else i
+  in
+  let bodies =
+    Array.init n (fun l ->
+        let body = Cfg.body cfg l in
+        List.map retarget body)
+  in
+  let entry = resolve (Cfg.entry cfg) in
+  if entry <> Cfg.entry cfg then changed := true;
+  (* 2. Straight-line merging on the threaded bodies. *)
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun l body ->
+      match List.rev body with
+      | last :: _ ->
+        List.iter (fun t -> preds.(t) <- l :: preds.(t)) (Instr.targets last)
+      | [] -> ())
+    bodies;
+  let merged_away = Array.make n false in
+  let rec merge l =
+    match List.rev bodies.(l) with
+    | { Instr.op = Instr.Jump t; _ } :: rev_rest
+      when t <> l && t <> entry && preds.(t) = [ l ] && not merged_away.(t) ->
+      changed := true;
+      merged_away.(t) <- true;
+      bodies.(l) <- List.rev rev_rest @ bodies.(t);
+      bodies.(t) <- [];
+      merge l
+    | _ -> ()
+  in
+  for l = 0 to n - 1 do
+    if not merged_away.(l) then merge l
+  done;
+  (* 3. Drop unreachable blocks and renumber. *)
+  let g = Gmt_graphalg.Digraph.create n in
+  Array.iteri
+    (fun l body ->
+      if not merged_away.(l) then
+        match List.rev body with
+        | last :: _ ->
+          List.iter
+            (fun t -> Gmt_graphalg.Digraph.add_edge g l t)
+            (Instr.targets last)
+        | [] -> ())
+    bodies;
+  let reach = Gmt_graphalg.Digraph.reachable g [ entry ] in
+  let keep = ref [] in
+  for l = n - 1 downto 0 do
+    if reach.(l) && not merged_away.(l) then keep := l :: !keep
+  done;
+  if List.length !keep <> n then changed := true;
+  let remap = Hashtbl.create n in
+  List.iteri (fun nl ol -> Hashtbl.replace remap ol nl) !keep;
+  let blocks =
+    Array.of_list
+      (List.mapi
+         (fun nl ol ->
+           let body =
+             List.map
+               (fun (i : Instr.t) ->
+                 match Instr.targets i with
+                 | [] -> i
+                 | ts ->
+                   Instr.with_targets i
+                     (List.map (fun t -> Hashtbl.find remap t) ts))
+               bodies.(ol)
+           in
+           { Cfg.label = nl; body })
+         !keep)
+  in
+  let cfg' = Cfg.make ~entry:(Hashtbl.find remap entry) blocks in
+  ({ f with Func.cfg = cfg' }, !changed)
+
+let run f =
+  let rec go f k =
+    if k = 0 then f
+    else
+      let f', changed = one_pass f in
+      if changed then go f' (k - 1) else f'
+  in
+  go f 20

@@ -1,0 +1,13 @@
+(** Control-flow graph cleanup:
+
+    - jump threading: edges into a block containing only a [Jump] are
+      retargeted at its destination;
+    - straight-line merging: a block whose only successor has no other
+      predecessor is fused with it;
+    - unreachable blocks are dropped and labels renumbered compactly.
+
+    Safe on generated thread code too (MTCG's redirects leave jump-only
+    blocks and unreachable exit stubs behind); communication instructions
+    are ordinary instructions to this pass and keep their relative order. *)
+
+val run : Gmt_ir.Func.t -> Gmt_ir.Func.t

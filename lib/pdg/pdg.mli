@@ -1,0 +1,64 @@
+(** The Program Dependence Graph (Ferrante et al. [5]).
+
+    Nodes are instruction ids; arcs carry the dependences a partition of
+    instructions into threads must respect (Section 2 of the paper):
+
+    - register flow dependences (def → use, via reaching definitions;
+      anti/output register dependences are omitted because each thread owns
+      a private register file, so only value flow crosses threads);
+    - memory dependences (RAW/WAR/WAW between aliasing accesses; inside a
+      common loop these are bidirectional, since iteration order cannot be
+      proved statically);
+    - direct control dependences (branch → controlled instruction);
+    - transitive control dependences (branch → target of a dependence whose
+      source the branch transitively controls), which MTCG needs to
+      reproduce the condition under which a dependence fires. *)
+
+open Gmt_ir
+
+type kind =
+  | Reg of Reg.t
+  | Mem of Gmt_analysis.Alias.kind * Instr.region
+  | Ctrl
+  | Ctrl_trans
+
+type arc = { src : int; dst : int; kind : kind }
+
+type t
+
+(** [build ?disambiguate_offsets f] — with [disambiguate_offsets] (off by
+    default, matching the paper's setup), same-region accesses through the
+    {e same loop-invariant base register} at distinct constant offsets are
+    proved independent, an instance of the "more powerful memory
+    disambiguation" the paper suggests would let DSWP benefit more from
+    COCO. Soundness: the shared base must have a single reaching
+    definition at both accesses and that definition must lie outside all
+    loops (otherwise the base changes across iterations and distinct
+    offsets of different iterations can still collide). *)
+val build : ?disambiguate_offsets:bool -> Func.t -> t
+
+val func : t -> Func.t
+val arcs : t -> arc list
+
+(** Arcs, de-duplicated to at most one per (src, dst) pair — the shape used
+    by partitioners that only care about connectivity. *)
+val arcs_dedup : t -> (int * int) list
+
+(** Instruction ids in CFG order. *)
+val nodes : t -> int list
+
+(** Dense digraph view for SCC/topological algorithms:
+    [(g, node_of_id, id_of_node)]. *)
+val to_digraph : t -> Gmt_graphalg.Digraph.t * (int -> int) * (int -> int)
+
+(** Branch instruction ids transitively controlling an instruction
+    (the control closure of its block). *)
+val control_closure : t -> int -> int list
+
+(** Incoming / outgoing dependence arcs of an instruction. *)
+val preds : t -> int -> arc list
+
+val succs : t -> int -> arc list
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** GREMIO partitioner (Ottoni & August, MICRO 2007).
+
+    GREMIO performs global multi-threaded scheduling hierarchically over
+    the program's control structure, and — unlike DSWP — permits cyclic
+    inter-thread dependences. This implementation schedules program-order
+    sequences of {e units} (single instructions, or whole loops treated
+    atomically) onto threads with a communication-aware greedy balancer,
+    and expands a loop unit into its body only when the expanded schedule's
+    estimated makespan (computation plus communication instructions)
+    actually improves — mirroring GREMIO's ready-time-estimate-driven
+    choice between keeping a loop whole and splitting its body. *)
+
+val partition :
+  ?n_threads:int ->
+  Gmt_pdg.Pdg.t ->
+  Gmt_analysis.Profile.t ->
+  Partition.t

@@ -1,0 +1,219 @@
+(* ADPCM decode / encode (MediaBench): single streaming loop with two
+   integer recurrences (predicted value and step index), table lookups and
+   sign hammocks — the classic DSWP pipeline shape. *)
+
+open Gmt_ir
+
+let in_base = 0
+let steptab_base = 8192
+let indextab_base = 8320
+let out_base = 16384
+
+(* 89-entry step-size table and 16-entry index-adjust table from the
+   reference ADPCM coder (values approximated by the standard recurrence
+   stepsize(n+1) = stepsize(n) * 1.1). *)
+let steptab =
+  let rec go acc v n =
+    if n = 0 then List.rev acc else go (v :: acc) (v + (v / 10) + 1) (n - 1)
+  in
+  go [] 7 89
+
+let indextab = [ -1; -1; -1; -1; 2; 4; 6; 8; -1; -1; -1; -1; 2; 4; 6; 8 ]
+
+let tables_mem =
+  Kit.fill ~base:steptab_base ~n:89 (fun i -> List.nth steptab i)
+  @ Kit.fill ~base:indextab_base ~n:16 (fun i -> List.nth indextab i)
+
+let clamp k blk v lo hi =
+  let lo_r = Kit.const k blk lo in
+  let hi_r = Kit.const k blk hi in
+  let v1 = Kit.bin k blk Instr.Max v lo_r in
+  Kit.bin k blk Instr.Min v1 hi_r
+
+let decoder () =
+  let k = Kit.create "adpcmdec" in
+  let rin = Kit.region k "input" in
+  let rstep = Kit.region k "steptab" in
+  let ridx = Kit.region k "indextab" in
+  let rout = Kit.region k "output" in
+  let n = Kit.reg k in
+  (* recurrences *)
+  let valpred = Kit.reg k and index = Kit.reg k and i = Kit.reg k in
+  let pre = Kit.block k in
+  let head = Kit.block k in
+  let body = Kit.block k in
+  let neg = Kit.block k in
+  let pos = Kit.block k in
+  let tail = Kit.block k in
+  let exit = Kit.block k in
+  (* pre *)
+  let zero = Kit.const k pre 0 in
+  Kit.copy_to k pre ~dst:valpred zero;
+  Kit.copy_to k pre ~dst:index zero;
+  Kit.copy_to k pre ~dst:i zero;
+  let in_b = Kit.const k pre in_base in
+  let step_b = Kit.const k pre steptab_base in
+  let idx_b = Kit.const k pre indextab_base in
+  let out_b = Kit.const k pre out_base in
+  let one = Kit.const k pre 1 in
+  Kit.jump k pre head;
+  (* head *)
+  let cond = Kit.bin k head Instr.Lt i n in
+  Kit.branch k head cond body exit;
+  (* body: delta = in[i]; index += indextab[delta]; clamp; step =
+     steptab[index]; vpdiff from delta bits. *)
+  let addr = Kit.bin k body Instr.Add in_b i in
+  let delta = Kit.load k body rin addr 0 in
+  let ia = Kit.bin k body Instr.Add idx_b delta in
+  let adj = Kit.load k body ridx ia 0 in
+  let index1 = Kit.bin k body Instr.Add index adj in
+  let index2 = clamp k body index1 0 88 in
+  Kit.copy_to k body ~dst:index index2;
+  let sa = Kit.bin k body Instr.Add step_b index in
+  let step = Kit.load k body rstep sa 0 in
+  let three = Kit.const k body 3 in
+  let vpdiff0 = Kit.bin k body Instr.Shr step three in
+  let b4 = Kit.const k body 4 in
+  let d4 = Kit.bin k body Instr.And delta b4 in
+  let add4 = Kit.bin k body Instr.Mul d4 step in
+  let two = Kit.const k body 2 in
+  let shr2 = Kit.bin k body Instr.Shr add4 two in
+  let vpdiff = Kit.bin k body Instr.Add vpdiff0 shr2 in
+  let b8 = Kit.const k body 8 in
+  let signb = Kit.bin k body Instr.And delta b8 in
+  Kit.branch k body signb neg pos;
+  (* neg: valpred -= vpdiff *)
+  Kit.bin_to k neg Instr.Sub ~dst:valpred valpred vpdiff;
+  Kit.jump k neg tail;
+  (* pos: valpred += vpdiff *)
+  Kit.bin_to k pos Instr.Add ~dst:valpred valpred vpdiff;
+  Kit.jump k pos tail;
+  (* tail: clamp valpred, store, advance *)
+  let clamped = clamp k tail valpred (-32768) 32767 in
+  Kit.copy_to k tail ~dst:valpred clamped;
+  let oaddr = Kit.bin k tail Instr.Add out_b i in
+  Kit.store k tail rout oaddr 0 valpred;
+  Kit.bin_to k tail Instr.Add ~dst:i i one;
+  Kit.jump k tail head;
+  Kit.ret k exit;
+  (k, n)
+
+let decoder_workload () =
+  let k, n = decoder () in
+  let func = Kit.finish k ~live_in:[ n ] in
+  let input size seed =
+    {
+      Workload.regs = [ (n, size) ];
+      mem = tables_mem @ Kit.rand_fill ~seed ~base:in_base ~n:size ~bound:16;
+    }
+  in
+  Workload.make ~name:"adpcmdec" ~suite:"MediaBench" ~func_name:"adpcm_decoder"
+    ~exec_pct:100
+    ~description:
+      "IMA ADPCM decoder loop: step/index recurrences, table lookups, sign \
+       hammock, streaming output"
+    ~func ~train:(input 192 7) ~reference:(input 3072 91) ()
+
+let coder () =
+  let k = Kit.create "adpcmenc" in
+  let rin = Kit.region k "input" in
+  let rstep = Kit.region k "steptab" in
+  let ridx = Kit.region k "indextab" in
+  let rout = Kit.region k "output" in
+  let n = Kit.reg k in
+  let valpred = Kit.reg k and index = Kit.reg k and i = Kit.reg k in
+  let sign = Kit.reg k and diff = Kit.reg k in
+  let pre = Kit.block k in
+  let head = Kit.block k in
+  let body = Kit.block k in
+  let dneg = Kit.block k in
+  let dpos = Kit.block k in
+  let tail = Kit.block k in
+  let exit = Kit.block k in
+  let zero = Kit.const k pre 0 in
+  Kit.copy_to k pre ~dst:valpred zero;
+  Kit.copy_to k pre ~dst:index zero;
+  Kit.copy_to k pre ~dst:i zero;
+  let in_b = Kit.const k pre in_base in
+  let step_b = Kit.const k pre steptab_base in
+  let idx_b = Kit.const k pre indextab_base in
+  let out_b = Kit.const k pre out_base in
+  let one = Kit.const k pre 1 in
+  Kit.jump k pre head;
+  let cond = Kit.bin k head Instr.Lt i n in
+  Kit.branch k head cond body exit;
+  (* body: sample = in[i]; diff = sample - valpred; sign hammock. *)
+  let addr = Kit.bin k body Instr.Add in_b i in
+  let sample = Kit.load k body rin addr 0 in
+  let d0 = Kit.bin k body Instr.Sub sample valpred in
+  Kit.branch k body (Kit.bin k body Instr.Lt d0 zero) dneg dpos;
+  let eight = Kit.const k dneg 8 in
+  Kit.copy_to k dneg ~dst:sign eight;
+  let negd = Kit.un k dneg Instr.Neg d0 in
+  Kit.copy_to k dneg ~dst:diff negd;
+  Kit.jump k dneg tail;
+  Kit.copy_to k dpos ~dst:sign zero;
+  Kit.copy_to k dpos ~dst:diff d0;
+  Kit.jump k dpos tail;
+  (* tail: quantize diff against step; update recurrences; store nibble. *)
+  let sa = Kit.bin k tail Instr.Add step_b index in
+  let step = Kit.load k tail rstep sa 0 in
+  (* delta = min(7, (diff * 4) / step) *)
+  let four = Kit.const k tail 4 in
+  let scaled = Kit.bin k tail Instr.Mul diff four in
+  let q = Kit.bin k tail Instr.Div scaled step in
+  let seven = Kit.const k tail 7 in
+  let delta0 = Kit.bin k tail Instr.Min q seven in
+  let delta = Kit.bin k tail Instr.Or delta0 sign in
+  (* vpdiff = (delta0 * step) / 4 + step / 8; valpred +-= vpdiff *)
+  let prod = Kit.bin k tail Instr.Mul delta0 step in
+  let vp0 = Kit.bin k tail Instr.Div prod four in
+  let eight = Kit.const k tail 8 in
+  let vp1 = Kit.bin k tail Instr.Div step eight in
+  let vpdiff = Kit.bin k tail Instr.Add vp0 vp1 in
+  let signed =
+    (* valpred += sign ? -vpdiff : vpdiff, branch-free via sign flag *)
+    let is_neg = Kit.bin k tail Instr.Ne sign zero in
+    let negv = Kit.un k tail Instr.Neg vpdiff in
+    let pick1 = Kit.bin k tail Instr.Mul is_neg negv in
+    let is_pos = Kit.bin k tail Instr.Eq sign zero in
+    let pick2 = Kit.bin k tail Instr.Mul is_pos vpdiff in
+    Kit.bin k tail Instr.Add pick1 pick2
+  in
+  let v1 = Kit.bin k tail Instr.Add valpred signed in
+  let lo = Kit.const k tail (-32768) in
+  let hi = Kit.const k tail 32767 in
+  let v2 = Kit.bin k tail Instr.Max v1 lo in
+  let v3 = Kit.bin k tail Instr.Min v2 hi in
+  Kit.copy_to k tail ~dst:valpred v3;
+  (* index += indextab[delta], clamped *)
+  let ia = Kit.bin k tail Instr.Add idx_b delta in
+  let adj = Kit.load k tail ridx ia 0 in
+  let i1 = Kit.bin k tail Instr.Add index adj in
+  let i2 = Kit.bin k tail Instr.Max i1 zero in
+  let lim = Kit.const k tail 88 in
+  let i3 = Kit.bin k tail Instr.Min i2 lim in
+  Kit.copy_to k tail ~dst:index i3;
+  let oaddr = Kit.bin k tail Instr.Add out_b i in
+  Kit.store k tail rout oaddr 0 delta;
+  Kit.bin_to k tail Instr.Add ~dst:i i one;
+  Kit.jump k tail head;
+  Kit.ret k exit;
+  (k, n)
+
+let coder_workload () =
+  let k, n = coder () in
+  let func = Kit.finish k ~live_in:[ n ] in
+  let input size seed =
+    {
+      Workload.regs = [ (n, size) ];
+      mem =
+        tables_mem @ Kit.rand_fill ~seed ~base:in_base ~n:size ~bound:4096;
+    }
+  in
+  Workload.make ~name:"adpcmenc" ~suite:"MediaBench" ~func_name:"adpcm_coder"
+    ~exec_pct:100
+    ~description:
+      "IMA ADPCM coder loop: quantization against the step-size recurrence, \
+       sign hammock, nibble output"
+    ~func ~train:(input 192 3) ~reference:(input 3072 17) ()

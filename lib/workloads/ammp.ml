@@ -1,0 +1,134 @@
+(* 188.ammp mm_fv_update_nonbon (SPEC-CPU): non-bonded force update over a
+   neighbor list. FP-dominated pair interactions: distance computation,
+   inverse-square force, register force accumulators flushed to the force
+   array once per atom. *)
+
+open Gmt_ir
+
+let posx_base = 0
+let posy_base = 4096
+let posz_base = 8192
+let nbr_base = 12288
+let fx_base = 45056
+let fy_base = 49152
+let fz_base = 53248
+
+let build () =
+  let k = Kit.create "ammp" in
+  let rpx = Kit.region k "posx" in
+  let rpy = Kit.region k "posy" in
+  let rpz = Kit.region k "posz" in
+  let rnbr = Kit.region k "neighbors" in
+  let rfx = Kit.region k "forcex" in
+  let rfy = Kit.region k "forcey" in
+  let rfz = Kit.region k "forcez" in
+  let n_atoms = Kit.reg k and n_nbr = Kit.reg k in
+  let i = Kit.reg k and kk = Kit.reg k in
+  let fxi = Kit.reg k and fyi = Kit.reg k and fzi = Kit.reg k in
+  let xi = Kit.reg k and yi = Kit.reg k and zi = Kit.reg k in
+  let pre = Kit.block k in
+  let ohead = Kit.block k in
+  let obody = Kit.block k in
+  let ihead = Kit.block k in
+  let ibody = Kit.block k in
+  let otail = Kit.block k in
+  let exit = Kit.block k in
+  let zero = Kit.const k pre 0 in
+  let one = Kit.const k pre 1 in
+  let px_b = Kit.const k pre posx_base in
+  let py_b = Kit.const k pre posy_base in
+  let pz_b = Kit.const k pre posz_base in
+  let nb_b = Kit.const k pre nbr_base in
+  let fx_b = Kit.const k pre fx_base in
+  let fy_b = Kit.const k pre fy_base in
+  let fz_b = Kit.const k pre fz_base in
+  let k0 = Kit.const k pre 1_000_000 in
+  Kit.copy_to k pre ~dst:i zero;
+  Kit.jump k pre ohead;
+  let oc = Kit.bin k ohead Instr.Lt i n_atoms in
+  Kit.branch k ohead oc obody exit;
+  (* load atom i's position; reset force accumulators *)
+  let pa = Kit.bin k obody Instr.Add px_b i in
+  Kit.load_to k obody rpx ~dst:xi pa 0;
+  let pb = Kit.bin k obody Instr.Add py_b i in
+  Kit.load_to k obody rpy ~dst:yi pb 0;
+  let pc2 = Kit.bin k obody Instr.Add pz_b i in
+  Kit.load_to k obody rpz ~dst:zi pc2 0;
+  Kit.copy_to k obody ~dst:fxi zero;
+  Kit.copy_to k obody ~dst:fyi zero;
+  Kit.copy_to k obody ~dst:fzi zero;
+  Kit.copy_to k obody ~dst:kk zero;
+  Kit.jump k obody ihead;
+  let ic = Kit.bin k ihead Instr.Lt kk n_nbr in
+  Kit.branch k ihead ic ibody otail;
+  (* pair interaction with neighbor j *)
+  let ni = Kit.bin k ibody Instr.Mul i n_nbr in
+  let na = Kit.bin k ibody Instr.Add ni kk in
+  let naddr = Kit.bin k ibody Instr.Add nb_b na in
+  let j = Kit.load k ibody rnbr naddr 0 in
+  let xa = Kit.bin k ibody Instr.Add px_b j in
+  let xj = Kit.load k ibody rpx xa 0 in
+  let ya = Kit.bin k ibody Instr.Add py_b j in
+  let yj = Kit.load k ibody rpy ya 0 in
+  let za = Kit.bin k ibody Instr.Add pz_b j in
+  let zj = Kit.load k ibody rpz za 0 in
+  let dx = Kit.bin k ibody Instr.Fsub xi xj in
+  let dy = Kit.bin k ibody Instr.Fsub yi yj in
+  let dz = Kit.bin k ibody Instr.Fsub zi zj in
+  let dx2 = Kit.bin k ibody Instr.Fmul dx dx in
+  let dy2 = Kit.bin k ibody Instr.Fmul dy dy in
+  let dz2 = Kit.bin k ibody Instr.Fmul dz dz in
+  let r2a = Kit.bin k ibody Instr.Fadd dx2 dy2 in
+  let r2b = Kit.bin k ibody Instr.Fadd r2a dz2 in
+  let onef = Kit.const k ibody 1 in
+  let r2 = Kit.bin k ibody Instr.Fmax r2b onef in
+  let inv = Kit.bin k ibody Instr.Fdiv k0 r2 in
+  let fsx = Kit.bin k ibody Instr.Fmul inv dx in
+  let fsy = Kit.bin k ibody Instr.Fmul inv dy in
+  let fsz = Kit.bin k ibody Instr.Fmul inv dz in
+  Kit.bin_to k ibody Instr.Fadd ~dst:fxi fxi fsx;
+  Kit.bin_to k ibody Instr.Fadd ~dst:fyi fyi fsy;
+  Kit.bin_to k ibody Instr.Fadd ~dst:fzi fzi fsz;
+  Kit.bin_to k ibody Instr.Add ~dst:kk kk one;
+  Kit.jump k ibody ihead;
+  (* flush accumulators: force[i] += f*i (read-modify-write) *)
+  let fa = Kit.bin k otail Instr.Add fx_b i in
+  let ofx = Kit.load k otail rfx fa 0 in
+  let nfx = Kit.bin k otail Instr.Fadd ofx fxi in
+  Kit.store k otail rfx fa 0 nfx;
+  let fb2 = Kit.bin k otail Instr.Add fy_b i in
+  let ofy = Kit.load k otail rfy fb2 0 in
+  let nfy = Kit.bin k otail Instr.Fadd ofy fyi in
+  Kit.store k otail rfy fb2 0 nfy;
+  let fc = Kit.bin k otail Instr.Add fz_b i in
+  let ofz = Kit.load k otail rfz fc 0 in
+  let nfz = Kit.bin k otail Instr.Fadd ofz fzi in
+  Kit.store k otail rfz fc 0 nfz;
+  Kit.bin_to k otail Instr.Add ~dst:i i one;
+  Kit.jump k otail ohead;
+  Kit.ret k exit;
+  (k, n_atoms, n_nbr)
+
+let workload () =
+  let k, n_atoms, n_nbr = build () in
+  let func = Kit.finish k ~live_in:[ n_atoms; n_nbr ] in
+  let input ~atoms ~nbr seed =
+    {
+      Workload.regs = [ (n_atoms, atoms); (n_nbr, nbr) ];
+      mem =
+        Kit.rand_fill ~seed ~base:posx_base ~n:atoms ~bound:2000
+        @ Kit.rand_fill ~seed:(seed + 1) ~base:posy_base ~n:atoms ~bound:2000
+        @ Kit.rand_fill ~seed:(seed + 2) ~base:posz_base ~n:atoms ~bound:2000
+        @ Kit.fill ~base:nbr_base ~n:(atoms * nbr) (fun e ->
+              (e * 31 + 7) mod atoms);
+    }
+  in
+  Workload.make ~name:"188.ammp" ~suite:"SPEC-CPU"
+    ~func_name:"mm_fv_update_nonbon" ~exec_pct:79
+    ~description:
+      "Non-bonded force update over a neighbor list: FP distance/force \
+       chain with per-atom force read-modify-write"
+    ~func
+    ~train:(input ~atoms:32 ~nbr:8 41)
+    ~reference:(input ~atoms:256 ~nbr:16 87)
+    ()

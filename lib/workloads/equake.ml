@@ -1,0 +1,107 @@
+(* 183.equake smvp (SPEC-CPU): sparse matrix-vector product — per-row
+   pointer arithmetic and indirect loads feeding an FP multiply-accumulate
+   chain, result stored once per row. *)
+
+open Gmt_ir
+
+let rowstart_base = 0
+let colidx_base = 4096
+let vals_base = 16384
+let x_base = 28672
+let y_base = 32768
+
+let build () =
+  let k = Kit.create "equake" in
+  let rrow = Kit.region k "rowstart" in
+  let rcol = Kit.region k "colidx" in
+  let rval = Kit.region k "vals" in
+  let rx = Kit.region k "x" in
+  let ry = Kit.region k "y" in
+  let n_rows = Kit.reg k in
+  let n_steps = Kit.reg k in
+  let i = Kit.reg k and kk = Kit.reg k and s = Kit.reg k in
+  let step = Kit.reg k in
+  let row_end = Kit.reg k in
+  let pre = Kit.block k in
+  let shead = Kit.block k in
+  let sbody = Kit.block k in
+  let ohead = Kit.block k in
+  let obody = Kit.block k in
+  let ihead = Kit.block k in
+  let ibody = Kit.block k in
+  let otail = Kit.block k in
+  let stail = Kit.block k in
+  let exit = Kit.block k in
+  let zero = Kit.const k pre 0 in
+  let one = Kit.const k pre 1 in
+  let row_b = Kit.const k pre rowstart_base in
+  let col_b = Kit.const k pre colidx_base in
+  let val_b = Kit.const k pre vals_base in
+  let x_b = Kit.const k pre x_base in
+  let y_b = Kit.const k pre y_base in
+  Kit.copy_to k pre ~dst:step zero;
+  Kit.jump k pre shead;
+  (* timestep loop: smvp runs once per solver iteration *)
+  let sc = Kit.bin k shead Instr.Lt step n_steps in
+  Kit.branch k shead sc sbody exit;
+  Kit.copy_to k sbody ~dst:i zero;
+  Kit.jump k sbody ohead;
+  let oc = Kit.bin k ohead Instr.Lt i n_rows in
+  Kit.branch k ohead oc obody stail;
+  (* row bounds *)
+  let ra = Kit.bin k obody Instr.Add row_b i in
+  let start = Kit.load k obody rrow ra 0 in
+  let rend = Kit.load k obody rrow ra 1 in
+  Kit.copy_to k obody ~dst:row_end rend;
+  Kit.copy_to k obody ~dst:kk start;
+  Kit.copy_to k obody ~dst:s zero;
+  Kit.jump k obody ihead;
+  let ic = Kit.bin k ihead Instr.Lt kk row_end in
+  Kit.branch k ihead ic ibody otail;
+  (* ibody: indirect gather + FP MAC *)
+  let ca = Kit.bin k ibody Instr.Add col_b kk in
+  let j = Kit.load k ibody rcol ca 0 in
+  let va = Kit.bin k ibody Instr.Add val_b kk in
+  let v = Kit.load k ibody rval va 0 in
+  let xa = Kit.bin k ibody Instr.Add x_b j in
+  let xv = Kit.load k ibody rx xa 0 in
+  let prod = Kit.bin k ibody Instr.Fmul v xv in
+  Kit.bin_to k ibody Instr.Fadd ~dst:s s prod;
+  Kit.bin_to k ibody Instr.Add ~dst:kk kk one;
+  Kit.jump k ibody ihead;
+  (* otail: store the row result *)
+  let ya = Kit.bin k otail Instr.Add y_b i in
+  Kit.store k otail ry ya 0 s;
+  Kit.bin_to k otail Instr.Add ~dst:i i one;
+  Kit.jump k otail ohead;
+  Kit.bin_to k stail Instr.Add ~dst:step step one;
+  Kit.jump k stail shead;
+  Kit.ret k exit;
+  (k, n_rows, n_steps)
+
+let workload () =
+  let k, n_rows, n_steps = build () in
+  let func = Kit.finish k ~live_in:[ n_rows; n_steps ] in
+  (* A banded sparse matrix with [nnz_per_row] entries per row. *)
+  let input ~rows ~nnz ~steps seed =
+    let total = rows * nnz in
+    {
+      Workload.regs = [ (n_rows, rows); (n_steps, steps) ];
+      mem =
+        Kit.fill ~base:rowstart_base ~n:(rows + 1) (fun i -> i * nnz)
+        @ Kit.fill ~base:colidx_base ~n:total (fun e ->
+              let row = e / nnz and slot = e mod nnz in
+              (row + (slot * 17)) mod rows)
+        @ Kit.rand_fill ~seed ~base:vals_base ~n:total ~bound:1000
+        @ Kit.rand_fill ~seed:(seed + 3) ~base:x_base ~n:rows ~bound:1000;
+    }
+  in
+  Workload.make ~name:"183.equake" ~suite:"SPEC-CPU" ~func_name:"smvp"
+    ~exec_pct:63
+    ~description:
+      "Sparse matrix-vector product: indirect gathers feeding an FP \
+       multiply-accumulate, one store per row"
+    ~func
+    ~train:(input ~rows:64 ~nnz:8 ~steps:2 21)
+    ~reference:(input ~rows:512 ~nnz:12 ~steps:4 55)
+    ()

@@ -1,0 +1,177 @@
+(* 435.gromacs inl1130 (SPEC-CPU): water-water interaction kernel. Each
+   neighbor block is processed in two phases, as the vectorized original
+   buffers forces before scattering them:
+
+   - phase 1, per pair: gather coordinates, FP distance / inverse-sqrt /
+     Coulomb chain, store the scaled force components to a scratch buffer
+     and accumulate the Coulomb energy;
+   - phase 2, per pair: read the scratch buffer and read-modify-write the
+     force array (faction).
+
+   The phases communicate through the scratch region, so a GREMIO
+   partition that splits them has inter-thread memory dependences — the
+   paper reports >99% of gromacs's memory synchronizations removed by
+   COCO. The FP-heavy, cache-resident working set is also why the paper's
+   gromacs enjoys the doubled private L2 under DSWP (2.44x). *)
+
+open Gmt_ir
+
+let pos_base = 0
+let jidx_base = 24576
+let faction_base = 28672
+let scratch_base = 57344
+let vc_base = 61440
+
+let build () =
+  let k = Kit.create "gromacs" in
+  let rpos = Kit.region k "positions" in
+  let rjx = Kit.region k "jindex" in
+  let rfac = Kit.region k "faction" in
+  let rscr = Kit.region k "force_scratch" in
+  let rvc = Kit.region k "vc_out" in
+  let n_blocks = Kit.reg k in
+  let block_sz = Kit.reg k in
+  let blk = Kit.reg k and q = Kit.reg k and q2 = Kit.reg k in
+  let vctot = Kit.reg k in
+  let vvx = Kit.reg k and vvy = Kit.reg k and vvz = Kit.reg k in
+  let pre = Kit.block k in
+  let bhead = Kit.block k in
+  let bbody = Kit.block k in
+  let chead = Kit.block k in
+  let cbody = Kit.block k in
+  let sbody = Kit.block k in
+  let btail = Kit.block k in
+  let exit = Kit.block k in
+  let zero = Kit.const k pre 0 in
+  let one = Kit.const k pre 1 in
+  let pos_b = Kit.const k pre pos_base in
+  let jx_b = Kit.const k pre jidx_base in
+  let fac_b = Kit.const k pre faction_base in
+  let scr_b = Kit.const k pre scratch_base in
+  let vc_b = Kit.const k pre vc_base in
+  let qq = Kit.const k pre 332 in
+  let posmask = Kit.const k pre 4095 in
+  Kit.copy_to k pre ~dst:blk zero;
+  Kit.copy_to k pre ~dst:vctot zero;
+  Kit.copy_to k pre ~dst:vvx zero;
+  Kit.copy_to k pre ~dst:vvy zero;
+  Kit.copy_to k pre ~dst:vvz zero;
+  Kit.jump k pre bhead;
+  let bc = Kit.bin k bhead Instr.Lt blk n_blocks in
+  Kit.branch k bhead bc bbody exit;
+  Kit.copy_to k bbody ~dst:q zero;
+  Kit.jump k bbody chead;
+  (* phase 1: compute pair forces into the scratch buffer *)
+  let cc = Kit.bin k chead Instr.Lt q block_sz in
+  Kit.branch k chead cc cbody sbody;
+  let pair = Kit.bin k cbody Instr.Mul blk block_sz in
+  let pair2 = Kit.bin k cbody Instr.Add pair q in
+  let ja = Kit.bin k cbody Instr.Add jx_b pair2 in
+  let j3 = Kit.load k cbody rjx ja 0 in
+  let three = Kit.const k cbody 3 in
+  let i3 = Kit.bin k cbody Instr.Mul pair2 three in
+  let i3m = Kit.bin k cbody Instr.And i3 posmask in
+  let ia = Kit.bin k cbody Instr.Add pos_b i3m in
+  let ix = Kit.load k cbody rpos ia 0 in
+  let iy = Kit.load k cbody rpos ia 1 in
+  let iz = Kit.load k cbody rpos ia 2 in
+  let j3m = Kit.bin k cbody Instr.And j3 posmask in
+  let jb = Kit.bin k cbody Instr.Add pos_b j3m in
+  let jx = Kit.load k cbody rpos jb 0 in
+  let jy = Kit.load k cbody rpos jb 1 in
+  let jz = Kit.load k cbody rpos jb 2 in
+  let dx = Kit.bin k cbody Instr.Fsub ix jx in
+  let dy = Kit.bin k cbody Instr.Fsub iy jy in
+  let dz = Kit.bin k cbody Instr.Fsub iz jz in
+  let dx2 = Kit.bin k cbody Instr.Fmul dx dx in
+  let dy2 = Kit.bin k cbody Instr.Fmul dy dy in
+  let dz2 = Kit.bin k cbody Instr.Fmul dz dz in
+  let rsq0 = Kit.bin k cbody Instr.Fadd dx2 dy2 in
+  let rsq1 = Kit.bin k cbody Instr.Fadd rsq0 dz2 in
+  let rsq = Kit.bin k cbody Instr.Fmax rsq1 one in
+  let rinv = Kit.un k cbody Instr.Fsqrt rsq in
+  let rinv1 = Kit.bin k cbody Instr.Fmax rinv one in
+  let vcoul = Kit.bin k cbody Instr.Fdiv qq rinv1 in
+  Kit.bin_to k cbody Instr.Fadd ~dst:vctot vctot vcoul;
+  let fscal = Kit.bin k cbody Instr.Fdiv vcoul rsq in
+  let fx = Kit.bin k cbody Instr.Fmul fscal dx in
+  let fy = Kit.bin k cbody Instr.Fmul fscal dy in
+  let fz = Kit.bin k cbody Instr.Fmul fscal dz in
+  let q3 = Kit.bin k cbody Instr.Mul q three in
+  let sa = Kit.bin k cbody Instr.Add scr_b q3 in
+  Kit.store k cbody rscr sa 0 fx;
+  Kit.store k cbody rscr sa 1 fy;
+  Kit.store k cbody rscr sa 2 fz;
+  Kit.bin_to k cbody Instr.Add ~dst:q q one;
+  Kit.jump k cbody chead;
+  (* phase 2: scatter the scratch buffer into the force array *)
+  Kit.copy_to k sbody ~dst:q2 zero;
+  Kit.jump k sbody btail;
+  (* btail doubles as the scatter loop body (do-while) *)
+  let pairb = Kit.bin k btail Instr.Mul blk block_sz in
+  let pairb2 = Kit.bin k btail Instr.Add pairb q2 in
+  let jab = Kit.bin k btail Instr.Add jx_b pairb2 in
+  let j3b = Kit.load k btail rjx jab 0 in
+  let j3bm = Kit.bin k btail Instr.And j3b posmask in
+  let q3b = Kit.bin k btail Instr.Mul q2 three in
+  let sab = Kit.bin k btail Instr.Add scr_b q3b in
+  let sfx = Kit.load k btail rscr sab 0 in
+  let sfy = Kit.load k btail rscr sab 1 in
+  let sfz = Kit.load k btail rscr sab 2 in
+  let fjb = Kit.bin k btail Instr.Add fac_b j3bm in
+  let ofx = Kit.load k btail rfac fjb 0 in
+  let nfx = Kit.bin k btail Instr.Fsub ofx sfx in
+  Kit.store k btail rfac fjb 0 nfx;
+  let ofy = Kit.load k btail rfac fjb 1 in
+  let nfy = Kit.bin k btail Instr.Fsub ofy sfy in
+  Kit.store k btail rfac fjb 1 nfy;
+  let ofz = Kit.load k btail rfac fjb 2 in
+  let nfz = Kit.bin k btail Instr.Fsub ofz sfz in
+  Kit.store k btail rfac fjb 2 nfz;
+  (* virial (shift-force) accumulation, before and after the update *)
+  let wx = Kit.bin k btail Instr.Fmul sfx sfx in
+  Kit.bin_to k btail Instr.Fadd ~dst:vvx vvx wx;
+  let wy = Kit.bin k btail Instr.Fmul sfy sfy in
+  Kit.bin_to k btail Instr.Fadd ~dst:vvy vvy wy;
+  let wz = Kit.bin k btail Instr.Fmul sfz sfz in
+  Kit.bin_to k btail Instr.Fadd ~dst:vvz vvz wz;
+  let nx2 = Kit.bin k btail Instr.Fmul nfx nfx in
+  let ny2 = Kit.bin k btail Instr.Fmul nfy nfy in
+  let nz2 = Kit.bin k btail Instr.Fmul nfz nfz in
+  let n2a = Kit.bin k btail Instr.Fadd nx2 ny2 in
+  let n2b = Kit.bin k btail Instr.Fadd n2a nz2 in
+  Kit.bin_to k btail Instr.Fadd ~dst:vvx vvx n2b;
+  Kit.bin_to k btail Instr.Add ~dst:q2 q2 one;
+  let sc = Kit.bin k btail Instr.Lt q2 block_sz in
+  let bnext = Kit.block k in
+  Kit.branch k btail sc btail bnext;
+  Kit.bin_to k bnext Instr.Add ~dst:blk blk one;
+  Kit.jump k bnext bhead;
+  Kit.store k exit rvc vc_b 0 vctot;
+  Kit.store k exit rvc vc_b 1 vvx;
+  Kit.store k exit rvc vc_b 2 vvy;
+  Kit.store k exit rvc vc_b 3 vvz;
+  Kit.ret k exit;
+  (k, n_blocks, block_sz)
+
+let workload () =
+  let k, n_blocks, block_sz = build () in
+  let func = Kit.finish k ~live_in:[ n_blocks; block_sz ] in
+  let input ~blocks ~bsz seed =
+    {
+      Workload.regs = [ (n_blocks, blocks); (block_sz, bsz) ];
+      mem =
+        Kit.rand_fill ~seed ~base:pos_base ~n:4096 ~bound:3000
+        @ Kit.fill ~base:jidx_base ~n:(blocks * bsz) (fun e ->
+              (e * 97 + 13) mod 4000);
+    }
+  in
+  Workload.make ~name:"435.gromacs" ~suite:"SPEC-CPU" ~func_name:"inl1130"
+    ~exec_pct:75
+    ~description:
+      "Water-water interactions: FP distance/Coulomb/force chain buffered \
+       per neighbor block, then scattered into the force array"
+    ~func
+    ~train:(input ~blocks:8 ~bsz:32 33)
+    ~reference:(input ~blocks:128 ~bsz:48 71)
+    ()

@@ -1,0 +1,62 @@
+open Gmt_ir
+
+type t = { b : Builder.t }
+
+let create name = { b = Builder.create ~name () }
+let builder t = t.b
+let reg t = Builder.reg t.b
+let region t name = Builder.region t.b name
+let block t = Builder.block t.b
+
+let const t blk k =
+  let d = reg t in
+  ignore (Builder.add t.b blk (Instr.Const (d, k)));
+  d
+
+let bin t blk op x y =
+  let d = reg t in
+  ignore (Builder.add t.b blk (Instr.Binop (op, d, x, y)));
+  d
+
+let bin_to t blk op ~dst x y =
+  ignore (Builder.add t.b blk (Instr.Binop (op, dst, x, y)))
+
+let un t blk op x =
+  let d = reg t in
+  ignore (Builder.add t.b blk (Instr.Unop (op, d, x)));
+  d
+
+let copy_to t blk ~dst s = ignore (Builder.add t.b blk (Instr.Copy (dst, s)))
+
+let load t blk rg base off =
+  let d = reg t in
+  ignore (Builder.add t.b blk (Instr.Load (rg, d, base, off)));
+  d
+
+let load_to t blk rg ~dst base off =
+  ignore (Builder.add t.b blk (Instr.Load (rg, dst, base, off)))
+
+let store t blk rg base off s =
+  ignore (Builder.add t.b blk (Instr.Store (rg, base, off, s)))
+
+let jump t blk dst = ignore (Builder.terminate t.b blk (Instr.Jump dst))
+
+let branch t blk c l1 l2 =
+  ignore (Builder.terminate t.b blk (Instr.Branch (c, l1, l2)))
+
+let ret t blk = ignore (Builder.terminate t.b blk Instr.Return)
+let finish t ~live_in = Builder.finish t.b ~live_in ~live_out:[]
+
+let rand_fill ~seed ~base ~n ~bound =
+  let state = ref (if seed = 0 then 0x9E3779B9 else seed) in
+  let next () =
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    !state
+  in
+  List.init n (fun i -> (base + i, next () mod max 1 bound))
+
+let fill ~base ~n f = List.init n (fun i -> (base + i, f i))

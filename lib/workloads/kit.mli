@@ -1,0 +1,50 @@
+(** Convenience layer over {!Gmt_ir.Builder} for writing workload kernels:
+    fresh-destination arithmetic, counted loops, and deterministic
+    pseudo-random memory initialization. *)
+
+open Gmt_ir
+
+type t
+
+val create : string -> t
+val builder : t -> Builder.t
+
+(** Fresh register. *)
+val reg : t -> Reg.t
+
+(** Named memory region (allocated once per name). *)
+val region : t -> string -> Instr.region
+
+val block : t -> Instr.label
+
+(** [const t blk k] — load immediate into a fresh register. *)
+val const : t -> Instr.label -> int -> Reg.t
+
+(** [bin t blk op x y] — binary operation into a fresh register. *)
+val bin : t -> Instr.label -> Instr.binop -> Reg.t -> Reg.t -> Reg.t
+
+(** [bin_to t blk op ~dst x y] — into an existing register (recurrences). *)
+val bin_to : t -> Instr.label -> Instr.binop -> dst:Reg.t -> Reg.t -> Reg.t -> unit
+
+val un : t -> Instr.label -> Instr.unop -> Reg.t -> Reg.t
+val copy_to : t -> Instr.label -> dst:Reg.t -> Reg.t -> unit
+
+(** [load t blk region base off] into a fresh register. *)
+val load : t -> Instr.label -> Instr.region -> Reg.t -> int -> Reg.t
+
+val load_to : t -> Instr.label -> Instr.region -> dst:Reg.t -> Reg.t -> int -> unit
+val store : t -> Instr.label -> Instr.region -> Reg.t -> int -> Reg.t -> unit
+val jump : t -> Instr.label -> Instr.label -> unit
+val branch : t -> Instr.label -> Reg.t -> Instr.label -> Instr.label -> unit
+val ret : t -> Instr.label -> unit
+
+(** [finish t ~live_in] — live_out is empty by convention: kernels write
+    their results to memory, the observable state. *)
+val finish : t -> live_in:Reg.t list -> Func.t
+
+(** Deterministic xorshift values in [0, bound): for filling input arrays.
+    [rand_fill ~seed ~base ~n ~bound] returns [(address, value)] pairs. *)
+val rand_fill : seed:int -> base:int -> n:int -> bound:int -> (int * int) list
+
+(** Sequential fill with a function of the index. *)
+val fill : base:int -> n:int -> (int -> int) -> (int * int) list

@@ -1,0 +1,123 @@
+(* ks FindMaxGpAndSwap (Pointer-Intensive suite): an outer loop whose inner
+   loop computes a max-gain reduction; the reduction result is consumed
+   only after the inner loop (stores of the chosen index/gain). This is
+   exactly the paper's Figure 4 pathology: MTCG communicates the reduction
+   registers on every inner iteration, COCO hoists the communication past
+   the loop — the paper reports ks as its biggest win (73.7% fewer dynamic
+   communications, 47.6% extra speedup with GREMIO). *)
+
+open Gmt_ir
+
+let ga_base = 0
+let gb_base = 8192
+let hist_base = 16384
+let out1_base = 40960
+let out2_base = 49152
+
+let build () =
+  let k = Kit.create "ks" in
+  let rga = Kit.region k "gainA" in
+  let rgb = Kit.region k "gainB" in
+  let rhist = Kit.region k "swap_history" in
+  let rout1 = Kit.region k "swap_idx" in
+  let rout2 = Kit.region k "swap_gain" in
+  let n_outer = Kit.reg k in
+  let n_inner = Kit.reg k in
+  let i = Kit.reg k and j = Kit.reg k and q = Kit.reg k in
+  let maxg = Kit.reg k and maxj = Kit.reg k and h = Kit.reg k in
+  let pre = Kit.block k in
+  let ohead = Kit.block k in
+  let obody = Kit.block k in
+  let ihead = Kit.block k in
+  let ibody = Kit.block k in
+  let upd = Kit.block k in
+  let icont = Kit.block k in
+  let shead = Kit.block k in
+  let sbody = Kit.block k in
+  let otail = Kit.block k in
+  let exit = Kit.block k in
+  (* pre *)
+  let zero = Kit.const k pre 0 in
+  let one = Kit.const k pre 1 in
+  let ga_b = Kit.const k pre ga_base in
+  let gb_b = Kit.const k pre gb_base in
+  let h_b = Kit.const k pre hist_base in
+  let o1_b = Kit.const k pre out1_base in
+  let o2_b = Kit.const k pre out2_base in
+  Kit.copy_to k pre ~dst:i zero;
+  Kit.jump k pre ohead;
+  (* outer head *)
+  let ocond = Kit.bin k ohead Instr.Lt i n_outer in
+  Kit.branch k ohead ocond obody exit;
+  (* outer body: reset reduction state *)
+  let neg_inf = Kit.const k obody (-1000000) in
+  Kit.copy_to k obody ~dst:maxg neg_inf;
+  Kit.copy_to k obody ~dst:maxj zero;
+  Kit.copy_to k obody ~dst:j zero;
+  Kit.jump k obody ihead;
+  (* inner gain loop: find the max gain *)
+  let icond = Kit.bin k ihead Instr.Lt j n_inner in
+  Kit.branch k ihead icond ibody shead;
+  let aaddr = Kit.bin k ibody Instr.Add ga_b j in
+  let a = Kit.load k ibody rga aaddr 0 in
+  let baddr = Kit.bin k ibody Instr.Add gb_b j in
+  let b = Kit.load k ibody rgb baddr 0 in
+  let scaled = Kit.bin k ibody Instr.Mul b i in
+  let g = Kit.bin k ibody Instr.Sub a scaled in
+  let better = Kit.bin k ibody Instr.Gt g maxg in
+  Kit.branch k ibody better upd icont;
+  (* update branch of the reduction *)
+  Kit.copy_to k upd ~dst:maxg g;
+  Kit.copy_to k upd ~dst:maxj j;
+  Kit.jump k upd icont;
+  Kit.bin_to k icont Instr.Add ~dst:j j one;
+  Kit.jump k icont ihead;
+  (* swap-bookkeeping loop: consumes only the reduction results, writing
+     the swap record history (the real FindMaxGpAndSwap updates partition
+     state after choosing the best swap) *)
+  Kit.copy_to k shead ~dst:q zero;
+  Kit.copy_to k shead ~dst:h maxg;
+  Kit.jump k shead sbody;
+  let mixed = Kit.bin k sbody Instr.Mul h (Kit.const k sbody 31) in
+  let mixed2 = Kit.bin k sbody Instr.Add mixed maxj in
+  let mixed3 = Kit.bin k sbody Instr.Xor mixed2 q in
+  Kit.copy_to k sbody ~dst:h mixed3;
+  let iq = Kit.bin k sbody Instr.Mul i n_inner in
+  let iq2 = Kit.bin k sbody Instr.Add iq q in
+  let mask = Kit.const k sbody 16383 in
+  let iq3 = Kit.bin k sbody Instr.And iq2 mask in
+  let ha = Kit.bin k sbody Instr.Add h_b iq3 in
+  Kit.store k sbody rhist ha 0 h;
+  Kit.bin_to k sbody Instr.Add ~dst:q q one;
+  let scond = Kit.bin k sbody Instr.Lt q n_inner in
+  Kit.branch k sbody scond sbody otail;
+  (* outer tail: record the chosen swap *)
+  let o1 = Kit.bin k otail Instr.Add o1_b i in
+  Kit.store k otail rout1 o1 0 maxj;
+  let o2 = Kit.bin k otail Instr.Add o2_b i in
+  Kit.store k otail rout2 o2 0 h;
+  Kit.bin_to k otail Instr.Add ~dst:i i one;
+  Kit.jump k otail ohead;
+  Kit.ret k exit;
+  (k, n_outer, n_inner)
+
+let workload () =
+  let k, n_outer, n_inner = build () in
+  let func = Kit.finish k ~live_in:[ n_outer; n_inner ] in
+  let input ~outer ~inner seed =
+    {
+      Workload.regs = [ (n_outer, outer); (n_inner, inner) ];
+      mem =
+        Kit.rand_fill ~seed ~base:ga_base ~n:inner ~bound:10000
+        @ Kit.rand_fill ~seed:(seed + 1) ~base:gb_base ~n:inner ~bound:100;
+    }
+  in
+  Workload.make ~name:"ks" ~suite:"Pointer-Intensive"
+    ~func_name:"FindMaxGpAndSwap" ~exec_pct:100
+    ~description:
+      "Kernighan-Schweikert partitioner: inner max-gain reduction consumed \
+       once per outer iteration"
+    ~func
+    ~train:(input ~outer:12 ~inner:48 5)
+    ~reference:(input ~outer:64 ~inner:192 29)
+    ()

@@ -1,0 +1,98 @@
+(* 181.mcf refresh_potential (SPEC-CPU): pointer-chasing traversal of the
+   spanning tree; each visited node's potential is derived from its
+   parent's (a read-modify-write recurrence through memory), with an
+   orientation hammock — the canonical DSWP shape: a traversal SCC feeding
+   a computation stage. *)
+
+open Gmt_ir
+
+let child_base = 0
+let pred_base = 8192
+let cost_base = 16384
+let orient_base = 24576
+let pot_base = 32768
+let out_base = 40960
+
+let build () =
+  let k = Kit.create "mcf" in
+  let rchild = Kit.region k "child" in
+  let rpred = Kit.region k "pred" in
+  let rcost = Kit.region k "cost" in
+  let rorient = Kit.region k "orient" in
+  let rpot = Kit.region k "potential" in
+  let rout = Kit.region k "checksum" in
+  let root_pot = Kit.reg k in
+  let node = Kit.reg k and acc = Kit.reg k and newpot = Kit.reg k in
+  let pre = Kit.block k in
+  let head = Kit.block k in
+  let body = Kit.block k in
+  let up = Kit.block k in
+  let down = Kit.block k in
+  let cont = Kit.block k in
+  let exit = Kit.block k in
+  let zero = Kit.const k pre 0 in
+  let child_b = Kit.const k pre child_base in
+  let pred_b = Kit.const k pre pred_base in
+  let cost_b = Kit.const k pre cost_base in
+  let or_b = Kit.const k pre orient_base in
+  let pot_b = Kit.const k pre pot_base in
+  let out_b = Kit.const k pre out_base in
+  Kit.store k pre rpot pot_b 0 root_pot;
+  Kit.copy_to k pre ~dst:acc zero;
+  (* node = child[0] *)
+  let first = Kit.load k pre rchild child_b 0 in
+  Kit.copy_to k pre ~dst:node first;
+  Kit.jump k pre head;
+  (* while node != 0 *)
+  let alive = Kit.bin k head Instr.Ne node zero in
+  Kit.branch k head alive body exit;
+  (* body: parent lookup, cost, parent's potential *)
+  let paddr = Kit.bin k body Instr.Add pred_b node in
+  let parent = Kit.load k body rpred paddr 0 in
+  let caddr = Kit.bin k body Instr.Add cost_b node in
+  let cost = Kit.load k body rcost caddr 0 in
+  let ppaddr = Kit.bin k body Instr.Add pot_b parent in
+  let ppot = Kit.load k body rpot ppaddr 0 in
+  let oaddr = Kit.bin k body Instr.Add or_b node in
+  let orient = Kit.load k body rorient oaddr 0 in
+  Kit.branch k body orient up down;
+  (* basis arcs pointing up vs down *)
+  let u = Kit.bin k up Instr.Sub ppot cost in
+  Kit.copy_to k up ~dst:newpot u;
+  Kit.jump k up cont;
+  let d = Kit.bin k down Instr.Add ppot cost in
+  Kit.copy_to k down ~dst:newpot d;
+  Kit.jump k down cont;
+  (* store potential; chase to next node; checksum accumulation *)
+  let naddr = Kit.bin k cont Instr.Add pot_b node in
+  Kit.store k cont rpot naddr 0 newpot;
+  Kit.bin_to k cont Instr.Add ~dst:acc acc newpot;
+  let chaddr = Kit.bin k cont Instr.Add child_b node in
+  Kit.load_to k cont rchild ~dst:node chaddr 0;
+  Kit.jump k cont head;
+  Kit.store k exit rout out_b 0 acc;
+  Kit.ret k exit;
+  (k, root_pot)
+
+let workload () =
+  let k, root_pot = build () in
+  let func = Kit.finish k ~live_in:[ root_pot ] in
+  (* A chain 1..n-1 in traversal order: child[i] = i+1 (0-terminated),
+     pred[i] = i-1 except node 1 whose parent is the root 0. *)
+  let input ~n seed =
+    {
+      Workload.regs = [ (root_pot, 100000) ];
+      mem =
+        Kit.fill ~base:child_base ~n:(n + 1) (fun i ->
+            if i < n then i + 1 else 0)
+        @ Kit.fill ~base:pred_base ~n:(n + 1) (fun i -> max 0 (i - 1))
+        @ Kit.rand_fill ~seed ~base:cost_base ~n:(n + 1) ~bound:500
+        @ Kit.rand_fill ~seed:(seed + 13) ~base:orient_base ~n:(n + 1) ~bound:2;
+    }
+  in
+  Workload.make ~name:"181.mcf" ~suite:"SPEC-CPU" ~func_name:"refresh_potential"
+    ~exec_pct:32
+    ~description:
+      "Spanning-tree potential refresh: pointer-chase recurrence feeding a \
+       potential read-modify-write with an orientation hammock"
+    ~func ~train:(input ~n:256 3) ~reference:(input ~n:4096 19) ()

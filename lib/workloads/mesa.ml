@@ -1,0 +1,148 @@
+(* 177.mesa general_textured_triangle (SPEC-CPU): rasterization of spans in
+   two per-pixel phases, the way the real routine separates interpolation/
+   depth-testing from texel fetch and framebuffer blending:
+
+   - phase 1 interpolates z/color/texture coordinates along the span,
+     depth-tests against the z-buffer (hammock + conditional z update) and
+     writes the span buffer;
+   - phase 2 reads the span buffer, fetches texels and blends into the
+     framebuffer.
+
+   The two phases communicate through memory (span buffer), so a GREMIO
+   partition that splits them across threads has inter-thread memory
+   dependences — synchronized per pixel by MTCG, hoisted to once per span
+   by COCO (the paper reports >99% of mesa's memory synchronizations
+   removed). *)
+
+open Gmt_ir
+
+let zbuf_base = 0
+let tex_base = 8192
+let fb_base = 16384
+let span_base = 24576
+let spanbuf_base = 28672
+
+let build () =
+  let k = Kit.create "mesa" in
+  let rz = Kit.region k "zbuffer" in
+  let rtex = Kit.region k "texture" in
+  let rfb = Kit.region k "framebuffer" in
+  let rspan = Kit.region k "span_summary" in
+  let rsb = Kit.region k "span_buffer" in
+  let n_spans = Kit.reg k in
+  let width = Kit.reg k in
+  let span = Kit.reg k and x = Kit.reg k and x2 = Kit.reg k in
+  let z = Kit.reg k and red = Kit.reg k and tcoord = Kit.reg k in
+  let pre = Kit.block k in
+  let shead = Kit.block k in
+  let sbody = Kit.block k in
+  let phead = Kit.block k in
+  let pbody = Kit.block k in
+  let zpass = Kit.block k in
+  let zfail = Kit.block k in
+  let pcont = Kit.block k in
+  let qhead = Kit.block k in
+  let qbody = Kit.block k in
+  let stail = Kit.block k in
+  let exit = Kit.block k in
+  let zero = Kit.const k pre 0 in
+  let one = Kit.const k pre 1 in
+  let z_b = Kit.const k pre zbuf_base in
+  let t_b = Kit.const k pre tex_base in
+  let f_b = Kit.const k pre fb_base in
+  let s_b = Kit.const k pre span_base in
+  let sb_b = Kit.const k pre spanbuf_base in
+  let dz = Kit.const k pre 3 in
+  let dr = Kit.const k pre 5 in
+  let dt = Kit.const k pre 7 in
+  let texmask = Kit.const k pre 4095 in
+  let zmask = Kit.const k pre 8191 in
+  Kit.copy_to k pre ~dst:span zero;
+  Kit.jump k pre shead;
+  let sc = Kit.bin k shead Instr.Lt span n_spans in
+  Kit.branch k shead sc sbody exit;
+  (* span setup *)
+  let z0 = Kit.bin k sbody Instr.Mul span (Kit.const k sbody 11) in
+  Kit.copy_to k sbody ~dst:z z0;
+  Kit.copy_to k sbody ~dst:red span;
+  Kit.copy_to k sbody ~dst:tcoord z0;
+  Kit.copy_to k sbody ~dst:x zero;
+  Kit.jump k sbody phead;
+  (* phase 1: interpolation + depth test + span buffer *)
+  let pc = Kit.bin k phead Instr.Lt x width in
+  Kit.branch k phead pc pbody qhead;
+  Kit.bin_to k pbody Instr.Add ~dst:z z dz;
+  Kit.bin_to k pbody Instr.Add ~dst:red red dr;
+  Kit.bin_to k pbody Instr.Add ~dst:tcoord tcoord dt;
+  let spanw = Kit.bin k pbody Instr.Mul span width in
+  let px = Kit.bin k pbody Instr.Add spanw x in
+  let pxm = Kit.bin k pbody Instr.And px zmask in
+  let za = Kit.bin k pbody Instr.Add z_b pxm in
+  let zold = Kit.load k pbody rz za 0 in
+  let nearer = Kit.bin k pbody Instr.Lt z zold in
+  Kit.branch k pbody nearer zpass zfail;
+  Kit.store k zpass rz za 0 z;
+  let mixed = Kit.bin k zpass Instr.Add red tcoord in
+  let sba = Kit.bin k zpass Instr.Add sb_b x in
+  Kit.store k zpass rsb sba 0 mixed;
+  Kit.jump k zpass pcont;
+  (* depth fail: record a transparent pixel *)
+  let sba2 = Kit.bin k zfail Instr.Add sb_b x in
+  Kit.store k zfail rsb sba2 0 zero;
+  Kit.jump k zfail pcont;
+  Kit.bin_to k pcont Instr.Add ~dst:x x one;
+  Kit.jump k pcont phead;
+  (* phase 2: texel fetch + framebuffer blend, reading the span buffer *)
+  Kit.copy_to k qhead ~dst:x2 zero;
+  Kit.jump k qhead qbody;
+  let sba3 = Kit.bin k qbody Instr.Add sb_b x2 in
+  let frag = Kit.load k qbody rsb sba3 0 in
+  let tm = Kit.bin k qbody Instr.And frag texmask in
+  let ta = Kit.bin k qbody Instr.Add t_b tm in
+  let texel = Kit.load k qbody rtex ta 0 in
+  let spanw2 = Kit.bin k qbody Instr.Mul span width in
+  let px2 = Kit.bin k qbody Instr.Add spanw2 x2 in
+  let pxm2 = Kit.bin k qbody Instr.And px2 zmask in
+  let fa = Kit.bin k qbody Instr.Add f_b pxm2 in
+  let old = Kit.load k qbody rfb fa 0 in
+  let blended0 = Kit.bin k qbody Instr.Add frag texel in
+  let blended = Kit.bin k qbody Instr.Add blended0 old in
+  Kit.store k qbody rfb fa 0 blended;
+  Kit.bin_to k qbody Instr.Add ~dst:x2 x2 one;
+  let qc = Kit.bin k qbody Instr.Lt x2 width in
+  Kit.branch k qbody qc qbody stail;
+  (* span tail: summary reads back the middle pixel *)
+  let halfw = Kit.bin k stail Instr.Div width (Kit.const k stail 2) in
+  let spanw3 = Kit.bin k stail Instr.Mul span width in
+  let mid = Kit.bin k stail Instr.Add spanw3 halfw in
+  let midm = Kit.bin k stail Instr.And mid zmask in
+  let fa2 = Kit.bin k stail Instr.Add f_b midm in
+  let sample = Kit.load k stail rfb fa2 0 in
+  let sa = Kit.bin k stail Instr.Add s_b span in
+  Kit.store k stail rspan sa 0 sample;
+  Kit.bin_to k stail Instr.Add ~dst:span span one;
+  Kit.jump k stail shead;
+  Kit.ret k exit;
+  (k, n_spans, width)
+
+let workload () =
+  let k, n_spans, width = build () in
+  let func = Kit.finish k ~live_in:[ n_spans; width ] in
+  let input ~spans ~w seed =
+    {
+      Workload.regs = [ (n_spans, spans); (width, w) ];
+      mem =
+        Kit.fill ~base:zbuf_base ~n:8192 (fun _ -> 1 lsl 20)
+        @ Kit.rand_fill ~seed ~base:tex_base ~n:4096 ~bound:256;
+    }
+  in
+  Workload.make ~name:"177.mesa" ~suite:"SPEC-CPU"
+    ~func_name:"general_textured_triangle" ~exec_pct:32
+    ~description:
+      "Textured span rasterization in two per-pixel phases communicating \
+       through the span buffer: depth-test hammock, texel fetch, \
+       framebuffer blend"
+    ~func
+    ~train:(input ~spans:16 ~w:24 9)
+    ~reference:(input ~spans:96 ~w:64 77)
+    ()

@@ -1,0 +1,109 @@
+(* mpeg2enc dist1 (MediaBench): 16x16 sum of absolute differences with a
+   per-element absolute-value hammock and a per-row early exit against the
+   distance limit. The hammocks are the register-communication material
+   the paper mentions for mpeg2enc ("COCO optimized the register
+   communication in various hammocks"). *)
+
+open Gmt_ir
+
+let blk1_base = 0
+let blk2_base = 8192
+let out_base = 16384
+
+let build () =
+  let k = Kit.create "mpeg2enc" in
+  let r1 = Kit.region k "blk1" in
+  let r2 = Kit.region k "blk2" in
+  let rout = Kit.region k "sad_out" in
+  let n_blocks = Kit.reg k in
+  let distlim = Kit.reg k in
+  let blk = Kit.reg k and i = Kit.reg k and j = Kit.reg k in
+  let s = Kit.reg k and v = Kit.reg k in
+  let rowbase = Kit.reg k in
+  let pre = Kit.block k in
+  let bhead = Kit.block k in
+  let bbody = Kit.block k in
+  let rhead = Kit.block k in
+  let rbody = Kit.block k in
+  let chead = Kit.block k in
+  let cbody = Kit.block k in
+  let vneg = Kit.block k in
+  let vpos = Kit.block k in
+  let ccont = Kit.block k in
+  let rcheck = Kit.block k in
+  let btail = Kit.block k in
+  let exit = Kit.block k in
+  (* pre: constants *)
+  let zero = Kit.const k pre 0 in
+  let one = Kit.const k pre 1 in
+  let sixteen = Kit.const k pre 16 in
+  let b1 = Kit.const k pre blk1_base in
+  let b2 = Kit.const k pre blk2_base in
+  let ob = Kit.const k pre out_base in
+  Kit.copy_to k pre ~dst:blk zero;
+  Kit.jump k pre bhead;
+  (* per-block loop *)
+  let bc = Kit.bin k bhead Instr.Lt blk n_blocks in
+  Kit.branch k bhead bc bbody exit;
+  Kit.copy_to k bbody ~dst:s zero;
+  Kit.copy_to k bbody ~dst:i zero;
+  Kit.jump k bbody rhead;
+  (* row loop *)
+  let rc = Kit.bin k rhead Instr.Lt i sixteen in
+  Kit.branch k rhead rc rbody btail;
+  let blkoff = Kit.bin k rbody Instr.Mul blk (Kit.const k rbody 256) in
+  let ioff = Kit.bin k rbody Instr.Mul i sixteen in
+  let base0 = Kit.bin k rbody Instr.Add blkoff ioff in
+  Kit.copy_to k rbody ~dst:rowbase base0;
+  Kit.copy_to k rbody ~dst:j zero;
+  Kit.jump k rbody chead;
+  (* column loop *)
+  let cc = Kit.bin k chead Instr.Lt j sixteen in
+  Kit.branch k chead cc cbody rcheck;
+  let off = Kit.bin k cbody Instr.Add rowbase j in
+  let a1 = Kit.bin k cbody Instr.Add b1 off in
+  let p1 = Kit.load k cbody r1 a1 0 in
+  let a2 = Kit.bin k cbody Instr.Add b2 off in
+  let p2 = Kit.load k cbody r2 a2 0 in
+  let d = Kit.bin k cbody Instr.Sub p1 p2 in
+  Kit.copy_to k cbody ~dst:v d;
+  let isneg = Kit.bin k cbody Instr.Lt v zero in
+  Kit.branch k cbody isneg vneg vpos;
+  (* abs hammock *)
+  let nv = Kit.un k vneg Instr.Neg v in
+  Kit.copy_to k vneg ~dst:v nv;
+  Kit.jump k vneg ccont;
+  Kit.jump k vpos ccont;
+  Kit.bin_to k ccont Instr.Add ~dst:s s v;
+  Kit.bin_to k ccont Instr.Add ~dst:j j one;
+  Kit.jump k ccont chead;
+  (* row check: early exit when s exceeds the limit *)
+  let over = Kit.bin k rcheck Instr.Gt s distlim in
+  Kit.bin_to k rcheck Instr.Add ~dst:i i one;
+  Kit.branch k rcheck over btail rhead;
+  (* per-block tail: store SAD *)
+  let oaddr = Kit.bin k btail Instr.Add ob blk in
+  Kit.store k btail rout oaddr 0 s;
+  Kit.bin_to k btail Instr.Add ~dst:blk blk one;
+  Kit.jump k btail bhead;
+  Kit.ret k exit;
+  (k, n_blocks, distlim)
+
+let workload () =
+  let k, n_blocks, distlim = build () in
+  let func = Kit.finish k ~live_in:[ n_blocks; distlim ] in
+  let input ~blocks seed =
+    {
+      Workload.regs = [ (n_blocks, blocks); (distlim, 120000) ];
+      mem =
+        Kit.rand_fill ~seed ~base:blk1_base ~n:(blocks * 256) ~bound:256
+        @ Kit.rand_fill ~seed:(seed + 7) ~base:blk2_base ~n:(blocks * 256)
+            ~bound:256;
+    }
+  in
+  Workload.make ~name:"mpeg2enc" ~suite:"MediaBench" ~func_name:"dist1"
+    ~exec_pct:58
+    ~description:
+      "16x16 SAD with absolute-value hammocks and early exit on the \
+       distance limit"
+    ~func ~train:(input ~blocks:4 11) ~reference:(input ~blocks:24 83) ()

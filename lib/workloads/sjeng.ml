@@ -1,0 +1,137 @@
+(* 458.sjeng std_eval (SPEC-CPU): static chess evaluation — a loop over
+   board squares with a chain of piece-type dispatch branches, per-piece
+   table lookups, and a signed score recurrence. Heavily control-flow
+   bound, little exploitable memory parallelism. *)
+
+open Gmt_ir
+
+let board_base = 0
+let color_base = 128
+let pawntab_base = 256
+let knighttab_base = 384
+let bishoptab_base = 512
+let out_base = 640
+
+let build () =
+  let k = Kit.create "sjeng" in
+  let rboard = Kit.region k "board" in
+  let rcolor = Kit.region k "color" in
+  let rpawn = Kit.region k "pawn_tab" in
+  let rknight = Kit.region k "knight_tab" in
+  let rbishop = Kit.region k "bishop_tab" in
+  let rout = Kit.region k "score_out" in
+  let n_evals = Kit.reg k in
+  let e = Kit.reg k and sq = Kit.reg k and score = Kit.reg k in
+  let v = Kit.reg k in
+  let pre = Kit.block k in
+  let ehead = Kit.block k in
+  let ebody = Kit.block k in
+  let shead = Kit.block k in
+  let sbody = Kit.block k in
+  let check_pawn = Kit.block k in
+  let is_pawn = Kit.block k in
+  let check_knight = Kit.block k in
+  let is_knight = Kit.block k in
+  let check_bishop = Kit.block k in
+  let is_bishop = Kit.block k in
+  let other = Kit.block k in
+  let sign = Kit.block k in
+  let negside = Kit.block k in
+  let posside = Kit.block k in
+  let scont = Kit.block k in
+  let etail = Kit.block k in
+  let exit = Kit.block k in
+  let zero = Kit.const k pre 0 in
+  let one = Kit.const k pre 1 in
+  let sixty_four = Kit.const k pre 64 in
+  let b_b = Kit.const k pre board_base in
+  let c_b = Kit.const k pre color_base in
+  let p_b = Kit.const k pre pawntab_base in
+  let n_b = Kit.const k pre knighttab_base in
+  let bi_b = Kit.const k pre bishoptab_base in
+  let o_b = Kit.const k pre out_base in
+  Kit.copy_to k pre ~dst:e zero;
+  Kit.jump k pre ehead;
+  let ec = Kit.bin k ehead Instr.Lt e n_evals in
+  Kit.branch k ehead ec ebody exit;
+  Kit.copy_to k ebody ~dst:score zero;
+  Kit.copy_to k ebody ~dst:sq zero;
+  Kit.jump k ebody shead;
+  let sc = Kit.bin k shead Instr.Lt sq sixty_four in
+  Kit.branch k shead sc sbody etail;
+  (* square: fetch the piece (perturbed by the eval index so different
+     evals take different paths) *)
+  let ba = Kit.bin k sbody Instr.Add b_b sq in
+  let raw = Kit.load k sbody rboard ba 0 in
+  let mixed = Kit.bin k sbody Instr.Add raw e in
+  let four = Kit.const k sbody 4 in
+  let piece = Kit.bin k sbody Instr.Rem mixed four in
+  let empty = Kit.bin k sbody Instr.Eq piece zero in
+  Kit.branch k sbody empty scont check_pawn;
+  let p1 = Kit.bin k check_pawn Instr.Eq piece one in
+  Kit.branch k check_pawn p1 is_pawn check_knight;
+  let pawn_a = Kit.bin k is_pawn Instr.Add p_b sq in
+  let pv = Kit.load k is_pawn rpawn pawn_a 0 in
+  let hundred = Kit.const k is_pawn 100 in
+  let pv2 = Kit.bin k is_pawn Instr.Add pv hundred in
+  Kit.copy_to k is_pawn ~dst:v pv2;
+  Kit.jump k is_pawn sign;
+  let two = Kit.const k check_knight 2 in
+  let p2 = Kit.bin k check_knight Instr.Eq piece two in
+  Kit.branch k check_knight p2 is_knight check_bishop;
+  let kn_a = Kit.bin k is_knight Instr.Add n_b sq in
+  let kv = Kit.load k is_knight rknight kn_a 0 in
+  let threehundred = Kit.const k is_knight 300 in
+  let kv2 = Kit.bin k is_knight Instr.Add kv threehundred in
+  Kit.copy_to k is_knight ~dst:v kv2;
+  Kit.jump k is_knight sign;
+  let three = Kit.const k check_bishop 3 in
+  let p3 = Kit.bin k check_bishop Instr.Eq piece three in
+  Kit.branch k check_bishop p3 is_bishop other;
+  let bi_a = Kit.bin k is_bishop Instr.Add bi_b sq in
+  let bv = Kit.load k is_bishop rbishop bi_a 0 in
+  let threetwentyfive = Kit.const k is_bishop 325 in
+  let bv2 = Kit.bin k is_bishop Instr.Add bv threetwentyfive in
+  Kit.copy_to k is_bishop ~dst:v bv2;
+  Kit.jump k is_bishop sign;
+  let nine = Kit.const k other 900 in
+  Kit.copy_to k other ~dst:v nine;
+  Kit.jump k other sign;
+  (* sign by side to move *)
+  let ca = Kit.bin k sign Instr.Add c_b sq in
+  let side = Kit.load k sign rcolor ca 0 in
+  Kit.branch k sign side negside posside;
+  Kit.bin_to k negside Instr.Sub ~dst:score score v;
+  Kit.jump k negside scont;
+  Kit.bin_to k posside Instr.Add ~dst:score score v;
+  Kit.jump k posside scont;
+  Kit.bin_to k scont Instr.Add ~dst:sq sq one;
+  Kit.jump k scont shead;
+  (* eval tail: store the eval's score *)
+  let oa = Kit.bin k etail Instr.Add o_b e in
+  Kit.store k etail rout oa 0 score;
+  Kit.bin_to k etail Instr.Add ~dst:e e one;
+  Kit.jump k etail ehead;
+  Kit.ret k exit;
+  (k, n_evals)
+
+let workload () =
+  let k, n_evals = build () in
+  let func = Kit.finish k ~live_in:[ n_evals ] in
+  let input ~evals seed =
+    {
+      Workload.regs = [ (n_evals, evals) ];
+      mem =
+        Kit.rand_fill ~seed ~base:board_base ~n:64 ~bound:16
+        @ Kit.rand_fill ~seed:(seed + 1) ~base:color_base ~n:64 ~bound:2
+        @ Kit.rand_fill ~seed:(seed + 2) ~base:pawntab_base ~n:64 ~bound:50
+        @ Kit.rand_fill ~seed:(seed + 3) ~base:knighttab_base ~n:64 ~bound:50
+        @ Kit.rand_fill ~seed:(seed + 4) ~base:bishoptab_base ~n:64 ~bound:50;
+    }
+  in
+  Workload.make ~name:"458.sjeng" ~suite:"SPEC-CPU" ~func_name:"std_eval"
+    ~exec_pct:26
+    ~description:
+      "Static chess evaluation: piece-type dispatch chain, per-piece table \
+       lookups, signed score recurrence"
+    ~func ~train:(input ~evals:24 45) ~reference:(input ~evals:320 99) ()

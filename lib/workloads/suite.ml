@@ -1,0 +1,21 @@
+let all () =
+  [
+    Adpcm.decoder_workload ();
+    Adpcm.coder_workload ();
+    Ks.workload ();
+    Mpeg2.workload ();
+    Mesa.workload ();
+    Mcf.workload ();
+    Equake.workload ();
+    Ammp.workload ();
+    Twolf.workload ();
+    Gromacs.workload ();
+    Sjeng.workload ();
+  ]
+
+let find name =
+  match List.find_opt (fun (w : Workload.t) -> w.name = name) (all ()) with
+  | Some w -> w
+  | None -> raise Not_found
+
+let names () = List.map (fun (w : Workload.t) -> w.name) (all ())

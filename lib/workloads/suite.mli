@@ -1,0 +1,8 @@
+(** The benchmark suite of the paper's Figure 6(b). *)
+
+val all : unit -> Workload.t list
+
+(** @raise Not_found for unknown names. *)
+val find : string -> Workload.t
+
+val names : unit -> string list

@@ -1,0 +1,94 @@
+(* 300.twolf new_dbox_a (SPEC-CPU): bounding-box cost over nets. Per net,
+   an inner loop over terminals maintains min/max window reductions through
+   two hammocks; the net's half-perimeter cost is accumulated and stored. *)
+
+open Gmt_ir
+
+let termx_base = 0
+let net_off_base = 8192
+let out_base = 12288
+
+let build () =
+  let k = Kit.create "twolf" in
+  let rtx = Kit.region k "term_x" in
+  let roff = Kit.region k "net_offsets" in
+  let rout = Kit.region k "net_cost" in
+  let n_nets = Kit.reg k in
+  let net = Kit.reg k and t = Kit.reg k in
+  let lo = Kit.reg k and hi = Kit.reg k and term_end = Kit.reg k in
+  let pre = Kit.block k in
+  let nhead = Kit.block k in
+  let nbody = Kit.block k in
+  let thead = Kit.block k in
+  let tbody = Kit.block k in
+  let growlo = Kit.block k in
+  let checkhi = Kit.block k in
+  let growhi = Kit.block k in
+  let tcont = Kit.block k in
+  let ntail = Kit.block k in
+  let exit = Kit.block k in
+  let zero = Kit.const k pre 0 in
+  let one = Kit.const k pre 1 in
+  let tx_b = Kit.const k pre termx_base in
+  let off_b = Kit.const k pre net_off_base in
+  let out_b = Kit.const k pre out_base in
+  let big = Kit.const k pre 1_000_000 in
+  Kit.copy_to k pre ~dst:net zero;
+  Kit.jump k pre nhead;
+  let nc = Kit.bin k nhead Instr.Lt net n_nets in
+  Kit.branch k nhead nc nbody exit;
+  (* net setup: terminal range and window reset *)
+  let oa = Kit.bin k nbody Instr.Add off_b net in
+  let tstart = Kit.load k nbody roff oa 0 in
+  let tend = Kit.load k nbody roff oa 1 in
+  Kit.copy_to k nbody ~dst:term_end tend;
+  Kit.copy_to k nbody ~dst:t tstart;
+  Kit.copy_to k nbody ~dst:lo big;
+  let negbig = Kit.un k nbody Instr.Neg big in
+  Kit.copy_to k nbody ~dst:hi negbig;
+  Kit.jump k nbody thead;
+  let tc = Kit.bin k thead Instr.Lt t term_end in
+  Kit.branch k thead tc tbody ntail;
+  (* terminal: min hammock then max hammock *)
+  let xa = Kit.bin k tbody Instr.Add tx_b t in
+  let x = Kit.load k tbody rtx xa 0 in
+  let below = Kit.bin k tbody Instr.Lt x lo in
+  Kit.branch k tbody below growlo checkhi;
+  Kit.copy_to k growlo ~dst:lo x;
+  Kit.jump k growlo checkhi;
+  let above = Kit.bin k checkhi Instr.Gt x hi in
+  Kit.branch k checkhi above growhi tcont;
+  Kit.copy_to k growhi ~dst:hi x;
+  Kit.jump k growhi tcont;
+  Kit.bin_to k tcont Instr.Add ~dst:t t one;
+  Kit.jump k tcont thead;
+  (* net tail: half-perimeter cost *)
+  let wspan = Kit.bin k ntail Instr.Sub hi lo in
+  let cost = Kit.bin k ntail Instr.Max wspan zero in
+  let ca = Kit.bin k ntail Instr.Add out_b net in
+  Kit.store k ntail rout ca 0 cost;
+  Kit.bin_to k ntail Instr.Add ~dst:net net one;
+  Kit.jump k ntail nhead;
+  Kit.ret k exit;
+  (k, n_nets)
+
+let workload () =
+  let k, n_nets = build () in
+  let func = Kit.finish k ~live_in:[ n_nets ] in
+  let input ~nets ~terms seed =
+    {
+      Workload.regs = [ (n_nets, nets) ];
+      mem =
+        Kit.fill ~base:net_off_base ~n:(nets + 1) (fun i -> i * terms)
+        @ Kit.rand_fill ~seed ~base:termx_base ~n:(nets * terms) ~bound:10000;
+    }
+  in
+  Workload.make ~name:"300.twolf" ~suite:"SPEC-CPU" ~func_name:"new_dbox_a"
+    ~exec_pct:30
+    ~description:
+      "Net bounding-box cost: min/max window hammocks per terminal, one \
+       cost store per net"
+    ~func
+    ~train:(input ~nets:16 ~terms:12 61)
+    ~reference:(input ~nets:128 ~terms:24 101)
+    ()

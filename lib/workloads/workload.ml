@@ -1,0 +1,29 @@
+open Gmt_ir
+
+type input = { regs : (Reg.t * int) list; mem : (int * int) list }
+
+type t = {
+  name : string;
+  suite : string;
+  func_name : string;
+  exec_pct : int;
+  description : string;
+  func : Func.t;
+  train : input;
+  reference : input;
+  mem_size : int;
+}
+
+let make ~name ~suite ~func_name ~exec_pct ~description ~func ~train
+    ~reference ?(mem_size = 65536) () =
+  {
+    name;
+    suite;
+    func_name;
+    exec_pct;
+    description;
+    func;
+    train;
+    reference;
+    mem_size;
+  }

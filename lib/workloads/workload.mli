@@ -1,0 +1,33 @@
+(** A benchmark kernel: the IR function plus its train and reference
+    inputs, mirroring one of the paper's selected benchmark functions
+    (Figure 6(b)). Profiles are collected on the [train] input; results
+    are measured on the [ref] input, as in the paper. *)
+
+open Gmt_ir
+
+type input = { regs : (Reg.t * int) list; mem : (int * int) list }
+
+type t = {
+  name : string;          (** benchmark name, e.g. "ks" *)
+  suite : string;         (** MediaBench / SPEC / Pointer-Intensive *)
+  func_name : string;     (** the paper's selected function *)
+  exec_pct : int;         (** % of benchmark runtime that function covers *)
+  description : string;
+  func : Func.t;
+  train : input;
+  reference : input;
+  mem_size : int;
+}
+
+val make :
+  name:string ->
+  suite:string ->
+  func_name:string ->
+  exec_pct:int ->
+  description:string ->
+  func:Func.t ->
+  train:input ->
+  reference:input ->
+  ?mem_size:int ->
+  unit ->
+  t

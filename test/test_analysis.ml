@@ -1,0 +1,306 @@
+(* Data-flow analyses: liveness, reaching definitions, control dependence,
+   loop nests, profiles, alias. Fixtures are the paper's Figure 3 shape
+   (Test_util.fig3) and small hand-built CFGs. *)
+
+open Gmt_ir
+module A = Gmt_analysis
+
+let reg = Reg.of_int
+
+(* Single loop: B0 -> B1 { body } -> B1 | B2 *)
+type loopf = { func : Func.t; def_x : int; use_x : int }
+
+let loop_func () =
+  let b = Builder.create ~name:"loopy" () in
+  let n = Builder.reg b in
+  let i = Builder.reg b in
+  let x = Builder.reg b in
+  let one = Builder.reg b in
+  let c = Builder.reg b in
+  let out = Builder.region b "out" in
+  let b0 = Builder.block b in
+  let b1 = Builder.block b in
+  let b2 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (i, 0)));
+  ignore (Builder.add b b0 (Instr.Const (one, 1)));
+  let d = Builder.add b b0 (Instr.Const (x, 7)) in
+  ignore (Builder.terminate b b0 (Instr.Jump b1));
+  ignore (Builder.add b b1 (Instr.Binop (Instr.Add, x, x, one)));
+  ignore (Builder.add b b1 (Instr.Binop (Instr.Add, i, i, one)));
+  ignore (Builder.add b b1 (Instr.Binop (Instr.Lt, c, i, n)));
+  ignore (Builder.terminate b b1 (Instr.Branch (c, b1, b2)));
+  let u = Builder.add b b2 (Instr.Store (out, one, 0, x)) in
+  ignore (Builder.terminate b b2 Instr.Return);
+  let func = Builder.finish b ~live_in:[ n ] ~live_out:[] in
+  { func; def_x = d.Instr.id; use_x = u.Instr.id }
+
+(* ------------------------- liveness ------------------------- *)
+
+let test_liveness_fig3 () =
+  let fx = Test_util.fig3 () in
+  let lv = A.Liveness.compute fx.Test_util.func in
+  (* r2 (the communicated register) is live at the join entry. *)
+  Alcotest.(check bool) "r2 live at B2 entry" true
+    (Reg.Set.mem (reg 2) (A.Liveness.live_in lv 2));
+  (* and dead after the store that uses it *)
+  Alcotest.(check bool) "r2 dead after F" false
+    (Reg.Set.mem (reg 2) (A.Liveness.live_after lv fx.Test_util.f_store));
+  (* r2 not live-before E (E kills it) *)
+  Alcotest.(check bool) "r2 dead before E" false
+    (Reg.Set.mem (reg 2) (A.Liveness.live_before lv fx.Test_util.e))
+
+let test_liveness_loop () =
+  let lf = loop_func () in
+  let lv = A.Liveness.compute lf.func in
+  (* x live around the loop back edge *)
+  Alcotest.(check bool) "x live at loop entry" true
+    (Reg.Set.mem (reg 2) (A.Liveness.live_in lv 1));
+  (* n (loop bound, live-in) live through the loop *)
+  Alcotest.(check bool) "n live in loop" true
+    (Reg.Set.mem (reg 0) (A.Liveness.live_in lv 1))
+
+let test_liveness_live_out_boundary () =
+  let b = Builder.create ~name:"lo" () in
+  let x = Builder.reg b in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (x, 1)));
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[ x ] in
+  let lv = A.Liveness.compute f in
+  Alcotest.(check bool) "live-out kept live at exit" true
+    (Reg.Set.mem x (A.Liveness.live_out lv 0))
+
+(* ------------------------- reaching ------------------------- *)
+
+let test_reaching_fig3 () =
+  let fx = Test_util.fig3 () in
+  let r = A.Reaching.compute fx.Test_util.func in
+  let defs = A.Reaching.defs_of_reg_before r fx.Test_util.f_store (reg 2) in
+  Alcotest.(check (list int))
+    "defs of r2 reaching F" [ fx.Test_util.a; fx.Test_util.e ]
+    (List.sort compare defs)
+
+let test_reaching_entry_defs () =
+  let fx = Test_util.fig3 () in
+  let r = A.Reaching.compute fx.Test_util.func in
+  (* r0 is a live-in: only the virtual entry def reaches its use in B. *)
+  let defs = A.Reaching.defs_of_reg_before r fx.Test_util.b (reg 0) in
+  Alcotest.(check int) "one def" 1 (List.length defs);
+  Alcotest.(check bool) "is entry def" true
+    (A.Reaching.is_entry_def (List.hd defs));
+  Alcotest.(check int) "entry def register" 0
+    (Reg.to_int (A.Reaching.entry_def_reg (List.hd defs)))
+
+let test_reaching_kill () =
+  let lf = loop_func () in
+  let r = A.Reaching.compute lf.func in
+  (* Inside the loop, x's reaching defs at the store are the in-loop add
+     and (via the path skipping zero iterations... there is none: loop
+     executes at least once) — the loop add kills the initial const on the
+     back edge, but the initial const still reaches via first entry. *)
+  let defs = A.Reaching.defs_of_reg_before r lf.use_x (reg 2) in
+  Alcotest.(check bool) "in-loop def reaches" true
+    (List.exists (fun d -> d <> lf.def_x) defs)
+
+let test_du_chains_cover_uses () =
+  let fx = Test_util.fig3 () in
+  let r = A.Reaching.compute fx.Test_util.func in
+  let chains = A.Reaching.du_chains r in
+  (* every (def, use) pair's use really uses the register *)
+  List.iter
+    (fun (_, u, rr) ->
+      let i = Cfg.find_instr fx.Test_util.func.Func.cfg u in
+      Alcotest.(check bool) "use lists register" true
+        (List.exists (Reg.equal rr) (Instr.uses i)))
+    chains
+
+(* ------------------------- dataflow engine ------------------------- *)
+
+(* Exercise the generic engine directly with a forward "defined registers"
+   must-analysis over the fig3 diamond: a register is available at a point
+   iff defined on every incoming path. *)
+module Defined = A.Dataflow.Make (struct
+  type fact = Reg.Set.t
+
+  let direction = A.Dataflow.Forward
+  let equal = Reg.Set.equal
+  let meet = Reg.Set.inter
+  let boundary = Reg.Set.empty
+  let start = Reg.Set.of_list (List.init 16 Reg.of_int)
+
+  let transfer i fact =
+    List.fold_left (fun s d -> Reg.Set.add d s) fact (Instr.defs i)
+end)
+
+let test_dataflow_forward_must () =
+  let fx = Test_util.fig3 () in
+  let r = Defined.solve fx.Test_util.func.Func.cfg in
+  (* r2 (def A in entry) is defined at the join on every path. *)
+  Alcotest.(check bool) "r2 defined at join" true
+    (Reg.Set.mem (reg 2) (Defined.block_in r 2));
+  (* r3 (def C, only on the B1 path) is not must-defined at the join. *)
+  Alcotest.(check bool) "r3 not must-defined at join" false
+    (Reg.Set.mem (reg 3) (Defined.block_in r 2));
+  (* but r3 is defined at B1's exit *)
+  Alcotest.(check bool) "r3 defined after B1" true
+    (Reg.Set.mem (reg 3) (Defined.block_out r 1))
+
+(* A backward may-analysis: "register read later on some path" — liveness
+   without the kill, checking before/after point queries. *)
+module Read_later = A.Dataflow.Make (struct
+  type fact = Reg.Set.t
+
+  let direction = A.Dataflow.Backward
+  let equal = Reg.Set.equal
+  let meet = Reg.Set.union
+  let boundary = Reg.Set.empty
+  let start = Reg.Set.empty
+
+  let transfer i fact =
+    List.fold_left (fun s u -> Reg.Set.add u s) fact (Instr.uses i)
+end)
+
+let test_dataflow_point_queries () =
+  let fx = Test_util.fig3 () in
+  let r = Read_later.solve fx.Test_util.func.Func.cfg in
+  (* before F, r2 is about to be read; after F it never is again *)
+  Alcotest.(check bool) "before F reads r2" true
+    (Reg.Set.mem (reg 2) (Read_later.before r fx.Test_util.f_store));
+  Alcotest.(check bool) "after F r2 unread" false
+    (Reg.Set.mem (reg 2) (Read_later.after r fx.Test_util.f_store))
+
+(* ------------------------- control dependence ------------------------- *)
+
+let test_cd_fig3 () =
+  let fx = Test_util.fig3 () in
+  let cd = A.Controldep.compute fx.Test_util.func in
+  (* B1 is controlled by B's block (B0); B3 by D's block (B1). *)
+  Alcotest.(check (list int)) "cd of B1" [ 0 ] (A.Controldep.deps cd 1);
+  Alcotest.(check (list int)) "cd of B3" [ 1 ] (A.Controldep.deps cd 3);
+  (* join block B2 post-dominates everything: no control deps *)
+  Alcotest.(check (list int)) "cd of join" [] (A.Controldep.deps cd 2);
+  Alcotest.(check (list int)) "closure of B3" [ 0; 1 ]
+    (List.sort compare (A.Controldep.closure_deps cd 3));
+  Alcotest.(check (list int)) "controls of B0" [ 1 ] (A.Controldep.controls cd 0)
+
+let test_cd_self_loop () =
+  let lf = loop_func () in
+  let cd = A.Controldep.compute lf.func in
+  (* The loop block controls itself. *)
+  Alcotest.(check (list int)) "self control" [ 1 ] (A.Controldep.deps cd 1)
+
+let test_cd_branch_ids () =
+  let fx = Test_util.fig3 () in
+  let cd = A.Controldep.compute fx.Test_util.func in
+  Alcotest.(check (list int)) "branch ids of B3" [ fx.Test_util.d ]
+    (A.Controldep.branch_deps cd 3)
+
+(* ------------------------- loop nest ------------------------- *)
+
+let nested_loops_func () =
+  (* B0 -> B1(outer head) -> B2(inner) -> B2 | B3 -> B1 | B4 *)
+  let b = Builder.create ~name:"nest" () in
+  let n = Builder.reg b in
+  let i = Builder.reg b and j = Builder.reg b in
+  let one = Builder.reg b and c1 = Builder.reg b and c2 = Builder.reg b in
+  let b0 = Builder.block b in
+  let b1 = Builder.block b in
+  let b2 = Builder.block b in
+  let b3 = Builder.block b in
+  let b4 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (i, 0)));
+  ignore (Builder.add b b0 (Instr.Const (one, 1)));
+  ignore (Builder.terminate b b0 (Instr.Jump b1));
+  ignore (Builder.add b b1 (Instr.Const (j, 0)));
+  ignore (Builder.terminate b b1 (Instr.Jump b2));
+  ignore (Builder.add b b2 (Instr.Binop (Instr.Add, j, j, one)));
+  ignore (Builder.add b b2 (Instr.Binop (Instr.Lt, c1, j, n)));
+  ignore (Builder.terminate b b2 (Instr.Branch (c1, b2, b3)));
+  ignore (Builder.add b b3 (Instr.Binop (Instr.Add, i, i, one)));
+  ignore (Builder.add b b3 (Instr.Binop (Instr.Lt, c2, i, n)));
+  ignore (Builder.terminate b b3 (Instr.Branch (c2, b1, b4)));
+  ignore (Builder.terminate b b4 Instr.Return);
+  Builder.finish b ~live_in:[ n ] ~live_out:[]
+
+let test_loopnest_nested () =
+  let f = nested_loops_func () in
+  let nest = A.Loopnest.compute f in
+  Alcotest.(check int) "two loops" 2 (A.Loopnest.n_loops nest);
+  Alcotest.(check int) "outer depth at B1" 1 (A.Loopnest.depth nest 1);
+  Alcotest.(check int) "inner depth at B2" 2 (A.Loopnest.depth nest 2);
+  Alcotest.(check int) "B3 in outer" 1 (A.Loopnest.depth nest 3);
+  Alcotest.(check int) "B4 outside" 0 (A.Loopnest.depth nest 4);
+  let roots = A.Loopnest.roots nest in
+  Alcotest.(check int) "one root" 1 (List.length roots);
+  let outer = List.hd roots in
+  Alcotest.(check int) "outer header" 1 outer.A.Loopnest.header;
+  Alcotest.(check int) "outer has one child" 1
+    (List.length outer.A.Loopnest.children)
+
+let test_loopnest_backedges () =
+  let f = nested_loops_func () in
+  let nest = A.Loopnest.compute f in
+  Alcotest.(check (list (pair int int)))
+    "back edges" [ (2, 2); (3, 1) ]
+    (List.sort compare (A.Loopnest.back_edges nest))
+
+(* ------------------------- profile ------------------------- *)
+
+let test_profile_counts () =
+  let lf = loop_func () in
+  let r =
+    Gmt_machine.Interp.run ~init_regs:[ (reg 0, 5) ] lf.func ~mem_size:64
+  in
+  let p = r.Gmt_machine.Interp.profile in
+  Alcotest.(check int) "loop body executed n times" 5 (A.Profile.block p 1);
+  Alcotest.(check int) "back edge n-1 times" 4 (A.Profile.edge p ~src:1 ~dst:1);
+  Alcotest.(check int) "exit edge once" 1 (A.Profile.edge p ~src:1 ~dst:2)
+
+let test_profile_static_estimate () =
+  let f = nested_loops_func () in
+  let p = A.Profile.static_estimate f in
+  Alcotest.(check bool) "inner heavier than outer" true
+    (A.Profile.block p 2 > A.Profile.block p 1);
+  Alcotest.(check bool) "outer heavier than exit" true
+    (A.Profile.block p 1 > A.Profile.block p 4)
+
+(* ------------------------- alias ------------------------- *)
+
+let test_alias () =
+  let i id op = Instr.make ~id op in
+  let ld r = i 0 (Instr.Load (r, reg 0, reg 1, 0)) in
+  let st r = i 1 (Instr.Store (r, reg 1, 0, reg 0)) in
+  Alcotest.(check bool) "same region aliases" true (A.Alias.may_alias (ld 0) (st 0));
+  Alcotest.(check bool) "distinct regions do not" false
+    (A.Alias.may_alias (ld 0) (st 1));
+  Alcotest.(check bool) "load/load no dep" true
+    (A.Alias.dep_kind ~earlier:(ld 0) ~later:(ld 0) = None);
+  Alcotest.(check bool) "store->load RAW" true
+    (A.Alias.dep_kind ~earlier:(st 0) ~later:(ld 0) = Some A.Alias.Raw);
+  Alcotest.(check bool) "load->store WAR" true
+    (A.Alias.dep_kind ~earlier:(ld 0) ~later:(st 0) = Some A.Alias.War);
+  Alcotest.(check bool) "store->store WAW" true
+    (A.Alias.dep_kind ~earlier:(st 0) ~later:(st 0) = Some A.Alias.Waw)
+
+let tests =
+  [
+    Alcotest.test_case "liveness fig3" `Quick test_liveness_fig3;
+    Alcotest.test_case "liveness loop" `Quick test_liveness_loop;
+    Alcotest.test_case "liveness live-out boundary" `Quick
+      test_liveness_live_out_boundary;
+    Alcotest.test_case "reaching fig3" `Quick test_reaching_fig3;
+    Alcotest.test_case "reaching entry defs" `Quick test_reaching_entry_defs;
+    Alcotest.test_case "reaching kill in loop" `Quick test_reaching_kill;
+    Alcotest.test_case "du-chains well-formed" `Quick test_du_chains_cover_uses;
+    Alcotest.test_case "dataflow forward must" `Quick test_dataflow_forward_must;
+    Alcotest.test_case "dataflow point queries" `Quick test_dataflow_point_queries;
+    Alcotest.test_case "controldep fig3" `Quick test_cd_fig3;
+    Alcotest.test_case "controldep self loop" `Quick test_cd_self_loop;
+    Alcotest.test_case "controldep branch ids" `Quick test_cd_branch_ids;
+    Alcotest.test_case "loopnest nested" `Quick test_loopnest_nested;
+    Alcotest.test_case "loopnest back edges" `Quick test_loopnest_backedges;
+    Alcotest.test_case "profile counts" `Quick test_profile_counts;
+    Alcotest.test_case "profile static estimate" `Quick
+      test_profile_static_estimate;
+    Alcotest.test_case "alias kinds" `Quick test_alias;
+  ]

@@ -1,0 +1,405 @@
+(* COCO: placement optimality on the paper's figures, correctness of the
+   optimized code, and the never-worse-than-MTCG guarantee. *)
+
+open Gmt_ir
+module Mtcg = Gmt_mtcg.Mtcg
+module Comm = Gmt_mtcg.Comm
+module Coco = Gmt_coco.Coco
+module Interp = Gmt_machine.Interp
+module Mt_interp = Gmt_machine.Mt_interp
+module Profile = Gmt_analysis.Profile
+
+let profile_of ?(init_regs = []) func =
+  let r = Interp.run ~init_regs func ~mem_size:Test_util.mem_size in
+  r.Interp.profile
+
+let dyn_comm mtp ~init_regs =
+  let r =
+    Mt_interp.run ~init_regs mtp ~queue_capacity:4
+      ~mem_size:Test_util.mem_size
+  in
+  Alcotest.(check bool) "no deadlock" false r.Mt_interp.deadlocked;
+  Mt_interp.total_comm r
+
+(* --- Figure 3: COCO should communicate r2 once at the join block. --- *)
+
+let test_fig3_coco_placement () =
+  let fx = Test_util.fig3 () in
+  let pdg = Test_util.pdg_of fx.func in
+  let part =
+    Test_util.partition_with fx.func ~n_threads:2 ~default:0
+      [ (fx.f_store, 1) ]
+  in
+  let profile =
+    profile_of
+      ~init_regs:[ (Reg.of_int 0, 1); (Reg.of_int 1, 0); (Reg.of_int 4, 100) ]
+      fx.func
+  in
+  let plan, stats = Coco.optimize pdg part profile in
+  Alcotest.(check int) "no fallbacks" 0 stats.Coco.fallbacks;
+  match plan.Mtcg.comms with
+  | [ c ] ->
+    (match c.Comm.payload with
+    | Comm.Data r -> Alcotest.(check int) "register r2" 2 (Reg.to_int r)
+    | Comm.Sync -> Alcotest.fail "expected a register communication");
+    (match c.Comm.point with
+    | Comm.Block_entry l -> Alcotest.(check int) "at join entry" 2 l
+    | p -> Alcotest.failf "unexpected point %s" (Comm.point_to_string p))
+  | cs -> Alcotest.failf "expected exactly 1 comm, got %d" (List.length cs)
+
+let test_fig3_coco_correct () =
+  let fx = Test_util.fig3 () in
+  let pdg = Test_util.pdg_of fx.func in
+  let part =
+    Test_util.partition_with fx.func ~n_threads:2 ~default:0
+      [ (fx.f_store, 1) ]
+  in
+  List.iter
+    (fun init_regs ->
+      let profile = profile_of ~init_regs fx.func in
+      let plan, _ = Coco.optimize pdg part profile in
+      let mtp = Mtcg.generate pdg part plan in
+      Test_util.check_equivalent ~init_regs ~queue_capacity:1 "fig3-coco"
+        fx.func mtp)
+    Test_mtcg.fig3_inputs
+
+let test_fig3_coco_not_worse () =
+  let fx = Test_util.fig3 () in
+  let pdg = Test_util.pdg_of fx.func in
+  let part =
+    Test_util.partition_with fx.func ~n_threads:2 ~default:0
+      [ (fx.f_store, 1) ]
+  in
+  List.iter
+    (fun init_regs ->
+      let profile = profile_of ~init_regs fx.func in
+      let base = Mtcg.generate pdg part (Mtcg.baseline_plan pdg part) in
+      let coco = Mtcg.generate pdg part (fst (Coco.optimize pdg part profile)) in
+      let db = dyn_comm base ~init_regs and dc = dyn_comm coco ~init_regs in
+      Alcotest.(check bool)
+        (Printf.sprintf "coco(%d) <= baseline(%d)" dc db)
+        true (dc <= db))
+    Test_mtcg.fig3_inputs
+
+(* --- Figure 4: a value produced in a loop, consumed once after it.
+   MTCG communicates every iteration and drags the loop into the consumer
+   thread; COCO hoists the communication past the loop. ---
+
+   B0: X: r9 = 0            jump B1
+   B1: A: r1 = r9 * 2
+       I: r9 = r9 + 1
+       C: br (r9 < 10) ? B1 : B2
+   B2: E: store out[r6] = r1
+       return                                *)
+
+type fig4 = { func : Func.t; x : int; a : int; i : int; c : int; e : int }
+
+let fig4 () =
+  let bld = Builder.create ~name:"fig4" () in
+  let r1 = Builder.reg bld in
+  let r6 = Builder.reg bld in
+  let r9 = Builder.reg bld in
+  let rtmp = Builder.reg bld in
+  let rlim = Builder.reg bld in
+  let two = Builder.reg bld in
+  let one = Builder.reg bld in
+  let out = Builder.region bld "out" in
+  let b0 = Builder.block bld in
+  let b1 = Builder.block bld in
+  let b2 = Builder.block bld in
+  let x = (Builder.add bld b0 (Instr.Const (r9, 0))).Instr.id in
+  let _ = Builder.add bld b0 (Instr.Const (two, 2)) in
+  let _ = Builder.add bld b0 (Instr.Const (one, 1)) in
+  let _ = Builder.add bld b0 (Instr.Const (rlim, 10)) in
+  ignore (Builder.terminate bld b0 (Instr.Jump b1));
+  let a = (Builder.add bld b1 (Instr.Binop (Instr.Mul, r1, r9, two))).Instr.id in
+  let i = (Builder.add bld b1 (Instr.Binop (Instr.Add, r9, r9, one))).Instr.id in
+  let _ =
+    Builder.add bld b1 (Instr.Binop (Instr.Lt, rtmp, r9, rlim))
+  in
+  let c = (Builder.terminate bld b1 (Instr.Branch (rtmp, b1, b2))).Instr.id in
+  let e = (Builder.add bld b2 (Instr.Store (out, r6, 0, r1))).Instr.id in
+  ignore (Builder.terminate bld b2 Instr.Return);
+  let func = Builder.finish bld ~live_in:[ r6 ] ~live_out:[] in
+  { func; x; a; i; c; e }
+
+let test_fig4_hoists_out_of_loop () =
+  let fx = fig4 () in
+  let pdg = Test_util.pdg_of fx.func in
+  let part =
+    Test_util.partition_with fx.func ~n_threads:2 ~default:0 [ (fx.e, 1) ]
+  in
+  let init_regs = [ (Reg.of_int 1, 200) ] in
+  let profile = profile_of ~init_regs fx.func in
+  let base = Mtcg.generate pdg part (Mtcg.baseline_plan pdg part) in
+  let plan, stats = Coco.optimize pdg part profile in
+  Alcotest.(check int) "no fallbacks" 0 stats.Coco.fallbacks;
+  let coco = Mtcg.generate pdg part plan in
+  (* Correctness first. *)
+  Test_util.check_equivalent ~init_regs ~queue_capacity:1 "fig4-coco" fx.func
+    coco;
+  Test_util.check_equivalent ~init_regs ~queue_capacity:4 "fig4-base" fx.func
+    base;
+  (* Baseline: r1 produced each of the 10 iterations, plus the loop branch
+     operand. COCO: r1 communicated once, after the loop. *)
+  let db = dyn_comm base ~init_regs and dc = dyn_comm coco ~init_regs in
+  Alcotest.(check bool)
+    (Printf.sprintf "coco=%d much cheaper than baseline=%d" dc db)
+    true
+    (dc = 2 && db >= 20);
+  (* COCO's consumer thread must not contain the loop: its duplicated
+     branch set is empty, so its CFG has no cycle. *)
+  let t1 = coco.Mtprog.threads.(1) in
+  let has_loop =
+    List.exists
+      (fun (i : Instr.t) -> Instr.is_branch i)
+      (Cfg.instrs t1.Func.cfg)
+  in
+  Alcotest.(check bool) "consumer thread is loop-free" false has_loop
+
+(* --- Figure 5: the control-flow penalty (Section 3.1.2).
+
+   r1 is defined in both arms of a hammock inside a loop and consumed in
+   the join by the other thread. Cutting at the definitions costs the same
+   profile weight as cutting at the join, but forces the hammock branch to
+   become relevant to the consumer thread; the penalty steers the min-cut
+   to the join. Without the penalty (ablation), Edmonds-Karp's
+   nearest-to-source tie-break picks the in-arm cut and the consumer
+   thread inherits the branch. --- *)
+
+type fig5 = {
+  func : Func.t;
+  branch_id : int;
+  arm1 : Instr.label;
+  arm2 : Instr.label;
+  join : Instr.label;
+  store : int;
+}
+
+let fig5 () =
+  let bld = Builder.create ~name:"fig5" () in
+  let i = Builder.reg bld and n = Builder.reg bld in
+  let one = Builder.reg bld and parity = Builder.reg bld in
+  let r1 = Builder.reg bld and c = Builder.reg bld in
+  let out = Builder.region bld "out" in
+  let pre = Builder.block bld in
+  let head = Builder.block bld in
+  let body = Builder.block bld in
+  let arm1 = Builder.block bld in
+  let arm2 = Builder.block bld in
+  let join = Builder.block bld in
+  let exit = Builder.block bld in
+  ignore (Builder.add bld pre (Instr.Const (i, 0)));
+  ignore (Builder.add bld pre (Instr.Const (one, 1)));
+  ignore (Builder.terminate bld pre (Instr.Jump head));
+  ignore (Builder.add bld head (Instr.Binop (Instr.Lt, c, i, n)));
+  ignore (Builder.terminate bld head (Instr.Branch (c, body, exit)));
+  ignore (Builder.add bld body (Instr.Binop (Instr.And, parity, i, one)));
+  let br =
+    Builder.terminate bld body (Instr.Branch (parity, arm1, arm2))
+  in
+  ignore (Builder.add bld arm1 (Instr.Binop (Instr.Add, r1, i, one)));
+  ignore (Builder.terminate bld arm1 (Instr.Jump join));
+  ignore (Builder.add bld arm2 (Instr.Binop (Instr.Mul, r1, i, i)));
+  ignore (Builder.terminate bld arm2 (Instr.Jump join));
+  let st = Builder.add bld join (Instr.Store (out, i, 0, r1)) in
+  ignore (Builder.add bld join (Instr.Binop (Instr.Add, i, i, one)));
+  ignore (Builder.terminate bld join (Instr.Jump head));
+  ignore (Builder.terminate bld exit Instr.Return);
+  let func = Builder.finish bld ~live_in:[ n ] ~live_out:[] in
+  {
+    func;
+    branch_id = br.Instr.id;
+    arm1 = 3;
+    arm2 = 4;
+    join = 5;
+    store = st.Instr.id;
+  }
+
+let fig5_points ~control_penalty =
+  let fx = fig5 () in
+  let pdg = Test_util.pdg_of fx.func in
+  let part =
+    Test_util.partition_with fx.func ~n_threads:2 ~default:0
+      [ (fx.store, 1) ]
+  in
+  let init_regs = [ (Reg.of_int 1, 8) ] in
+  let profile = profile_of ~init_regs fx.func in
+  let plan, _ = Coco.optimize ~control_penalty pdg part profile in
+  let r1_blocks =
+    List.filter_map
+      (fun (c : Comm.t) ->
+        match c.Comm.payload with
+        | Comm.Data r when Reg.to_int r = 4 ->
+          Some (Comm.block_of_point fx.func.Func.cfg c.Comm.point)
+        | _ -> None)
+      plan.Mtcg.comms
+  in
+  (fx, part, plan, r1_blocks, init_regs)
+
+let test_fig5_penalty_avoids_branch () =
+  let fx, part, plan, r1_blocks, init_regs = fig5_points ~control_penalty:true in
+  (* With the penalty, r1 is communicated at the join only. *)
+  Alcotest.(check (list int)) "r1 at join" [ fx.join ] r1_blocks;
+  (* And the hammock branch is not relevant to (not replicated in) the
+     consumer thread. *)
+  let cd = Gmt_analysis.Controldep.compute fx.func in
+  let rel = Gmt_mtcg.Relevant.compute fx.func cd part plan.Mtcg.comms in
+  Alcotest.(check bool) "hammock branch irrelevant to T1" false
+    (Gmt_mtcg.Relevant.is_relevant_branch rel ~thread:1
+       ~branch_id:fx.branch_id);
+  (* Correctness of the woven code. *)
+  let mtp = Mtcg.generate (Test_util.pdg_of fx.func) part plan in
+  Test_util.check_equivalent ~init_regs ~queue_capacity:1 "fig5" fx.func mtp
+
+let test_fig5_no_penalty_picks_arms () =
+  let fx, part, plan, r1_blocks, init_regs =
+    fig5_points ~control_penalty:false
+  in
+  (* Without the penalty the min-cut sits at the definitions (both arms),
+     dragging the hammock branch into the consumer thread. *)
+  Alcotest.(check (list int)) "r1 in both arms" [ fx.arm1; fx.arm2 ]
+    (List.sort compare r1_blocks);
+  let cd = Gmt_analysis.Controldep.compute fx.func in
+  let rel = Gmt_mtcg.Relevant.compute fx.func cd part plan.Mtcg.comms in
+  Alcotest.(check bool) "hammock branch relevant to T1" true
+    (Gmt_mtcg.Relevant.is_relevant_branch rel ~thread:1
+       ~branch_id:fx.branch_id);
+  (* Still correct, just worse. *)
+  let mtp = Mtcg.generate (Test_util.pdg_of fx.func) part plan in
+  Test_util.check_equivalent ~init_regs ~queue_capacity:1 "fig5-nopen"
+    fx.func mtp
+
+(* --- Memory synchronization hoisting (Section 3.1.3): a store executed
+   every loop iteration, read once after the loop by the other thread.
+   MTCG synchronizes per iteration; the multicut hoists the token to the
+   loop exit. --- *)
+
+let test_memory_sync_hoisting () =
+  let bld = Builder.create ~name:"memhoist" () in
+  let i = Builder.reg bld and n = Builder.reg bld in
+  let one = Builder.reg bld and c = Builder.reg bld in
+  let v = Builder.reg bld in
+  let m = Builder.region bld "m" in
+  let out = Builder.region bld "out" in
+  let pre = Builder.block bld in
+  let head = Builder.block bld in
+  let body = Builder.block bld in
+  let tail = Builder.block bld in
+  ignore (Builder.add bld pre (Instr.Const (i, 0)));
+  ignore (Builder.add bld pre (Instr.Const (one, 1)));
+  ignore (Builder.terminate bld pre (Instr.Jump head));
+  ignore (Builder.add bld head (Instr.Binop (Instr.Lt, c, i, n)));
+  ignore (Builder.terminate bld head (Instr.Branch (c, body, tail)));
+  let st = Builder.add bld body (Instr.Store (m, i, 0, i)) in
+  ignore (Builder.add bld body (Instr.Binop (Instr.Add, i, i, one)));
+  ignore (Builder.terminate bld body (Instr.Jump head));
+  (* read back m[1], write it far away in a disjoint region range *)
+  let hi = Builder.reg bld in
+  let ld = Builder.add bld tail (Instr.Load (m, v, one, 0)) in
+  ignore (Builder.add bld tail (Instr.Const (hi, 100)));
+  let st2 = Builder.add bld tail (Instr.Store (out, hi, 0, v)) in
+  ignore (Builder.terminate bld tail Instr.Return);
+  let func = Builder.finish bld ~live_in:[ n ] ~live_out:[] in
+  let pdg = Test_util.pdg_of func in
+  let part =
+    Test_util.partition_with func ~n_threads:2 ~default:0
+      [ (ld.Instr.id, 1); (st2.Instr.id, 1) ]
+  in
+  ignore st;
+  let init_regs = [ (Reg.of_int 1, 10) ] in
+  let profile = profile_of ~init_regs func in
+  let base = Mtcg.generate pdg part (Mtcg.baseline_plan pdg part) in
+  let plan, _ = Coco.optimize pdg part profile in
+  let coco = Mtcg.generate pdg part plan in
+  Test_util.check_equivalent ~init_regs ~queue_capacity:1 "memhoist" func coco;
+  let syncs mtp =
+    let r =
+      Mt_interp.run ~init_regs mtp ~queue_capacity:4
+        ~mem_size:Test_util.mem_size
+    in
+    Array.fold_left
+      (fun a (t : Mt_interp.thread_stats) ->
+        a + t.Mt_interp.produce_syncs + t.Mt_interp.consume_syncs)
+      0 r.Mt_interp.threads
+  in
+  let sb = syncs base and sc = syncs coco in
+  Alcotest.(check bool)
+    (Printf.sprintf "syncs hoisted: %d -> %d" sb sc)
+    true
+    (sb >= 20 && sc = 2)
+
+(* --- Direct flow-graph unit tests: safety (Property 3) must exclude
+   points past a target-thread redefinition, and the solver must return
+   no points for a register with no live definition. --- *)
+
+let test_flowgraph_safety_blocks_past_redef () =
+  (* T0: r = 1; T1: r = 2; store r.  The communication of r from T0 must
+     sit between the two definitions — after T1's def, T0's value is
+     stale. *)
+  let bld = Builder.create ~name:"safety" () in
+  let r = Builder.reg bld in
+  let addr = Builder.reg bld in
+  let out = Builder.region bld "out" in
+  let b0 = Builder.block bld in
+  let d0 = Builder.add bld b0 (Instr.Const (r, 1)) in
+  let mid = Builder.add bld b0 (Instr.Binop (Instr.Add, addr, r, r)) in
+  let d1 = Builder.add bld b0 (Instr.Const (r, 2)) in
+  let st = Builder.add bld b0 (Instr.Store (out, addr, 0, r)) in
+  ignore (Builder.terminate bld b0 Instr.Return);
+  let func = Builder.finish bld ~live_in:[] ~live_out:[] in
+  let part =
+    Test_util.partition_with func ~n_threads:2 ~default:0
+      [ (d1.Instr.id, 1); (st.Instr.id, 1) ]
+  in
+  let safety = Gmt_coco.Safety.compute func part ~thread:0 in
+  (* After T1's definition d1, r is no longer safe for T0. *)
+  Alcotest.(check bool) "safe after own def" true
+    (Gmt_coco.Safety.is_safe_after safety d0.Instr.id r);
+  Alcotest.(check bool) "unsafe after other thread's def" false
+    (Gmt_coco.Safety.is_safe_after safety d1.Instr.id r);
+  (* addr (also communicated T0 -> T1) must be placed after mid; the
+     whole-plan result is still correct. *)
+  ignore mid;
+  let profile = profile_of func in
+  let pdg = Test_util.pdg_of func in
+  let plan, stats = Coco.optimize pdg part profile in
+  Alcotest.(check int) "no fallbacks" 0 stats.Coco.fallbacks;
+  let mtp = Mtcg.generate pdg part plan in
+  Test_util.check_equivalent ~queue_capacity:1 "safety" func mtp
+
+let test_flowgraph_dead_register_no_comm () =
+  (* A register defined in T0 but never used by T1 needs no transfer. *)
+  let fx = Test_util.fig3 () in
+  let pdg = Test_util.pdg_of fx.func in
+  let part =
+    Test_util.partition_with fx.func ~n_threads:2 ~default:0
+      [ (fx.f_store, 1) ]
+  in
+  let profile = profile_of fx.func in
+  let plan, _ = Coco.optimize pdg part profile in
+  (* r3 is used only by G, which stays in T0: no comm may mention it *)
+  List.iter
+    (fun (c : Comm.t) ->
+      match c.Comm.payload with
+      | Comm.Data r ->
+        Alcotest.(check bool) "r3 not communicated" false (Reg.to_int r = 3)
+      | Comm.Sync -> ())
+    plan.Mtcg.comms
+
+let tests =
+  [
+    Alcotest.test_case "fig3 placement at join" `Quick test_fig3_coco_placement;
+    Alcotest.test_case "flowgraph safety" `Quick
+      test_flowgraph_safety_blocks_past_redef;
+    Alcotest.test_case "flowgraph dead register" `Quick
+      test_flowgraph_dead_register_no_comm;
+    Alcotest.test_case "fig5 penalty avoids branch" `Quick
+      test_fig5_penalty_avoids_branch;
+    Alcotest.test_case "fig5 ablation picks arms" `Quick
+      test_fig5_no_penalty_picks_arms;
+    Alcotest.test_case "memory sync hoisting" `Quick test_memory_sync_hoisting;
+    Alcotest.test_case "fig3 coco correctness" `Quick test_fig3_coco_correct;
+    Alcotest.test_case "fig3 coco never worse" `Quick test_fig3_coco_not_worse;
+    Alcotest.test_case "fig4 loop hoisting" `Quick test_fig4_hoists_out_of_loop;
+  ]

@@ -1,0 +1,208 @@
+(* IR substrate: instructions, builder, CFG structure, validation,
+   printing. *)
+
+open Gmt_ir
+
+let test_instr_defs_uses () =
+  let i op = Instr.make ~id:0 op in
+  let r n = Reg.of_int n in
+  Alcotest.(check (list int))
+    "binop defs" [ 0 ]
+    (List.map Reg.to_int (Instr.defs (i (Instr.Binop (Instr.Add, r 0, r 1, r 2)))));
+  Alcotest.(check (list int))
+    "binop uses" [ 1; 2 ]
+    (List.map Reg.to_int (Instr.uses (i (Instr.Binop (Instr.Add, r 0, r 1, r 2)))));
+  Alcotest.(check (list int))
+    "same-reg uses dedup" [ 1 ]
+    (List.map Reg.to_int (Instr.uses (i (Instr.Binop (Instr.Mul, r 0, r 1, r 1)))));
+  Alcotest.(check (list int))
+    "store uses" [ 2; 3 ]
+    (List.map Reg.to_int (Instr.uses (i (Instr.Store (0, r 2, 4, r 3)))));
+  Alcotest.(check (list int))
+    "consume defs" [ 5 ]
+    (List.map Reg.to_int (Instr.defs (i (Instr.Consume (r 5, 3)))));
+  Alcotest.(check bool) "branch is branch" true
+    (Instr.is_branch (i (Instr.Branch (r 0, 1, 2))));
+  Alcotest.(check bool) "jump structural" true
+    (Instr.is_structural (i (Instr.Jump 1)));
+  Alcotest.(check bool) "produce comm" true
+    (Instr.is_communication (i (Instr.Produce (0, r 1))))
+
+let test_instr_eval () =
+  Alcotest.(check int) "add" 7 (Instr.eval_binop Instr.Add 3 4);
+  Alcotest.(check int) "div by zero total" 0 (Instr.eval_binop Instr.Div 5 0);
+  Alcotest.(check int) "rem by zero total" 0 (Instr.eval_binop Instr.Rem 5 0);
+  Alcotest.(check int) "lt true" 1 (Instr.eval_binop Instr.Lt 1 2);
+  Alcotest.(check int) "shl wraps at word size" 2
+    (Instr.eval_binop Instr.Shl 1 (Sys.int_size + 1));
+  Alcotest.(check int) "shr negative amount total" 1
+    (Instr.eval_binop Instr.Shr 2 (-1 * (Sys.int_size - 1)));
+  Alcotest.(check int) "neg" (-3) (Instr.eval_unop Instr.Neg 3);
+  Alcotest.(check int) "fsqrt of negative" 0 (Instr.eval_unop Instr.Fsqrt (-9));
+  Alcotest.(check int) "fsqrt" 3 (Instr.eval_unop Instr.Fsqrt 9)
+
+let test_instr_targets () =
+  let i = Instr.make ~id:0 (Instr.Branch (Reg.of_int 0, 3, 5)) in
+  Alcotest.(check (list int)) "targets" [ 3; 5 ] (Instr.targets i);
+  let i' = Instr.with_targets i [ 7; 9 ] in
+  Alcotest.(check (list int)) "retargeted" [ 7; 9 ] (Instr.targets i');
+  Alcotest.check_raises "arity" (Invalid_argument "Instr.with_targets")
+    (fun () -> ignore (Instr.with_targets i [ 1 ]))
+
+let test_builder_basic () =
+  let b = Builder.create ~name:"t" () in
+  let r0 = Builder.reg b in
+  let b0 = Builder.block b in
+  let b1 = Builder.block b in
+  let i1 = Builder.add b b0 (Instr.Const (r0, 42)) in
+  Alcotest.(check int) "first id" 0 i1.Instr.id;
+  ignore (Builder.terminate b b0 (Instr.Jump b1));
+  ignore (Builder.terminate b b1 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  Alcotest.(check int) "entry" 0 (Cfg.entry f.Func.cfg);
+  Alcotest.(check int) "blocks" 2 (Cfg.n_blocks f.Func.cfg);
+  Alcotest.(check int) "instrs" 3 (Cfg.n_instrs f.Func.cfg);
+  Validate.check f
+
+let test_builder_rejects_double_terminate () =
+  let b = Builder.create ~name:"t" () in
+  let b0 = Builder.block b in
+  ignore (Builder.terminate b b0 Instr.Return);
+  Alcotest.check_raises "closed"
+    (Invalid_argument "Builder: block already terminated") (fun () ->
+      ignore (Builder.terminate b b0 Instr.Return))
+
+let test_builder_rejects_unterminated () =
+  let b = Builder.create ~name:"t" () in
+  let b0 = Builder.block b in
+  let r0 = Builder.reg b in
+  ignore (Builder.add b b0 (Instr.Const (r0, 1)));
+  Alcotest.check_raises "unterminated"
+    (Invalid_argument "Builder.finish: block B0 not terminated") (fun () ->
+      ignore (Builder.finish b ~live_in:[] ~live_out:[]))
+
+let test_builder_mid_block_terminator_rejected () =
+  let b = Builder.create ~name:"t" () in
+  let b0 = Builder.block b in
+  Alcotest.check_raises "terminator via add"
+    (Invalid_argument "Builder.add: op is a terminator") (fun () ->
+      ignore (Builder.add b b0 Instr.Return))
+
+let test_builder_regions () =
+  let b = Builder.create ~name:"t" () in
+  let r1 = Builder.region b "heap" in
+  let r2 = Builder.region b "stack" in
+  let r1' = Builder.region b "heap" in
+  Alcotest.(check int) "same name same region" r1 r1';
+  Alcotest.(check bool) "distinct" true (r1 <> r2);
+  let b0 = Builder.block b in
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  Alcotest.(check int) "two regions" 2 (Func.n_regions f);
+  Alcotest.(check string) "name" "heap" (Func.region_name f r1)
+
+let test_cfg_structure () =
+  let fx = Test_util.fig3 () in
+  let cfg = fx.Test_util.func.Func.cfg in
+  Alcotest.(check (list int)) "succs of entry" [ 1; 2 ] (Cfg.succs cfg 0);
+  Alcotest.(check (list int)) "preds of join" [ 0; 1; 3 ]
+    (List.sort compare (Cfg.preds cfg 2));
+  Alcotest.(check (list int)) "exit blocks" [ 2 ] (Cfg.exit_blocks cfg);
+  let l, idx = Cfg.position cfg fx.Test_util.e in
+  Alcotest.(check (pair int int)) "position of E" (3, 0) (l, idx);
+  let g, exit_node = Cfg.digraph_with_exit cfg in
+  Alcotest.(check int) "virtual exit" 4 exit_node;
+  Alcotest.(check bool) "return -> exit" true
+    (Gmt_graphalg.Digraph.mem_edge g 2 exit_node)
+
+let test_validate_catches_bad_reg () =
+  (* Hand-build a CFG mentioning a register beyond n_regs. *)
+  let blocks =
+    [|
+      {
+        Cfg.label = 0;
+        body =
+          [
+            Instr.make ~id:0 (Instr.Const (Reg.of_int 9, 1));
+            Instr.make ~id:1 Instr.Return;
+          ];
+      };
+    |]
+  in
+  let cfg = Cfg.make ~entry:0 blocks in
+  let f =
+    Func.make ~name:"bad" ~cfg ~n_regs:1 ~regions:[||] ~live_in:[] ~live_out:[]
+  in
+  Alcotest.(check bool) "invalid" false (Validate.is_valid f)
+
+let test_validate_catches_duplicate_ids () =
+  let blocks =
+    [|
+      {
+        Cfg.label = 0;
+        body =
+          [
+            Instr.make ~id:0 (Instr.Const (Reg.of_int 0, 1));
+            Instr.make ~id:0 (Instr.Const (Reg.of_int 0, 2));
+            Instr.make ~id:1 Instr.Return;
+          ];
+      };
+    |]
+  in
+  let cfg = Cfg.make ~entry:0 blocks in
+  let f =
+    Func.make ~name:"dup" ~cfg ~n_regs:1 ~regions:[||] ~live_in:[] ~live_out:[]
+  in
+  Alcotest.(check bool) "invalid" false (Validate.is_valid f)
+
+let test_validate_requires_reachable_return () =
+  let blocks =
+    [|
+      {
+        Cfg.label = 0;
+        body = [ Instr.make ~id:0 (Instr.Jump 0) ];
+      };
+      { Cfg.label = 1; body = [ Instr.make ~id:1 Instr.Return ] };
+    |]
+  in
+  let cfg = Cfg.make ~entry:0 blocks in
+  let f =
+    Func.make ~name:"loop" ~cfg ~n_regs:0 ~regions:[||] ~live_in:[]
+      ~live_out:[]
+  in
+  Alcotest.(check bool) "no reachable return" false (Validate.is_valid f)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_printer_mentions () =
+  let fx = Test_util.fig3 () in
+  let s = Printer.func_to_string fx.Test_util.func in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (frag ^ " printed") true (contains ~needle:frag s))
+    [ "func fig3"; "B0:"; "store"; "branch"; "return"; "entry: B0" ]
+
+let tests =
+  [
+    Alcotest.test_case "instr defs/uses" `Quick test_instr_defs_uses;
+    Alcotest.test_case "instr eval total" `Quick test_instr_eval;
+    Alcotest.test_case "instr targets" `Quick test_instr_targets;
+    Alcotest.test_case "builder basic" `Quick test_builder_basic;
+    Alcotest.test_case "builder double terminate" `Quick
+      test_builder_rejects_double_terminate;
+    Alcotest.test_case "builder unterminated" `Quick
+      test_builder_rejects_unterminated;
+    Alcotest.test_case "builder mid-block terminator" `Quick
+      test_builder_mid_block_terminator_rejected;
+    Alcotest.test_case "builder regions" `Quick test_builder_regions;
+    Alcotest.test_case "cfg structure" `Quick test_cfg_structure;
+    Alcotest.test_case "validate bad reg" `Quick test_validate_catches_bad_reg;
+    Alcotest.test_case "validate duplicate ids" `Quick
+      test_validate_catches_duplicate_ids;
+    Alcotest.test_case "validate unreachable return" `Quick
+      test_validate_requires_reachable_return;
+    Alcotest.test_case "printer output" `Quick test_printer_mentions;
+  ]

@@ -1,0 +1,371 @@
+(* Machine substrate: cache model, synchronization array, interpreters and
+   the cycle simulator. *)
+
+open Gmt_ir
+module Cache = Gmt_machine.Cache
+module Syncarray = Gmt_machine.Syncarray
+module Interp = Gmt_machine.Interp
+module Mt_interp = Gmt_machine.Mt_interp
+module Sim = Gmt_machine.Sim
+module Config = Gmt_machine.Config
+
+(* ------------------------- cache ------------------------- *)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create ~size:1024 ~assoc:2 ~line:64 in
+  Alcotest.(check bool) "first access misses" false (Cache.access c ~addr:0);
+  Alcotest.(check bool) "second hits" true (Cache.access c ~addr:8);
+  Alcotest.(check bool) "different line misses" false (Cache.access c ~addr:64);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  (* 2-way, 1 set: size = 2 * 64. Third distinct line evicts the LRU. *)
+  let c = Cache.create ~size:128 ~assoc:2 ~line:64 in
+  ignore (Cache.access c ~addr:0);
+  ignore (Cache.access c ~addr:128);
+  ignore (Cache.access c ~addr:0);
+  (* 0 is MRU, 128 is LRU *)
+  ignore (Cache.access c ~addr:256);
+  (* evicts 128 *)
+  Alcotest.(check bool) "0 still resident" true (Cache.probe c ~addr:0);
+  Alcotest.(check bool) "128 evicted" false (Cache.probe c ~addr:128)
+
+let test_cache_probe_no_state_change () =
+  let c = Cache.create ~size:128 ~assoc:1 ~line:64 in
+  Alcotest.(check bool) "probe cold" false (Cache.probe c ~addr:0);
+  Alcotest.(check bool) "still cold" false (Cache.probe c ~addr:0)
+
+(* ------------------------- sync array ------------------------- *)
+
+let test_syncarray_fifo () =
+  let sa = Syncarray.create ~n_queues:2 ~capacity:2 in
+  Alcotest.(check bool) "p1" true (Syncarray.try_produce sa ~q:0 ~value:1 ~ready:0);
+  Alcotest.(check bool) "p2" true (Syncarray.try_produce sa ~q:0 ~value:2 ~ready:0);
+  Alcotest.(check bool) "full" false
+    (Syncarray.try_produce sa ~q:0 ~value:3 ~ready:0);
+  Alcotest.(check int) "fifo 1" 1 (Syncarray.consume sa ~q:0 ~now:0);
+  Alcotest.(check int) "fifo 2" 2 (Syncarray.consume sa ~q:0 ~now:0);
+  Alcotest.(check bool) "empty" false (Syncarray.can_consume sa ~q:0 ~now:0);
+  Alcotest.(check int) "produces" 2 (Syncarray.produces sa);
+  Alcotest.(check int) "consumes" 2 (Syncarray.consumes sa);
+  Alcotest.(check bool) "all drained" true (Syncarray.all_empty sa)
+
+let test_syncarray_readiness () =
+  let sa = Syncarray.create ~n_queues:1 ~capacity:4 in
+  ignore (Syncarray.try_produce sa ~q:0 ~value:9 ~ready:10);
+  Alcotest.(check bool) "not ready yet" false
+    (Syncarray.can_consume sa ~q:0 ~now:5);
+  Alcotest.(check bool) "ready later" true
+    (Syncarray.can_consume sa ~q:0 ~now:10)
+
+(* ------------------------- interpreters ------------------------- *)
+
+let test_interp_fig3_semantics () =
+  let fx = Test_util.fig3 () in
+  (* r0 = 1, r1 = 0: path B0 -> B1 -> B3 -> B2, so r2 = 7 stored at 100,
+     r3 = r1+r1 = 0 stored at 101. *)
+  let r =
+    Interp.run
+      ~init_regs:[ (Reg.of_int 0, 1); (Reg.of_int 1, 0); (Reg.of_int 4, 100) ]
+      fx.Test_util.func ~mem_size:1024
+  in
+  Alcotest.(check int) "out" 7 r.Interp.memory.(100);
+  Alcotest.(check int) "out2" 0 r.Interp.memory.(101);
+  (* r0 = 0: direct path, r2 stays 5 *)
+  let r2 =
+    Interp.run
+      ~init_regs:[ (Reg.of_int 0, 0); (Reg.of_int 4, 100) ]
+      fx.Test_util.func ~mem_size:1024
+  in
+  Alcotest.(check int) "direct path" 5 r2.Interp.memory.(100)
+
+let test_interp_fuel () =
+  (* Infinite loop exhausts fuel rather than hanging. *)
+  let b = Builder.create ~name:"inf" () in
+  let b0 = Builder.block b in
+  let b1 = Builder.block b in
+  ignore (Builder.terminate b b0 (Instr.Jump b0));
+  ignore (Builder.terminate b b1 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  (* Note: validator would reject (no reachable return); the interpreter
+     must still terminate via fuel. *)
+  let r = Interp.run ~fuel:1000 f ~mem_size:64 in
+  Alcotest.(check bool) "fuel exhausted" true r.Interp.fuel_exhausted
+
+let test_interp_rejects_comm () =
+  let b = Builder.create ~name:"comm" () in
+  let r0 = Builder.reg b in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Produce (0, r0)));
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  (try
+     ignore (Interp.run f ~mem_size:64);
+     Alcotest.fail "expected Stuck"
+   with Interp.Stuck _ -> ())
+
+let test_mt_interp_deadlock_detection () =
+  (* Two threads that each consume before producing: guaranteed deadlock. *)
+  let mk name qin qout =
+    let b = Builder.create ~name () in
+    let v = Builder.reg b in
+    let b0 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Consume (v, qin)));
+    ignore (Builder.add b b0 (Instr.Produce (qout, v)));
+    ignore (Builder.terminate b b0 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let p =
+    Mtprog.make ~name:"dl" ~threads:[| mk "a" 0 1; mk "b" 1 0 |] ~n_queues:2
+  in
+  let r = Mt_interp.run p ~queue_capacity:1 ~mem_size:64 in
+  Alcotest.(check bool) "deadlocked" true r.Mt_interp.deadlocked
+
+let test_mt_interp_pingpong () =
+  (* Thread 0 sends 1; thread 1 doubles and returns; thread 0 stores. *)
+  let t0 =
+    let b = Builder.create ~name:"t0" () in
+    let v = Builder.reg b and w = Builder.reg b and a = Builder.reg b in
+    let m = Builder.region b "m" in
+    let b0 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Const (v, 21)));
+    ignore (Builder.add b b0 (Instr.Produce (0, v)));
+    ignore (Builder.add b b0 (Instr.Consume (w, 1)));
+    ignore (Builder.add b b0 (Instr.Const (a, 5)));
+    ignore (Builder.add b b0 (Instr.Store (m, a, 0, w)));
+    ignore (Builder.terminate b b0 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let t1 =
+    let b = Builder.create ~name:"t1" () in
+    let v = Builder.reg b and d = Builder.reg b in
+    ignore (Builder.region b "m");
+    let b0 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Consume (v, 0)));
+    ignore (Builder.add b b0 (Instr.Binop (Instr.Add, d, v, v)));
+    ignore (Builder.add b b0 (Instr.Produce (1, d)));
+    ignore (Builder.terminate b b0 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let p = Mtprog.make ~name:"pp" ~threads:[| t0; t1 |] ~n_queues:2 in
+  List.iter
+    (fun sched ->
+      let r = Mt_interp.run ~sched p ~queue_capacity:1 ~mem_size:64 in
+      Alcotest.(check bool) "ok" false r.Mt_interp.deadlocked;
+      Alcotest.(check int) "42" 42 r.Mt_interp.memory.(5);
+      Alcotest.(check int) "comm count" 4 (Mt_interp.total_comm r))
+    [ Mt_interp.Round_robin; Mt_interp.Random 7 ]
+
+(* ------------------------- simulator ------------------------- *)
+
+let test_sim_single_matches_interp_memory () =
+  let w = Gmt_workloads.Suite.find "adpcmdec" in
+  let module W = Gmt_workloads.Workload in
+  let r =
+    Interp.run ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem w.W.func
+      ~mem_size:w.W.mem_size
+  in
+  let s =
+    Sim.run_single ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem
+      (Config.itanium2 ()) w.W.func ~mem_size:w.W.mem_size
+  in
+  Alcotest.(check bool) "no deadlock" false s.Sim.deadlocked;
+  Alcotest.(check (array int)) "memory equal" r.Interp.memory s.Sim.memory;
+  Alcotest.(check bool) "cycles >= instrs issued" true
+    (s.Sim.cycles >= s.Sim.per_core.(0).Sim.instrs / 6)
+
+let test_sim_issue_width_bound () =
+  let w = Gmt_workloads.Suite.find "300.twolf" in
+  let module W = Gmt_workloads.Workload in
+  let s =
+    Sim.run_single ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem
+      (Config.itanium2 ()) w.W.func ~mem_size:w.W.mem_size
+  in
+  let st = s.Sim.per_core.(0) in
+  Alcotest.(check bool) "IPC <= issue width" true
+    (st.Sim.instrs <= 6 * s.Sim.cycles)
+
+let test_sim_decoupling () =
+  (* A producer loop and a consumer loop: with 32-entry queues the
+     producer must run ahead (it finishes first or stalls on full). *)
+  let n = 200 in
+  let producer =
+    let b = Builder.create ~name:"p" () in
+    let i = Builder.reg b and lim = Builder.reg b and one = Builder.reg b in
+    let c = Builder.reg b in
+    let b0 = Builder.block b in
+    let b1 = Builder.block b in
+    let b2 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Const (i, 0)));
+    ignore (Builder.add b b0 (Instr.Const (one, 1)));
+    ignore (Builder.add b b0 (Instr.Const (lim, n)));
+    ignore (Builder.terminate b b0 (Instr.Jump b1));
+    ignore (Builder.add b b1 (Instr.Produce (0, i)));
+    ignore (Builder.add b b1 (Instr.Binop (Instr.Add, i, i, one)));
+    ignore (Builder.add b b1 (Instr.Binop (Instr.Lt, c, i, lim)));
+    ignore (Builder.terminate b b1 (Instr.Branch (c, b1, b2)));
+    ignore (Builder.terminate b b2 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let consumer =
+    let b = Builder.create ~name:"c" () in
+    let i = Builder.reg b and lim = Builder.reg b and one = Builder.reg b in
+    let c = Builder.reg b and v = Builder.reg b and acc = Builder.reg b in
+    let sq = Builder.reg b in
+    let m = Builder.region b "m" in
+    let b0 = Builder.block b in
+    let b1 = Builder.block b in
+    let b2 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Const (i, 0)));
+    ignore (Builder.add b b0 (Instr.Const (one, 1)));
+    ignore (Builder.add b b0 (Instr.Const (lim, n)));
+    ignore (Builder.add b b0 (Instr.Const (acc, 0)));
+    ignore (Builder.terminate b b0 (Instr.Jump b1));
+    ignore (Builder.add b b1 (Instr.Consume (v, 0)));
+    ignore (Builder.add b b1 (Instr.Binop (Instr.Fmul, sq, v, v)));
+    ignore (Builder.add b b1 (Instr.Binop (Instr.Fadd, acc, acc, sq)));
+    ignore (Builder.add b b1 (Instr.Binop (Instr.Add, i, i, one)));
+    ignore (Builder.add b b1 (Instr.Binop (Instr.Lt, c, i, lim)));
+    ignore (Builder.terminate b b1 (Instr.Branch (c, b1, b2)));
+    ignore (Builder.add b b2 (Instr.Store (m, one, 0, acc)));
+    ignore (Builder.terminate b b2 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let p =
+    Mtprog.make ~name:"pc" ~threads:[| producer; consumer |] ~n_queues:1
+  in
+  let s = Sim.run (Config.itanium2 ~queue_size:32 ()) p ~mem_size:64 in
+  Alcotest.(check bool) "no deadlock" false s.Sim.deadlocked;
+  Alcotest.(check bool) "producer finishes first" true
+    (s.Sim.per_core.(0).Sim.finish_cycle < s.Sim.per_core.(1).Sim.finish_cycle);
+  (* The consumer's FP recurrence bounds the rate: >= 4 cycles/iter. *)
+  Alcotest.(check bool) "consumer rate bounded by fadd recurrence" true
+    (s.Sim.cycles >= 4 * n)
+
+let test_sim_deadlock_detected () =
+  let mk name qin qout =
+    let b = Builder.create ~name () in
+    let v = Builder.reg b in
+    let b0 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Consume (v, qin)));
+    ignore (Builder.add b b0 (Instr.Produce (qout, v)));
+    (* use the consumed value so the pending consume actually blocks *)
+    let d = Builder.reg b in
+    ignore (Builder.add b b0 (Instr.Binop (Instr.Add, d, v, v)));
+    ignore (Builder.add b b0 (Instr.Store (Builder.region b "m", d, 0, d)));
+    ignore (Builder.terminate b b0 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let p =
+    Mtprog.make ~name:"dl" ~threads:[| mk "a" 0 1; mk "b" 1 0 |] ~n_queues:2
+  in
+  let s = Sim.run ~fuel:2_000_000 (Config.test_config ()) p ~mem_size:64 in
+  Alcotest.(check bool) "deadlock or starved" true
+    (s.Sim.deadlocked || s.Sim.fuel_exhausted)
+
+let test_sim_stall_on_use () =
+  (* A consume with an empty queue must not block the issue of later
+     independent instructions (stall-on-use). Thread 1 consumes, then has
+     10 independent adds, then uses the value; thread 0 produces late. *)
+  let t0 =
+    let b = Builder.create ~name:"late" () in
+    let x = Builder.reg b and one = Builder.reg b and c = Builder.reg b in
+    let i = Builder.reg b in
+    let b0 = Builder.block b in
+    let b1 = Builder.block b in
+    let b2 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Const (i, 0)));
+    ignore (Builder.add b b0 (Instr.Const (one, 1)));
+    ignore (Builder.add b b0 (Instr.Const (x, 100)));
+    ignore (Builder.terminate b b0 (Instr.Jump b1));
+    (* spin for a while *)
+    ignore (Builder.add b b1 (Instr.Binop (Instr.Add, i, i, one)));
+    ignore (Builder.add b b1 (Instr.Binop (Instr.Lt, c, i, x)));
+    ignore (Builder.terminate b b1 (Instr.Branch (c, b1, b2)));
+    ignore (Builder.add b b2 (Instr.Produce (0, i)));
+    ignore (Builder.terminate b b2 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let t1 =
+    let b = Builder.create ~name:"early" () in
+    let v = Builder.reg b and a = Builder.reg b and one = Builder.reg b in
+    let m = Builder.region b "m" in
+    let b0 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Const (one, 1)));
+    ignore (Builder.add b b0 (Instr.Const (a, 0)));
+    ignore (Builder.add b b0 (Instr.Consume (v, 0)));
+    (* independent work that must retire while the consume is pending *)
+    for _ = 1 to 10 do
+      ignore (Builder.add b b0 (Instr.Binop (Instr.Add, a, a, one)))
+    done;
+    let s = Builder.reg b in
+    ignore (Builder.add b b0 (Instr.Binop (Instr.Add, s, a, v)));
+    ignore (Builder.add b b0 (Instr.Store (m, one, 0, s)));
+    ignore (Builder.terminate b b0 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let p = Mtprog.make ~name:"sou" ~threads:[| t0; t1 |] ~n_queues:1 in
+  let s = Sim.run (Config.itanium2 ()) p ~mem_size:64 in
+  Alcotest.(check bool) "no deadlock" false s.Sim.deadlocked;
+  Alcotest.(check int) "value correct" 110 s.Sim.memory.(1);
+  (* thread 1 stalled on data only at the use, so its data stalls are well
+     below thread 0's spin time *)
+  Alcotest.(check bool) "independent work overlapped" true
+    (s.Sim.per_core.(1).Sim.stall_data <= s.Sim.cycles)
+
+let test_sim_sync_fences_memory () =
+  (* T0 stores then produce.sync; T1 consume.sync then loads: T1 must see
+     the store under the cycle model too. *)
+  let t0 =
+    let b = Builder.create ~name:"w" () in
+    let a = Builder.reg b and v = Builder.reg b in
+    let m = Builder.region b "m" in
+    let b0 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Const (a, 3)));
+    ignore (Builder.add b b0 (Instr.Const (v, 77)));
+    ignore (Builder.add b b0 (Instr.Store (m, a, 0, v)));
+    ignore (Builder.add b b0 (Instr.Produce_sync 0));
+    ignore (Builder.terminate b b0 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let t1 =
+    let b = Builder.create ~name:"r" () in
+    let a = Builder.reg b and v = Builder.reg b and o = Builder.reg b in
+    let m = Builder.region b "m" in
+    let b0 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Const (a, 3)));
+    ignore (Builder.add b b0 (Instr.Const (o, 4)));
+    ignore (Builder.add b b0 (Instr.Consume_sync 0));
+    ignore (Builder.add b b0 (Instr.Load (m, v, a, 0)));
+    ignore (Builder.add b b0 (Instr.Store (m, o, 0, v)));
+    ignore (Builder.terminate b b0 Instr.Return);
+    Builder.finish b ~live_in:[] ~live_out:[]
+  in
+  let p = Mtprog.make ~name:"sync" ~threads:[| t0; t1 |] ~n_queues:1 in
+  let s = Sim.run (Config.itanium2 ()) p ~mem_size:64 in
+  Alcotest.(check bool) "ok" false s.Sim.deadlocked;
+  Alcotest.(check int) "forwarded" 77 s.Sim.memory.(4)
+
+let tests =
+  [
+    Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_after_miss;
+    Alcotest.test_case "cache LRU" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache probe" `Quick test_cache_probe_no_state_change;
+    Alcotest.test_case "syncarray fifo" `Quick test_syncarray_fifo;
+    Alcotest.test_case "syncarray readiness" `Quick test_syncarray_readiness;
+    Alcotest.test_case "interp fig3 semantics" `Quick
+      test_interp_fig3_semantics;
+    Alcotest.test_case "interp fuel" `Quick test_interp_fuel;
+    Alcotest.test_case "interp rejects comm" `Quick test_interp_rejects_comm;
+    Alcotest.test_case "mt deadlock detection" `Quick
+      test_mt_interp_deadlock_detection;
+    Alcotest.test_case "mt ping-pong" `Quick test_mt_interp_pingpong;
+    Alcotest.test_case "sim matches interp" `Quick
+      test_sim_single_matches_interp_memory;
+    Alcotest.test_case "sim issue bound" `Quick test_sim_issue_width_bound;
+    Alcotest.test_case "sim decoupling" `Quick test_sim_decoupling;
+    Alcotest.test_case "sim deadlock" `Quick test_sim_deadlock_detected;
+    Alcotest.test_case "sim stall-on-use" `Quick test_sim_stall_on_use;
+    Alcotest.test_case "sim sync fence" `Quick test_sim_sync_fences_memory;
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "gmt"
+    [
+      ("graphalg", Test_graphalg.tests);
+      ("ir", Test_ir.tests);
+      ("analysis", Test_analysis.tests);
+      ("pdg", Test_pdg.tests);
+      ("sched", Test_sched.tests);
+      ("mtcg", Test_mtcg.tests);
+      ("coco", Test_coco.tests);
+      ("machine", Test_machine.tests);
+      ("workloads", Test_workloads.tests);
+      ("pipeline", Test_pipeline.tests);
+      ("properties", Test_props.tests);
+      ("opt", Test_opt.tests);
+    ]

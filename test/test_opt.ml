@@ -1,0 +1,153 @@
+(* Classical optimization passes: each must preserve the interpreter's
+   observable semantics, and each must actually do its job on a fixture. *)
+
+open Gmt_ir
+module Opt = Gmt_opt.Opt
+module Constfold = Gmt_opt.Constfold
+module Copyprop = Gmt_opt.Copyprop
+module Dce = Gmt_opt.Dce
+module Simplify_cfg = Gmt_opt.Simplify_cfg
+module Interp = Gmt_machine.Interp
+
+let n_instrs (f : Func.t) = Cfg.n_instrs f.Func.cfg
+
+let run_mem ?(init_regs = []) f =
+  (Interp.run ~init_regs f ~mem_size:256).Interp.memory
+
+(* fixture: constants, copies, dead code and a jump chain all at once *)
+let messy () =
+  let b = Builder.create ~name:"messy" () in
+  let out = Builder.region b "out" in
+  let x = Builder.reg b and y = Builder.reg b and z = Builder.reg b in
+  let dead = Builder.reg b and addr = Builder.reg b and c = Builder.reg b in
+  let b0 = Builder.block b in
+  let b1 = Builder.block b in
+  (* jump-only *)
+  let b2 = Builder.block b in
+  let b3 = Builder.block b in
+  (* unreachable *)
+  ignore (Builder.add b b0 (Instr.Const (x, 20)));
+  ignore (Builder.add b b0 (Instr.Const (y, 22)));
+  ignore (Builder.add b b0 (Instr.Binop (Instr.Add, z, x, y)));
+  (* foldable *)
+  ignore (Builder.add b b0 (Instr.Copy (c, z)));
+  (* copy to propagate *)
+  ignore (Builder.add b b0 (Instr.Binop (Instr.Mul, dead, z, z)));
+  (* dead *)
+  ignore (Builder.add b b0 (Instr.Const (addr, 5)));
+  ignore (Builder.add b b0 (Instr.Store (out, addr, 0, c)));
+  ignore (Builder.terminate b b0 (Instr.Jump b1));
+  ignore (Builder.terminate b b1 (Instr.Jump b2));
+  ignore (Builder.terminate b b2 Instr.Return);
+  ignore (Builder.terminate b b3 Instr.Return);
+  Builder.finish b ~live_in:[] ~live_out:[]
+
+let test_constfold () =
+  let f = Constfold.run (messy ()) in
+  (* z = add 20 22 folded to a constant *)
+  let folded =
+    List.exists
+      (fun (i : Instr.t) ->
+        match i.Instr.op with Instr.Const (_, 42) -> true | _ -> false)
+      (Cfg.instrs f.Func.cfg)
+  in
+  Alcotest.(check bool) "folded 20+22" true folded;
+  Alcotest.(check (array int)) "semantics" (run_mem (messy ())) (run_mem f)
+
+let test_copyprop_then_dce () =
+  let f = Dce.run (Copyprop.run (Constfold.run (messy ()))) in
+  (* the copy and the dead multiply are gone *)
+  let has p = List.exists p (Cfg.instrs f.Func.cfg) in
+  Alcotest.(check bool) "no copy left" false
+    (has (fun i -> match i.Instr.op with Instr.Copy _ -> true | _ -> false));
+  Alcotest.(check bool) "dead mul gone" false
+    (has (fun i -> match i.Instr.op with Instr.Binop (Instr.Mul, _, _, _) -> true | _ -> false));
+  Alcotest.(check (array int)) "semantics" (run_mem (messy ())) (run_mem f)
+
+let test_dce_keeps_side_effects () =
+  let f = Dce.run (messy ()) in
+  let has p = List.exists p (Cfg.instrs f.Func.cfg) in
+  Alcotest.(check bool) "store kept" true
+    (has (fun i -> Instr.is_memory i))
+
+let test_simplify_cfg () =
+  let f = Simplify_cfg.run (messy ()) in
+  (* jump chain collapsed, unreachable duplicate return dropped *)
+  Alcotest.(check int) "single block remains" 1 (Cfg.n_blocks f.Func.cfg);
+  Alcotest.(check (array int)) "semantics" (run_mem (messy ())) (run_mem f)
+
+let test_pipeline_on_workloads () =
+  List.iter
+    (fun (w : Gmt_workloads.Workload.t) ->
+      let module W = Gmt_workloads.Workload in
+      let f' = Opt.pipeline w.W.func in
+      Alcotest.(check bool)
+        (w.W.name ^ " not larger")
+        true
+        (n_instrs f' <= n_instrs w.W.func);
+      let before =
+        Interp.run ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem
+          w.W.func ~mem_size:w.W.mem_size
+      in
+      let after =
+        Interp.run ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem f'
+          ~mem_size:w.W.mem_size
+      in
+      Alcotest.(check (array int))
+        (w.W.name ^ " semantics preserved")
+        before.Interp.memory after.Interp.memory;
+      Alcotest.(check bool)
+        (w.W.name ^ " not slower (dyn instrs)")
+        true
+        (after.Interp.dyn_instrs <= before.Interp.dyn_instrs))
+    (Gmt_workloads.Suite.all ())
+
+let test_cleanup_threads () =
+  (* MTCG output cleanup: smaller or equal static code, same behaviour. *)
+  let w = Gmt_workloads.Suite.find "ks" in
+  let module W = Gmt_workloads.Workload in
+  let c = Gmt_core.Velocity.compile ~coco:true Gmt_core.Velocity.Gremio w in
+  let cleaned = Opt.cleanup_threads c.Gmt_core.Velocity.mtp in
+  Alcotest.(check bool) "not larger" true
+    (Mtprog.n_instrs cleaned <= Mtprog.n_instrs c.Gmt_core.Velocity.mtp);
+  let st =
+    Interp.run ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem w.W.func
+      ~mem_size:w.W.mem_size
+  in
+  let r =
+    Gmt_machine.Mt_interp.run ~init_regs:w.W.train.W.regs
+      ~init_mem:w.W.train.W.mem cleaned ~queue_capacity:32
+      ~mem_size:w.W.mem_size
+  in
+  Alcotest.(check bool) "no deadlock" false r.Gmt_machine.Mt_interp.deadlocked;
+  Alcotest.(check (array int)) "memory" st.Interp.memory
+    r.Gmt_machine.Mt_interp.memory
+
+(* Property: the pipeline preserves semantics on random programs. *)
+let prop_pipeline_preserves =
+  QCheck.Test.make ~count:100 ~name:"opt pipeline preserves semantics"
+    Test_props.arbitrary_case
+    (fun (stmts, _seed, _n) ->
+      let f = Test_props.lower stmts in
+      let f' = Opt.pipeline f in
+      let run g =
+        Interp.run ~init_regs:Test_props.init_regs
+          ~init_mem:Test_props.init_mem ~fuel:200_000 g
+          ~mem_size:Test_props.mem_size
+      in
+      let a = run f and b = run f' in
+      if a.Interp.fuel_exhausted then true
+      else a.Interp.memory = b.Interp.memory)
+
+let tests =
+  [
+    Alcotest.test_case "constfold" `Quick test_constfold;
+    Alcotest.test_case "copyprop + dce" `Quick test_copyprop_then_dce;
+    Alcotest.test_case "dce keeps side effects" `Quick
+      test_dce_keeps_side_effects;
+    Alcotest.test_case "simplify cfg" `Quick test_simplify_cfg;
+    Alcotest.test_case "pipeline on workloads" `Quick
+      test_pipeline_on_workloads;
+    Alcotest.test_case "cleanup threads" `Quick test_cleanup_threads;
+    QCheck_alcotest.to_alcotest prop_pipeline_preserves;
+  ]

@@ -1,0 +1,188 @@
+(* Partitioners: partition structure, DSWP's pipeline property, GREMIO's
+   validity, and both against the whole workload suite. *)
+
+open Gmt_ir
+module Partition = Gmt_sched.Partition
+module Dswp = Gmt_sched.Dswp
+module Gremio = Gmt_sched.Gremio
+module Pdg = Gmt_pdg.Pdg
+module W = Gmt_workloads.Workload
+
+let train_profile (w : W.t) =
+  (Gmt_machine.Interp.run ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem
+     w.W.func ~mem_size:w.W.mem_size)
+    .Gmt_machine.Interp.profile
+
+let test_partition_structure () =
+  let p = Partition.make ~n_threads:2 [ (0, 0); (1, 1); (2, 0) ] in
+  Alcotest.(check int) "thread of 1" 1 (Partition.thread_of p 1);
+  Alcotest.(check (list int)) "instrs of 0" [ 0; 2 ] (Partition.instrs_of p 0);
+  Alcotest.(check (option int)) "missing" None (Partition.thread_of_opt p 9)
+
+let test_partition_rejects () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Partition.make: i0 assigned twice") (fun () ->
+      ignore (Partition.make ~n_threads:2 [ (0, 0); (0, 1) ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Partition.make: thread 5 out of range for i0")
+    (fun () -> ignore (Partition.make ~n_threads:2 [ (0, 5) ]))
+
+let test_partition_errors_detects_unassigned () =
+  let fx = Test_util.fig3 () in
+  let p = Partition.make ~n_threads:2 [ (fx.Test_util.a, 0) ] in
+  Alcotest.(check bool) "errors nonempty" true
+    (Partition.errors p fx.Test_util.func <> [])
+
+let test_thread_graph_fig3 () =
+  let fx = Test_util.fig3 () in
+  let pdg = Test_util.pdg_of fx.Test_util.func in
+  let p =
+    Test_util.partition_with fx.Test_util.func ~n_threads:2 ~default:0
+      [ (fx.Test_util.f_store, 1) ]
+  in
+  let g = Partition.thread_graph p pdg in
+  Alcotest.(check bool) "0 -> 1" true (Gmt_graphalg.Digraph.mem_edge g 0 1);
+  Alcotest.(check bool) "no 1 -> 0" false (Gmt_graphalg.Digraph.mem_edge g 1 0);
+  Alcotest.(check bool) "pipeline" true (Partition.is_pipeline p pdg)
+
+let test_dswp_pipeline_property_suite () =
+  (* DSWP's defining property: the thread graph is acyclic on every
+     workload (Property 1 / Section 2 of the paper). *)
+  List.iter
+    (fun (w : W.t) ->
+      let profile = train_profile w in
+      let pdg = Pdg.build w.W.func in
+      let p = Dswp.partition pdg profile in
+      (match Partition.errors p w.W.func with
+      | [] -> ()
+      | es -> Alcotest.failf "%s: %s" w.W.name (String.concat ";" es));
+      Alcotest.(check bool)
+        (w.W.name ^ " pipeline")
+        true
+        (Partition.is_pipeline p pdg))
+    (Gmt_workloads.Suite.all ())
+
+let test_dswp_stages_cover () =
+  let w = Gmt_workloads.Suite.find "ks" in
+  let profile = train_profile w in
+  let pdg = Pdg.build w.W.func in
+  let stages = Dswp.stages pdg profile in
+  (* stages are a partition of the PDG nodes *)
+  let all = List.concat_map fst stages in
+  Alcotest.(check int) "covers all nodes"
+    (List.length (Pdg.nodes pdg))
+    (List.length all);
+  Alcotest.(check int) "no duplicates"
+    (List.length all)
+    (List.length (List.sort_uniq compare all));
+  (* stage indices are monotone along the topological order *)
+  let rec monotone last = function
+    | [] -> true
+    | (_, s) :: rest -> s >= last && monotone s rest
+  in
+  Alcotest.(check bool) "stage indices non-decreasing" true
+    (monotone 0 stages)
+
+let test_gremio_valid_suite () =
+  List.iter
+    (fun (w : W.t) ->
+      let profile = train_profile w in
+      let pdg = Pdg.build w.W.func in
+      let p = Gremio.partition pdg profile in
+      match Partition.errors p w.W.func with
+      | [] -> ()
+      | es -> Alcotest.failf "%s: %s" w.W.name (String.concat ";" es))
+    (Gmt_workloads.Suite.all ())
+
+let test_gremio_keeps_recurrences_together () =
+  (* Register/control recurrences must not be split across threads. *)
+  let w = Gmt_workloads.Suite.find "adpcmdec" in
+  let profile = train_profile w in
+  let pdg = Pdg.build w.W.func in
+  let p = Gremio.partition pdg profile in
+  (* SCCs over Reg+Ctrl arcs *)
+  let ids = ref [] in
+  Cfg.iter_instrs w.W.func.Func.cfg (fun _ (i : Instr.t) ->
+      ids := i.Instr.id :: !ids);
+  let ids = Array.of_list (List.rev !ids) in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun n id -> Hashtbl.replace index id n) ids;
+  let g = Gmt_graphalg.Digraph.create (Array.length ids) in
+  List.iter
+    (fun (a : Pdg.arc) ->
+      match a.kind with
+      | Pdg.Reg _ | Pdg.Ctrl ->
+        Gmt_graphalg.Digraph.add_edge g (Hashtbl.find index a.src)
+          (Hashtbl.find index a.dst)
+      | _ -> ())
+    (Pdg.arcs pdg);
+  let comp, n = Gmt_graphalg.Scc.components g in
+  let thread_of_comp = Array.make n None in
+  Array.iteri
+    (fun node id ->
+      match Partition.thread_of_opt p id with
+      | None -> ()
+      | Some t -> (
+        match thread_of_comp.(comp.(node)) with
+        | None -> thread_of_comp.(comp.(node)) <- Some t
+        | Some t' ->
+          if t <> t' then Alcotest.failf "recurrence split across threads"))
+    ids
+
+let test_dswp_no_crossing_memory_deps () =
+  (* The paper's Section 4 observation: under DSWP, no inter-thread memory
+     dependences occur on this suite (loop memory dependences are
+     bidirectional, forcing both endpoints into one SCC and thread). *)
+  List.iter
+    (fun (w : W.t) ->
+      let profile = train_profile w in
+      let pdg = Pdg.build w.W.func in
+      let p = Dswp.partition pdg profile in
+      let crossing =
+        List.filter
+          (fun (a : Pdg.arc) ->
+            match a.Pdg.kind with
+            | Pdg.Mem _ -> (
+              match
+                (Partition.thread_of_opt p a.Pdg.src,
+                 Partition.thread_of_opt p a.Pdg.dst)
+              with
+              | Some x, Some y -> x <> y
+              | _ -> false)
+            | _ -> false)
+          (Pdg.arcs pdg)
+      in
+      Alcotest.(check int) (w.W.name ^ " no crossing mem deps") 0
+        (List.length crossing))
+    (Gmt_workloads.Suite.all ())
+
+let test_n_threads_respected () =
+  List.iter
+    (fun n ->
+      let w = Gmt_workloads.Suite.find "183.equake" in
+      let profile = train_profile w in
+      let pdg = Pdg.build w.W.func in
+      let p = Gremio.partition ~n_threads:n pdg profile in
+      Alcotest.(check int) "n_threads" n (Partition.n_threads p);
+      let p' = Dswp.partition ~n_threads:n pdg profile in
+      Alcotest.(check bool) "dswp still pipeline" true
+        (Partition.is_pipeline p' pdg))
+    [ 1; 2; 3; 4 ]
+
+let tests =
+  [
+    Alcotest.test_case "partition structure" `Quick test_partition_structure;
+    Alcotest.test_case "partition rejects" `Quick test_partition_rejects;
+    Alcotest.test_case "partition unassigned" `Quick
+      test_partition_errors_detects_unassigned;
+    Alcotest.test_case "thread graph fig3" `Quick test_thread_graph_fig3;
+    Alcotest.test_case "dswp pipeline property (suite)" `Quick
+      test_dswp_pipeline_property_suite;
+    Alcotest.test_case "dswp stages cover" `Quick test_dswp_stages_cover;
+    Alcotest.test_case "gremio valid (suite)" `Quick test_gremio_valid_suite;
+    Alcotest.test_case "gremio keeps recurrences" `Quick
+      test_gremio_keeps_recurrences_together;
+    Alcotest.test_case "dswp no crossing mem deps" `Quick
+      test_dswp_no_crossing_memory_deps;
+    Alcotest.test_case "n_threads respected" `Quick test_n_threads_respected;
+  ]

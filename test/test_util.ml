@@ -1,0 +1,114 @@
+(* Shared helpers: example functions from the paper's figures and the
+   ST-vs-MT equivalence oracle. *)
+
+open Gmt_ir
+module Interp = Gmt_machine.Interp
+module Mt_interp = Gmt_machine.Mt_interp
+
+let mem_size = 1024
+
+(* Figure 3 (shape-equivalent): r2 defined at A (always) and E (under two
+   branches); F stores r2; partitioned so F is alone in thread 2.
+
+   B0: A: r2 = 5          B: br r0 ? B1 : B2
+   B1: C: r3 = r1 + 1     D: br r1 ? B2 : B3
+   B3: E: r2 = 7          jump B2
+   B2: F: store out[r6+0] = r2      <- thread 2
+       G: store out[r6+1] = r3
+       return *)
+type fig3 = {
+  func : Func.t;
+  a : int;
+  b : int;
+  c : int;
+  d : int;
+  e : int;
+  f_store : int;
+  g : int;
+}
+
+let fig3 () =
+  let bld = Builder.create ~name:"fig3" () in
+  let r0 = Builder.reg bld in
+  let r1 = Builder.reg bld in
+  let r2 = Builder.reg bld in
+  let r3 = Builder.reg bld in
+  let r6 = Builder.reg bld in
+  let out = Builder.region bld "out" in
+  let out2 = Builder.region bld "out2" in
+  let b0 = Builder.block bld in
+  let b1 = Builder.block bld in
+  let b2 = Builder.block bld in
+  let b3 = Builder.block bld in
+  let a = (Builder.add bld b0 (Instr.Const (r2, 5))).Instr.id in
+  let b = (Builder.terminate bld b0 (Instr.Branch (r0, b1, b2))).Instr.id in
+  let c = (Builder.add bld b1 (Instr.Binop (Instr.Add, r3, r1, r1))).Instr.id in
+  let d = (Builder.terminate bld b1 (Instr.Branch (r1, b2, b3))).Instr.id in
+  let e = (Builder.add bld b3 (Instr.Const (r2, 7))).Instr.id in
+  ignore (Builder.terminate bld b3 (Instr.Jump b2));
+  let f_store =
+    (Builder.add bld b2 (Instr.Store (out, r6, 0, r2))).Instr.id
+  in
+  let g = (Builder.add bld b2 (Instr.Store (out2, r6, 1, r3))).Instr.id in
+  ignore (Builder.terminate bld b2 Instr.Return);
+  let func =
+    Builder.finish bld ~live_in:[ r0; r1; r6 ] ~live_out:[]
+  in
+  { func; a; b; c; d; e; f_store; g }
+
+(* The observable behaviour of a run: final memory. *)
+let st_memory ?(init_regs = []) ?(init_mem = []) func =
+  let r = Interp.run ~init_regs ~init_mem func ~mem_size in
+  Alcotest.(check bool) "ST fuel" false r.Interp.fuel_exhausted;
+  r.Interp.memory
+
+let check_equivalent ?(init_regs = []) ?(init_mem = []) ~queue_capacity name
+    func (mtp : Mtprog.t) =
+  Array.iter (fun t -> Gmt_ir.Validate.check t) mtp.Mtprog.threads;
+  let expect = st_memory ~init_regs ~init_mem func in
+  let scheds =
+    [ ("rr", Mt_interp.Round_robin); ("rand1", Mt_interp.Random 1);
+      ("rand42", Mt_interp.Random 42) ]
+  in
+  List.iter
+    (fun (sname, sched) ->
+      let r =
+        Mt_interp.run ~sched ~init_regs ~init_mem mtp ~queue_capacity ~mem_size
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s deadlock-free" name sname)
+        false r.Mt_interp.deadlocked;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s fuel" name sname)
+        false r.Mt_interp.fuel_exhausted;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s queues drained" name sname)
+        true r.Mt_interp.queues_drained;
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s/%s memory" name sname)
+        expect r.Mt_interp.memory)
+    scheds
+
+(* Build a PDG and a manual partition from (id, thread) pairs. *)
+let pdg_of func = Gmt_pdg.Pdg.build func
+
+let manual_partition func ~n_threads pairs =
+  let p = Gmt_sched.Partition.make ~n_threads pairs in
+  (match Gmt_sched.Partition.errors p func with
+  | [] -> ()
+  | es -> Alcotest.failf "partition errors: %s" (String.concat "; " es));
+  p
+
+(* Assign every non-structural instruction: the ones in [special] as
+   given, the rest to thread [default]. *)
+let partition_with func ~n_threads ~default special =
+  let pairs = ref [] in
+  Cfg.iter_instrs func.Func.cfg (fun _ (i : Instr.t) ->
+      if not (Instr.is_structural i) then
+        let th =
+          match List.assoc_opt i.Instr.id special with
+          | Some t -> t
+          | None -> default
+        in
+        pairs := (i.Instr.id, th) :: !pairs);
+  manual_partition func ~n_threads !pairs

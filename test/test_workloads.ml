@@ -1,0 +1,120 @@
+(* Workload kernels: structural validity, termination, meaningful output,
+   and the structural features the experiments rely on. *)
+
+open Gmt_ir
+module W = Gmt_workloads.Workload
+module Suite = Gmt_workloads.Suite
+module Interp = Gmt_machine.Interp
+
+let run_input (w : W.t) (inp : W.input) =
+  Interp.run ~init_regs:inp.W.regs ~init_mem:inp.W.mem w.W.func
+    ~mem_size:w.W.mem_size
+
+let test_all_valid () =
+  List.iter (fun (w : W.t) -> Validate.check w.W.func) (Suite.all ())
+
+let test_eleven_benchmarks () =
+  Alcotest.(check int) "paper's 11 functions" 11 (List.length (Suite.all ()));
+  Alcotest.(check (list string))
+    "names"
+    [
+      "177.mesa"; "181.mcf"; "183.equake"; "188.ammp"; "300.twolf";
+      "435.gromacs"; "458.sjeng"; "adpcmdec"; "adpcmenc"; "ks"; "mpeg2enc";
+    ]
+    (List.sort compare (Suite.names ()))
+
+let test_train_and_ref_terminate () =
+  List.iter
+    (fun (w : W.t) ->
+      let t = run_input w w.W.train in
+      Alcotest.(check bool) (w.W.name ^ " train halts") false
+        t.Interp.fuel_exhausted;
+      let r = run_input w w.W.reference in
+      Alcotest.(check bool) (w.W.name ^ " ref halts") false
+        r.Interp.fuel_exhausted;
+      Alcotest.(check bool)
+        (w.W.name ^ " ref is bigger than train")
+        true
+        (r.Interp.dyn_instrs > t.Interp.dyn_instrs))
+    (Suite.all ())
+
+let test_outputs_nontrivial () =
+  (* Each kernel must write something: its observable state is memory. *)
+  List.iter
+    (fun (w : W.t) ->
+      let r = run_input w w.W.reference in
+      let base = Array.make w.W.mem_size 0 in
+      List.iter
+        (fun (a, v) -> base.(a land (w.W.mem_size - 1)) <- v)
+        w.W.reference.W.mem;
+      Alcotest.(check bool) (w.W.name ^ " writes memory") true
+        (r.Interp.memory <> base))
+    (Suite.all ())
+
+let test_deterministic () =
+  List.iter
+    (fun (w : W.t) ->
+      let a = run_input w w.W.train and b = run_input w w.W.train in
+      Alcotest.(check (array int)) (w.W.name ^ " deterministic")
+        a.Interp.memory b.Interp.memory)
+    (Suite.all ())
+
+let test_ref_sizes_reasonable () =
+  (* Keep simulations tractable: every reference run between 30k and 2M
+     dynamic instructions. *)
+  List.iter
+    (fun (w : W.t) ->
+      let r = run_input w w.W.reference in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s size %d in range" w.W.name r.Interp.dyn_instrs)
+        true
+        (r.Interp.dyn_instrs > 30_000 && r.Interp.dyn_instrs < 2_000_000))
+    (Suite.all ())
+
+let test_structural_features () =
+  (* The experiment narratives rely on these structural properties. *)
+  let has_loops w n =
+    let nest = Gmt_analysis.Loopnest.compute (Suite.find w).W.func in
+    Alcotest.(check bool)
+      (w ^ " has >= " ^ string_of_int n ^ " loops")
+      true
+      (Gmt_analysis.Loopnest.n_loops nest >= n)
+  in
+  has_loops "ks" 3;
+  (* gain loop + bookkeeping loop + outer *)
+  has_loops "177.mesa" 3;
+  (* two pixel phases + span loop *)
+  has_loops "mpeg2enc" 3;
+  has_loops "adpcmdec" 1;
+  has_loops "181.mcf" 1;
+  (* fp-heavy kernels really use FP-class ops *)
+  List.iter
+    (fun name ->
+      let w = Suite.find name in
+      let fp = ref 0 in
+      Cfg.iter_instrs w.W.func.Func.cfg (fun _ (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Binop ((Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv), _, _, _)
+            ->
+            incr fp
+          | _ -> ());
+      Alcotest.(check bool) (name ^ " uses FP") true (!fp >= 2))
+    [ "183.equake"; "188.ammp"; "435.gromacs" ]
+
+let test_find () =
+  Alcotest.(check string) "find" "ks" (Suite.find "ks").W.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Suite.find "nope"))
+
+let tests =
+  [
+    Alcotest.test_case "all valid" `Quick test_all_valid;
+    Alcotest.test_case "eleven benchmarks" `Quick test_eleven_benchmarks;
+    Alcotest.test_case "train/ref terminate" `Quick
+      test_train_and_ref_terminate;
+    Alcotest.test_case "outputs nontrivial" `Quick test_outputs_nontrivial;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "ref sizes" `Quick test_ref_sizes_reasonable;
+    Alcotest.test_case "structural features" `Quick test_structural_features;
+    Alcotest.test_case "suite find" `Quick test_find;
+  ]
