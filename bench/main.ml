@@ -15,41 +15,48 @@
                control-flow penalties
 
    Run with no arguments for the main figures; pass section names to
-   select (e.g. `dune exec bench/main.exe fig7 fig8 ablate`). *)
+   select (e.g. `dune exec bench/main.exe fig7 fig8 ablate`). The
+   evaluation matrix fans out across a domain pool: `--jobs N` sets the
+   worker count (default: GMT_JOBS or the recommended domain count);
+   results are byte-identical for every N. `--smoke` runs a tiny-fuel
+   3-kernel matrix through the decoded kernel and the pool (CI's @smoke
+   alias). `fig8` additionally writes BENCH_fig8.json with per-cell
+   wall-clock and simulated cycles. *)
 
 module V = Gmt_core.Velocity
 module W = Gmt_workloads.Workload
 module Suite = Gmt_workloads.Suite
 module Config = Gmt_machine.Config
+module Pool = Gmt_parallel.Pool
 
-type row = {
-  w : W.t;
-  st : V.metrics;
-  gremio : V.metrics;
-  gremio_coco : V.metrics;
-  dswp : V.metrics;
-  dswp_coco : V.metrics;
-}
+type row = V.row
 
-let compute_row w =
-  let st = V.measure_single w in
-  let m tech coco = V.measure (V.compile ~coco tech w) in
-  {
-    w;
-    st;
-    gremio = m V.Gremio false;
-    gremio_coco = m V.Gremio true;
-    dswp = m V.Dswp false;
-    dswp_coco = m V.Dswp true;
-  }
+let jobs : int option ref = ref None
+let kernel : Gmt_machine.Sim.kernel ref = ref `Decoded
+let matrix_wall = ref 0.0
+
+let kernel_name () =
+  match !kernel with `Decoded -> "decoded" | `Legacy -> "legacy"
 
 let rows : row list Lazy.t =
   lazy
-    (List.map
-       (fun w ->
-         Printf.eprintf "[bench] measuring %s...\n%!" w.W.name;
-         compute_row w)
-       (Suite.all ()))
+    (let ws = Suite.all () in
+     let j = match !jobs with Some j -> j | None -> Pool.default_jobs () in
+     Printf.eprintf "[bench] measuring %d x %d matrix (jobs=%d, kernel=%s)...\n%!"
+       (List.length ws)
+       (List.length V.matrix_kinds)
+       j (kernel_name ());
+     let t0 = Unix.gettimeofday () in
+     let rs = V.run_matrix ~jobs:j ~kernel:!kernel ws in
+     matrix_wall := Unix.gettimeofday () -. t0;
+     rs)
+
+(* Metric accessors over timed cells. *)
+let st_m (r : row) = r.V.st.V.metrics
+let gremio_m (r : row) = r.V.gremio.V.metrics
+let gremio_coco_m (r : row) = r.V.gremio_coco.V.metrics
+let dswp_m (r : row) = r.V.dswp.V.metrics
+let dswp_coco_m (r : row) = r.V.dswp_coco.V.metrics
 
 let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
 let speedup st m = float_of_int st.V.cycles /. float_of_int m.V.cycles
@@ -68,14 +75,15 @@ let fig1 () =
   let gsum = ref 0.0 and dsum = ref 0.0 and n = ref 0 in
   List.iter
     (fun r ->
-      let g = pct r.gremio.V.comm_instrs r.gremio.V.dyn_instrs in
-      let d = pct r.dswp.V.comm_instrs r.dswp.V.dyn_instrs in
+      let gm = gremio_m r and dm = dswp_m r in
+      let g = pct gm.V.comm_instrs gm.V.dyn_instrs in
+      let d = pct dm.V.comm_instrs dm.V.dyn_instrs in
       gsum := !gsum +. g;
       dsum := !dsum +. d;
       incr n;
-      Printf.printf "%-12s | %9d/%-9d %5.1f%% | %9d/%-9d %5.1f%%\n" r.w.W.name
-        r.gremio.V.comm_instrs r.gremio.V.dyn_instrs g r.dswp.V.comm_instrs
-        r.dswp.V.dyn_instrs d)
+      Printf.printf "%-12s | %9d/%-9d %5.1f%% | %9d/%-9d %5.1f%%\n"
+        r.V.rw.W.name gm.V.comm_instrs gm.V.dyn_instrs g dm.V.comm_instrs
+        dm.V.dyn_instrs d)
     (Lazy.force rows);
   hr ();
   Printf.printf "%-12s | %25.1f%% | %25.1f%%\n" "average"
@@ -112,13 +120,15 @@ let fig7 () =
   let gsum = ref 0.0 and dsum = ref 0.0 and n = ref 0 in
   List.iter
     (fun r ->
-      let g = pct r.gremio_coco.V.comm_instrs r.gremio.V.comm_instrs in
-      let d = pct r.dswp_coco.V.comm_instrs r.dswp.V.comm_instrs in
+      let gm = gremio_m r and gcm = gremio_coco_m r in
+      let dm = dswp_m r and dcm = dswp_coco_m r in
+      let g = pct gcm.V.comm_instrs gm.V.comm_instrs in
+      let d = pct dcm.V.comm_instrs dm.V.comm_instrs in
       gsum := !gsum +. g;
       dsum := !dsum +. d;
       incr n;
-      Printf.printf "%-12s | %8.1f%% | %8.1f%% | %d -> %d\n" r.w.W.name g d
-        r.gremio.V.mem_syncs r.gremio_coco.V.mem_syncs)
+      Printf.printf "%-12s | %8.1f%% | %8.1f%% | %d -> %d\n" r.V.rw.W.name g d
+        gm.V.mem_syncs gcm.V.mem_syncs)
     (Lazy.force rows);
   hr ();
   Printf.printf "%-12s | %8.1f%% | %8.1f%%\n" "average"
@@ -128,6 +138,69 @@ let fig7 () =
     "(paper: average 65.6% remaining for GREMIO / 76.2% for DSWP; largest\n\
     \ reduction ks with GREMIO, to 26.3%; adpcmenc/GREMIO had no\n\
     \ opportunity; >99% of mesa & gromacs memory syncs removed)"
+
+(* Machine-readable perf trajectory: per-cell simulated cycles, dynamic
+   communication, wall-clock, and simulated speedup vs the single-thread
+   run, plus the harness-level wall-clock summary. Schema documented in
+   README.md. *)
+let write_fig8_json rs =
+  let j = match !jobs with Some j -> j | None -> Pool.default_jobs () in
+  let buf = Buffer.create 4096 in
+  let cells =
+    List.concat_map
+      (fun (r : row) ->
+        let st = st_m r in
+        List.map2
+          (fun kind (t : V.timed) ->
+            let m = t.V.metrics in
+            let sim_speedup =
+              if m.V.cycles = 0 then 0.0
+              else float_of_int st.V.cycles /. float_of_int m.V.cycles
+            in
+            Printf.sprintf
+              "    {\"bench\": %S, \"config\": %S, \"cycles\": %d, \
+               \"dyn_instrs\": %d, \"comm_instrs\": %d, \"mem_syncs\": %d, \
+               \"wall_s\": %.6f, \"sim_speedup\": %.4f}"
+              r.V.rw.W.name (V.cell_name kind) m.V.cycles m.V.dyn_instrs
+              m.V.comm_instrs m.V.mem_syncs t.V.wall_s sim_speedup)
+          V.matrix_kinds
+          [ r.V.st; r.V.gremio; r.V.gremio_coco; r.V.dswp; r.V.dswp_coco ])
+      rs
+  in
+  let sum_cell_wall =
+    List.fold_left
+      (fun acc (r : row) ->
+        List.fold_left
+          (fun acc (t : V.timed) -> acc +. t.V.wall_s)
+          acc
+          [ r.V.st; r.V.gremio; r.V.gremio_coco; r.V.dswp; r.V.dswp_coco ])
+      0.0 rs
+  in
+  let harness_speedup =
+    if !matrix_wall > 0.0 then sum_cell_wall /. !matrix_wall else 1.0
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"gmt-bench-fig8/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" j);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"kernel\": %S,\n" (kernel_name ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_wall_s\": %.6f,\n" !matrix_wall);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sum_cell_wall_s\": %.6f,\n" sum_cell_wall);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"harness_speedup\": %.4f,\n" harness_speedup);
+  Buffer.add_string buf "  \"cells\": [\n";
+  Buffer.add_string buf (String.concat ",\n" cells);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_fig8.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.eprintf
+    "[bench] BENCH_fig8.json written (total %.2fs, cells %.2fs, harness \
+     speedup %.2fx)\n\
+     %!"
+    !matrix_wall sum_cell_wall harness_speedup
 
 let fig8 () =
   print_endline "";
@@ -139,17 +212,18 @@ let fig8 () =
   let ggain = ref 0.0 and dgain = ref 0.0 and n = ref 0 in
   List.iter
     (fun r ->
-      let g = speedup r.st r.gremio
-      and gc = speedup r.st r.gremio_coco
-      and d = speedup r.st r.dswp
-      and dc = speedup r.st r.dswp_coco in
+      let st = st_m r in
+      let g = speedup st (gremio_m r)
+      and gc = speedup st (gremio_coco_m r)
+      and d = speedup st (dswp_m r)
+      and dc = speedup st (dswp_coco_m r) in
       let gg = 100.0 *. ((gc /. g) -. 1.0) in
       let dg = 100.0 *. ((dc /. d) -. 1.0) in
       ggain := !ggain +. gg;
       dgain := !dgain +. dg;
       incr n;
       Printf.printf "%-12s | %7.2f %7.2f | %7.2f %7.2f | %8.1f%% %8.1f%%\n"
-        r.w.W.name g gc d dc gg dg)
+        r.V.rw.W.name g gc d dc gg dg)
     (Lazy.force rows);
   hr ();
   Printf.printf "%-12s | %27s | %8.1f%% %8.1f%%\n" "average"
@@ -158,7 +232,8 @@ let fig8 () =
     (!dgain /. float_of_int !n);
   print_endline
     "(paper: COCO improves GREMIO speedups by 15.6% on average and DSWP by\n\
-    \ 2.7%; the largest gain is ks with GREMIO, +47.6%)"
+    \ 2.7%; the largest gain is ks with GREMIO, +47.6%)";
+  write_fig8_json (Lazy.force rows)
 
 (* ---------------------------------------------------------------- *)
 
@@ -369,13 +444,77 @@ let compile_bench () =
 
 (* ---------------------------------------------------------------- *)
 
+(* --smoke: a seconds-scale end-to-end pass for CI (the dune @smoke
+   alias): three kernels through the full matrix on a 2-worker domain
+   pool with tiny fuel, plus a decoded-vs-legacy simulator equivalence
+   check and a jobs-determinism check. Exits non-zero on any mismatch. *)
+let smoke () =
+  let ws = List.map Suite.find [ "adpcmdec"; "ks"; "mpeg2enc" ] in
+  let fuel = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  let par = V.run_matrix ~jobs:2 ~fuel ws in
+  let seq = V.run_matrix ~jobs:1 ~fuel ws in
+  let strip (r : row) =
+    ( r.V.rw.W.name,
+      List.map
+        (fun (t : V.timed) -> t.V.metrics)
+        [ r.V.st; r.V.gremio; r.V.gremio_coco; r.V.dswp; r.V.dswp_coco ] )
+  in
+  if List.map strip par <> List.map strip seq then begin
+    prerr_endline "[smoke] FAIL: jobs=2 matrix differs from jobs=1";
+    exit 1
+  end;
+  List.iter
+    (fun (w : W.t) ->
+      let c = V.compile V.Gremio w in
+      let mc = V.machine_config V.Gremio in
+      let run kernel =
+        Gmt_machine.Sim.run ~fuel ~kernel ~init_regs:w.W.reference.W.regs
+          ~init_mem:w.W.reference.W.mem mc c.V.mtp ~mem_size:w.W.mem_size
+      in
+      if run `Decoded <> run `Legacy then begin
+        Printf.eprintf "[smoke] FAIL: %s decoded/legacy results differ\n"
+          w.W.name;
+        exit 1
+      end)
+    ws;
+  Printf.printf
+    "[smoke] ok: %d kernels x %d configs, pool jobs=2 deterministic, \
+     decoded==legacy (%.2fs)\n"
+    (List.length ws)
+    (List.length V.matrix_kinds)
+    (Unix.gettimeofday () -. t0)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let want s = args = [] || List.mem s args in
-  if want "fig6" then fig6 ();
-  if want "fig1" then fig1 ();
-  if want "fig7" then fig7 ();
-  if want "fig8" then fig8 ();
-  if want "caches" then caches ();
-  if want "compile" then compile_bench ();
-  if List.mem "ablate" args then ablate ()
+  let rec parse = function
+    | [] -> []
+    | "--smoke" :: rest -> "--smoke-marker" :: parse rest
+    | "--jobs" :: n :: rest ->
+      jobs := Some (max 1 (int_of_string n));
+      parse rest
+    | "--kernel" :: k :: rest ->
+      (kernel :=
+         match k with
+         | "decoded" -> `Decoded
+         | "legacy" -> `Legacy
+         | _ -> failwith "--kernel expects decoded|legacy");
+      parse rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
+      ->
+      jobs :=
+        Some (max 1 (int_of_string (String.sub arg 7 (String.length arg - 7))));
+      parse rest
+    | arg :: rest -> arg :: parse rest
+  in
+  let args = parse (List.tl (Array.to_list Sys.argv)) in
+  if List.mem "--smoke-marker" args then smoke ()
+  else begin
+    let want s = args = [] || List.mem s args in
+    if want "fig6" then fig6 ();
+    if want "fig1" then fig1 ();
+    if want "fig7" then fig7 ();
+    if want "fig8" then fig8 ();
+    if want "caches" then caches ();
+    if want "compile" then compile_bench ();
+    if List.mem "ablate" args then ablate ()
+  end

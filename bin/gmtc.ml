@@ -50,6 +50,16 @@ let threads_arg =
     value & opt int 2
     & info [ "j"; "threads" ] ~docv:"N" ~doc:"Number of threads to extract.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Gmt_parallel.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Host domains used to run independent measurements concurrently \
+           (results are byte-identical for any value; defaults to \
+           $(b,GMT_JOBS) or the recommended domain count).")
+
 (* ------------------------------ list ------------------------------ *)
 
 let list_cmd =
@@ -107,10 +117,19 @@ let compile_cmd =
 (* ------------------------------ run ------------------------------ *)
 
 let run_cmd =
-  let run (w : W.t) tech coco threads =
-    let st = V.measure_single w in
-    let c = V.compile ~n_threads:threads ~coco tech w in
-    let m = V.measure c in
+  let run (w : W.t) tech coco threads jobs =
+    (* The single-threaded baseline and the multi-threaded cell are
+       independent; fan them out over the domain pool. *)
+    let cells =
+      Gmt_parallel.Pool.run_list ~jobs
+        [
+          (fun () -> V.measure_single w);
+          (fun () -> V.measure (V.compile ~n_threads:threads ~coco tech w));
+        ]
+    in
+    let st, m =
+      match cells with [ st; m ] -> (st, m) | _ -> assert false
+    in
     Printf.printf "%s / %s%s / %d threads\n" w.W.name (V.technique_name tech)
       (if coco then "+COCO" else "")
       threads;
@@ -131,7 +150,8 @@ let run_cmd =
        ~doc:
          "Compile a kernel, verify the generated code and report simulated \
           performance.")
-    Term.(const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg)
+    Term.(
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ jobs_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
@@ -157,7 +177,7 @@ let dot_cmd =
 (* ----------------------------- sweep ----------------------------- *)
 
 let sweep_cmd =
-  let run (w : W.t) max_threads =
+  let run (w : W.t) max_threads jobs =
     let profile =
       (Gmt_machine.Interp.run ~init_regs:w.W.train.W.regs
          ~init_mem:w.W.train.W.mem w.W.func ~mem_size:w.W.mem_size)
@@ -166,7 +186,8 @@ let sweep_cmd =
     let pdg = Gmt_pdg.Pdg.build w.W.func in
     Printf.printf "%8s | %12s | %12s | %s\n" "threads" "comm(MTCG)"
       "comm(+COCO)" "remaining";
-    for n = 2 to max_threads do
+    (* Thread counts are independent cells: fan out, print in order. *)
+    let cell n () =
       let part = Gmt_sched.Gremio.partition ~n_threads:n pdg profile in
       let measure plan =
         let mtp = Gmt_mtcg.Mtcg.generate pdg part plan in
@@ -179,13 +200,21 @@ let sweep_cmd =
       in
       let base = measure (Gmt_mtcg.Mtcg.baseline_plan pdg part) in
       let coco = measure (fst (Gmt_coco.Coco.optimize pdg part profile)) in
-      Printf.printf "%8d | %12d | %12d | %8.1f%%\n" n base coco
-        (100.0 *. float_of_int coco /. float_of_int (max 1 base))
-    done
+      (n, base, coco)
+    in
+    let cells =
+      Gmt_parallel.Pool.run_list ~jobs
+        (List.init (max 0 (max_threads - 1)) (fun i -> cell (i + 2)))
+    in
+    List.iter
+      (fun (n, base, coco) ->
+        Printf.printf "%8d | %12d | %12d | %8.1f%%\n" n base coco
+          (100.0 *. float_of_int coco /. float_of_int (max 1 base)))
+      cells
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep thread counts and report communication.")
-    Term.(const run $ bench_arg $ threads_arg)
+    Term.(const run $ bench_arg $ threads_arg $ jobs_arg)
 
 let () =
   let doc =

@@ -14,7 +14,15 @@ module type PROBLEM = sig
 end
 
 module Make (P : PROBLEM) = struct
-  type result = { cfg : Cfg.t; inf : P.fact array; outf : P.fact array }
+  type result = {
+    cfg : Cfg.t;
+    inf : P.fact array;
+    outf : P.fact array;
+    (* Reversed block bodies, built lazily per block: backward [at]
+       queries re-walk a body right-to-left, and reversing it on every
+       query was a measurable cost for hot blocks. *)
+    rev_bodies : Instr.t list option array;
+  }
 
   (* Apply the block transfer: forward folds the body left-to-right,
      backward right-to-left. *)
@@ -23,11 +31,36 @@ module Make (P : PROBLEM) = struct
     | Forward -> List.fold_left (fun f i -> P.transfer i f) fact body
     | Backward -> List.fold_right P.transfer body fact
 
+  (* Postorder of the CFG's block digraph (unreachable blocks appended so
+     every block still gets seeded). Seeding the worklist in reverse
+     postorder for forward problems — and postorder for backward ones —
+     propagates facts along long acyclic chains in one pass instead of
+     one worklist round per block. *)
+  let postorder cfg =
+    let n = Cfg.n_blocks cfg in
+    let seen = Array.make n false in
+    let order = ref [] in
+    let rec dfs b =
+      if not seen.(b) then begin
+        seen.(b) <- true;
+        List.iter dfs (Cfg.succs cfg b);
+        order := b :: !order
+      end
+    in
+    dfs (Cfg.entry cfg);
+    let unreachable = ref [] in
+    for b = n - 1 downto 0 do
+      if not seen.(b) then unreachable := b :: !unreachable
+    done;
+    (* [order] currently holds reverse postorder; flip for postorder. *)
+    (List.rev !order, !unreachable)
+
   let solve cfg =
     let n = Cfg.n_blocks cfg in
     let inf = Array.make n P.start in
     let outf = Array.make n P.start in
-    let exits = Cfg.exit_blocks cfg in
+    let is_exit = Array.make n false in
+    List.iter (fun b -> is_exit.(b) <- true) (Cfg.exit_blocks cfg);
     let worklist = Queue.create () in
     let in_q = Array.make n false in
     let push b =
@@ -36,9 +69,11 @@ module Make (P : PROBLEM) = struct
         Queue.push b worklist
       end
     in
-    for b = 0 to n - 1 do
-      push b
-    done;
+    let post, unreachable = postorder cfg in
+    (match P.direction with
+    | Forward -> List.iter push (List.rev post)
+    | Backward -> List.iter push post);
+    List.iter push unreachable;
     while not (Queue.is_empty worklist) do
       let b = Queue.pop worklist in
       in_q.(b) <- false;
@@ -61,7 +96,7 @@ module Make (P : PROBLEM) = struct
         let from_succs =
           List.fold_left
             (fun acc s -> P.meet acc inf.(s))
-            (if List.mem b exits then P.boundary else P.start)
+            (if is_exit.(b) then P.boundary else P.start)
             (Cfg.succs cfg b)
         in
         outf.(b) <- from_succs;
@@ -71,7 +106,7 @@ module Make (P : PROBLEM) = struct
           List.iter push (Cfg.preds cfg b)
         end
     done;
-    { cfg; inf; outf }
+    { cfg; inf; outf; rev_bodies = Array.make n None }
 
   let block_in r l = r.inf.(l)
   let block_out r l = r.outf.(l)
@@ -91,13 +126,21 @@ module Make (P : PROBLEM) = struct
       !fact
     | Backward ->
       let m = List.length body in
+      let rev_body =
+        match r.rev_bodies.(l) with
+        | Some rb -> rb
+        | None ->
+          let rb = List.rev body in
+          r.rev_bodies.(l) <- Some rb;
+          rb
+      in
       let fact = ref r.outf.(l) in
       List.iteri
         (fun j ins ->
           let i = m - 1 - j in
           if i > idx || (want_before && i = idx) then
             fact := P.transfer ins !fact)
-        (List.rev body);
+        rev_body;
       !fact
 
   let before r id = at r id ~want_before:true

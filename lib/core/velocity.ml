@@ -97,13 +97,15 @@ let expected_memory (w : Workload.t) =
   if r.Interp.fuel_exhausted then failwith (w.name ^ ": ref run exhausted fuel");
   (r.Interp.memory, r.Interp.dyn_instrs)
 
-let measure c =
+let measure ?fuel ?kernel ?expect c =
   let w = c.workload in
   let mc = machine_config ~n_cores:(max 2 c.n_threads) c.technique in
-  let expect, _ = expected_memory w in
+  let expect, _ =
+    match expect with Some e -> e | None -> expected_memory w
+  in
   (* Untimed run for instruction counts + the correctness check. *)
   let mt =
-    Mt_interp.run ~init_regs:w.reference.Workload.regs
+    Mt_interp.run ?fuel ~init_regs:w.reference.Workload.regs
       ~init_mem:w.reference.Workload.mem c.mtp
       ~queue_capacity:mc.Config.queue_size ~mem_size:w.mem_size
   in
@@ -112,19 +114,21 @@ let measure c =
       (Printf.sprintf "%s/%s%s: deadlock" w.name
          (technique_name c.technique)
          (if c.coco then "+COCO" else ""));
-  if mt.Mt_interp.memory <> expect then
+  (* A fuel-exhausted run (smoke mode's tiny budgets) has partial memory:
+     the equivalence check only applies to completed runs. *)
+  if (not mt.Mt_interp.fuel_exhausted) && mt.Mt_interp.memory <> expect then
     failwith
       (Printf.sprintf "%s/%s%s: multi-threaded memory diverges" w.name
          (technique_name c.technique)
          (if c.coco then "+COCO" else ""));
   (* Timed run for cycles. *)
   let sim =
-    Sim.run ~init_regs:w.reference.Workload.regs
+    Sim.run ?fuel ?kernel ~init_regs:w.reference.Workload.regs
       ~init_mem:w.reference.Workload.mem mc c.mtp ~mem_size:w.mem_size
   in
   if sim.Sim.deadlocked then
     failwith (w.name ^ ": simulator deadlock");
-  if sim.Sim.memory <> expect then
+  if (not sim.Sim.fuel_exhausted) && sim.Sim.memory <> expect then
     failwith (w.name ^ ": simulated memory diverges");
   let syncs =
     Array.fold_left
@@ -140,13 +144,13 @@ let measure c =
     deadlocked = false;
   }
 
-let measure_single (w : Workload.t) =
+let measure_single ?fuel ?kernel ?expect (w : Workload.t) =
   let mc = Config.itanium2 () in
   let sim =
-    Sim.run_single ~init_regs:w.reference.Workload.regs
+    Sim.run_single ?fuel ?kernel ~init_regs:w.reference.Workload.regs
       ~init_mem:w.reference.Workload.mem mc w.func ~mem_size:w.mem_size
   in
-  let _, dyn = expected_memory w in
+  let _, dyn = match expect with Some e -> e | None -> expected_memory w in
   {
     dyn_instrs = dyn;
     comm_instrs = 0;
@@ -154,3 +158,68 @@ let measure_single (w : Workload.t) =
     cycles = sim.Sim.cycles;
     deadlocked = sim.Sim.deadlocked;
   }
+
+(* ------------------- the evaluation matrix ------------------- *)
+
+type cell_kind = Single | Mt of technique * bool
+
+let cell_name = function
+  | Single -> "single"
+  | Mt (t, coco) ->
+    String.lowercase_ascii (technique_name t) ^ if coco then "+coco" else ""
+
+let measure_cell ?fuel ?kernel ?expect ?(n_threads = 2) kind w =
+  match kind with
+  | Single -> measure_single ?fuel ?kernel ?expect w
+  | Mt (tech, coco) ->
+    measure ?fuel ?kernel ?expect (compile ~n_threads ~coco tech w)
+
+type timed = { metrics : metrics; wall_s : float }
+
+type row = {
+  rw : Workload.t;
+  st : timed;
+  gremio : timed;
+  gremio_coco : timed;
+  dswp : timed;
+  dswp_coco : timed;
+}
+
+let matrix_kinds =
+  [ Single; Mt (Gremio, false); Mt (Gremio, true); Mt (Dswp, false);
+    Mt (Dswp, true) ]
+
+(* Fan the independent (workload, partitioner, ±COCO) cells of the
+   Fig 7/8 evaluation matrix out across a domain pool. Each cell is pure
+   (its own compile + interpreters + simulator, no shared mutable state),
+   and results are merged in a fixed order, so the output is
+   byte-identical for every [jobs] value, including the inline [jobs=1]
+   path. *)
+let run_matrix ?jobs ?fuel ?kernel (ws : Workload.t list) =
+  (* Phase 0: one reference-interpreter run per workload (the oracle
+     memory image + dynamic instruction count), itself fanned out, then
+     shared by that workload's five cells instead of recomputed in each. *)
+  let expects =
+    Gmt_parallel.Pool.run_list ?jobs
+      (List.map (fun w () -> expected_memory w) ws)
+  in
+  let cell w expect kind () =
+    let t0 = Unix.gettimeofday () in
+    let m = measure_cell ?fuel ?kernel ~expect kind w in
+    { metrics = m; wall_s = Unix.gettimeofday () -. t0 }
+  in
+  let tasks =
+    List.concat_map
+      (fun (w, expect) -> List.map (cell w expect) matrix_kinds)
+      (List.combine ws expects)
+  in
+  let results = Gmt_parallel.Pool.run_list ?jobs tasks in
+  let rec rows ws results =
+    match (ws, results) with
+    | [], [] -> []
+    | w :: ws', st :: g :: gc :: d :: dc :: rest ->
+      { rw = w; st; gremio = g; gremio_coco = gc; dswp = d; dswp_coco = dc }
+      :: rows ws' rest
+    | _ -> assert false
+  in
+  rows ws results

@@ -60,12 +60,72 @@ type metrics = {
 }
 
 (** Execute compiled code on the reference input and also check that its
-    final memory matches the single-threaded run.
+    final memory matches the single-threaded run (skipped when [fuel] ran
+    out — smoke mode's tiny budgets stop mid-flight). [kernel] selects
+    the simulator issue loop (default decoded; see {!Gmt_machine.Sim}).
+    [expect] supplies the precomputed reference-run oracle (final memory,
+    dynamic instruction count) — {!run_matrix} computes it once per
+    workload instead of once per cell.
     @raise Failure on divergence or deadlock. *)
-val measure : compiled -> metrics
+val measure :
+  ?fuel:int ->
+  ?kernel:Gmt_machine.Sim.kernel ->
+  ?expect:int array * int ->
+  compiled ->
+  metrics
 
 (** Single-threaded reference numbers on the reference input. *)
-val measure_single : Workload.t -> metrics
+val measure_single :
+  ?fuel:int ->
+  ?kernel:Gmt_machine.Sim.kernel ->
+  ?expect:int array * int ->
+  Workload.t ->
+  metrics
+
+(** {2 The evaluation matrix}
+
+    The Fig 1/7/8 matrix is [workloads x matrix_kinds] independent cells;
+    {!run_matrix} executes them concurrently on a {!Gmt_parallel.Pool}
+    and merges results in a fixed order — byte-identical output for every
+    [jobs] value. *)
+
+type cell_kind = Single | Mt of technique * bool  (** technique, ±COCO *)
+
+val cell_name : cell_kind -> string
+(** ["single"], ["gremio"], ["gremio+coco"], ["dswp"], ["dswp+coco"]. *)
+
+val matrix_kinds : cell_kind list
+(** The five per-workload cells, in matrix order (single first). *)
+
+(** Compile (if multi-threaded) and measure one cell. *)
+val measure_cell :
+  ?fuel:int ->
+  ?kernel:Gmt_machine.Sim.kernel ->
+  ?expect:int array * int ->
+  ?n_threads:int ->
+  cell_kind ->
+  Workload.t ->
+  metrics
+
+type timed = { metrics : metrics; wall_s : float (** cell wall-clock *) }
+
+type row = {
+  rw : Workload.t;
+  st : timed;
+  gremio : timed;
+  gremio_coco : timed;
+  dswp : timed;
+  dswp_coco : timed;
+}
+
+(** [run_matrix ~jobs ws] evaluates the full matrix over [ws]. [jobs]
+    defaults to {!Gmt_parallel.Pool.default_jobs}. *)
+val run_matrix :
+  ?jobs:int ->
+  ?fuel:int ->
+  ?kernel:Gmt_machine.Sim.kernel ->
+  Workload.t list ->
+  row list
 
 (** Machine configuration used for a compiled program's simulation
     (32-entry queues for DSWP pipelines, single-entry otherwise;

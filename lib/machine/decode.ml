@@ -1,0 +1,117 @@
+open Gmt_ir
+
+type iclass = Calu | Cfp | Cmem | Cbr | Cnone
+
+type dop =
+  | Dconst of int * int
+  | Dcopy of int * int
+  | Dunop of Instr.unop * int * int
+  | Dbinop of Instr.binop * int * int * int
+  | Dload of int * int * int
+  | Dstore of int * int * int
+  | Djump of int
+  | Dbranch of int * int * int
+  | Dreturn
+  | Dproduce of int * int
+  | Dconsume of int * int
+  | Dproduce_sync of int
+  | Dconsume_sync of int
+  | Dnop
+
+type dinstr = {
+  dop : dop;
+  cls : iclass;
+  lat : int;
+  uses : int array;
+  defs : int array;
+  is_mem : bool;
+  needs_sa : bool;
+}
+
+type t = {
+  code : dinstr array;
+  block_start : int array;
+  entry_pc : int;
+}
+
+let classify (i : Instr.t) =
+  match i.op with
+  | Instr.Binop (b, _, _, _) -> (
+    match b with
+    | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv | Instr.Fmin
+    | Instr.Fmax ->
+      Cfp
+    | _ -> Calu)
+  | Instr.Unop (u, _, _) -> (
+    match u with Instr.Fneg | Instr.Fsqrt -> Cfp | _ -> Calu)
+  | Instr.Const _ | Instr.Copy _ -> Calu
+  | Instr.Load _ | Instr.Store _ | Instr.Produce _ | Instr.Consume _
+  | Instr.Produce_sync _ | Instr.Consume_sync _ ->
+    Cmem
+  | Instr.Jump _ | Instr.Branch _ | Instr.Return -> Cbr
+  | Instr.Nop -> Cnone
+
+let latency_of (cfg : Config.t) (i : Instr.t) =
+  match i.op with
+  | Instr.Binop (b, _, _, _) -> (
+    match b with
+    | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv | Instr.Fmin
+    | Instr.Fmax ->
+      cfg.fp_latency
+    | Instr.Mul -> 3
+    | Instr.Div | Instr.Rem -> 8
+    | _ -> cfg.alu_latency)
+  | Instr.Unop (u, _, _) -> (
+    match u with
+    | Instr.Fneg | Instr.Fsqrt -> cfg.fp_latency
+    | _ -> cfg.alu_latency)
+  | _ -> cfg.alu_latency
+
+let ri = Reg.to_int
+
+let decode_op block_start (op : Instr.op) =
+  match op with
+  | Instr.Const (d, k) -> Dconst (ri d, k)
+  | Instr.Copy (d, s) -> Dcopy (ri d, ri s)
+  | Instr.Unop (u, d, s) -> Dunop (u, ri d, ri s)
+  | Instr.Binop (b, d, x, y) -> Dbinop (b, ri d, ri x, ri y)
+  | Instr.Load (_, d, base, off) -> Dload (ri d, ri base, off)
+  | Instr.Store (_, base, off, s) -> Dstore (ri base, off, ri s)
+  | Instr.Jump l -> Djump block_start.(l)
+  | Instr.Branch (c, l1, l2) -> Dbranch (ri c, block_start.(l1), block_start.(l2))
+  | Instr.Return -> Dreturn
+  | Instr.Produce (q, s) -> Dproduce (q, ri s)
+  | Instr.Consume (d, q) -> Dconsume (ri d, q)
+  | Instr.Produce_sync q -> Dproduce_sync q
+  | Instr.Consume_sync q -> Dconsume_sync q
+  | Instr.Nop -> Dnop
+
+let decode_instr mc block_start (i : Instr.t) =
+  {
+    dop = decode_op block_start i.op;
+    cls = classify i;
+    lat = latency_of mc i;
+    uses = Array.of_list (List.map ri (Instr.uses i));
+    defs = Array.of_list (List.map ri (Instr.defs i));
+    is_mem = Instr.is_memory i;
+    needs_sa = Instr.is_communication i;
+  }
+
+let func (mc : Config.t) (f : Func.t) =
+  let cfg = f.Func.cfg in
+  let n = Cfg.n_blocks cfg in
+  let block_start = Array.make n 0 in
+  let total = ref 0 in
+  for l = 0 to n - 1 do
+    block_start.(l) <- !total;
+    total := !total + List.length (Cfg.body cfg l)
+  done;
+  if !total = 0 then invalid_arg "Decode.func: empty function";
+  let dummy = decode_instr mc block_start (Instr.make ~id:(-1) Instr.Nop) in
+  let code = Array.make !total dummy in
+  for l = 0 to n - 1 do
+    List.iteri
+      (fun k i -> code.(block_start.(l) + k) <- decode_instr mc block_start i)
+      (Cfg.body cfg l)
+  done;
+  { code; block_start; entry_pc = block_start.(Cfg.entry cfg) }

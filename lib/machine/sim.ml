@@ -20,42 +20,25 @@ type result = {
   per_core : core_stats array;
   deadlocked : bool;
   fuel_exhausted : bool;
+  idle_peak : int;
+  deadlock_threshold : int;
 }
 
-type iclass = Calu | Cfp | Cmem | Cbr | Cnone
+type kernel = [ `Decoded | `Legacy ]
 
-let classify (i : Instr.t) =
-  match i.op with
-  | Instr.Binop (b, _, _, _) -> (
-    match b with
-    | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv | Instr.Fmin
-    | Instr.Fmax ->
-      Cfp
-    | _ -> Calu)
-  | Instr.Unop (u, _, _) -> (
-    match u with Instr.Fneg | Instr.Fsqrt -> Cfp | _ -> Calu)
-  | Instr.Const _ | Instr.Copy _ -> Calu
-  | Instr.Load _ | Instr.Store _ | Instr.Produce _ | Instr.Consume _
-  | Instr.Produce_sync _ | Instr.Consume_sync _ ->
-    Cmem
-  | Instr.Jump _ | Instr.Branch _ | Instr.Return -> Cbr
-  | Instr.Nop -> Cnone
+(* Classification and latency live in Decode so the decoded and legacy
+   kernels agree by construction. *)
+let classify = Decode.classify
+let latency_of = Decode.latency_of
 
-let latency_of (cfg : Config.t) (i : Instr.t) =
-  match i.op with
-  | Instr.Binop (b, _, _, _) -> (
-    match b with
-    | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv | Instr.Fmin
-    | Instr.Fmax ->
-      cfg.fp_latency
-    | Instr.Mul -> 3
-    | Instr.Div | Instr.Rem -> 8
-    | _ -> cfg.alu_latency)
-  | Instr.Unop (u, _, _) -> (
-    match u with
-    | Instr.Fneg | Instr.Fsqrt -> cfg.fp_latency
-    | _ -> cfg.alu_latency)
-  | _ -> cfg.alu_latency
+(* The longest legitimate stretch during which no core issues anything is
+   bounded by one main-memory access plus the synchronization-array
+   round-trip for a full queue; anything far beyond that is a blocked
+   queue cycle, i.e. deadlock. Derived from the machine config instead of
+   a magic constant so toy configs with huge latencies still terminate
+   (and aggressive ones deadlock-check quickly). *)
+let deadlock_threshold (mc : Config.t) =
+  (4 * mc.mem_latency) + (mc.queue_size * (mc.sa_latency + 1)) + 256
 
 (* A queue entry or a waiting consumer, per queue. *)
 type pending_consumer = { core : int; dst : Reg.t option (* None = sync *) }
@@ -71,7 +54,8 @@ type core = {
   func : Func.t;
   regs : int array;
   reg_ready : int array;
-  mutable rest : Instr.t list;
+  mutable rest : Instr.t list; (* legacy kernel: remaining block body *)
+  mutable pc : int; (* decoded kernel: index into flat code *)
   mutable finished : bool;
   mutable finish_cycle : int;
   l1 : Cache.t;
@@ -99,7 +83,7 @@ let is_pow2 n = n > 0 && n land (n - 1) = 0
 let pending_mark = max_int / 2
 
 let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
-    (mc : Config.t) (p : Mtprog.t) ~mem_size =
+    ?(kernel = `Decoded) (mc : Config.t) (p : Mtprog.t) ~mem_size =
   if not (is_pow2 mem_size) then invalid_arg "Sim.run: mem_size not 2^k";
   let mask = mem_size - 1 in
   let memory = Array.make mem_size 0 in
@@ -118,6 +102,7 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
       regs;
       reg_ready = Array.make (max 1 f.n_regs) 0;
       rest = Cfg.body f.cfg (Cfg.entry f.cfg);
+      pc = 0;
       finished = false;
       finish_cycle = 0;
       l1 = Cache.create ~size:mc.l1_size ~assoc:mc.l1_assoc ~line:mc.l1_line;
@@ -137,6 +122,17 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
     }
   in
   let cores = Array.map mk_core p.Mtprog.threads in
+  (* Decoded images of each thread (decode once, index every cycle). *)
+  let dprogs =
+    match kernel with
+    | `Decoded ->
+      Array.map (fun (f : Func.t) -> Decode.func mc f) p.Mtprog.threads
+    | `Legacy -> [||]
+  in
+  (match kernel with
+  | `Decoded ->
+    Array.iteri (fun i c -> c.pc <- dprogs.(i).Decode.entry_pc) cores
+  | `Legacy -> ());
   let queues =
     Array.init (max 1 p.Mtprog.n_queues) (fun _ ->
         {
@@ -147,7 +143,9 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
   in
   let now = ref 0 in
   let idle_cycles = ref 0 in
+  let idle_peak = ref 0 in
   let deadlocked = ref false in
+  let threshold = deadlock_threshold mc in
   let all_done () = Array.for_all (fun c -> c.finished) cores in
   (* Deliver a produced value: to a waiting consumer if any, else enqueue. *)
   let produce_to q value =
@@ -197,7 +195,173 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
   in
   (* Per-cycle shared SA port budget. *)
   let sa_ports_left = ref 0 in
-  let step_core ci =
+  (* ---------------- decoded kernel ---------------- *)
+  let step_core_decoded ci =
+    let c = cores.(ci) in
+    if c.finished then false
+    else begin
+      let code = dprogs.(ci).Decode.code in
+      let issued = ref 0 in
+      let alu = ref 0 and fp = ref 0 and mem = ref 0 and br = ref 0 in
+      let progressed = ref false in
+      let blocked = ref false in
+      while (not !blocked) && (not c.finished) && !issued < mc.issue_width do
+        let di = code.(c.pc) in
+        let slot_free =
+          match di.Decode.cls with
+          | Decode.Calu -> !alu < mc.alu_units
+          | Decode.Cfp -> !fp < mc.fp_units
+          | Decode.Cmem -> !mem < mc.mem_ports
+          | Decode.Cbr -> !br < mc.branch_units
+          | Decode.Cnone -> true
+        in
+        if not slot_free then begin
+          c.s_stall_ports <- c.s_stall_ports + 1;
+          blocked := true
+        end
+        else begin
+          let operands_ready =
+            let t = !now in
+            let u = di.Decode.uses in
+            let ok = ref true in
+            for k = 0 to Array.length u - 1 do
+              if c.reg_ready.(u.(k)) > t then ok := false
+            done;
+            (* WAW hazard against pending consumes only: every other write
+               deposits its value at issue, but a pending consume's value
+               arrives later and would clobber this newer write. *)
+            let d = di.Decode.defs in
+            for k = 0 to Array.length d - 1 do
+              if c.reg_ready.(d.(k)) >= pending_mark then ok := false
+            done;
+            !ok
+          in
+          let fence_ok =
+            (not di.Decode.is_mem)
+            || (c.outstanding_syncs = 0 && c.fence_ready <= !now)
+          in
+          let sa_ok = (not di.Decode.needs_sa) || !sa_ports_left > 0 in
+          let queue_ok =
+            match di.Decode.dop with
+            | Decode.Dproduce (q, _) | Decode.Dproduce_sync q ->
+              queues.(q).logical_occupancy < mc.queue_size
+            | _ -> true
+          in
+          if not operands_ready then begin
+            c.s_stall_data <- c.s_stall_data + 1;
+            blocked := true
+          end
+          else if not fence_ok then begin
+            c.s_stall_queue <- c.s_stall_queue + 1;
+            blocked := true
+          end
+          else if not sa_ok then begin
+            c.s_stall_ports <- c.s_stall_ports + 1;
+            blocked := true
+          end
+          else if not queue_ok then begin
+            c.s_stall_queue <- c.s_stall_queue + 1;
+            blocked := true
+          end
+          else begin
+            (* Issue. *)
+            (match di.Decode.cls with
+            | Decode.Calu -> incr alu
+            | Decode.Cfp -> incr fp
+            | Decode.Cmem -> incr mem
+            | Decode.Cbr -> incr br
+            | Decode.Cnone -> ());
+            c.s_instrs <- c.s_instrs + 1;
+            (match di.Decode.dop with
+            | Decode.Dconst (d, k) ->
+              c.regs.(d) <- k;
+              c.reg_ready.(d) <- !now + di.Decode.lat;
+              c.pc <- c.pc + 1
+            | Decode.Dcopy (d, s) ->
+              c.regs.(d) <- c.regs.(s);
+              c.reg_ready.(d) <- !now + di.Decode.lat;
+              c.pc <- c.pc + 1
+            | Decode.Dunop (u, d, s) ->
+              c.regs.(d) <- Instr.eval_unop u c.regs.(s);
+              c.reg_ready.(d) <- !now + di.Decode.lat;
+              c.pc <- c.pc + 1
+            | Decode.Dbinop (b, d, x, y) ->
+              c.regs.(d) <- Instr.eval_binop b c.regs.(x) c.regs.(y);
+              c.reg_ready.(d) <- !now + di.Decode.lat;
+              c.pc <- c.pc + 1
+            | Decode.Dload (d, base, off) ->
+              let addr = (c.regs.(base) + off) land mask in
+              c.regs.(d) <- memory.(addr);
+              c.reg_ready.(d) <- !now + cache_load c addr;
+              c.pc <- c.pc + 1
+            | Decode.Dstore (base, off, s) ->
+              let addr = (c.regs.(base) + off) land mask in
+              memory.(addr) <- c.regs.(s);
+              cache_store c addr;
+              c.pc <- c.pc + 1
+            | Decode.Djump t ->
+              c.pc <- t;
+              (* Control transfer ends the issue group (fetch redirect). *)
+              issued := mc.issue_width
+            | Decode.Dbranch (cnd, t1, t2) ->
+              c.pc <- (if c.regs.(cnd) <> 0 then t1 else t2);
+              issued := mc.issue_width
+            | Decode.Dreturn ->
+              c.finished <- true;
+              c.finish_cycle <- !now
+            | Decode.Dproduce (q, s) ->
+              decr sa_ports_left;
+              c.s_comm <- c.s_comm + 1;
+              produce_to q c.regs.(s);
+              c.pc <- c.pc + 1
+            | Decode.Dproduce_sync q ->
+              decr sa_ports_left;
+              c.s_comm <- c.s_comm + 1;
+              produce_to q 1;
+              c.pc <- c.pc + 1
+            | Decode.Dconsume (d, q) ->
+              decr sa_ports_left;
+              c.s_comm <- c.s_comm + 1;
+              let qs = queues.(q) in
+              if not (Queue.is_empty qs.entries) then begin
+                let v, ready = Queue.pop qs.entries in
+                qs.logical_occupancy <- qs.logical_occupancy - 1;
+                c.regs.(d) <- v;
+                c.reg_ready.(d) <- max ready (!now + mc.sa_latency)
+              end
+              else begin
+                (* Stall-on-use: issue now, value arrives later. *)
+                Queue.push { core = ci; dst = Some (Reg.of_int d) } qs.waiters;
+                c.reg_ready.(d) <- pending_mark
+              end;
+              c.pc <- c.pc + 1
+            | Decode.Dconsume_sync q ->
+              decr sa_ports_left;
+              c.s_comm <- c.s_comm + 1;
+              let qs = queues.(q) in
+              if not (Queue.is_empty qs.entries) then begin
+                let _, ready = Queue.pop qs.entries in
+                qs.logical_occupancy <- qs.logical_occupancy - 1;
+                if ready > c.fence_ready then c.fence_ready <- ready
+              end
+              else begin
+                Queue.push { core = ci; dst = None } qs.waiters;
+                c.outstanding_syncs <- c.outstanding_syncs + 1
+              end;
+              c.pc <- c.pc + 1
+            | Decode.Dnop -> c.pc <- c.pc + 1);
+            incr issued;
+            progressed := true
+          end
+        end
+      done;
+      !progressed
+    end
+  in
+  (* ------------- legacy list-walking kernel -------------
+     Kept as the equivalence oracle for the decoded kernel; property
+     tests assert both produce byte-identical results. *)
+  let step_core_legacy ci =
     let c = cores.(ci) in
     if c.finished then false
     else begin
@@ -212,19 +376,16 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
           let cls = classify i in
           let slot_free =
             match cls with
-            | Calu -> !alu < mc.alu_units
-            | Cfp -> !fp < mc.fp_units
-            | Cmem -> !mem < mc.mem_ports
-            | Cbr -> !br < mc.branch_units
-            | Cnone -> true
+            | Decode.Calu -> !alu < mc.alu_units
+            | Decode.Cfp -> !fp < mc.fp_units
+            | Decode.Cmem -> !mem < mc.mem_ports
+            | Decode.Cbr -> !br < mc.branch_units
+            | Decode.Cnone -> true
           in
           let operands_ready =
             List.for_all
               (fun u -> c.reg_ready.(Reg.to_int u) <= !now)
               (Instr.uses i)
-            (* WAW hazard against pending consumes only: every other write
-               deposits its value at issue, but a pending consume's value
-               arrives later and would clobber this newer write. *)
             && List.for_all
                  (fun d -> c.reg_ready.(Reg.to_int d) < pending_mark)
                  (Instr.defs i)
@@ -271,9 +432,7 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
             (* Issue. *)
             let get r = c.regs.(Reg.to_int r) in
             let set r v = c.regs.(Reg.to_int r) <- v in
-            let mark r lat =
-              c.reg_ready.(Reg.to_int r) <- !now + lat
-            in
+            let mark r lat = c.reg_ready.(Reg.to_int r) <- !now + lat in
             let advance () = c.rest <- rest in
             let goto l =
               c.rest <- Cfg.body c.func.Func.cfg l;
@@ -281,11 +440,11 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
               issued := mc.issue_width
             in
             (match cls with
-            | Calu -> incr alu
-            | Cfp -> incr fp
-            | Cmem -> incr mem
-            | Cbr -> incr br
-            | Cnone -> ());
+            | Decode.Calu -> incr alu
+            | Decode.Cfp -> incr fp
+            | Decode.Cmem -> incr mem
+            | Decode.Cbr -> incr br
+            | Decode.Cnone -> ());
             c.s_instrs <- c.s_instrs + 1;
             (match i.op with
             | Instr.Const (d, k) ->
@@ -368,6 +527,9 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
       !progressed
     end
   in
+  let step_core =
+    match kernel with `Decoded -> step_core_decoded | `Legacy -> step_core_legacy
+  in
   let fuel_exhausted = ref false in
   (try
      while (not (all_done ())) && not !deadlocked do
@@ -383,9 +545,8 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
        if !any then idle_cycles := 0
        else begin
          incr idle_cycles;
-         (* The longest legitimate wait is main-memory latency; far beyond
-            that means a blocked queue cycle: deadlock. *)
-         if !idle_cycles > mc.mem_latency + 10_000 then deadlocked := true
+         if !idle_cycles > !idle_peak then idle_peak := !idle_cycles;
+         if !idle_cycles > threshold then deadlocked := true
        end;
        incr now
      done
@@ -412,8 +573,10 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
         cores;
     deadlocked = !deadlocked;
     fuel_exhausted = !fuel_exhausted;
+    idle_peak = !idle_peak;
+    deadlock_threshold = threshold;
   }
 
-let run_single ?fuel ?init_regs ?init_mem mc (f : Func.t) ~mem_size =
+let run_single ?fuel ?init_regs ?init_mem ?kernel mc (f : Func.t) ~mem_size =
   let p = Mtprog.make ~name:f.Func.name ~threads:[| f |] ~n_queues:0 in
-  run ?fuel ?init_regs ?init_mem mc p ~mem_size
+  run ?fuel ?init_regs ?init_mem ?kernel mc p ~mem_size

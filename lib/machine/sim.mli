@@ -36,12 +36,28 @@ type result = {
   per_core : core_stats array;
   deadlocked : bool;
   fuel_exhausted : bool;
+  idle_peak : int;
+      (** longest all-cores-idle stretch observed; compare against
+          [deadlock_threshold] to spot near-miss deadlocks *)
+  deadlock_threshold : int;  (** the threshold this run deadlock-checked at *)
 }
+
+(** Issue-loop implementation. [`Decoded] (the default) runs over the
+    {!Decode} pre-decoded flat arrays; [`Legacy] re-walks the IR
+    instruction lists each cycle. Both produce byte-identical results —
+    the legacy kernel is retained as the equivalence oracle. *)
+type kernel = [ `Decoded | `Legacy ]
+
+(** Consecutive idle cycles after which a run is declared deadlocked,
+    derived from the machine's memory latency, queue capacity and
+    synchronization-array latency. *)
+val deadlock_threshold : Config.t -> int
 
 val run :
   ?fuel:int ->
   ?init_regs:(Reg.t * int) list ->
   ?init_mem:(int * int) list ->
+  ?kernel:kernel ->
   Config.t ->
   Mtprog.t ->
   mem_size:int ->
@@ -53,6 +69,7 @@ val run_single :
   ?fuel:int ->
   ?init_regs:(Reg.t * int) list ->
   ?init_mem:(int * int) list ->
+  ?kernel:kernel ->
   Config.t ->
   Func.t ->
   mem_size:int ->

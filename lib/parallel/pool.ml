@@ -1,0 +1,147 @@
+type t = {
+  n_workers : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  flock : Mutex.t;
+  fdone : Condition.t;
+  mutable state : 'a state;
+}
+
+let worker pool =
+  let rec next () =
+    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    else if pool.closed then None
+    else begin
+      Condition.wait pool.nonempty pool.lock;
+      next ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let job = next () in
+    Mutex.unlock pool.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+      job ();
+      loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  let n_workers = if jobs <= 1 then 0 else jobs in
+  let pool =
+    {
+      n_workers;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init n_workers (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size pool = pool.n_workers
+
+let submit pool f =
+  let fut =
+    { flock = Mutex.create (); fdone = Condition.create (); state = Pending }
+  in
+  let job () =
+    let st =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.flock;
+    fut.state <- st;
+    Condition.broadcast fut.fdone;
+    Mutex.unlock fut.flock
+  in
+  if pool.n_workers = 0 then begin
+    if pool.closed then invalid_arg "Pool.submit: pool is shut down";
+    job ()
+  end
+  else begin
+    Mutex.lock pool.lock;
+    if pool.closed then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push job pool.queue;
+    Condition.signal pool.nonempty;
+    Mutex.unlock pool.lock
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.flock;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+      Condition.wait fut.fdone fut.flock;
+      wait ()
+    | Done v ->
+      Mutex.unlock fut.flock;
+      v
+    | Failed (e, bt) ->
+      Mutex.unlock fut.flock;
+      Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+let shutdown pool =
+  let to_join =
+    if pool.n_workers = 0 then begin
+      pool.closed <- true;
+      []
+    end
+    else begin
+      Mutex.lock pool.lock;
+      let already = pool.closed in
+      pool.closed <- true;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.lock;
+      if already then []
+      else begin
+        let ws = pool.workers in
+        pool.workers <- [];
+        ws
+      end
+    end
+  in
+  List.iter Domain.join to_join
+
+let default_jobs () =
+  match Sys.getenv_opt "GMT_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let run_list ?jobs tasks =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if jobs <= 1 then List.map (fun f -> f ()) tasks
+  else begin
+    let pool = create ~jobs in
+    Fun.protect
+      ~finally:(fun () -> shutdown pool)
+      (fun () ->
+        let futures = List.map (submit pool) tasks in
+        List.map await futures)
+  end

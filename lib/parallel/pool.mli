@@ -1,0 +1,42 @@
+(** Fixed-size domain pool (stdlib [Domain] + [Mutex]/[Condition] only).
+
+    The evaluation matrix — (workload, partitioner, ±COCO) cells, each an
+    independent compile + simulate — fans out across OCaml 5 domains
+    through this pool. Determinism contract: futures are fulfilled with
+    whatever the task computes, and callers collect them in submission
+    order, so results are byte-identical for every [jobs] value (the
+    cells share no mutable state; only scheduling differs).
+
+    With [jobs <= 1] no domain is ever spawned and tasks run inline at
+    submission, preserving the exact single-threaded execution. *)
+
+type t
+(** A pool of worker domains consuming a shared FIFO task queue. *)
+
+type 'a future
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs] worker domains ([jobs <= 1]: none). *)
+
+val size : t -> int
+(** Number of worker domains (0 for an inline pool). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. Exceptions raised by the task are captured and
+    re-raised by {!await}. @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the task completes; re-raises its exception (with the
+    original backtrace) if it failed. *)
+
+val shutdown : t -> unit
+(** Drain the queue, then join all workers. Idempotent. *)
+
+val run_list : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run_list ~jobs tasks] runs all tasks on a fresh pool of [jobs]
+    workers and returns their results in task order. [jobs] defaults to
+    {!default_jobs}. The pool is shut down even if a task raises. *)
+
+val default_jobs : unit -> int
+(** [GMT_JOBS] from the environment if set and positive, otherwise
+    [Domain.recommended_domain_count ()]. *)

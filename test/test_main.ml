@@ -9,6 +9,7 @@ let () =
       ("mtcg", Test_mtcg.tests);
       ("coco", Test_coco.tests);
       ("machine", Test_machine.tests);
+      ("simkernel", Test_simkernel.tests);
       ("workloads", Test_workloads.tests);
       ("pipeline", Test_pipeline.tests);
       ("properties", Test_props.tests);

@@ -1,0 +1,156 @@
+(* The decoded simulator kernel and the parallel evaluation harness.
+
+   Two determinism contracts are enforced here:
+   - the pre-decoded issue loop produces results byte-identical to the
+     legacy list-walking kernel, on random structured programs (single-
+     and multi-threaded, with random partitions); and
+   - Velocity.run_matrix over the Pool yields byte-identical metrics for
+     every jobs count, 1..4, on the full benchmark suite. *)
+
+open Gmt_ir
+module Sim = Gmt_machine.Sim
+module Config = Gmt_machine.Config
+module Pool = Gmt_parallel.Pool
+module V = Gmt_core.Velocity
+module W = Gmt_workloads.Workload
+module Suite = Gmt_workloads.Suite
+
+(* ------------- decoded == legacy on random programs ------------- *)
+
+let sim_results_equal (a : Sim.result) (b : Sim.result) =
+  a.Sim.cycles = b.Sim.cycles
+  && a.Sim.memory = b.Sim.memory
+  && a.Sim.per_core = b.Sim.per_core
+  && a.Sim.deadlocked = b.Sim.deadlocked
+  && a.Sim.fuel_exhausted = b.Sim.fuel_exhausted
+  && a.Sim.idle_peak = b.Sim.idle_peak
+
+let prop_decoded_equals_legacy_single =
+  QCheck.Test.make ~count:120
+    ~name:"decoded kernel == legacy kernel (single-threaded)"
+    Test_props.arbitrary_case
+    (fun (stmts, _seed, _n_threads) ->
+      let f = Test_props.lower stmts in
+      Validate.check f;
+      let run kernel =
+        Sim.run_single ~fuel:500_000 ~kernel
+          ~init_regs:Test_props.init_regs ~init_mem:Test_props.init_mem
+          (Config.test_config ()) f ~mem_size:Test_props.mem_size
+      in
+      sim_results_equal (run `Decoded) (run `Legacy))
+
+let prop_decoded_equals_legacy_mt =
+  QCheck.Test.make ~count:80
+    ~name:"decoded kernel == legacy kernel (MTCG output, random partitions)"
+    Test_props.arbitrary_case
+    (fun (stmts, seed, n_threads) ->
+      let f = Test_props.lower stmts in
+      let pdg = Gmt_pdg.Pdg.build f in
+      let part = Test_props.random_partition f ~n_threads ~seed in
+      let mtp = Gmt_mtcg.Mtcg.run pdg part in
+      let run kernel =
+        Sim.run ~fuel:2_000_000 ~kernel ~init_regs:Test_props.init_regs
+          ~init_mem:Test_props.init_mem
+          (Config.test_config ~n_cores:n_threads ())
+          mtp ~mem_size:Test_props.mem_size
+      in
+      sim_results_equal (run `Decoded) (run `Legacy))
+
+(* Also pin the kernels against each other on real workloads, both
+   machine configs (1-entry GREMIO queues and 32-entry DSWP queues). *)
+let test_decoded_equals_legacy_workloads () =
+  List.iter
+    (fun name ->
+      let w = Suite.find name in
+      List.iter
+        (fun tech ->
+          let c = V.compile tech w in
+          let mc = V.machine_config tech in
+          let run kernel =
+            Sim.run ~kernel ~init_regs:w.W.reference.W.regs
+              ~init_mem:w.W.reference.W.mem mc c.V.mtp ~mem_size:w.W.mem_size
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s decoded==legacy" name
+               (V.technique_name tech))
+            true
+            (sim_results_equal (run `Decoded) (run `Legacy)))
+        [ V.Gremio; V.Dswp ])
+    [ "adpcmdec"; "ks" ]
+
+(* --------------------- the domain pool --------------------- *)
+
+let test_pool_order () =
+  List.iter
+    (fun jobs ->
+      let tasks = List.init 20 (fun i () -> i * i) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "results in submission order (jobs=%d)" jobs)
+        (List.init 20 (fun i -> i * i))
+        (Pool.run_list ~jobs tasks))
+    [ 1; 2; 3; 4 ]
+
+exception Boom
+
+let test_pool_exceptions () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "task exception propagates (jobs=%d)" jobs)
+        Boom
+        (fun () ->
+          ignore (Pool.run_list ~jobs [ (fun () -> 1); (fun () -> raise Boom) ])))
+    [ 1; 2 ]
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~jobs:2 in
+  Alcotest.(check int) "size" 2 (Pool.size p);
+  let f = Pool.submit p (fun () -> 41 + 1) in
+  Alcotest.(check int) "await" 42 (Pool.await f);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit p (fun () -> 0)))
+
+let test_default_jobs () =
+  Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1)
+
+(* -------- run_matrix determinism across jobs counts -------- *)
+
+let strip_rows rows =
+  List.map
+    (fun (r : V.row) ->
+      ( r.V.rw.W.name,
+        List.map
+          (fun (t : V.timed) -> t.V.metrics)
+          [ r.V.st; r.V.gremio; r.V.gremio_coco; r.V.dswp; r.V.dswp_coco ] ))
+    rows
+
+let test_run_matrix_deterministic () =
+  let ws = Suite.all () in
+  let baseline = strip_rows (V.run_matrix ~jobs:1 ws) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "full-suite matrix at jobs=%d == sequential" jobs)
+        true
+        (strip_rows (V.run_matrix ~jobs ws) = baseline))
+    [ 2; 3; 4 ]
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_decoded_equals_legacy_single;
+    QCheck_alcotest.to_alcotest prop_decoded_equals_legacy_mt;
+    Alcotest.test_case "decoded == legacy on workloads" `Quick
+      test_decoded_equals_legacy_workloads;
+    Alcotest.test_case "pool preserves order (jobs 1..4)" `Quick
+      test_pool_order;
+    Alcotest.test_case "pool propagates exceptions" `Quick
+      test_pool_exceptions;
+    Alcotest.test_case "pool shutdown idempotent" `Quick
+      test_pool_shutdown_idempotent;
+    Alcotest.test_case "default_jobs sane" `Quick test_default_jobs;
+    Alcotest.test_case "run_matrix deterministic (jobs 1..4)" `Slow
+      test_run_matrix_deterministic;
+  ]
