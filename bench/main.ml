@@ -28,6 +28,9 @@ module W = Gmt_workloads.Workload
 module Suite = Gmt_workloads.Suite
 module Config = Gmt_machine.Config
 module Pool = Gmt_parallel.Pool
+module Obs = Gmt_obs.Obs
+module Json = Gmt_obs.Json
+module Sim = Gmt_machine.Sim
 
 type row = V.row
 
@@ -146,6 +149,47 @@ let fig7 () =
 let write_fig8_json rs =
   let j = match !jobs with Some j -> j | None -> Pool.default_jobs () in
   let buf = Buffer.create 4096 in
+  (* Pass wall-clock breakdown: aggregate span durations by name (a cell
+     runs each pass once, but keep this robust to repeated spans). *)
+  let passes_json (t : V.timed) =
+    let order = ref [] and sums = Hashtbl.create 16 in
+    List.iter
+      (fun (name, ms) ->
+        if not (Hashtbl.mem sums name) then order := name :: !order;
+        Hashtbl.replace sums name
+          (ms +. Option.value ~default:0.0 (Hashtbl.find_opt sums name)))
+      t.V.passes;
+    String.concat ", "
+      (List.rev_map
+         (fun name ->
+           Printf.sprintf "%s: %.3f" (Json.escape name)
+             (Hashtbl.find sums name))
+         !order)
+  in
+  (* Per-core stall attribution, one object per core in stall-label
+     order; each core's buckets sum to the cell's cycles. *)
+  let stalls_json (m : V.metrics) =
+    String.concat ", "
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              "{"
+              ^ String.concat ", "
+                  (Array.to_list
+                     (Array.mapi
+                        (fun b v ->
+                          Printf.sprintf "%S: %d" Sim.stall_labels.(b) v)
+                        row))
+              ^ "}")
+            m.V.stall_attr))
+  in
+  let queue_peak_json (m : V.metrics) =
+    let nz = ref [] in
+    Array.iteri
+      (fun q v -> if v > 0 then nz := Printf.sprintf "\"%d\": %d" q v :: !nz)
+      m.V.queue_peak;
+    String.concat ", " (List.rev !nz)
+  in
   let cells =
     List.concat_map
       (fun (r : row) ->
@@ -160,9 +204,11 @@ let write_fig8_json rs =
             Printf.sprintf
               "    {\"bench\": %S, \"config\": %S, \"cycles\": %d, \
                \"dyn_instrs\": %d, \"comm_instrs\": %d, \"mem_syncs\": %d, \
-               \"wall_s\": %.6f, \"sim_speedup\": %.4f}"
+               \"wall_s\": %.6f, \"sim_speedup\": %.4f, \
+               \"passes_ms\": {%s}, \"stalls\": [%s], \"queue_peak\": {%s}}"
               r.V.rw.W.name (V.cell_name kind) m.V.cycles m.V.dyn_instrs
-              m.V.comm_instrs m.V.mem_syncs t.V.wall_s sim_speedup)
+              m.V.comm_instrs m.V.mem_syncs t.V.wall_s sim_speedup
+              (passes_json t) (stalls_json m) (queue_peak_json m))
           V.matrix_kinds
           [ r.V.st; r.V.gremio; r.V.gremio_coco; r.V.dswp; r.V.dswp_coco ])
       rs
@@ -180,7 +226,7 @@ let write_fig8_json rs =
     if !matrix_wall > 0.0 then sum_cell_wall /. !matrix_wall else 1.0
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gmt-bench-fig8/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"gmt-bench-fig8/2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" j);
   Buffer.add_string buf
     (Printf.sprintf "  \"kernel\": %S,\n" (kernel_name ()));
@@ -193,6 +239,11 @@ let write_fig8_json rs =
   Buffer.add_string buf "  \"cells\": [\n";
   Buffer.add_string buf (String.concat ",\n" cells);
   Buffer.add_string buf "\n  ]\n}\n";
+  (match Json.parse (Buffer.contents buf) with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "[bench] BENCH_fig8.json would be malformed: %s\n" e;
+    exit 1);
   let oc = open_out "BENCH_fig8.json" in
   Buffer.output_buffer oc buf;
   close_out oc;
@@ -273,7 +324,11 @@ let ablate () =
         let train = m `Train and static_ = m `Static in
         Printf.printf "%-12s | %16d | %16d\n" w.W.name train.V.comm_instrs
           static_.V.comm_instrs
-      with Failure msg -> Printf.printf "%-12s | failed: %s\n" w.W.name msg)
+      with
+      | Failure msg -> Printf.printf "%-12s | failed: %s\n" w.W.name msg
+      | V.Deadlock msg ->
+        Printf.printf "%-12s | deadlock: %s\n" w.W.name
+          (List.hd (String.split_on_char '\n' msg)))
     (Suite.all ());
   print_endline
     "(the paper notes static estimates [28] are also accurate; shapes should\n\
@@ -313,7 +368,11 @@ let ablate () =
         Printf.printf "%-12s | %14d | %14d | %9.2fx\n" w.W.name
           plain.V.dyn_instrs m.V.dyn_instrs
           (float_of_int st.V.cycles /. float_of_int m.V.cycles)
-      with Failure msg -> Printf.printf "%-12s | failed: %s\n" w.W.name msg)
+      with
+      | Failure msg -> Printf.printf "%-12s | failed: %s\n" w.W.name msg
+      | V.Deadlock msg ->
+        Printf.printf "%-12s | deadlock: %s\n" w.W.name
+          (List.hd (String.split_on_char '\n' msg)))
     (Suite.all ());
   print_endline "";
   print_endline
@@ -331,7 +390,11 @@ let ablate () =
           comm_of_plan w ~n_threads:2 ~coco:true ~control_penalty:false
         in
         Printf.printf "%-12s | %16d | %16d\n" w.W.name with_p without
-      with Failure m -> Printf.printf "%-12s | failed: %s\n" w.W.name m)
+      with
+      | Failure m -> Printf.printf "%-12s | failed: %s\n" w.W.name m
+      | V.Deadlock m ->
+        Printf.printf "%-12s | deadlock: %s\n" w.W.name
+          (List.hd (String.split_on_char '\n' m)))
     (Suite.all ());
   print_endline "";
   print_endline
@@ -349,7 +412,11 @@ let ablate () =
           base.V.comm_instrs coco.V.comm_instrs
           (pct coco.V.comm_instrs base.V.comm_instrs)
           (speedup st base) (speedup st coco)
-      with Failure m -> Printf.printf "%-12s | failed: %s\n" w.W.name m)
+      with
+      | Failure m -> Printf.printf "%-12s | failed: %s\n" w.W.name m
+      | V.Deadlock m ->
+        Printf.printf "%-12s | deadlock: %s\n" w.W.name
+          (List.hd (String.split_on_char '\n' m)))
     (Suite.all ())
 
 let caches () =
@@ -478,19 +545,96 @@ let smoke () =
         exit 1
       end)
     ws;
+  (* One traced cell through the observability layer: the emitted Chrome
+     trace and metrics JSON must parse and have the expected shape, and
+     the per-core stall attribution must sum to the cell's cycles. *)
+  let fail fmt = Printf.ksprintf (fun s ->
+      Printf.eprintf "[smoke] FAIL: %s\n" s;
+      exit 1) fmt
+  in
+  Obs.reset ();
+  Obs.enable_tracing ();
+  Obs.enable_metrics ();
+  let w = Suite.find "ks" in
+  let m = V.measure_cell ~fuel (V.Mt (V.Gremio, false)) w in
+  Array.iteri
+    (fun ci row ->
+      let sum = Array.fold_left ( + ) 0 row in
+      if sum <> m.V.cycles then
+        fail "core %d stall buckets sum to %d, want cycles=%d" ci sum
+          m.V.cycles)
+    m.V.stall_attr;
+  (match Json.parse (Obs.trace_json ()) with
+  | Error e -> fail "trace JSON malformed: %s" e
+  | Ok j -> (
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr evs) ->
+      let names =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun ev ->
+               match (Json.member "ph" ev, Json.member "name" ev) with
+               | Some (Json.Str "X"), Some (Json.Str n) -> Some n
+               | _ -> None)
+             evs)
+      in
+      if List.length names < 8 then
+        fail "trace has %d distinct pass spans, want >= 8 (%s)"
+          (List.length names)
+          (String.concat ", " names)
+    | _ -> fail "trace JSON lacks a traceEvents array"));
+  (match Json.parse (Obs.metrics_json ()) with
+  | Error e -> fail "metrics JSON malformed: %s" e
+  | Ok j -> (
+    (match Json.member "schema" j with
+    | Some (Json.Str "gmt-metrics/1") -> ()
+    | _ -> fail "metrics JSON lacks schema gmt-metrics/1");
+    match Json.member "counters" j with
+    | Some (Json.Obj counters) ->
+      let get k =
+        match List.assoc_opt k counters with
+        | Some (Json.Num f) -> int_of_float f
+        | _ -> fail "metrics JSON missing counter %S" k
+      in
+      let label = "ks/gremio" in
+      let cycles = get (Printf.sprintf "sim.%s.cycles" label) in
+      Array.iteri
+        (fun ci _ ->
+          let sum =
+            Array.fold_left
+              (fun acc lbl ->
+                acc
+                + get (Printf.sprintf "sim.%s.core%d.stall.%s" label ci lbl))
+              0 Sim.stall_labels
+          in
+          if sum <> cycles then
+            fail "metrics: core %d stalls sum to %d, want %d" ci sum cycles)
+        m.V.stall_attr
+    | _ -> fail "metrics JSON lacks a counters object"));
+  Obs.reset ();
   Printf.printf
     "[smoke] ok: %d kernels x %d configs, pool jobs=2 deterministic, \
-     decoded==legacy (%.2fs)\n"
+     decoded==legacy, traced cell JSON valid (%.2fs)\n"
     (List.length ws)
     (List.length V.matrix_kinds)
     (Unix.gettimeofday () -. t0)
 
+let trace_out : string option ref = ref None
+let metrics_out : string option ref = ref None
+
 let () =
+  let parse_jobs s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" s;
+      exit 2
+  in
   let rec parse = function
     | [] -> []
     | "--smoke" :: rest -> "--smoke-marker" :: parse rest
     | "--jobs" :: n :: rest ->
-      jobs := Some (max 1 (int_of_string n));
+      jobs := Some (parse_jobs n);
       parse rest
     | "--kernel" :: k :: rest ->
       (kernel :=
@@ -499,22 +643,31 @@ let () =
          | "legacy" -> `Legacy
          | _ -> failwith "--kernel expects decoded|legacy");
       parse rest
+    | "--trace" :: f :: rest ->
+      trace_out := Some f;
+      parse rest
+    | "--metrics" :: f :: rest ->
+      metrics_out := Some f;
+      parse rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
       ->
-      jobs :=
-        Some (max 1 (int_of_string (String.sub arg 7 (String.length arg - 7))));
+      jobs := Some (parse_jobs (String.sub arg 7 (String.length arg - 7)));
       parse rest
     | arg :: rest -> arg :: parse rest
   in
   let args = parse (List.tl (Array.to_list Sys.argv)) in
-  if List.mem "--smoke-marker" args then smoke ()
-  else begin
-    let want s = args = [] || List.mem s args in
-    if want "fig6" then fig6 ();
-    if want "fig1" then fig1 ();
-    if want "fig7" then fig7 ();
-    if want "fig8" then fig8 ();
-    if want "caches" then caches ();
-    if want "compile" then compile_bench ();
-    if List.mem "ablate" args then ablate ()
-  end
+  if !trace_out <> None then Obs.enable_tracing ();
+  if !metrics_out <> None then Obs.enable_metrics ();
+  (if List.mem "--smoke-marker" args then smoke ()
+   else begin
+     let want s = args = [] || List.mem s args in
+     if want "fig6" then fig6 ();
+     if want "fig1" then fig1 ();
+     if want "fig7" then fig7 ();
+     if want "fig8" then fig8 ();
+     if want "caches" then caches ();
+     if want "compile" then compile_bench ();
+     if List.mem "ablate" args then ablate ()
+   end);
+  Option.iter Obs.write_trace !trace_out;
+  Option.iter Obs.write_metrics !metrics_out

@@ -50,15 +50,80 @@ let threads_arg =
     value & opt int 2
     & info [ "j"; "threads" ] ~docv:"N" ~doc:"Number of threads to extract.")
 
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Ok n
+    | _ ->
+      Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt int (Gmt_parallel.Pool.default_jobs ())
+    & opt (some pos_int_conv) None
     & info [ "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "GMT_JOBS")
         ~doc:
           "Host domains used to run independent measurements concurrently \
-           (results are byte-identical for any value; defaults to \
-           $(b,GMT_JOBS) or the recommended domain count).")
+           (results are byte-identical for any value; defaults to the \
+           recommended domain count). Must be positive.")
+
+let resolve_jobs = function
+  | Some j -> j
+  | None -> Gmt_parallel.Pool.default_jobs ()
+
+(* --------------------------- observability --------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "GMT_TRACE")
+        ~doc:
+          "Record every pipeline pass and write a Chrome trace_event JSON \
+           to $(docv) (open in Perfetto or chrome://tracing).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured metrics registry (PDG/partition/COCO \
+           counters, per-core stall attribution) as JSON to $(docv).")
+
+(* Print a one-line diagnostic (plus the per-thread blocked report) and
+   exit non-zero instead of dying with a backtrace. *)
+let deadlock_exit msg =
+  let first, rest =
+    match String.split_on_char '\n' msg with
+    | [] -> ("deadlock", [])
+    | f :: r -> (f, r)
+  in
+  Printf.eprintf "gmtc: deadlock: %s\n" first;
+  List.iter (fun l -> Printf.eprintf "  %s\n" l) rest;
+  exit 1
+
+(* Enable the requested sinks around [f]; the trace/metrics files are
+   written even when [f] deadlocks, so the run that failed is the run
+   you get to inspect. *)
+let with_obs trace metrics f =
+  if trace <> None then Gmt_obs.Obs.enable_tracing ();
+  if metrics <> None then Gmt_obs.Obs.enable_metrics ();
+  let finish () =
+    Option.iter Gmt_obs.Obs.write_trace trace;
+    Option.iter Gmt_obs.Obs.write_metrics metrics
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception V.Deadlock msg ->
+    finish ();
+    deadlock_exit msg
 
 (* ------------------------------ list ------------------------------ *)
 
@@ -117,7 +182,9 @@ let compile_cmd =
 (* ------------------------------ run ------------------------------ *)
 
 let run_cmd =
-  let run (w : W.t) tech coco threads jobs =
+  let run (w : W.t) tech coco threads jobs trace metrics =
+    let jobs = resolve_jobs jobs in
+    with_obs trace metrics @@ fun () ->
     (* The single-threaded baseline and the multi-threaded cell are
        independent; fan them out over the domain pool. *)
     let cells =
@@ -130,6 +197,8 @@ let run_cmd =
     let st, m =
       match cells with [ st; m ] -> (st, m) | _ -> assert false
     in
+    if st.V.deadlocked then
+      raise (V.Deadlock (w.W.name ^ "/single: simulator deadlock"));
     Printf.printf "%s / %s%s / %d threads\n" w.W.name (V.technique_name tech)
       (if coco then "+COCO" else "")
       threads;
@@ -151,17 +220,23 @@ let run_cmd =
          "Compile a kernel, verify the generated code and report simulated \
           performance.")
     Term.(
-      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ jobs_arg)
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
 let dot_cmd =
-  let run (w : W.t) tech coco threads mt =
+  let run (w : W.t) tech coco threads mt part =
     if mt then begin
       let c = V.compile ~n_threads:threads ~coco tech w in
       Format.printf "%a" Dot.mtprog c.V.mtp
     end
-    else Format.printf "%a" Dot.cfg w.W.func
+    else if part then begin
+      let c = V.compile ~n_threads:threads ~coco tech w in
+      let p = Gmt_sched.Partition.thread_of_opt c.V.partition in
+      print_string (Dot.cfg_to_string ~partition:p c.V.workload.W.func)
+    end
+    else print_string (Dot.cfg_to_string w.W.func)
   in
   let mt_arg =
     Arg.(
@@ -170,14 +245,25 @@ let dot_cmd =
           ~doc:"Emit the partitioned multi-threaded CFGs instead of the \
                 original.")
   in
+  let partition_arg =
+    Arg.(
+      value & flag
+      & info [ "partition" ]
+          ~doc:"Color each instruction of the original CFG by the thread \
+                the partitioner assigned it to.")
+  in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit a Graphviz rendering of a kernel's CFG(s).")
-    Term.(const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ mt_arg)
+    Term.(
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ mt_arg
+      $ partition_arg)
 
 (* ----------------------------- sweep ----------------------------- *)
 
 let sweep_cmd =
-  let run (w : W.t) max_threads jobs =
+  let run (w : W.t) max_threads jobs trace metrics =
+    let jobs = resolve_jobs jobs in
+    with_obs trace metrics @@ fun () ->
     let profile =
       (Gmt_machine.Interp.run ~init_regs:w.W.train.W.regs
          ~init_mem:w.W.train.W.mem w.W.func ~mem_size:w.W.mem_size)
@@ -196,6 +282,12 @@ let sweep_cmd =
             ~init_mem:w.W.reference.W.mem mtp ~queue_capacity:32
             ~mem_size:w.W.mem_size
         in
+        if r.Gmt_machine.Mt_interp.deadlocked then
+          raise
+            (V.Deadlock
+               (String.concat "\n"
+                  (Printf.sprintf "%s: deadlock at %d threads" w.W.name n
+                  :: r.Gmt_machine.Mt_interp.blocked)));
         Gmt_machine.Mt_interp.total_comm r
       in
       let base = measure (Gmt_mtcg.Mtcg.baseline_plan pdg part) in
@@ -214,7 +306,8 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep thread counts and report communication.")
-    Term.(const run $ bench_arg $ threads_arg $ jobs_arg)
+    Term.(
+      const run $ bench_arg $ threads_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc =

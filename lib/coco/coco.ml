@@ -87,8 +87,11 @@ let optimize ?(control_penalty = true) ?(max_iterations = 10) pdg partition
   let prev_specs = ref None in
   let iterations = ref 0 in
   (try
-     for _iter = 1 to max_iterations do
+     for iter = 1 to max_iterations do
        incr iterations;
+       Gmt_obs.Obs.span ~args:[ ("iter", Gmt_obs.Obs.I iter) ]
+         "coco.iteration"
+       @@ fun () ->
        let iter_specs = ref [] in
        (* Candidate pairs: any pair with register or memory work. *)
        let rel0 = compute_rel () in

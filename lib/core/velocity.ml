@@ -8,10 +8,20 @@ module Pdg = Gmt_pdg.Pdg
 module Partition = Gmt_sched.Partition
 module Mtcg = Gmt_mtcg.Mtcg
 module Coco = Gmt_coco.Coco
+module Obs = Gmt_obs.Obs
 
 type technique = Dswp | Gremio
 
 let technique_name = function Dswp -> "DSWP" | Gremio -> "GREMIO"
+
+exception Deadlock of string
+
+(* Metric-key prefix identifying one evaluation cell, e.g.
+   ["queens/dswp+coco"]. *)
+let mt_label (w : Workload.t) technique coco =
+  w.Workload.name ^ "/"
+  ^ String.lowercase_ascii (technique_name technique)
+  ^ if coco then "+coco" else ""
 
 type compiled = {
   workload : Workload.t;
@@ -32,28 +42,38 @@ let machine_config ?(n_cores = 2) = function
 let compile ?(n_threads = 2) ?(coco = false) ?(profile_mode = `Train)
     ?(disambiguate_offsets = false) ?(optimize = false) ?(cleanup = true)
     technique (w : Workload.t) =
-  Validate.check w.func;
+  let label = mt_label w technique coco in
+  Obs.span ~cat:"pipeline" ~args:[ ("cell", Obs.S label) ] "compile"
+  @@ fun () ->
+  Obs.span "validate" (fun () -> Validate.check w.func);
   let w =
-    if optimize then { w with Workload.func = Gmt_opt.Opt.pipeline w.func }
+    if optimize then
+      Obs.span "opt.pipeline" (fun () ->
+          { w with Workload.func = Gmt_opt.Opt.pipeline w.func })
     else w
   in
   let profile =
     match profile_mode with
-    | `Static -> Gmt_analysis.Profile.static_estimate w.func
+    | `Static ->
+      Obs.span "profile.static" (fun () ->
+          Gmt_analysis.Profile.static_estimate w.func)
     | `Train ->
-      let r =
-        Interp.run ~init_regs:w.train.Workload.regs
-          ~init_mem:w.train.Workload.mem w.func ~mem_size:w.mem_size
-      in
-      if r.Interp.fuel_exhausted then
-        failwith (w.name ^ ": train run exhausted fuel");
-      r.Interp.profile
+      Obs.span "profile.train" (fun () ->
+          let r =
+            Interp.run ~init_regs:w.train.Workload.regs
+              ~init_mem:w.train.Workload.mem w.func ~mem_size:w.mem_size
+          in
+          if r.Interp.fuel_exhausted then
+            failwith (w.name ^ ": train run exhausted fuel");
+          r.Interp.profile)
   in
   let pdg = Pdg.build ~disambiguate_offsets w.func in
   let partition =
-    match technique with
-    | Dswp -> Gmt_sched.Dswp.partition ~n_threads pdg profile
-    | Gremio -> Gmt_sched.Gremio.partition ~n_threads pdg profile
+    Obs.span ~args:[ ("technique", Obs.S (technique_name technique)) ]
+      "partition" (fun () ->
+        match technique with
+        | Dswp -> Gmt_sched.Dswp.partition ~n_threads pdg profile
+        | Gremio -> Gmt_sched.Gremio.partition ~n_threads pdg profile)
   in
   (match Partition.errors partition w.func with
   | [] -> ()
@@ -62,22 +82,55 @@ let compile ?(n_threads = 2) ?(coco = false) ?(profile_mode = `Train)
       (Printf.sprintf "%s/%s: bad partition: %s" w.name
          (technique_name technique)
          (String.concat "; " es)));
+  if Obs.metrics_enabled () then
+    for t = 0 to Partition.n_threads partition - 1 do
+      Obs.Metrics.add
+        (Printf.sprintf "partition.%s.thread%d.instrs" label t)
+        (List.length (Partition.instrs_of partition t))
+    done;
   let plan, coco_stats =
     if coco then
-      let plan, stats = Coco.optimize pdg partition profile in
+      let plan, stats =
+        Obs.span "coco.optimize" (fun () ->
+            Coco.optimize pdg partition profile)
+      in
+      if Obs.metrics_enabled () then begin
+        Obs.Metrics.add ("coco." ^ label ^ ".iterations")
+          stats.Coco.iterations;
+        Obs.Metrics.add ("coco." ^ label ^ ".register_cuts")
+          stats.Coco.register_cuts;
+        Obs.Metrics.add ("coco." ^ label ^ ".memory_cuts")
+          stats.Coco.memory_cuts;
+        Obs.Metrics.add ("coco." ^ label ^ ".fallbacks") stats.Coco.fallbacks;
+        let baseline = Mtcg.baseline_plan pdg partition in
+        Obs.Metrics.add
+          ("coco." ^ label ^ ".queues_eliminated")
+          (max 0 (Mtcg.n_queues baseline - Mtcg.n_queues plan))
+      end;
       (plan, Some stats)
-    else (Mtcg.baseline_plan pdg partition, None)
+    else
+      (Obs.span "mtcg.plan" (fun () -> Mtcg.baseline_plan pdg partition), None)
   in
+  if Obs.metrics_enabled () then
+    Obs.Metrics.add ("mtcg." ^ label ^ ".queues") (Mtcg.n_queues plan);
   (* Fit the plan into the synchronization array's physical queues. *)
   let queues =
-    let limit = (machine_config technique).Config.n_queues in
-    if Mtcg.n_queues plan > limit then
-      Gmt_mtcg.Queue_alloc.allocate ~max_queues:limit plan.Mtcg.comms
-    else Gmt_mtcg.Queue_alloc.identity plan.Mtcg.comms
+    Obs.span "queue.alloc" (fun () ->
+        let limit = (machine_config technique).Config.n_queues in
+        if Mtcg.n_queues plan > limit then
+          Gmt_mtcg.Queue_alloc.allocate ~max_queues:limit plan.Mtcg.comms
+        else Gmt_mtcg.Queue_alloc.identity plan.Mtcg.comms)
   in
-  let mtp = Mtcg.generate ~queues pdg partition plan in
-  let mtp = if cleanup then Gmt_opt.Opt.cleanup_threads mtp else mtp in
-  Array.iter Validate.check mtp.Mtprog.threads;
+  let mtp =
+    Obs.span "mtcg.generate" (fun () -> Mtcg.generate ~queues pdg partition plan)
+  in
+  let mtp =
+    if cleanup then
+      Obs.span "opt.cleanup" (fun () -> Gmt_opt.Opt.cleanup_threads mtp)
+    else mtp
+  in
+  Obs.span "validate.threads" (fun () ->
+      Array.iter Validate.check mtp.Mtprog.threads);
   { workload = w; technique; coco; n_threads; pdg; partition; plan; mtp;
     coco_stats }
 
@@ -87,9 +140,13 @@ type metrics = {
   mem_syncs : int;
   cycles : int;
   deadlocked : bool;
+  stall_attr : int array array;
+  queue_peak : int array;
 }
 
 let expected_memory (w : Workload.t) =
+  Obs.span ~args:[ ("workload", Obs.S w.Workload.name) ] "oracle.interp"
+  @@ fun () ->
   let r =
     Interp.run ~init_regs:w.reference.Workload.regs
       ~init_mem:w.reference.Workload.mem w.func ~mem_size:w.mem_size
@@ -97,39 +154,67 @@ let expected_memory (w : Workload.t) =
   if r.Interp.fuel_exhausted then failwith (w.name ^ ": ref run exhausted fuel");
   (r.Interp.memory, r.Interp.dyn_instrs)
 
+(* Summarize a simulator run into the metrics registry: per-core cycle
+   attribution (each core's buckets sum to [cycles]) and per-queue
+   occupancy peaks. No-op unless metrics are enabled. *)
+let record_sim_metrics label (sim : Sim.result) =
+  if Obs.metrics_enabled () then begin
+    Obs.Metrics.add (Printf.sprintf "sim.%s.cycles" label) sim.Sim.cycles;
+    Array.iteri
+      (fun ci row ->
+        Array.iteri
+          (fun b v ->
+            Obs.Metrics.add
+              (Printf.sprintf "sim.%s.core%d.stall.%s" label ci
+                 Sim.stall_labels.(b))
+              v)
+          row)
+      sim.Sim.stall_attr;
+    Array.iteri
+      (fun q v ->
+        if v > 0 then
+          Obs.Metrics.peak (Printf.sprintf "sim.%s.queue%d.peak" label q) v)
+      sim.Sim.queue_peak
+  end
+
 let measure ?fuel ?kernel ?expect c =
   let w = c.workload in
+  let label = mt_label w c.technique c.coco in
   let mc = machine_config ~n_cores:(max 2 c.n_threads) c.technique in
   let expect, _ =
     match expect with Some e -> e | None -> expected_memory w
   in
   (* Untimed run for instruction counts + the correctness check. *)
   let mt =
-    Mt_interp.run ?fuel ~init_regs:w.reference.Workload.regs
-      ~init_mem:w.reference.Workload.mem c.mtp
-      ~queue_capacity:mc.Config.queue_size ~mem_size:w.mem_size
+    Obs.span "verify.mt_interp" (fun () ->
+        Mt_interp.run ?fuel ~init_regs:w.reference.Workload.regs
+          ~init_mem:w.reference.Workload.mem c.mtp
+          ~queue_capacity:mc.Config.queue_size ~mem_size:w.mem_size)
   in
   if mt.Mt_interp.deadlocked then
-    failwith
-      (Printf.sprintf "%s/%s%s: deadlock" w.name
-         (technique_name c.technique)
-         (if c.coco then "+COCO" else ""));
+    raise
+      (Deadlock
+         (String.concat "\n"
+            ((label ^ ": deadlock in untimed interpreter")
+            :: mt.Mt_interp.blocked)));
   (* A fuel-exhausted run (smoke mode's tiny budgets) has partial memory:
      the equivalence check only applies to completed runs. *)
   if (not mt.Mt_interp.fuel_exhausted) && mt.Mt_interp.memory <> expect then
-    failwith
-      (Printf.sprintf "%s/%s%s: multi-threaded memory diverges" w.name
-         (technique_name c.technique)
-         (if c.coco then "+COCO" else ""));
+    failwith (label ^ ": multi-threaded memory diverges");
   (* Timed run for cycles. *)
   let sim =
-    Sim.run ?fuel ?kernel ~init_regs:w.reference.Workload.regs
-      ~init_mem:w.reference.Workload.mem mc c.mtp ~mem_size:w.mem_size
+    Obs.span "sim.run" (fun () ->
+        Sim.run ?fuel ?kernel ~init_regs:w.reference.Workload.regs
+          ~init_mem:w.reference.Workload.mem mc c.mtp ~mem_size:w.mem_size)
   in
+  record_sim_metrics label sim;
   if sim.Sim.deadlocked then
-    failwith (w.name ^ ": simulator deadlock");
+    raise
+      (Deadlock
+         (String.concat "\n"
+            ((label ^ ": simulator deadlock") :: sim.Sim.deadlock_report)));
   if (not sim.Sim.fuel_exhausted) && sim.Sim.memory <> expect then
-    failwith (w.name ^ ": simulated memory diverges");
+    failwith (label ^ ": simulated memory diverges");
   let syncs =
     Array.fold_left
       (fun acc (t : Mt_interp.thread_stats) ->
@@ -142,14 +227,19 @@ let measure ?fuel ?kernel ?expect c =
     mem_syncs = syncs;
     cycles = sim.Sim.cycles;
     deadlocked = false;
+    stall_attr = sim.Sim.stall_attr;
+    queue_peak = sim.Sim.queue_peak;
   }
 
 let measure_single ?fuel ?kernel ?expect (w : Workload.t) =
   let mc = Config.itanium2 () in
+  let label = w.Workload.name ^ "/single" in
   let sim =
-    Sim.run_single ?fuel ?kernel ~init_regs:w.reference.Workload.regs
-      ~init_mem:w.reference.Workload.mem mc w.func ~mem_size:w.mem_size
+    Obs.span "sim.run" (fun () ->
+        Sim.run_single ?fuel ?kernel ~init_regs:w.reference.Workload.regs
+          ~init_mem:w.reference.Workload.mem mc w.func ~mem_size:w.mem_size)
   in
+  record_sim_metrics label sim;
   let _, dyn = match expect with Some e -> e | None -> expected_memory w in
   {
     dyn_instrs = dyn;
@@ -157,6 +247,8 @@ let measure_single ?fuel ?kernel ?expect (w : Workload.t) =
     mem_syncs = 0;
     cycles = sim.Sim.cycles;
     deadlocked = sim.Sim.deadlocked;
+    stall_attr = sim.Sim.stall_attr;
+    queue_peak = sim.Sim.queue_peak;
   }
 
 (* ------------------- the evaluation matrix ------------------- *)
@@ -174,7 +266,11 @@ let measure_cell ?fuel ?kernel ?expect ?(n_threads = 2) kind w =
   | Mt (tech, coco) ->
     measure ?fuel ?kernel ?expect (compile ~n_threads ~coco tech w)
 
-type timed = { metrics : metrics; wall_s : float }
+type timed = {
+  metrics : metrics;
+  wall_s : float;
+  passes : (string * float) list;
+}
 
 type row = {
   rw : Workload.t;
@@ -204,9 +300,21 @@ let run_matrix ?jobs ?fuel ?kernel (ws : Workload.t list) =
       (List.map (fun w () -> expected_memory w) ws)
   in
   let cell w expect kind () =
+    let label = w.Workload.name ^ "/" ^ cell_name kind in
     let t0 = Unix.gettimeofday () in
-    let m = measure_cell ?fuel ?kernel ~expect kind w in
-    { metrics = m; wall_s = Unix.gettimeofday () -. t0 }
+    let m, spans =
+      Obs.collect (fun () ->
+          Obs.span ~cat:"cell" ("cell:" ^ label) (fun () ->
+              measure_cell ?fuel ?kernel ~expect kind w))
+    in
+    let passes =
+      List.filter_map
+        (fun (s : Obs.span) ->
+          if s.Obs.cat = "cell" then None
+          else Some (s.Obs.name, s.Obs.dur_us /. 1e3))
+        spans
+    in
+    { metrics = m; wall_s = Unix.gettimeofday () -. t0; passes }
   in
   let tasks =
     List.concat_map

@@ -13,6 +13,12 @@ type technique = Dswp | Gremio
 
 val technique_name : technique -> string
 
+(** Raised by {!measure} (instead of plain [Failure]) when the untimed
+    interpreter or the simulator deadlocks. The payload's first line
+    identifies the cell; subsequent lines name each blocked thread and
+    the queue it is stuck on. *)
+exception Deadlock of string
+
 type compiled = {
   workload : Workload.t;
   technique : technique;
@@ -57,6 +63,10 @@ type metrics = {
   mem_syncs : int;      (** produce_sync + consume_sync only *)
   cycles : int;         (** simulated cycles (max over cores) *)
   deadlocked : bool;
+  stall_attr : int array array;
+      (** per-core cycle attribution, indexed by
+          {!Gmt_machine.Sim.stall_labels}; each row sums to [cycles] *)
+  queue_peak : int array;  (** peak occupancy per physical queue *)
 }
 
 (** Execute compiled code on the reference input and also check that its
@@ -66,7 +76,8 @@ type metrics = {
     [expect] supplies the precomputed reference-run oracle (final memory,
     dynamic instruction count) — {!run_matrix} computes it once per
     workload instead of once per cell.
-    @raise Failure on divergence or deadlock. *)
+    @raise Failure on divergence.
+    @raise Deadlock on deadlock, with a per-thread blocked report. *)
 val measure :
   ?fuel:int ->
   ?kernel:Gmt_machine.Sim.kernel ->
@@ -107,7 +118,14 @@ val measure_cell :
   Workload.t ->
   metrics
 
-type timed = { metrics : metrics; wall_s : float (** cell wall-clock *) }
+type timed = {
+  metrics : metrics;
+  wall_s : float;  (** cell wall-clock *)
+  passes : (string * float) list;
+      (** per-pass (name, milliseconds) breakdown captured via
+          {!Gmt_obs.Obs.collect} — populated by {!run_matrix} regardless
+          of the global tracing switch; order is span completion order *)
+}
 
 type row = {
   rw : Workload.t;

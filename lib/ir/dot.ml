@@ -17,20 +17,74 @@ let block_label (b : Cfg.block) =
     b.Cfg.body;
   escape (Buffer.contents buf)
 
-let emit_cfg ppf ~prefix (f : Func.t) =
+(* ColorBrewer-ish pastels: readable black text on every entry. Threads
+   beyond the palette wrap around. *)
+let thread_palette =
+  [| "#a6cee3"; "#b2df8a"; "#fb9a99"; "#fdbf6f";
+     "#cab2d6"; "#ffff99"; "#fccde5"; "#ccebc5" |]
+
+let thread_color t =
+  thread_palette.(((t mod Array.length thread_palette)
+                  + Array.length thread_palette)
+                 mod Array.length thread_palette)
+
+let html_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* HTML-like label: one table row per instruction, background color by
+   assigned thread (unassigned instructions — structural glue — stay
+   uncolored). *)
+let block_label_html ~partition (b : Cfg.block) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "<<table border=\"0\" cellborder=\"0\" cellspacing=\"0\">";
+  Buffer.add_string buf
+    (Printf.sprintf "<tr><td align=\"left\"><b>B%d</b></td></tr>" b.Cfg.label);
+  List.iter
+    (fun (i : Instr.t) ->
+      let attrs =
+        match partition i.Instr.id with
+        | Some t -> Printf.sprintf " bgcolor=\"%s\"" (thread_color t)
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "<tr><td align=\"left\"%s>%s</td></tr>" attrs
+           (html_escape (Instr.to_string i))))
+    b.Cfg.body;
+  Buffer.add_string buf "</table>>";
+  Buffer.contents buf
+
+let emit_cfg ppf ~prefix ?partition (f : Func.t) =
   let cfg = f.Func.cfg in
   Cfg.iter_blocks cfg (fun b ->
-      Format.fprintf ppf "  %sb%d [shape=box, fontname=monospace, label=\"%s\"];@,"
-        prefix b.Cfg.label (block_label b));
+      match partition with
+      | None ->
+        Format.fprintf ppf
+          "  %sb%d [shape=box, fontname=monospace, label=\"%s\"];@," prefix
+          b.Cfg.label (block_label b)
+      | Some p ->
+        Format.fprintf ppf
+          "  %sb%d [shape=box, fontname=monospace, label=%s];@," prefix
+          b.Cfg.label
+          (block_label_html ~partition:p b));
   Cfg.iter_blocks cfg (fun b ->
       List.iter
         (fun s -> Format.fprintf ppf "  %sb%d -> %sb%d;@," prefix b.Cfg.label prefix s)
         (Cfg.succs cfg b.Cfg.label))
 
-let cfg ppf (f : Func.t) =
+let cfg ?partition ppf (f : Func.t) =
   Format.fprintf ppf "@[<v>digraph \"%s\" {@," f.Func.name;
   Format.fprintf ppf "  label=\"%s\";@," (escape f.Func.name);
-  emit_cfg ppf ~prefix:"" f;
+  emit_cfg ppf ~prefix:"" ?partition f;
   Format.fprintf ppf "}@]@."
 
 let mtprog ppf (p : Mtprog.t) =
@@ -44,4 +98,4 @@ let mtprog ppf (p : Mtprog.t) =
     p.Mtprog.threads;
   Format.fprintf ppf "}@]@."
 
-let cfg_to_string f = Format.asprintf "%a" cfg f
+let cfg_to_string ?partition f = Format.asprintf "%a" (cfg ?partition) f

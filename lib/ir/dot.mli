@@ -1,9 +1,14 @@
 (** Graphviz export of CFGs and multi-threaded programs (debugging aid;
     render with `dot -Tsvg`). *)
 
-val cfg : Format.formatter -> Func.t -> unit
+(** [cfg ?partition ppf f] — with [partition], each instruction row is
+    colored by its assigned thread ([partition id] returning [None]
+    leaves the row uncolored); takes the instruction id, so any thread
+    assignment — e.g. [Gmt_sched.Partition.thread_of_opt] — plugs in
+    without this layer depending on the scheduler. *)
+val cfg : ?partition:(int -> int option) -> Format.formatter -> Func.t -> unit
 
 (** One cluster per thread. *)
 val mtprog : Format.formatter -> Mtprog.t -> unit
 
-val cfg_to_string : Func.t -> string
+val cfg_to_string : ?partition:(int -> int option) -> Func.t -> string

@@ -16,6 +16,7 @@ type result = {
   deadlocked : bool;
   fuel_exhausted : bool;
   queues_drained : bool;
+  blocked : string list;
 }
 
 let comm_of s = s.produces + s.consumes + s.produce_syncs + s.consume_syncs
@@ -170,6 +171,40 @@ let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
        end
      done
    with Exit -> ());
+  (* Name each blocked thread and the queue it is stuck on: every
+     unfinished thread of a deadlocked run is parked on the head of its
+     instruction stream, which the step function only refuses for
+     communication ops. *)
+  let blocked =
+    if not !deadlocked then []
+    else
+      let report = ref [] in
+      for t = n - 1 downto 0 do
+        let st = threads.(t) in
+        if not st.finished then
+          let line =
+            match st.rest with
+            | { Instr.op = Produce (q, _); _ } :: _ ->
+              Printf.sprintf
+                "thread %d: blocked producing to full queue %d (occupancy %d/%d)"
+                t q (Syncarray.occupancy sa ~q) (Syncarray.capacity sa)
+            | { Instr.op = Produce_sync q; _ } :: _ ->
+              Printf.sprintf
+                "thread %d: blocked on produce.sync to full queue %d (occupancy %d/%d)"
+                t q (Syncarray.occupancy sa ~q) (Syncarray.capacity sa)
+            | { Instr.op = Consume (_, q); _ } :: _ ->
+              Printf.sprintf "thread %d: blocked on consume from empty queue %d"
+                t q
+            | { Instr.op = Consume_sync q; _ } :: _ ->
+              Printf.sprintf
+                "thread %d: blocked on consume.sync from empty queue %d" t q
+            | _ ->
+              Printf.sprintf "thread %d: stalled with no runnable instruction" t
+          in
+          report := line :: !report
+      done;
+      !report
+  in
   {
     memory;
     threads =
@@ -186,4 +221,5 @@ let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
     deadlocked = !deadlocked;
     fuel_exhausted = !fuel_left <= 0;
     queues_drained = Syncarray.all_empty sa;
+    blocked;
   }

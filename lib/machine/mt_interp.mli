@@ -27,6 +27,9 @@ type result = {
   deadlocked : bool;
   fuel_exhausted : bool;
   queues_drained : bool;  (** all queues empty at termination *)
+  blocked : string list;
+      (** when [deadlocked], one line per unfinished thread naming the
+          queue it is stuck on; [[]] otherwise *)
 }
 
 val comm_of : thread_stats -> int

@@ -22,9 +22,28 @@ type result = {
   fuel_exhausted : bool;
   idle_peak : int;
   deadlock_threshold : int;
+  stall_attr : int array array;
+  queue_peak : int array;
+  deadlock_report : string list;
 }
 
 type kernel = [ `Decoded | `Legacy ]
+
+(* Per-cycle attribution buckets: every (core, cycle) falls into exactly
+   one, so each row of [stall_attr] sums to [cycles]. The codes double as
+   the step functions' return value; the outer loop does one array
+   increment per core per cycle, keeping the hot-loop cost flat. *)
+let bucket_busy = 0
+let bucket_latency = 1
+let bucket_consume_empty = 2
+let bucket_produce_full = 3
+let bucket_ports = 4
+let bucket_done = 5
+
+let stall_labels =
+  [| "busy"; "latency"; "consume_empty"; "produce_full"; "ports"; "done" |]
+
+let n_stall_buckets = Array.length stall_labels
 
 (* Classification and latency live in Decode so the decoded and legacy
    kernels agree by construction. *)
@@ -146,6 +165,10 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
   let idle_peak = ref 0 in
   let deadlocked = ref false in
   let threshold = deadlock_threshold mc in
+  let stall_attr =
+    Array.init n_cores (fun _ -> Array.make n_stall_buckets 0)
+  in
+  let queue_peak = Array.make (Array.length queues) 0 in
   let all_done () = Array.for_all (fun c -> c.finished) cores in
   (* Deliver a produced value: to a waiting consumer if any, else enqueue. *)
   let produce_to q value =
@@ -164,7 +187,9 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
     end
     else begin
       Queue.push (value, !now + mc.sa_latency) qs.entries;
-      qs.logical_occupancy <- qs.logical_occupancy + 1
+      qs.logical_occupancy <- qs.logical_occupancy + 1;
+      if qs.logical_occupancy > queue_peak.(q) then
+        queue_peak.(q) <- qs.logical_occupancy
     end
   in
   let cache_load core addr =
@@ -195,16 +220,18 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
   in
   (* Per-cycle shared SA port budget. *)
   let sa_ports_left = ref 0 in
-  (* ---------------- decoded kernel ---------------- *)
+  (* ---------------- decoded kernel ----------------
+     Returns the cycle's attribution bucket for this core. *)
   let step_core_decoded ci =
     let c = cores.(ci) in
-    if c.finished then false
+    if c.finished then bucket_done
     else begin
       let code = dprogs.(ci).Decode.code in
       let issued = ref 0 in
       let alu = ref 0 and fp = ref 0 and mem = ref 0 and br = ref 0 in
       let progressed = ref false in
       let blocked = ref false in
+      let block_bucket = ref bucket_latency in
       while (not !blocked) && (not c.finished) && !issued < mc.issue_width do
         let di = code.(c.pc) in
         let slot_free =
@@ -217,22 +244,31 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
         in
         if not slot_free then begin
           c.s_stall_ports <- c.s_stall_ports + 1;
+          block_bucket := bucket_ports;
           blocked := true
         end
         else begin
+          let pending_operand = ref false in
           let operands_ready =
             let t = !now in
             let u = di.Decode.uses in
             let ok = ref true in
             for k = 0 to Array.length u - 1 do
-              if c.reg_ready.(u.(k)) > t then ok := false
+              let rr = c.reg_ready.(u.(k)) in
+              if rr > t then begin
+                ok := false;
+                if rr >= pending_mark then pending_operand := true
+              end
             done;
             (* WAW hazard against pending consumes only: every other write
                deposits its value at issue, but a pending consume's value
                arrives later and would clobber this newer write. *)
             let d = di.Decode.defs in
             for k = 0 to Array.length d - 1 do
-              if c.reg_ready.(d.(k)) >= pending_mark then ok := false
+              if c.reg_ready.(d.(k)) >= pending_mark then begin
+                ok := false;
+                pending_operand := true
+              end
             done;
             !ok
           in
@@ -249,18 +285,26 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
           in
           if not operands_ready then begin
             c.s_stall_data <- c.s_stall_data + 1;
+            block_bucket :=
+              (if !pending_operand then bucket_consume_empty
+               else bucket_latency);
             blocked := true
           end
           else if not fence_ok then begin
             c.s_stall_queue <- c.s_stall_queue + 1;
+            block_bucket :=
+              (if c.outstanding_syncs > 0 then bucket_consume_empty
+               else bucket_latency);
             blocked := true
           end
           else if not sa_ok then begin
             c.s_stall_ports <- c.s_stall_ports + 1;
+            block_bucket := bucket_ports;
             blocked := true
           end
           else if not queue_ok then begin
             c.s_stall_queue <- c.s_stall_queue + 1;
+            block_bucket := bucket_produce_full;
             blocked := true
           end
           else begin
@@ -355,20 +399,23 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
           end
         end
       done;
-      !progressed
+      if !progressed then bucket_busy else !block_bucket
     end
   in
   (* ------------- legacy list-walking kernel -------------
      Kept as the equivalence oracle for the decoded kernel; property
-     tests assert both produce byte-identical results. *)
+     tests assert both produce byte-identical results (including the
+     per-cycle attribution buckets, so the operand scan below mirrors the
+     decoded kernel's full, non-short-circuiting scan). *)
   let step_core_legacy ci =
     let c = cores.(ci) in
-    if c.finished then false
+    if c.finished then bucket_done
     else begin
       let issued = ref 0 in
       let alu = ref 0 and fp = ref 0 and mem = ref 0 and br = ref 0 in
       let progressed = ref false in
       let blocked = ref false in
+      let block_bucket = ref bucket_latency in
       while (not !blocked) && (not c.finished) && !issued < mc.issue_width do
         match c.rest with
         | [] -> invalid_arg "Sim: block without terminator"
@@ -382,13 +429,25 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
             | Decode.Cbr -> !br < mc.branch_units
             | Decode.Cnone -> true
           in
+          let pending_operand = ref false in
           let operands_ready =
-            List.for_all
-              (fun u -> c.reg_ready.(Reg.to_int u) <= !now)
-              (Instr.uses i)
-            && List.for_all
-                 (fun d -> c.reg_ready.(Reg.to_int d) < pending_mark)
-                 (Instr.defs i)
+            let ok = ref true in
+            List.iter
+              (fun u ->
+                let rr = c.reg_ready.(Reg.to_int u) in
+                if rr > !now then begin
+                  ok := false;
+                  if rr >= pending_mark then pending_operand := true
+                end)
+              (Instr.uses i);
+            List.iter
+              (fun d ->
+                if c.reg_ready.(Reg.to_int d) >= pending_mark then begin
+                  ok := false;
+                  pending_operand := true
+                end)
+              (Instr.defs i);
+            !ok
           in
           let is_mem_op = Instr.is_memory i in
           let fence_ok =
@@ -410,22 +469,31 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
           in
           if not slot_free then begin
             c.s_stall_ports <- c.s_stall_ports + 1;
+            block_bucket := bucket_ports;
             blocked := true
           end
           else if not operands_ready then begin
             c.s_stall_data <- c.s_stall_data + 1;
+            block_bucket :=
+              (if !pending_operand then bucket_consume_empty
+               else bucket_latency);
             blocked := true
           end
           else if not fence_ok then begin
             c.s_stall_queue <- c.s_stall_queue + 1;
+            block_bucket :=
+              (if c.outstanding_syncs > 0 then bucket_consume_empty
+               else bucket_latency);
             blocked := true
           end
           else if not sa_ok then begin
             c.s_stall_ports <- c.s_stall_ports + 1;
+            block_bucket := bucket_ports;
             blocked := true
           end
           else if not queue_ok then begin
             c.s_stall_queue <- c.s_stall_queue + 1;
+            block_bucket := bucket_produce_full;
             blocked := true
           end
           else begin
@@ -524,7 +592,7 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
             progressed := true
           end)
       done;
-      !progressed
+      if !progressed then bucket_busy else !block_bucket
     end
   in
   let step_core =
@@ -540,7 +608,10 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
        sa_ports_left := mc.sa_ports;
        let any = ref false in
        for ci = 0 to n_cores - 1 do
-         if step_core ci then any := true
+         let bucket = step_core ci in
+         let attr = stall_attr.(ci) in
+         attr.(bucket) <- attr.(bucket) + 1;
+         if bucket = bucket_busy then any := true
        done;
        if !any then idle_cycles := 0
        else begin
@@ -551,6 +622,67 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
        incr now
      done
    with Exit -> ());
+  (* When the idle watchdog fired, name each stuck core and the queue it
+     is blocked on: a core waiting on an empty queue sits in that queue's
+     waiter list (stall-on-use consumes issue before blocking); a core
+     stuck producing is parked on a produce to a full queue. *)
+  let deadlock_report =
+    if not !deadlocked then []
+    else begin
+      let lines = ref [] in
+      for ci = n_cores - 1 downto 0 do
+        let c = cores.(ci) in
+        if not c.finished then begin
+          let waiting = ref None in
+          Array.iteri
+            (fun q qs ->
+              Queue.iter
+                (fun (w : pending_consumer) ->
+                  if w.core = ci && !waiting = None then
+                    waiting :=
+                      Some
+                        ( q,
+                          match w.dst with
+                          | Some _ -> "consume"
+                          | None -> "consume.sync" ))
+                qs.waiters)
+            queues;
+          let line =
+            match !waiting with
+            | Some (q, what) ->
+              Printf.sprintf "core %d: blocked on %s from empty queue %d"
+                ci what q
+            | None ->
+              let producing_to =
+                match kernel with
+                | `Decoded -> (
+                  match dprogs.(ci).Decode.code.(c.pc).Decode.dop with
+                  | Decode.Dproduce (q, _) | Decode.Dproduce_sync q ->
+                    Some q
+                  | _ -> None)
+                | `Legacy -> (
+                  match c.rest with
+                  | { Instr.op = Instr.Produce (q, _); _ } :: _
+                  | { Instr.op = Instr.Produce_sync q; _ } :: _ ->
+                    Some q
+                  | _ -> None)
+              in
+              (match producing_to with
+              | Some q ->
+                Printf.sprintf
+                  "core %d: blocked producing to full queue %d \
+                   (occupancy %d/%d)"
+                  ci q queues.(q).logical_occupancy mc.queue_size
+              | None ->
+                Printf.sprintf "core %d: stalled with no runnable instruction"
+                  ci)
+          in
+          lines := line :: !lines
+        end
+      done;
+      !lines
+    end
+  in
   {
     cycles = !now;
     memory;
@@ -575,6 +707,9 @@ let run ?(fuel = 100_000_000) ?(init_regs = []) ?(init_mem = [])
     fuel_exhausted = !fuel_exhausted;
     idle_peak = !idle_peak;
     deadlock_threshold = threshold;
+    stall_attr;
+    queue_peak;
+    deadlock_report;
   }
 
 let run_single ?fuel ?init_regs ?init_mem ?kernel mc (f : Func.t) ~mem_size =

@@ -40,7 +40,30 @@ type result = {
       (** longest all-cores-idle stretch observed; compare against
           [deadlock_threshold] to spot near-miss deadlocks *)
   deadlock_threshold : int;  (** the threshold this run deadlock-checked at *)
+  stall_attr : int array array;
+      (** per-core per-cycle attribution, indexed by {!stall_labels}:
+          every cycle of every core lands in exactly one bucket, so each
+          row sums to [cycles]. Accumulated in pre-sized int arrays by
+          the issue loop (one increment per core per cycle) — not gated
+          on the {!Gmt_obs} switches. *)
+  queue_peak : int array;
+      (** peak logical occupancy observed per synchronization-array
+          queue *)
+  deadlock_report : string list;
+      (** when [deadlocked], one line per unfinished core naming the
+          queue it is stuck on (empty-queue consume or full-queue
+          produce); [[]] otherwise *)
 }
+
+(** Bucket names for {!result.stall_attr} rows, in index order:
+    [busy] (issued at least one instruction), [latency] (operand or
+    fence latency), [consume_empty] (waiting on data or a sync token not
+    yet produced), [produce_full] (produce blocked on a full queue),
+    [ports] (structural issue/SA port limits), [done] (cycles after the
+    core finished). *)
+val stall_labels : string array
+
+val n_stall_buckets : int
 
 (** Issue-loop implementation. [`Decoded] (the default) runs over the
     {!Decode} pre-decoded flat arrays; [`Legacy] re-walks the IR

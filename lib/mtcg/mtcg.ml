@@ -229,7 +229,11 @@ let generate ?queues pdg partition plan =
     Builder.set_entry b (redirect (Cfg.entry cfg));
     Builder.finish b ~live_in:f.live_in ~live_out:f.live_out
   in
-  let threads = Array.init n_threads build_thread in
+  let threads =
+    Array.init n_threads (fun t ->
+        Gmt_obs.Obs.span ~args:[ ("thread", Gmt_obs.Obs.I t) ] "mtcg.thread"
+          (fun () -> build_thread t))
+  in
   Mtprog.make ~name:f.name ~threads ~n_queues:queues.Queue_alloc.n_queues
 
 let run pdg partition = generate pdg partition (baseline_plan pdg partition)

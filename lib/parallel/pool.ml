@@ -39,7 +39,13 @@ let worker pool =
   in
   loop ()
 
+let check_jobs where jobs =
+  if jobs <= 0 then
+    invalid_arg
+      (Printf.sprintf "%s: jobs must be >= 1 (got %d)" where jobs)
+
 let create ~jobs =
+  check_jobs "Pool.create" jobs;
   let n_workers = if jobs <= 1 then 0 else jobs in
   let pool =
     {
@@ -128,14 +134,24 @@ let shutdown pool =
 
 let default_jobs () =
   match Sys.getenv_opt "GMT_JOBS" with
+  | Some s when String.trim s = "" -> Domain.recommended_domain_count ()
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | _ -> Domain.recommended_domain_count ())
+    | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "GMT_JOBS must be a positive integer (got %S)" s))
   | None -> Domain.recommended_domain_count ()
 
 let run_list ?jobs tasks =
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs =
+    match jobs with
+    | Some j ->
+      check_jobs "Pool.run_list" j;
+      j
+    | None -> default_jobs ()
+  in
   if jobs <= 1 then List.map (fun f -> f ()) tasks
   else begin
     let pool = create ~jobs in

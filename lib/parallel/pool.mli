@@ -16,7 +16,8 @@ type t
 type 'a future
 
 val create : jobs:int -> t
-(** [create ~jobs] spawns [jobs] worker domains ([jobs <= 1]: none). *)
+(** [create ~jobs] spawns [jobs] worker domains ([jobs = 1]: none, tasks
+    run inline). @raise Invalid_argument when [jobs <= 0]. *)
 
 val size : t -> int
 (** Number of worker domains (0 for an inline pool). *)
@@ -35,8 +36,13 @@ val shutdown : t -> unit
 val run_list : ?jobs:int -> (unit -> 'a) list -> 'a list
 (** [run_list ~jobs tasks] runs all tasks on a fresh pool of [jobs]
     workers and returns their results in task order. [jobs] defaults to
-    {!default_jobs}. The pool is shut down even if a task raises. *)
+    {!default_jobs}. The pool is shut down even if a task raises.
+    @raise Invalid_argument when [jobs <= 0]. *)
 
 val default_jobs : unit -> int
-(** [GMT_JOBS] from the environment if set and positive, otherwise
-    [Domain.recommended_domain_count ()]. *)
+(** [GMT_JOBS] from the environment, otherwise
+    [Domain.recommended_domain_count ()]. Unset and empty are
+    equivalent.
+    @raise Invalid_argument when [GMT_JOBS] is set but is not a positive
+    integer — a typo'd environment variable should fail loudly, not
+    silently fall back. *)

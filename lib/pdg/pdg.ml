@@ -38,6 +38,8 @@ let build_reach cfg =
     (i_block = j_block && i_pos < j_pos) || from_succ.(i_block).(j_block)
 
 let build ?(disambiguate_offsets = false) (f : Func.t) =
+  Gmt_obs.Obs.span ~args:[ ("func", Gmt_obs.Obs.S f.name) ] "pdg.build"
+  @@ fun () ->
   let cfg = f.cfg in
   let arcs = ref [] in
   let seen = Hashtbl.create 256 in
@@ -194,6 +196,15 @@ let build ?(disambiguate_offsets = false) (f : Func.t) =
     | Some l -> closure_branches.(l)
     | None -> []
   in
+  if Gmt_obs.Obs.metrics_enabled () then begin
+    let module M = Gmt_obs.Obs.Metrics in
+    M.add "pdg.nodes" (List.length !nodes);
+    let count p = List.length (List.filter p arcs) in
+    M.add "pdg.arcs.reg" (count (fun a -> match a.kind with Reg _ -> true | _ -> false));
+    M.add "pdg.arcs.mem" (count (fun a -> match a.kind with Mem _ -> true | _ -> false));
+    M.add "pdg.arcs.ctrl" (count (fun a -> a.kind = Ctrl));
+    M.add "pdg.arcs.ctrl_trans" (count (fun a -> a.kind = Ctrl_trans))
+  end;
   {
     func = f;
     arcs;

@@ -56,8 +56,17 @@ let bottleneck_split weights k =
    topo order, id_of_node). *)
 let solve ?(n_threads = 2) pdg profile =
   let g, _node_of_id, id_of_node = Pdg.to_digraph pdg in
-  let dag, comp = Scc.condense g in
+  let dag, comp =
+    Gmt_obs.Obs.span "scc.condense" (fun () -> Scc.condense g)
+  in
   let n_comps = Digraph.n_nodes dag in
+  if Gmt_obs.Obs.metrics_enabled () then begin
+    let module M = Gmt_obs.Obs.Metrics in
+    M.add "dswp.scc.count" n_comps;
+    let size = Array.make n_comps 0 in
+    Array.iter (fun c -> size.(c) <- size.(c) + 1) comp;
+    M.peak "dswp.scc.max_size" (Array.fold_left max 0 size)
+  end;
   let order = Array.of_list (Topo.sort dag) in
   let cfg = (Pdg.func pdg).Gmt_ir.Func.cfg in
   let weight = Array.make n_comps 0 in

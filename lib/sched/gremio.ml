@@ -67,7 +67,11 @@ let partition ?(n_threads = 2) pdg profile =
           Digraph.add_edge g (Hashtbl.find index a.src) (Hashtbl.find index a.dst)
         | Pdg.Mem _ | Pdg.Ctrl_trans -> ())
       (Pdg.arcs pdg);
-    let comp, _ = Scc.components g in
+    let comp, n_comps =
+      Gmt_obs.Obs.span "gremio.sccs" (fun () -> Scc.components g)
+    in
+    if Gmt_obs.Obs.metrics_enabled () then
+      Gmt_obs.Obs.Metrics.add "gremio.recurrence_sccs" n_comps;
     fun id -> comp.(Hashtbl.find index id)
   in
   let block_loop l =

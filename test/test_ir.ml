@@ -185,6 +185,54 @@ let test_printer_mentions () =
       Alcotest.(check bool) (frag ^ " printed") true (contains ~needle:frag s))
     [ "func fig3"; "B0:"; "store"; "branch"; "return"; "entry: B0" ]
 
+(* Golden output for the partition-colored dot export: pinning the exact
+   text catches accidental drift in the HTML-like label markup, which
+   graphviz rejects with opaque errors rather than rendering wrong. *)
+let test_dot_partition_golden () =
+  let b = Builder.create ~name:"part" () in
+  let r0 = Builder.reg b in
+  let r1 = Builder.reg b in
+  let b0 = Builder.block b in
+  let b1 = Builder.block b in
+  let i0 = Builder.add b b0 (Instr.Const (r0, 1)) in
+  let i1 = Builder.add b b0 (Instr.Const (r1, 2)) in
+  ignore (Builder.terminate b b0 (Instr.Jump b1));
+  ignore (Builder.terminate b b1 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  let partition id =
+    if id = i0.Instr.id then Some 0
+    else if id = i1.Instr.id then Some 1
+    else None
+  in
+  let got = Dot.cfg_to_string ~partition f in
+  let expected =
+    String.concat "\n"
+      [
+        {|digraph "part" {|};
+        {|  label="part";|};
+        {|  b0 [shape=box, fontname=monospace, |}
+        ^ {|label=<<table border="0" cellborder="0" cellspacing="0">|}
+        ^ {|<tr><td align="left"><b>B0</b></td></tr>|}
+        ^ {|<tr><td align="left" bgcolor="#a6cee3">i0: r0 = 1</td></tr>|}
+        ^ {|<tr><td align="left" bgcolor="#b2df8a">i1: r1 = 2</td></tr>|}
+        ^ {|<tr><td align="left">i2: jump B1</td></tr></table>>];|};
+        {|  b1 [shape=box, fontname=monospace, |}
+        ^ {|label=<<table border="0" cellborder="0" cellspacing="0">|}
+        ^ {|<tr><td align="left"><b>B1</b></td></tr>|}
+        ^ {|<tr><td align="left">i3: return</td></tr></table>>];|};
+        {|  b0 -> b1;|};
+        "}";
+        "";
+      ]
+  in
+  Alcotest.(check string) "partition-colored dot" expected got;
+  (* And the uncolored variant keeps the plain escaped-string label. *)
+  let plain = Dot.cfg_to_string f in
+  Alcotest.(check bool) "plain has no table markup" false
+    (contains ~needle:"<table" plain);
+  Alcotest.(check bool) "plain keeps text label" true
+    (contains ~needle:"r0 = 1" plain)
+
 let tests =
   [
     Alcotest.test_case "instr defs/uses" `Quick test_instr_defs_uses;
@@ -205,4 +253,6 @@ let tests =
     Alcotest.test_case "validate unreachable return" `Quick
       test_validate_requires_reachable_return;
     Alcotest.test_case "printer output" `Quick test_printer_mentions;
+    Alcotest.test_case "dot partition golden" `Quick
+      test_dot_partition_golden;
   ]

@@ -10,6 +10,7 @@ let () =
       ("coco", Test_coco.tests);
       ("machine", Test_machine.tests);
       ("simkernel", Test_simkernel.tests);
+      ("obs", Test_obs.tests);
       ("workloads", Test_workloads.tests);
       ("pipeline", Test_pipeline.tests);
       ("properties", Test_props.tests);

@@ -24,6 +24,9 @@ let sim_results_equal (a : Sim.result) (b : Sim.result) =
   && a.Sim.deadlocked = b.Sim.deadlocked
   && a.Sim.fuel_exhausted = b.Sim.fuel_exhausted
   && a.Sim.idle_peak = b.Sim.idle_peak
+  && a.Sim.stall_attr = b.Sim.stall_attr
+  && a.Sim.queue_peak = b.Sim.queue_peak
+  && a.Sim.deadlock_report = b.Sim.deadlock_report
 
 let prop_decoded_equals_legacy_single =
   QCheck.Test.make ~count:120
@@ -116,6 +119,60 @@ let test_pool_shutdown_idempotent () =
 let test_default_jobs () =
   Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1)
 
+let expect_invalid_arg name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_pool_invalid_jobs () =
+  List.iter
+    (fun jobs ->
+      expect_invalid_arg
+        (Printf.sprintf "create ~jobs:%d" jobs)
+        (fun () -> Pool.create ~jobs);
+      expect_invalid_arg
+        (Printf.sprintf "run_list ~jobs:%d" jobs)
+        (fun () -> Pool.run_list ~jobs [ (fun () -> 0) ]))
+    [ 0; -1; -7 ]
+
+let test_default_jobs_rejects_garbage () =
+  let old = Sys.getenv_opt "GMT_JOBS" in
+  let restore () =
+    match old with
+    | Some v -> Unix.putenv "GMT_JOBS" v
+    | None -> Unix.putenv "GMT_JOBS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      List.iter
+        (fun bad ->
+          Unix.putenv "GMT_JOBS" bad;
+          expect_invalid_arg
+            (Printf.sprintf "default_jobs with GMT_JOBS=%S" bad)
+            (fun () -> Pool.default_jobs ()))
+        [ "0"; "-3"; "many" ])
+
+(* Worker-domain exceptions must surface at [await] with their payload
+   intact, whatever the task mix and jobs count. *)
+exception Boom_payload of int
+
+let prop_pool_raising_task =
+  QCheck.Test.make ~count:60 ~name:"pool re-raises a failing task's exception"
+    QCheck.(triple (int_range 1 4) (list_of_size Gen.(1 -- 12) small_nat)
+              (option small_nat))
+    (fun (jobs, values, raise_at) ->
+      let n = List.length values in
+      let raise_at = Option.map (fun r -> r mod n) raise_at in
+      let tasks =
+        List.mapi
+          (fun i v () ->
+            if raise_at = Some i then raise (Boom_payload i) else v * v)
+          values
+      in
+      match Pool.run_list ~jobs tasks with
+      | results ->
+        raise_at = None && results = List.map (fun v -> v * v) values
+      | exception Boom_payload i -> raise_at = Some i)
+
 (* -------- run_matrix determinism across jobs counts -------- *)
 
 let strip_rows rows =
@@ -151,6 +208,10 @@ let tests =
     Alcotest.test_case "pool shutdown idempotent" `Quick
       test_pool_shutdown_idempotent;
     Alcotest.test_case "default_jobs sane" `Quick test_default_jobs;
+    Alcotest.test_case "pool rejects jobs <= 0" `Quick test_pool_invalid_jobs;
+    Alcotest.test_case "default_jobs rejects bad GMT_JOBS" `Quick
+      test_default_jobs_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_pool_raising_task;
     Alcotest.test_case "run_matrix deterministic (jobs 1..4)" `Slow
       test_run_matrix_deterministic;
   ]
