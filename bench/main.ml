@@ -619,6 +619,43 @@ let smoke () =
     (List.length V.matrix_kinds)
     (Unix.gettimeofday () -. t0)
 
+(* --verify-matrix: translation-validate every multi-threaded cell of the
+   evaluation matrix (11 workloads x {GREMIO,DSWP} x {±COCO}) with the
+   gmt_verify checker — no simulation, so it is seconds-scale and runs
+   under CI's @verify alias (folded into @smoke). Any diagnostic on any
+   cell fails the run. *)
+let verify_matrix () =
+  let t0 = Unix.gettimeofday () in
+  let ws = Suite.all () in
+  let j = match !jobs with Some j -> j | None -> Pool.default_jobs () in
+  let cells =
+    List.concat_map
+      (fun (w : W.t) ->
+        List.concat_map
+          (fun tech ->
+            List.map
+              (fun coco () ->
+                let c = V.compile ~coco ~verify:false tech w in
+                ( Printf.sprintf "%s/%s" w.W.name
+                    (V.cell_name (V.Mt (tech, coco))),
+                  V.verify_compiled c ))
+              [ false; true ])
+          [ V.Gremio; V.Dswp ])
+      ws
+  in
+  let results = Pool.run_list ~jobs:j cells in
+  let bad = List.filter (fun (_, diags) -> diags <> []) results in
+  List.iter
+    (fun (label, diags) ->
+      Printf.eprintf "[verify] FAIL %s (%d diagnostics)\n%s\n" label
+        (List.length diags)
+        (Gmt_verify.Verify.render diags))
+    bad;
+  if bad <> [] then exit 1;
+  Printf.printf "[verify] ok: %d matrix cells translation-validated (%.2fs)\n"
+    (List.length results)
+    (Unix.gettimeofday () -. t0)
+
 let trace_out : string option ref = ref None
 let metrics_out : string option ref = ref None
 
@@ -633,6 +670,7 @@ let () =
   let rec parse = function
     | [] -> []
     | "--smoke" :: rest -> "--smoke-marker" :: parse rest
+    | "--verify-matrix" :: rest -> "--verify-marker" :: parse rest
     | "--jobs" :: n :: rest ->
       jobs := Some (parse_jobs n);
       parse rest
@@ -659,6 +697,7 @@ let () =
   if !trace_out <> None then Obs.enable_tracing ();
   if !metrics_out <> None then Obs.enable_metrics ();
   (if List.mem "--smoke-marker" args then smoke ()
+   else if List.mem "--verify-marker" args then verify_matrix ()
    else begin
      let want s = args = [] || List.mem s args in
      if want "fig6" then fig6 ();

@@ -4,46 +4,61 @@
      gmtc show ks                      print a kernel's IR
      gmtc pdg ks                       print its program dependence graph
      gmtc compile ks -t gremio --coco  partition + generate thread code
+     gmtc check ks -t dswp --coco      translation-validate the thread code
      gmtc run ks -t dswp --coco        compile, verify, simulate, report
-     gmtc sweep ks --threads 4         communication across thread counts *)
+     gmtc sweep ks --threads 4         communication across thread counts
+
+   Exit codes: 1 deadlock, 3 unknown benchmark/technique name,
+   4 translation validation rejected the generated code. *)
 
 open Cmdliner
 module V = Gmt_core.Velocity
 module W = Gmt_workloads.Workload
 module Suite = Gmt_workloads.Suite
+module Verify = Gmt_verify.Verify
 open Gmt_ir
 
-let find_workload name =
-  try Ok (Suite.find name)
-  with Not_found ->
-    Error
-      (`Msg
-        (Printf.sprintf "unknown benchmark %S; known: %s" name
-           (String.concat ", " (Suite.names ()))))
+(* Unknown names are user input errors, not usage errors: one line on
+   stderr and a distinct exit code scripts can test for, instead of
+   Cmdliner's multi-line usage dump and generic 124. *)
+let unknown_name_exit = 3
 
-let workload_conv = Arg.conv (find_workload, fun ppf w -> Fmt.string ppf w.W.name)
+let resolve_workload name =
+  try Suite.find name
+  with Not_found ->
+    Printf.eprintf "gmtc: unknown benchmark %S (known: %s)\n" name
+      (String.concat ", " (Suite.names ()));
+    exit unknown_name_exit
+
+let resolve_technique = function
+  | "gremio" -> V.Gremio
+  | "dswp" -> V.Dswp
+  | s ->
+    Printf.eprintf "gmtc: unknown technique %S (known: gremio, dswp)\n" s;
+    exit unknown_name_exit
 
 let bench_arg =
   Arg.(
     required
-    & pos 0 (some workload_conv) None
+    & pos 0 (some string) None
     & info [] ~docv:"BENCHMARK" ~doc:"Benchmark kernel name (see $(b,gmtc list)).")
 
 let technique_arg =
-  let parse = function
-    | "gremio" -> Ok V.Gremio
-    | "dswp" -> Ok V.Dswp
-    | s -> Error (`Msg (Printf.sprintf "unknown technique %S (gremio|dswp)" s))
-  in
-  let print ppf t = Fmt.string ppf (V.technique_name t) in
   Arg.(
-    value
-    & opt (conv (parse, print)) V.Gremio
+    value & opt string "gremio"
     & info [ "t"; "technique" ] ~docv:"TECH"
         ~doc:"Partitioner: $(b,gremio) or $(b,dswp).")
 
 let coco_arg =
   Arg.(value & flag & info [ "coco" ] ~doc:"Optimize communication with COCO.")
+
+let no_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "no-verify" ]
+        ~doc:
+          "Skip the gmt_verify translation validator normally run on the \
+           generated thread code.")
 
 let threads_arg =
   Arg.(
@@ -142,7 +157,8 @@ let list_cmd =
 (* ------------------------------ show ------------------------------ *)
 
 let show_cmd =
-  let run (w : W.t) =
+  let run bench =
+    let w = resolve_workload bench in
     Format.printf "%a@." Printer.pp_func w.W.func;
     Printf.printf "\nregions:";
     Array.iteri (fun i n -> Printf.printf " m%d=%s" i n) w.W.func.Func.regions;
@@ -154,7 +170,8 @@ let show_cmd =
 (* ------------------------------ pdg ------------------------------ *)
 
 let pdg_cmd =
-  let run (w : W.t) =
+  let run bench =
+    let w = resolve_workload bench in
     let pdg = Gmt_pdg.Pdg.build w.W.func in
     Format.printf "%a@." Gmt_pdg.Pdg.pp pdg
   in
@@ -164,8 +181,12 @@ let pdg_cmd =
 (* ---------------------------- compile ---------------------------- *)
 
 let compile_cmd =
-  let run (w : W.t) tech coco threads =
-    let c = V.compile ~n_threads:threads ~coco tech w in
+  let run bench tech coco threads no_verify =
+    let w = resolve_workload bench in
+    let tech = resolve_technique tech in
+    let c =
+      V.compile ~n_threads:threads ~coco ~verify:(not no_verify) tech w
+    in
     Format.printf "%a@.@." Gmt_sched.Partition.pp c.V.partition;
     Printf.printf "communication plan (%d transfers):\n"
       (List.length c.V.plan.Gmt_mtcg.Mtcg.comms);
@@ -177,12 +198,54 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Partition a kernel and print the generated thread code.")
-    Term.(const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg)
+    Term.(
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
+      $ no_verify_arg)
+
+(* ----------------------------- check ----------------------------- *)
+
+let check_cmd =
+  let run bench tech coco threads json =
+    let w = resolve_workload bench in
+    let tech = resolve_technique tech in
+    let c = V.compile ~n_threads:threads ~coco ~verify:false tech w in
+    let diags = V.verify_compiled c in
+    let label =
+      Printf.sprintf "%s/%s" w.W.name (V.cell_name (V.Mt (tech, coco)))
+    in
+    if json then print_endline (Verify.to_json ~label ~name:w.W.func_name diags)
+    else if diags = [] then
+      Printf.printf "%s: verified (%d threads, %d queues, %d comm sites)\n"
+        label threads c.V.mtp.Mtprog.n_queues
+        (List.length c.V.plan.Gmt_mtcg.Mtcg.comms)
+    else
+      Printf.eprintf "%s: translation validation FAILED (%d diagnostics)\n%s\n"
+        label (List.length diags) (Verify.render diags);
+    if diags <> [] then exit 4
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the machine-readable gmt-verify/1 JSON report on stdout \
+             instead of human-readable diagnostics.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Translation-validate the generated thread code against the \
+          source PDG (dependence coverage, queue protocol, races, \
+          def-before-use); exit 4 if any check rejects.")
+    Term.(
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ json_arg)
 
 (* ------------------------------ run ------------------------------ *)
 
 let run_cmd =
-  let run (w : W.t) tech coco threads jobs trace metrics =
+  let run bench tech coco threads no_verify jobs trace metrics =
+    let w = resolve_workload bench in
+    let tech = resolve_technique tech in
     let jobs = resolve_jobs jobs in
     with_obs trace metrics @@ fun () ->
     (* The single-threaded baseline and the multi-threaded cell are
@@ -191,7 +254,10 @@ let run_cmd =
       Gmt_parallel.Pool.run_list ~jobs
         [
           (fun () -> V.measure_single w);
-          (fun () -> V.measure (V.compile ~n_threads:threads ~coco tech w));
+          (fun () ->
+            V.measure
+              (V.compile ~n_threads:threads ~coco ~verify:(not no_verify)
+                 tech w));
         ]
     in
     let st, m =
@@ -220,19 +286,22 @@ let run_cmd =
          "Compile a kernel, verify the generated code and report simulated \
           performance.")
     Term.(
-      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ jobs_arg
-      $ trace_arg $ metrics_arg)
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
+      $ no_verify_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
 let dot_cmd =
-  let run (w : W.t) tech coco threads mt part =
+  let run bench tech coco threads no_verify mt part =
+    let w = resolve_workload bench in
+    let tech = resolve_technique tech in
+    let verify = not no_verify in
     if mt then begin
-      let c = V.compile ~n_threads:threads ~coco tech w in
+      let c = V.compile ~n_threads:threads ~coco ~verify tech w in
       Format.printf "%a" Dot.mtprog c.V.mtp
     end
     else if part then begin
-      let c = V.compile ~n_threads:threads ~coco tech w in
+      let c = V.compile ~n_threads:threads ~coco ~verify tech w in
       let p = Gmt_sched.Partition.thread_of_opt c.V.partition in
       print_string (Dot.cfg_to_string ~partition:p c.V.workload.W.func)
     end
@@ -255,13 +324,14 @@ let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit a Graphviz rendering of a kernel's CFG(s).")
     Term.(
-      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ mt_arg
-      $ partition_arg)
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
+      $ no_verify_arg $ mt_arg $ partition_arg)
 
 (* ----------------------------- sweep ----------------------------- *)
 
 let sweep_cmd =
-  let run (w : W.t) max_threads jobs trace metrics =
+  let run bench max_threads jobs trace metrics =
+    let w = resolve_workload bench in
     let jobs = resolve_jobs jobs in
     with_obs trace metrics @@ fun () ->
     let profile =
@@ -317,5 +387,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "gmtc" ~version:"1.0.0" ~doc)
-          [ list_cmd; show_cmd; pdg_cmd; compile_cmd; run_cmd; sweep_cmd;
-            dot_cmd ]))
+          [ list_cmd; show_cmd; pdg_cmd; compile_cmd; check_cmd; run_cmd;
+            sweep_cmd; dot_cmd ]))

@@ -10,10 +10,7 @@ let entry_def_reg id =
 
 type t = { cfg : Cfg.t; def_reg : int -> Reg.t; solver : solver }
 
-and solver = {
-  before : int -> Iset.t;
-  after : int -> Iset.t;
-}
+and solver = { before : int -> Iset.t }
 
 let compute (f : Func.t) =
   (* def_reg: which register a definition id defines. *)
@@ -49,7 +46,7 @@ let compute (f : Func.t) =
       | _ -> assert false
   end) in
   let r = S.solve f.cfg in
-  { cfg = f.cfg; def_reg; solver = { before = S.before r; after = S.after r } }
+  { cfg = f.cfg; def_reg; solver = { before = S.before r } }
 
 let defs_of_reg_before t id r =
   Iset.elements

@@ -9,6 +9,8 @@ module Partition = Gmt_sched.Partition
 module Mtcg = Gmt_mtcg.Mtcg
 module Coco = Gmt_coco.Coco
 module Obs = Gmt_obs.Obs
+module Verify = Gmt_verify.Verify
+module Queue_alloc = Gmt_mtcg.Queue_alloc
 
 type technique = Dswp | Gremio
 
@@ -31,6 +33,8 @@ type compiled = {
   pdg : Pdg.t;
   partition : Partition.t;
   plan : Mtcg.plan;
+  queues : Queue_alloc.t;
+  origin : Mtcg.origin;
   mtp : Mtprog.t;
   coco_stats : Coco.stats option;
 }
@@ -39,9 +43,19 @@ let machine_config ?(n_cores = 2) = function
   | Dswp -> Config.itanium2 ~n_cores ~queue_size:32 ()
   | Gremio -> Config.itanium2 ~n_cores ~queue_size:1 ()
 
+(* Run the translation validator over one compiled program; returns its
+   diagnostics (empty = verified). *)
+let verify_compiled c =
+  let label = mt_label c.workload c.technique c.coco in
+  Obs.span ~args:[ ("cell", Obs.S label) ] "verify" (fun () ->
+      Verify.run
+        ~max_queues:(machine_config c.technique).Config.n_queues
+        ~queue_of:c.queues.Queue_alloc.queue_of ~pdg:c.pdg
+        ~partition:c.partition ~plan:c.plan ~origin:c.origin c.mtp)
+
 let compile ?(n_threads = 2) ?(coco = false) ?(profile_mode = `Train)
     ?(disambiguate_offsets = false) ?(optimize = false) ?(cleanup = true)
-    technique (w : Workload.t) =
+    ?(verify = true) technique (w : Workload.t) =
   let label = mt_label w technique coco in
   Obs.span ~cat:"pipeline" ~args:[ ("cell", Obs.S label) ] "compile"
   @@ fun () ->
@@ -121,18 +135,31 @@ let compile ?(n_threads = 2) ?(coco = false) ?(profile_mode = `Train)
           Gmt_mtcg.Queue_alloc.allocate ~max_queues:limit plan.Mtcg.comms
         else Gmt_mtcg.Queue_alloc.identity plan.Mtcg.comms)
   in
-  let mtp =
-    Obs.span "mtcg.generate" (fun () -> Mtcg.generate ~queues pdg partition plan)
+  let mtp, origin =
+    Obs.span "mtcg.generate" (fun () ->
+        Mtcg.generate_with_origin ~queues pdg partition plan)
   in
   let mtp =
     if cleanup then
       Obs.span "opt.cleanup" (fun () -> Gmt_opt.Opt.cleanup_threads mtp)
     else mtp
   in
+  let limit = (machine_config technique).Config.n_queues in
   Obs.span "validate.threads" (fun () ->
-      Array.iter Validate.check mtp.Mtprog.threads);
-  { workload = w; technique; coco; n_threads; pdg; partition; plan; mtp;
-    coco_stats }
+      Array.iter (Validate.check ~n_queues:limit) mtp.Mtprog.threads);
+  let c =
+    { workload = w; technique; coco; n_threads; pdg; partition; plan; queues;
+      origin; mtp; coco_stats }
+  in
+  if verify then begin
+    match verify_compiled c with
+    | [] -> ()
+    | diags ->
+      failwith
+        (Printf.sprintf "%s: translation validation failed (%d diagnostics)\n%s"
+           label (List.length diags) (Verify.render diags))
+  end;
+  c
 
 type metrics = {
   dyn_instrs : int;

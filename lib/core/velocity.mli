@@ -27,9 +27,18 @@ type compiled = {
   pdg : Gmt_pdg.Pdg.t;
   partition : Gmt_sched.Partition.t;
   plan : Gmt_mtcg.Mtcg.plan;
+  queues : Gmt_mtcg.Queue_alloc.t;
+      (** logical-to-physical queue recolouring used by the weaver *)
+  origin : Gmt_mtcg.Mtcg.origin;
+      (** provenance of the generated produce/consume instructions *)
   mtp : Mtprog.t;
   coco_stats : Gmt_coco.Coco.stats option;
 }
+
+(** Re-run the {!Gmt_verify.Verify} translation validator over a compiled
+    program (already run by {!compile} unless [~verify:false]); returns
+    its diagnostics — empty means verified. *)
+val verify_compiled : compiled -> Gmt_verify.Verify.diagnostic list
 
 (** Compile a workload.
 
@@ -45,7 +54,12 @@ type compiled = {
     [optimize] (default false) runs the classical pre-pass pipeline
     (constant folding, copy propagation, DCE, CFG simplification) before
     scheduling, as the paper's compiler does. [cleanup] (default true)
-    jump-threads and prunes the generated thread CFGs. *)
+    jump-threads and prunes the generated thread CFGs.
+
+    [verify] (default true) runs the {!Gmt_verify.Verify} translation
+    validator on the generated program and fails the compile with its
+    rendered diagnostics if any check rejects.
+    @raise Failure when verification rejects the generated code. *)
 val compile :
   ?n_threads:int ->
   ?coco:bool ->
@@ -53,6 +67,7 @@ val compile :
   ?disambiguate_offsets:bool ->
   ?optimize:bool ->
   ?cleanup:bool ->
+  ?verify:bool ->
   technique ->
   Workload.t ->
   compiled

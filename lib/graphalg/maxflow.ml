@@ -5,11 +5,11 @@
 let infinity = max_int / 1024
 
 type t = {
-  mutable n : int;
+  n : int;
   mutable heads : int array;   (* arc id -> head node *)
   mutable caps : int array;    (* arc id -> residual capacity *)
   mutable orig : int array;    (* arc id -> original capacity (forward arcs) *)
-  mutable adj : int list array;(* node -> incident arc ids *)
+  adj : int list array;        (* node -> incident arc ids *)
   mutable n_arcs : int;
   mutable tails : int array;   (* arc id -> tail node *)
 }

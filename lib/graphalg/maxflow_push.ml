@@ -9,7 +9,7 @@ type t = {
   mutable tails : int array;
   mutable caps : int array;
   mutable orig : int array;
-  mutable adj : int list array;
+  adj : int list array;
   mutable n_arcs : int;
 }
 

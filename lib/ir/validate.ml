@@ -1,6 +1,6 @@
 module Digraph = Gmt_graphalg.Digraph
 
-let errors (f : Func.t) =
+let errors ?n_queues (f : Func.t) =
   let errs = ref [] in
   let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
   let cfg = f.cfg in
@@ -34,7 +34,22 @@ let errors (f : Func.t) =
           | Some r, _ | _, Some r ->
             if r < 0 || r >= Func.n_regions f then
               err "i%d mentions unknown region m%d" i.id r
-          | None, None -> ()))
+          | None, None -> ());
+          (match i.op with
+          | Instr.Produce (q, _)
+          | Instr.Consume (_, q)
+          | Instr.Produce_sync q
+          | Instr.Consume_sync q ->
+            if q < 0 then err "i%d references negative queue %d" i.id q
+            else (
+              match n_queues with
+              | Some nq when q >= nq ->
+                err
+                  "i%d references queue %d outside the synchronization \
+                   array (%d queues)"
+                  i.id q nq
+              | _ -> ())
+          | _ -> ()))
         b.body);
   (* Some Return must be reachable from the entry. *)
   let g = Cfg.digraph cfg in
@@ -45,12 +60,12 @@ let errors (f : Func.t) =
   if not has_exit then err "no Return reachable from entry";
   List.rev !errs
 
-let check f =
-  match errors f with
+let check ?n_queues f =
+  match errors ?n_queues f with
   | [] -> ()
   | es ->
     failwith
       (Printf.sprintf "Validate.check %s: %s" f.Func.name
          (String.concat "; " es))
 
-let is_valid f = errors f = []
+let is_valid ?n_queues f = errors ?n_queues f = []

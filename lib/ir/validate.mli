@@ -5,12 +5,15 @@
     - branch/jump targets are in range;
     - all registers mentioned are below [n_regs];
     - all regions mentioned are below the region count;
+    - queue ids of produce/consume are non-negative, and below [n_queues]
+      when that bound is supplied (the machine's synchronization array is
+      finite — see {!Gmt_machine.Config});
     - instruction ids are unique;
     - at least one [Return] is reachable from the entry. *)
 
-val errors : Func.t -> string list
+val errors : ?n_queues:int -> Func.t -> string list
 
 (** [check f] @raise Failure listing all violations, if any. *)
-val check : Func.t -> unit
+val check : ?n_queues:int -> Func.t -> unit
 
-val is_valid : Func.t -> bool
+val is_valid : ?n_queues:int -> Func.t -> bool

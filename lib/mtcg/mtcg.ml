@@ -7,6 +7,12 @@ module Iset = Relevant.Iset
 
 type plan = { comms : Comm.t list }
 
+type origin = { comm_of_instr : (int, int) Hashtbl.t array }
+
+let comm_of origin ~thread id =
+  if thread < 0 || thread >= Array.length origin.comm_of_instr then None
+  else Hashtbl.find_opt origin.comm_of_instr.(thread) id
+
 let n_queues plan = List.length plan.comms
 
 (* ------------------------------------------------------------------ *)
@@ -75,7 +81,7 @@ let baseline_plan pdg partition =
 
 type edge = Instr.label * Instr.label
 
-let generate ?queues pdg partition plan =
+let generate_with_origin ?queues pdg partition plan =
   let queues =
     match queues with
     | Some q -> q
@@ -113,6 +119,7 @@ let generate ?queues pdg partition plan =
   in
   let build_thread th =
     let relevant = Relevant.blocks rel th in
+    let origin_tbl : (int, int) Hashtbl.t = Hashtbl.create 32 in
     let b = Builder.create ~name:(Printf.sprintf "%s.t%d" f.name th) () in
     (* Reuse the original register space and regions. *)
     let rec mk_regs k = if k < f.n_regs then (ignore (Builder.reg b); mk_regs (k + 1)) in
@@ -145,18 +152,24 @@ let generate ?queues pdg partition plan =
       List.iter
         (fun (c : Comm.t) ->
           let q = queues.Queue_alloc.queue_of c.index in
-          if c.src = th then
-            ignore
-              (Builder.add b lbl
-                 (match c.payload with
-                 | Comm.Data r -> Instr.Produce (q, r)
-                 | Comm.Sync -> Instr.Produce_sync q))
-          else if c.dst = th then
-            ignore
-              (Builder.add b lbl
-                 (match c.payload with
-                 | Comm.Data r -> Instr.Consume (r, q)
-                 | Comm.Sync -> Instr.Consume_sync q)))
+          if c.src = th then begin
+            let i =
+              Builder.add b lbl
+                (match c.payload with
+                | Comm.Data r -> Instr.Produce (q, r)
+                | Comm.Sync -> Instr.Produce_sync q)
+            in
+            Hashtbl.replace origin_tbl i.Instr.id c.index
+          end
+          else if c.dst = th then begin
+            let i =
+              Builder.add b lbl
+                (match c.payload with
+                | Comm.Data r -> Instr.Consume (r, q)
+                | Comm.Sync -> Instr.Consume_sync q)
+            in
+            Hashtbl.replace origin_tbl i.Instr.id c.index
+          end)
         cs
     in
     (* Resolve the target of original edge (l, s) for this thread. *)
@@ -227,13 +240,19 @@ let generate ?queues pdg partition plan =
     ignore (Builder.terminate b exit_stub Instr.Return);
     (* Entry point. *)
     Builder.set_entry b (redirect (Cfg.entry cfg));
-    Builder.finish b ~live_in:f.live_in ~live_out:f.live_out
+    (Builder.finish b ~live_in:f.live_in ~live_out:f.live_out, origin_tbl)
   in
-  let threads =
+  let results =
     Array.init n_threads (fun t ->
         Gmt_obs.Obs.span ~args:[ ("thread", Gmt_obs.Obs.I t) ] "mtcg.thread"
           (fun () -> build_thread t))
   in
-  Mtprog.make ~name:f.name ~threads ~n_queues:queues.Queue_alloc.n_queues
+  let threads = Array.map fst results in
+  let origin = { comm_of_instr = Array.map snd results } in
+  ( Mtprog.make ~name:f.name ~threads ~n_queues:queues.Queue_alloc.n_queues,
+    origin )
+
+let generate ?queues pdg partition plan =
+  fst (generate_with_origin ?queues pdg partition plan)
 
 let run pdg partition = generate pdg partition (baseline_plan pdg partition)

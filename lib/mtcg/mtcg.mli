@@ -19,6 +19,19 @@ open Gmt_ir
 
 type plan = { comms : Comm.t list }
 
+(** Provenance emitted alongside the woven threads: for each thread, a
+    map from the ids of its generated produce/consume instructions to the
+    index of the plan communication they realize. Source instructions
+    keep their original ids (and both survive {!Gmt_opt} thread cleanup),
+    so translation validation can reconstruct which side of every planned
+    transfer actually made it into the final code. *)
+type origin = { comm_of_instr : (int, int) Hashtbl.t array }
+
+(** [comm_of origin ~thread id] is the communication index realized by
+    instruction [id] of thread [thread], if [id] is one of its
+    produce/consume instructions. *)
+val comm_of : origin -> thread:int -> int -> int option
+
 val n_queues : plan -> int
 
 (** Algorithm 1's communication placement for a partition. *)
@@ -36,6 +49,15 @@ val generate :
   Gmt_sched.Partition.t ->
   plan ->
   Mtprog.t
+
+(** Like {!generate}, additionally returning the provenance map used by
+    the {!module:Gmt_verify} translation validator. *)
+val generate_with_origin :
+  ?queues:Queue_alloc.t ->
+  Gmt_pdg.Pdg.t ->
+  Gmt_sched.Partition.t ->
+  plan ->
+  Mtprog.t * origin
 
 (** Convenience: baseline plan + generate. *)
 val run : Gmt_pdg.Pdg.t -> Gmt_sched.Partition.t -> Mtprog.t

@@ -4,7 +4,6 @@ module Partition = Gmt_sched.Partition
 module Iset = Set.Make (Int)
 
 type t = {
-  cfg : Cfg.t;
   branch_sets : Iset.t array;  (* per thread: relevant branch ids *)
   block_sets : Iset.t array;   (* per thread: relevant block labels *)
 }
@@ -93,7 +92,7 @@ let compute (f : Func.t) cd partition comms =
         | None -> ())
       branch_sets.(th)
   done;
-  { cfg; branch_sets; block_sets }
+  { branch_sets; block_sets }
 
 let branches t th = t.branch_sets.(th)
 let blocks t th = t.block_sets.(th)

@@ -1,0 +1,75 @@
+(** Translation validation for MTCG/COCO (library [gmt_verify]).
+
+    [run] statically checks one generated multi-threaded program against
+    the source function's PDG and the communication plan that produced
+    it, and returns a list of diagnostics — empty iff the program passes.
+    Four analyses (see DESIGN.md for the soundness argument):
+
+    - {b dependence coverage}: every PDG arc whose endpoints land in
+      different threads must be realized by a produce/consume pair whose
+      placement separates source from target on every def-clear path, or
+      be justified by COCO's SAFE sets (Property 3); every partitioned
+      instruction must survive into its thread unchanged;
+    - {b queue-protocol matching}: each planned communication is either
+      realized on both sides with the expected opcodes and physical
+      queue, or dropped on both sides; comms sharing a physical queue
+      connect the same thread pair and keep FIFO order; statically
+      detectable deadlocks (one-sided produce/consume) are rejected;
+    - {b static race detection}: for every may-alias pair of memory
+      accesses in different threads (via the {!Gmt_analysis.Alias}
+      region contract), some chain of realized communications must order
+      them; otherwise the pair is reported with a witness path;
+    - {b per-thread def-before-use}: in each generated thread, every
+      register use must be definitely assigned (by a def, a consume, or
+      [live_in]) — checked differentially against the source function so
+      sloppy source kernels do not produce noise.
+
+    The checker never trusts the code generator: it recomputes relevance,
+    control dependence and safety from the source function, and inspects
+    the woven thread CFGs through the {!Gmt_mtcg.Mtcg.origin} provenance
+    map (instruction ids survive thread cleanup). *)
+
+open Gmt_ir
+
+type analysis = Coverage | Protocol | Race | Defuse
+
+val analysis_name : analysis -> string
+
+type diagnostic = {
+  analysis : analysis;
+  message : string;  (** one-line, human-readable *)
+  arc : string option;  (** PDG arc involved, e.g. ["i3 -[r2]-> i7"] *)
+  queue : int option;  (** physical queue id *)
+  comm : int option;  (** plan communication index *)
+  thread : int option;  (** generated thread at fault *)
+  witness : string list;  (** event path demonstrating the failure *)
+}
+
+(** Check a generated program.
+
+    [queue_of] maps plan communication indices to physical queues (the
+    {!Gmt_mtcg.Queue_alloc} recolouring; defaults to the identity), and
+    [origin] is the provenance returned by
+    {!Gmt_mtcg.Mtcg.generate_with_origin}. [max_queues], when given,
+    additionally bounds the program's queue count. Diagnostics are
+    deterministically ordered. *)
+val run :
+  ?max_queues:int ->
+  ?queue_of:(int -> int) ->
+  pdg:Gmt_pdg.Pdg.t ->
+  partition:Gmt_sched.Partition.t ->
+  plan:Gmt_mtcg.Mtcg.plan ->
+  origin:Gmt_mtcg.Mtcg.origin ->
+  Mtprog.t ->
+  diagnostic list
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+(** All diagnostics, one numbered line each (["" ] for the empty list). *)
+val render : diagnostic list -> string
+
+(** Machine-readable report, schema ["gmt-verify/1"]:
+    [{"schema":"gmt-verify/1","function":name,"label":label,"ok":bool,
+    "diagnostics":[{"analysis","message","arc","queue","comm","thread",
+    "witness"}]}]. *)
+val to_json : ?label:string -> name:string -> diagnostic list -> string

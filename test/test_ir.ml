@@ -233,6 +233,44 @@ let test_dot_partition_golden () =
   Alcotest.(check bool) "plain keeps text label" true
     (contains ~needle:"r0 = 1" plain)
 
+(* Regression: queue ids must fit the synchronization array. The seed
+   validator accepted any non-negative queue id, so a produce aimed past
+   the array's 256 physical queues sailed through; [?n_queues] closes
+   that hole. *)
+let test_validate_queue_bounds () =
+  let mk q =
+    let blocks =
+      [|
+        {
+          Cfg.label = 0;
+          body =
+            [
+              Instr.make ~id:0 (Instr.Produce (q, Reg.of_int 0));
+              Instr.make ~id:1 Instr.Return;
+            ];
+        };
+      |]
+    in
+    Func.make ~name:"qbound" ~cfg:(Cfg.make ~entry:0 blocks) ~n_regs:1
+      ~regions:[||] ~live_in:[] ~live_out:[]
+  in
+  Alcotest.(check bool) "in-range queue accepted" true
+    (Validate.is_valid ~n_queues:256 (mk 255));
+  Alcotest.(check bool) "queue = n_queues rejected" false
+    (Validate.is_valid ~n_queues:256 (mk 256));
+  Alcotest.(check bool) "negative queue rejected even unbounded" false
+    (Validate.is_valid (mk (-1)));
+  (* Without a bound, large ids still pass (the pre-fix behaviour the
+     compiler relied on before queue recolouring was threaded through). *)
+  Alcotest.(check bool) "unbounded large id accepted" true
+    (Validate.is_valid (mk 300));
+  match Validate.errors ~n_queues:256 (mk 300) with
+  | [ e ] ->
+    Alcotest.(check bool) "error names the queue and the array size" true
+      (contains ~needle:"queue 300" e && contains ~needle:"256" e)
+  | es ->
+    Alcotest.failf "expected exactly one error, got %d" (List.length es)
+
 let tests =
   [
     Alcotest.test_case "instr defs/uses" `Quick test_instr_defs_uses;
@@ -252,6 +290,8 @@ let tests =
       test_validate_catches_duplicate_ids;
     Alcotest.test_case "validate unreachable return" `Quick
       test_validate_requires_reachable_return;
+    Alcotest.test_case "validate queue bounds" `Quick
+      test_validate_queue_bounds;
     Alcotest.test_case "printer output" `Quick test_printer_mentions;
     Alcotest.test_case "dot partition golden" `Quick
       test_dot_partition_golden;

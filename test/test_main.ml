@@ -14,5 +14,6 @@ let () =
       ("workloads", Test_workloads.tests);
       ("pipeline", Test_pipeline.tests);
       ("properties", Test_props.tests);
+      ("verify", Test_verify.tests);
       ("opt", Test_opt.tests);
     ]

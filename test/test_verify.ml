@@ -1,0 +1,320 @@
+(* Translation validation: the gmt_verify checker.
+
+   Positive direction: correct MTCG/COCO output verifies with zero
+   diagnostics (the full workload matrix is covered by the pipeline tests
+   and the bench @verify alias; here a hand-built kernel keeps the
+   assertions surgical). Negative direction: fault injection — mutate a
+   correct program (drop a plan comm, drop one produce, swap a queue id,
+   reorder a consume past its use, strip the memory synchronization) and
+   assert the verifier names the exact arc / queue / register at fault. *)
+
+open Gmt_ir
+module Pdg = Gmt_pdg.Pdg
+module Partition = Gmt_sched.Partition
+module Comm = Gmt_mtcg.Comm
+module Mtcg = Gmt_mtcg.Mtcg
+module Verify = Gmt_verify.Verify
+
+(* --------------------------- fixture ------------------------------ *)
+
+(* T0: i0: r0 <- 5        (producer thread)
+       i1: r3 <- 0
+       i4: r2 <- m0[r3]
+   T1: i2: r1 <- r0 + r0  (consumer thread)
+       i3: m0[r3] <- r1
+   Cross arcs: i0 -[r0]-> i2, i1 -[r3]-> i3, i3 -[mem]-> i4. *)
+type fixture = {
+  f : Func.t;
+  pdg : Pdg.t;
+  part : Partition.t;
+  r0 : Reg.t;
+  r3 : Reg.t;
+  i0 : Instr.t;
+  i1 : Instr.t;
+  i2 : Instr.t;
+  i3 : Instr.t;
+  i4 : Instr.t;
+}
+
+let fixture () =
+  let b = Builder.create ~name:"tv" () in
+  let r0 = Builder.reg b in
+  let r1 = Builder.reg b in
+  let r2 = Builder.reg b in
+  let r3 = Builder.reg b in
+  let m0 = Builder.region b "m0" in
+  let blk = Builder.block b in
+  let i0 = Builder.add b blk (Instr.Const (r0, 5)) in
+  let i1 = Builder.add b blk (Instr.Const (r3, 0)) in
+  let i2 = Builder.add b blk (Instr.Binop (Instr.Add, r1, r0, r0)) in
+  let i3 = Builder.add b blk (Instr.Store (m0, r3, 0, r1)) in
+  let i4 = Builder.add b blk (Instr.Load (m0, r2, r3, 0)) in
+  ignore (Builder.terminate b blk Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[ r2 ] in
+  let part =
+    Partition.make ~n_threads:2
+      [
+        (i0.Instr.id, 0); (i1.Instr.id, 0); (i4.Instr.id, 0);
+        (i2.Instr.id, 1); (i3.Instr.id, 1);
+      ]
+  in
+  { f; pdg = Pdg.build f; part; r0; r3; i0; i1; i2; i3; i4 }
+
+let full_specs fx =
+  [
+    (Comm.Data fx.r0, 0, 1, Comm.After fx.i0.Instr.id);
+    (Comm.Data fx.r3, 0, 1, Comm.After fx.i1.Instr.id);
+    (Comm.Sync, 1, 0, Comm.After fx.i3.Instr.id);
+  ]
+
+let plan_of specs = { Mtcg.comms = Comm.number specs }
+
+let compile_with fx specs =
+  let plan = plan_of specs in
+  let mtp, origin = Mtcg.generate_with_origin fx.pdg fx.part plan in
+  (plan, mtp, origin)
+
+let verify fx (plan, mtp, origin) =
+  Verify.run ~pdg:fx.pdg ~partition:fx.part ~plan ~origin mtp
+
+let has p diags = List.exists p diags
+
+let analysis_is a (d : Verify.diagnostic) = d.Verify.analysis = a
+
+let string_contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+(* Rebuild a thread function with its instruction list transformed. *)
+let map_body (tf : Func.t) g =
+  let cfg = tf.Func.cfg in
+  let blocks =
+    Array.init (Cfg.n_blocks cfg) (fun l ->
+        let b = Cfg.block cfg l in
+        { b with Cfg.body = g b.Cfg.body })
+  in
+  { tf with Func.cfg = Cfg.make ~entry:(Cfg.entry cfg) blocks }
+
+let patch_thread (mtp : Mtprog.t) t g =
+  let threads = Array.copy mtp.Mtprog.threads in
+  threads.(t) <- map_body threads.(t) g;
+  Mtprog.make ~name:mtp.Mtprog.name ~threads ~n_queues:mtp.Mtprog.n_queues
+
+(* The generated produce/consume instruction realizing the comm that
+   carries [payload], on the given side. *)
+let comm_instr_id (plan : Mtcg.plan) origin ~thread ~payload =
+  let idx =
+    match
+      List.find_opt (fun (c : Comm.t) -> c.Comm.payload = payload) plan.comms
+    with
+    | Some c -> c.Comm.index
+    | None -> Alcotest.fail "no such comm in plan"
+  in
+  let found = ref None in
+  Hashtbl.iter
+    (fun id i -> if i = idx then found := Some id)
+    origin.Mtcg.comm_of_instr.(thread);
+  match !found with
+  | Some id -> (id, idx)
+  | None -> Alcotest.fail "comm not realized in thread"
+
+(* --------------------------- positive ----------------------------- *)
+
+let test_accepts_correct () =
+  let fx = fixture () in
+  let diags = verify fx (compile_with fx (full_specs fx)) in
+  Alcotest.(check int) "no diagnostics" 0 (List.length diags);
+  (* Baseline MTCG on both workload partitioners is covered by the
+     pipeline suite (Velocity.compile verifies by default). *)
+  let json = Verify.to_json ~label:"tv/test" ~name:"tv" diags in
+  match Gmt_obs.Json.parse json with
+  | Error e -> Alcotest.fail ("verify JSON unparseable: " ^ e)
+  | Ok j ->
+    Alcotest.(check bool) "ok flag" true
+      (Gmt_obs.Json.member "ok" j = Some (Gmt_obs.Json.Bool true))
+
+(* --------------------------- coverage ----------------------------- *)
+
+let test_dropped_comm_names_arc () =
+  let fx = fixture () in
+  (* Drop the r0 transfer from the plan entirely. *)
+  let specs = List.tl (full_specs fx) in
+  let diags = verify fx (compile_with fx specs) in
+  let expected_arc =
+    Printf.sprintf "i%d -[reg:%s]-> i%d" fx.i0.Instr.id (Reg.to_string fx.r0)
+      fx.i2.Instr.id
+  in
+  Alcotest.(check bool)
+    ("coverage diagnostic names " ^ expected_arc)
+    true
+    (has
+       (fun d ->
+         analysis_is Verify.Coverage d && d.Verify.arc = Some expected_arc)
+       diags)
+
+let test_dropped_produce_rejected () =
+  let fx = fixture () in
+  let plan, mtp, origin = compile_with fx (full_specs fx) in
+  let id, idx =
+    comm_instr_id plan origin ~thread:0 ~payload:(Comm.Data fx.r0)
+  in
+  let mtp' =
+    patch_thread mtp 0
+      (List.filter (fun (i : Instr.t) -> i.Instr.id <> id))
+  in
+  let diags = verify fx (plan, mtp', origin) in
+  Alcotest.(check bool) "protocol names the half-realized comm" true
+    (has
+       (fun d ->
+         analysis_is Verify.Protocol d
+         && d.Verify.comm = Some idx
+         && d.Verify.queue = Some idx)
+       diags);
+  Alcotest.(check bool) "coverage reports the uncovered arc" true
+    (has (fun d -> analysis_is Verify.Coverage d && d.Verify.arc <> None) diags)
+
+(* --------------------------- protocol ----------------------------- *)
+
+let test_swapped_queue_rejected () =
+  let fx = fixture () in
+  let plan, mtp, origin = compile_with fx (full_specs fx) in
+  let id, idx =
+    comm_instr_id plan origin ~thread:0 ~payload:(Comm.Data fx.r0)
+  in
+  let mtp' =
+    patch_thread mtp 0
+      (List.map (fun (i : Instr.t) ->
+           if i.Instr.id = id then
+             { i with Instr.op = Instr.Produce (7, fx.r0) }
+           else i))
+  in
+  let diags = verify fx (plan, mtp', origin) in
+  Alcotest.(check bool) "protocol flags the wrong queue" true
+    (has
+       (fun d ->
+         analysis_is Verify.Protocol d
+         && d.Verify.comm = Some idx
+         && d.Verify.queue = Some idx)
+       diags)
+
+(* ------------------------- def-before-use ------------------------- *)
+
+let test_reordered_consume_rejected () =
+  let fx = fixture () in
+  let plan, mtp, origin = compile_with fx (full_specs fx) in
+  let id, _ = comm_instr_id plan origin ~thread:1 ~payload:(Comm.Data fx.r0) in
+  (* Move the consume of r0 after its use i2. *)
+  let consume = Cfg.find_instr mtp.Mtprog.threads.(1).Func.cfg id in
+  let mtp' =
+    patch_thread mtp 1
+      (List.concat_map (fun (i : Instr.t) ->
+           if i.Instr.id = id then []
+           else if i.Instr.id = fx.i2.Instr.id then [ i; consume ]
+           else [ i ]))
+  in
+  let diags = verify fx (plan, mtp', origin) in
+  Alcotest.(check bool) "defuse flags the use of r0 in T1" true
+    (has
+       (fun d ->
+         analysis_is Verify.Defuse d
+         && d.Verify.thread = Some 1
+         && string_contains d.Verify.message
+              (Printf.sprintf "i%d" fx.i2.Instr.id)
+         && string_contains d.Verify.message (Reg.to_string fx.r0))
+       diags)
+
+(* ----------------------------- races ------------------------------ *)
+
+let test_unsynchronized_store_load_races () =
+  let fx = fixture () in
+  (* Keep the register transfers, strip the memory synchronization. *)
+  let specs =
+    List.filter (fun (p, _, _, _) -> p <> Comm.Sync) (full_specs fx)
+  in
+  let diags = verify fx (compile_with fx specs) in
+  Alcotest.(check bool) "race reported with witness" true
+    (has
+       (fun d -> analysis_is Verify.Race d && d.Verify.witness <> [])
+       diags);
+  Alcotest.(check bool) "memory arc uncovered" true
+    (has
+       (fun d ->
+         analysis_is Verify.Coverage d
+         && (match d.Verify.arc with
+            | Some a -> string_contains a "mem"
+            | None -> false))
+       diags)
+
+(* --------------------------- property ----------------------------- *)
+
+(* Random structured programs x random partitions: baseline MTCG output
+   must verify clean AND be observationally equivalent to the source;
+   the same output with one produce instruction dropped must be
+   rejected. *)
+let prop_verify_sound_and_sensitive =
+  QCheck.Test.make ~count:120
+    ~name:"verifier accepts correct code, rejects produce-dropped mutants"
+    Test_props.arbitrary_case
+    (fun (stmts, seed, n_threads) ->
+      let f = Test_props.lower stmts in
+      let pdg = Pdg.build f in
+      let part = Test_props.random_partition f ~n_threads ~seed in
+      let plan = Mtcg.baseline_plan pdg part in
+      let mtp, origin = Mtcg.generate_with_origin pdg part plan in
+      let diags = Verify.run ~pdg ~partition:part ~plan ~origin mtp in
+      if diags <> [] then
+        QCheck.Test.fail_reportf "verifier rejected correct code:@.%s"
+          (Verify.render diags);
+      let equivalent =
+        match Test_props.st_memory f with
+        | None -> true
+        | Some expect -> Test_props.mt_equiv f mtp expect
+      in
+      (* Mutant: drop the first produce/produce_sync of some thread. *)
+      let mutant =
+        let found = ref None in
+        Array.iteri
+          (fun t (tf : Func.t) ->
+            if !found = None then
+              Cfg.iter_instrs tf.Func.cfg (fun _ (i : Instr.t) ->
+                  match (!found, i.Instr.op) with
+                  | None, (Instr.Produce _ | Instr.Produce_sync _) ->
+                    found := Some (t, i.Instr.id)
+                  | _ -> ()))
+          mtp.Mtprog.threads;
+        match !found with
+        | None -> None (* no communication at all: nothing to drop *)
+        | Some (t, id) ->
+          let threads = Array.copy mtp.Mtprog.threads in
+          threads.(t) <-
+            map_body threads.(t)
+              (List.filter (fun (i : Instr.t) -> i.Instr.id <> id));
+          Some
+            (Mtprog.make ~name:mtp.Mtprog.name ~threads
+               ~n_queues:mtp.Mtprog.n_queues)
+      in
+      let mutant_rejected =
+        match mutant with
+        | None -> true
+        | Some mtp' ->
+          Verify.run ~pdg ~partition:part ~plan ~origin mtp' <> []
+      in
+      equivalent && mutant_rejected)
+
+let tests =
+  [
+    Alcotest.test_case "accepts correct program + json" `Quick
+      test_accepts_correct;
+    Alcotest.test_case "dropped comm names the arc" `Quick
+      test_dropped_comm_names_arc;
+    Alcotest.test_case "dropped produce rejected" `Quick
+      test_dropped_produce_rejected;
+    Alcotest.test_case "swapped queue id rejected" `Quick
+      test_swapped_queue_rejected;
+    Alcotest.test_case "consume reordered past use rejected" `Quick
+      test_reordered_consume_rejected;
+    Alcotest.test_case "unsynchronized store/load races" `Quick
+      test_unsynchronized_store_load_races;
+    QCheck_alcotest.to_alcotest prop_verify_sound_and_sensitive;
+  ]
