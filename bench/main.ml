@@ -13,6 +13,9 @@
                meaningfully lengthen compilation)
      ablate  — extensions: 4-thread communication reduction, COCO without
                control-flow penalties
+     fuzz    — corpus-driven differential fuzz: gmt_verify verdicts
+               cross-checked against MT-interpreter equivalence on every
+               technique cell, plus a seeded-miscompile detection pass
 
    Run with no arguments for the main figures; pass section names to
    select (e.g. `dune exec bench/main.exe fig7 fig8 ablate`). The
@@ -656,6 +659,47 @@ let verify_matrix () =
     (List.length results)
     (Unix.gettimeofday () -. t0)
 
+(* fuzz: the corpus-driven differential fuzzer (explicit section, like
+   ablate). Every suite workload and a fixed band of generated seeds go
+   through all four technique cells; the gmt_verify verdict is
+   cross-checked against MT-interpreter equivalence with the
+   single-threaded oracle, and any disagreement fails the run with a
+   standalone .gmt repro on disk. A drop-produce injection pass then
+   proves the harness actually detects miscompiles. *)
+let fuzz_section () =
+  let t0 = Unix.gettimeofday () in
+  let module Fuzz = Gmt_frontend.Fuzz in
+  let corpus =
+    Fuzz.fuzz_workloads (List.map (fun (w : W.t) -> (w.W.name, w)) (Suite.all ()))
+  in
+  print_endline ("corpus " ^ Fuzz.render_report corpus);
+  let gen = Fuzz.fuzz_seeds ~seeds:(List.init 10 (fun i -> i + 1)) () in
+  print_endline ("generated " ^ Fuzz.render_report gen);
+  (* Findings here are the point, not bugs: keep the repro files out of
+     the working tree. *)
+  let injected =
+    Fuzz.fuzz_seeds ~mutate:Fuzz.Drop_produce
+      ~out_dir:(Filename.get_temp_dir_name ())
+      ~seeds:(List.init 3 (fun i -> i + 1))
+      ()
+  in
+  Printf.printf "injected drop-produce: %d/%d caught\n"
+    (List.length injected.Fuzz.findings)
+    injected.Fuzz.tested;
+  let ok =
+    corpus.Fuzz.findings = [] && gen.Fuzz.findings = []
+    && (injected.Fuzz.tested = 0
+       || List.length injected.Fuzz.findings = injected.Fuzz.tested)
+  in
+  if not ok then begin
+    prerr_endline "[fuzz] FAIL: see findings above";
+    exit 1
+  end;
+  Printf.printf "[fuzz] ok: %d corpus + %d generated programs agree, \
+                 injection detected (%.2fs)\n"
+    corpus.Fuzz.tested gen.Fuzz.tested
+    (Unix.gettimeofday () -. t0)
+
 let trace_out : string option ref = ref None
 let metrics_out : string option ref = ref None
 
@@ -706,7 +750,8 @@ let () =
      if want "fig8" then fig8 ();
      if want "caches" then caches ();
      if want "compile" then compile_bench ();
-     if List.mem "ablate" args then ablate ()
+     if List.mem "ablate" args then ablate ();
+     if List.mem "fuzz" args then fuzz_section ()
    end);
   Option.iter Obs.write_trace !trace_out;
   Option.iter Obs.write_metrics !metrics_out

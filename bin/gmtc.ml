@@ -5,30 +5,54 @@
      gmtc pdg ks                       print its program dependence graph
      gmtc compile ks -t gremio --coco  partition + generate thread code
      gmtc check ks -t dswp --coco      translation-validate the thread code
-     gmtc run ks -t dswp --coco        compile, verify, simulate, report
+     gmtc run prog.gmt -t dswp --coco  compile, verify, simulate, report
+     gmtc export ks                    print a kernel as textual GMT-IR
      gmtc sweep ks --threads 4         communication across thread counts
+     gmtc fuzz --seed 7 --count 20     differential-fuzz the pipeline
 
-   Exit codes: 1 deadlock, 3 unknown benchmark/technique name,
-   4 translation validation rejected the generated code. *)
+   Anywhere a benchmark name is accepted, a path to a textual GMT-IR
+   file ([*.gmt]) or [-] (stdin) works too.
+
+   Exit codes: 1 deadlock, 2 parse error in a .gmt file, 3 unknown
+   benchmark/technique name, 4 translation validation rejected the
+   generated code. *)
 
 open Cmdliner
 module V = Gmt_core.Velocity
 module W = Gmt_workloads.Workload
 module Suite = Gmt_workloads.Suite
 module Verify = Gmt_verify.Verify
+module Text = Gmt_frontend.Text
+module Fuzz = Gmt_frontend.Fuzz
 open Gmt_ir
 
-(* Unknown names are user input errors, not usage errors: one line on
-   stderr and a distinct exit code scripts can test for, instead of
-   Cmdliner's multi-line usage dump and generic 124. *)
+(* Unknown names and malformed input files are user input errors, not
+   usage errors: one line on stderr and a distinct exit code scripts can
+   test for, instead of Cmdliner's multi-line usage dump and generic
+   124. *)
+let parse_error_exit = 2
 let unknown_name_exit = 3
 
+(* [-], an explicit path, or a *.gmt name is a file to parse; anything
+   else is looked up in the suite. *)
+let is_file_input name =
+  name = "-"
+  || Filename.check_suffix name ".gmt"
+  || String.contains name '/'
+
 let resolve_workload name =
-  try Suite.find name
-  with Not_found ->
-    Printf.eprintf "gmtc: unknown benchmark %S (known: %s)\n" name
-      (String.concat ", " (Suite.names ()));
-    exit unknown_name_exit
+  if is_file_input name then
+    match Text.load name with
+    | Ok w -> w
+    | Error e ->
+      Printf.eprintf "gmtc: %s\n" (Text.render_error e);
+      exit parse_error_exit
+  else
+    match Suite.lookup name with
+    | Ok w -> w
+    | Error msg ->
+      Printf.eprintf "gmtc: %s\n" msg;
+      exit unknown_name_exit
 
 let resolve_technique = function
   | "gremio" -> V.Gremio
@@ -41,7 +65,10 @@ let bench_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"BENCHMARK" ~doc:"Benchmark kernel name (see $(b,gmtc list)).")
+    & info [] ~docv:"BENCHMARK"
+        ~doc:
+          "Benchmark kernel name (see $(b,gmtc list)), a textual GMT-IR \
+           file ($(b,*.gmt)), or $(b,-) to read GMT-IR from stdin.")
 
 let technique_arg =
   Arg.(
@@ -204,11 +231,47 @@ let compile_cmd =
 
 (* ----------------------------- check ----------------------------- *)
 
+(* Shared by check and fuzz: --inject seeds a known miscompile into the
+   generated thread code so the validator's rejection path is testable. *)
+let inject_conv =
+  let parse s =
+    match Fuzz.mutation_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown mutation %S (known: drop-produce, \
+                            swap-branch)" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Fuzz.mutation_name m))
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some inject_conv) None
+    & info [ "inject" ] ~docv:"MUTATION"
+        ~doc:
+          "Test flag: seed a miscompile ($(b,drop-produce) or \
+           $(b,swap-branch)) into the generated thread code before \
+           checking, to demonstrate the validator catches it.")
+
+let apply_inject inject (c : V.compiled) =
+  match inject with
+  | None -> c
+  | Some m -> (
+    match Fuzz.apply_mutation m c.V.mtp with
+    | Some mtp -> { c with V.mtp }
+    | None ->
+      Printf.eprintf "gmtc: mutation %s not applicable (no such instruction \
+                      in the generated code)\n" (Fuzz.mutation_name m);
+      exit 1)
+
 let check_cmd =
-  let run bench tech coco threads json =
+  let run bench tech coco threads json inject =
     let w = resolve_workload bench in
     let tech = resolve_technique tech in
     let c = V.compile ~n_threads:threads ~coco ~verify:false tech w in
+    let c = apply_inject inject c in
     let diags = V.verify_compiled c in
     let label =
       Printf.sprintf "%s/%s" w.W.name (V.cell_name (V.Mt (tech, coco)))
@@ -238,7 +301,8 @@ let check_cmd =
           source PDG (dependence coverage, queue protocol, races, \
           def-before-use); exit 4 if any check rejects.")
     Term.(
-      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ json_arg)
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ json_arg
+      $ inject_arg)
 
 (* ------------------------------ run ------------------------------ *)
 
@@ -379,6 +443,131 @@ let sweep_cmd =
     Term.(
       const run $ bench_arg $ threads_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
+(* ----------------------------- export ---------------------------- *)
+
+let export_cmd =
+  let run bench all out =
+    let write path w =
+      let oc = open_out path in
+      output_string oc (Text.print w);
+      close_out oc
+    in
+    if all then begin
+      let dir = Option.value out ~default:"." in
+      List.iter
+        (fun (w : W.t) -> write (Filename.concat dir (w.W.name ^ ".gmt")) w)
+        (Suite.all ());
+      Printf.printf "exported %d workloads to %s\n"
+        (List.length (Suite.all ())) dir
+    end
+    else
+      match bench with
+      | None ->
+        prerr_endline "gmtc: export needs a BENCHMARK or --all";
+        exit unknown_name_exit
+      | Some bench -> (
+        let w = resolve_workload bench in
+        match out with
+        | None -> print_string (Text.print w)
+        | Some path -> write path w)
+  in
+  let bench_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmark kernel name, $(b,*.gmt) file, or $(b,-).")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Export every suite workload (one file each).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:
+            "Output file (or directory with $(b,--all)); defaults to \
+             stdout (or the current directory with $(b,--all)).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Print a workload in the canonical textual GMT-IR v1 format \
+          (re-parseable by every other command).")
+    Term.(const run $ bench_opt_arg $ all_arg $ out_arg)
+
+(* ------------------------------ fuzz ------------------------------ *)
+
+let fuzz_cmd =
+  let run files seed count inject fuel out_dir =
+    let report =
+      if files <> [] then
+        Fuzz.fuzz_workloads ?mutate:inject ~fuel ~out_dir
+          (List.map (fun f -> (f, resolve_workload f)) files)
+      else
+        Fuzz.fuzz_seeds ?mutate:inject ~fuel ~out_dir
+          ~seeds:(List.init count (fun i -> seed + i))
+          ()
+    in
+    print_endline (Fuzz.render_report report);
+    (* Without an injected mutation, any finding is a real disagreement
+       between the validator and the interpreter. With one, the harness
+       must catch it: a mutated program that sails through is the
+       failure. *)
+    let failed =
+      match inject with
+      | None -> report.Fuzz.findings <> []
+      | Some _ -> report.Fuzz.tested > 0 && report.Fuzz.findings = []
+    in
+    if failed then exit 1
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"INPUT"
+          ~doc:
+            "Workloads to cross-check (benchmark names or $(b,*.gmt) \
+             files); when omitted, programs are generated from \
+             $(b,--seed).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"First seed for generated programs (deterministic).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "count" ] ~docv:"K" ~doc:"Number of consecutive seeds to run.")
+  in
+  let fuel_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "fuel" ] ~docv:"STEPS"
+          ~doc:"Interpreter step budget per run.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for minimized $(b,.gmt) counterexample repros.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the pipeline: compile every technique cell \
+          (GREMIO/DSWP x ±COCO), cross-check the translation validator's \
+          verdict against MT-interpreter equivalence with the \
+          single-threaded oracle, and write shrunk $(b,.gmt) repros for \
+          any disagreement.")
+    Term.(
+      const run $ files_arg $ seed_arg $ count_arg $ inject_arg $ fuel_arg
+      $ out_dir_arg)
+
 let () =
   let doc =
     "global multi-threaded instruction scheduling (GREMIO/DSWP + MTCG + COCO)"
@@ -388,4 +577,4 @@ let () =
        (Cmd.group
           (Cmd.info "gmtc" ~version:"1.0.0" ~doc)
           [ list_cmd; show_cmd; pdg_cmd; compile_cmd; check_cmd; run_cmd;
-            sweep_cmd; dot_cmd ]))
+            sweep_cmd; dot_cmd; export_cmd; fuzz_cmd ]))

@@ -1,0 +1,300 @@
+open Gmt_ir
+module Workload = Gmt_workloads.Workload
+module V = Gmt_core.Velocity
+module Interp = Gmt_machine.Interp
+module Mt_interp = Gmt_machine.Mt_interp
+module Verify = Gmt_verify.Verify
+
+(* --------------------------- mutations ---------------------------- *)
+
+type mutation = Drop_produce | Swap_branch
+
+let mutation_name = function
+  | Drop_produce -> "drop-produce"
+  | Swap_branch -> "swap-branch"
+
+let mutation_of_string = function
+  | "drop-produce" -> Some Drop_produce
+  | "swap-branch" -> Some Swap_branch
+  | _ -> None
+
+(* Rebuild one thread with its first instruction satisfying [pick]
+   rewritten by [rw]; returns None when no thread has such an
+   instruction. Ids are preserved so verify's provenance stays intact. *)
+let patch_first (mtp : Mtprog.t) pick rw =
+  let done_ = ref false in
+  let threads =
+    Array.map
+      (fun (tf : Func.t) ->
+        if !done_ then tf
+        else
+          let cfg = tf.Func.cfg in
+          let blocks =
+            Array.init (Cfg.n_blocks cfg) (fun l ->
+                let blk = Cfg.block cfg l in
+                {
+                  blk with
+                  Cfg.body =
+                    List.map
+                      (fun (i : Instr.t) ->
+                        if (not !done_) && pick i then begin
+                          done_ := true;
+                          { i with Instr.op = rw i.Instr.op }
+                        end
+                        else i)
+                      blk.Cfg.body;
+                })
+          in
+          if !done_ then
+            { tf with Func.cfg = Cfg.make ~entry:(Cfg.entry cfg) blocks }
+          else tf)
+      mtp.Mtprog.threads
+  in
+  if !done_ then
+    Some
+      (Mtprog.make ~name:mtp.Mtprog.name ~threads
+         ~n_queues:mtp.Mtprog.n_queues)
+  else None
+
+let apply_mutation m mtp =
+  match m with
+  | Drop_produce ->
+    patch_first mtp
+      (fun i -> match i.Instr.op with Instr.Produce _ -> true | _ -> false)
+      (fun _ -> Instr.Nop)
+  | Swap_branch ->
+    patch_first mtp
+      (fun i ->
+        match i.Instr.op with
+        | Instr.Branch (_, l1, l2) -> l1 <> l2
+        | _ -> false)
+      (function
+        | Instr.Branch (c, l1, l2) -> Instr.Branch (c, l2, l1)
+        | op -> op)
+
+(* ------------------------ differential check ---------------------- *)
+
+type finding = { cell : string; detail : string }
+
+let cells = [ (V.Gremio, false); (V.Gremio, true); (V.Dswp, false);
+              (V.Dswp, true) ]
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* Why an MT run is not observationally equivalent to the oracle, or
+   None when it is. *)
+let mt_divergence (w : Workload.t) mtp ~queue_capacity ~fuel expect =
+  let check sched =
+    let r =
+      Mt_interp.run ~sched ~fuel ~init_regs:w.Workload.reference.Workload.regs
+        ~init_mem:w.Workload.reference.Workload.mem mtp ~queue_capacity
+        ~mem_size:w.Workload.mem_size
+    in
+    if r.Mt_interp.deadlocked then
+      Some ("deadlock: " ^ String.concat "; " r.Mt_interp.blocked)
+    else if r.Mt_interp.fuel_exhausted then Some "fuel exhausted"
+    else if not r.Mt_interp.queues_drained then
+      Some "queues not drained at termination"
+    else if r.Mt_interp.memory <> expect then
+      Some "final memory diverges from the single-threaded oracle"
+    else None
+  in
+  let rec go = function
+    | [] -> None
+    | sched :: rest -> (
+      match check sched with Some why -> Some why | None -> go rest)
+  in
+  go [ Mt_interp.Round_robin; Mt_interp.Random 7 ]
+
+(* Returns Ok with the number of cells actually cross-checked (a
+   requested mutation can be inapplicable in some cells). *)
+let check_workload_counted ?mutate ?(fuel = 2_000_000) ?(n_threads = 2)
+    (w : Workload.t) =
+  let oracle =
+    let r =
+      Interp.run ~fuel ~init_regs:w.Workload.reference.Workload.regs
+        ~init_mem:w.Workload.reference.Workload.mem w.Workload.func
+        ~mem_size:w.Workload.mem_size
+    in
+    if r.Interp.fuel_exhausted then None else Some r.Interp.memory
+  in
+  match oracle with
+  | None -> Ok 0 (* cannot judge equivalence; skip *)
+  | Some expect ->
+    let rec go checked = function
+      | [] -> Ok checked
+      | (tech, coco) :: rest -> (
+        let cell = V.cell_name (V.Mt (tech, coco)) in
+        match V.compile ~n_threads ~coco ~verify:false tech w with
+        | exception e ->
+          Error
+            { cell; detail = "compile raised: " ^ Printexc.to_string e }
+        | c -> (
+          let mutated =
+            match mutate with
+            | None -> Some c.V.mtp
+            | Some m -> apply_mutation m c.V.mtp
+          in
+          match mutated with
+          | None -> go checked rest (* mutation not applicable here *)
+          | Some mtp ->
+            let c = { c with V.mtp } in
+            let diags =
+              match V.verify_compiled c with
+              | ds -> ds
+              | exception e ->
+                [
+                  {
+                    Verify.analysis = Verify.Coverage;
+                    message = "verifier raised: " ^ Printexc.to_string e;
+                    arc = None;
+                    queue = None;
+                    comm = None;
+                    thread = None;
+                    witness = [];
+                  };
+                ]
+            in
+            let queue_capacity =
+              (V.machine_config tech).Gmt_machine.Config.queue_size
+            in
+            let divergence =
+              mt_divergence w mtp ~queue_capacity ~fuel:(4 * fuel) expect
+            in
+            (match (diags, divergence) with
+            | [], None -> go (checked + 1) rest
+            | [], Some why ->
+              Error
+                {
+                  cell;
+                  detail =
+                    "verifier ACCEPTED diverging code: MT run " ^ why;
+                }
+            | _ :: _, Some why ->
+              Error
+                {
+                  cell;
+                  detail =
+                    Printf.sprintf
+                      "miscompile caught: %d diagnostic(s) (%s) and MT run %s"
+                      (List.length diags)
+                      (first_line (Verify.render diags))
+                      why;
+                }
+            | _ :: _, None ->
+              Error
+                {
+                  cell;
+                  detail =
+                    Printf.sprintf
+                      "verifier REJECTED observationally equivalent code: %s"
+                      (first_line (Verify.render diags));
+                })))
+    in
+    go 0 cells
+
+let check_workload ?mutate ?fuel ?n_threads w =
+  Result.map ignore (check_workload_counted ?mutate ?fuel ?n_threads w)
+
+(* --------------------------- minimization ------------------------- *)
+
+let fails ?mutate ?fuel ?n_threads stmts =
+  match
+    check_workload ?mutate ?fuel ?n_threads (Gen.workload ~name:"shrink" stmts)
+  with
+  | Ok () -> false
+  | Error _ -> true
+  | exception _ -> false
+
+(* Greedy first-improvement descent over the shrink candidates, bounded
+   so pathological programs cannot stall the fuzz run. *)
+let minimize ?mutate ?fuel ?n_threads stmts =
+  let budget = ref 400 in
+  let rec go current =
+    if !budget <= 0 then current
+    else
+      let rec try_cands = function
+        | [] -> current
+        | cand :: rest ->
+          if !budget <= 0 then current
+          else begin
+            decr budget;
+            if fails ?mutate ?fuel ?n_threads cand then go cand
+            else try_cands rest
+          end
+      in
+      try_cands (Gen.shrink_candidates current)
+  in
+  if fails ?mutate ?fuel ?n_threads stmts then go stmts else stmts
+
+(* ----------------------------- drivers ---------------------------- *)
+
+type report = {
+  tested : int;
+  skipped : int;
+  findings : (string * finding) list;
+}
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let fuzz_seeds ?mutate ?fuel ?(out_dir = ".") ~seeds () =
+  let tested = ref 0 and skipped = ref 0 and findings = ref [] in
+  List.iter
+    (fun seed ->
+      let stmts = Gen.gen ~seed in
+      let name = Printf.sprintf "fuzz-seed%d" seed in
+      match
+        check_workload_counted ?mutate ?fuel (Gen.workload ~name stmts)
+      with
+      | Ok 0 -> incr skipped
+      | Ok _ -> incr tested
+      | Error f ->
+        incr tested;
+        let small = minimize ?mutate ?fuel stmts in
+        ensure_dir out_dir;
+        let path = Filename.concat out_dir (name ^ ".gmt") in
+        write_file path (Text.print (Gen.workload ~name small));
+        findings := (path, f) :: !findings)
+    seeds;
+  { tested = !tested; skipped = !skipped; findings = List.rev !findings }
+
+let fuzz_workloads ?mutate ?fuel ?(out_dir = ".") ws =
+  let tested = ref 0 and skipped = ref 0 and findings = ref [] in
+  List.iter
+    (fun (label, w) ->
+      match check_workload_counted ?mutate ?fuel w with
+      | Ok 0 -> incr skipped
+      | Ok _ -> incr tested
+      | Error f ->
+        incr tested;
+        ensure_dir out_dir;
+        let path =
+          Filename.concat out_dir
+            (Printf.sprintf "fuzz-%s.gmt" w.Workload.name)
+        in
+        write_file path (Text.print w);
+        findings := (label ^ " -> " ^ path, f) :: !findings)
+    ws;
+  { tested = !tested; skipped = !skipped; findings = List.rev !findings }
+
+let render_report r =
+  let head =
+    Printf.sprintf "fuzz: %d program(s) cross-checked, %d skipped, %d finding(s)"
+      r.tested r.skipped
+      (List.length r.findings)
+  in
+  String.concat "\n"
+    (head
+    :: List.map
+         (fun (where, f) ->
+           Printf.sprintf "  %s [%s]: %s" where f.cell f.detail)
+         r.findings)

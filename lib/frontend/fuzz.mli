@@ -1,0 +1,69 @@
+(** Corpus-driven differential fuzzing of the whole pipeline.
+
+    For one workload, every technique cell (GREMIO/DSWP x ±COCO) is
+    compiled and then cross-checked two independent ways: the
+    {!Gmt_verify} translation validator's accept/reject verdict, and
+    observational equivalence of the MT interpreter against the
+    single-threaded oracle. Any disagreement — the validator accepts
+    diverging code, rejects equivalent code, or the compile itself
+    raises — is a finding.
+
+    To prove the harness can catch miscompiles, a {!mutation} can be
+    injected into the generated thread code behind a test flag
+    ([gmtc fuzz --inject ..., gmtc check --inject ...]); generated-
+    program findings are greedily shrunk over {!Gen.shrink_candidates}
+    and emitted as standalone [.gmt] repro files. *)
+
+module Workload = Gmt_workloads.Workload
+
+(** Seeded miscompile, applied to the generated {!Gmt_ir.Mtprog.t}:
+    [Drop_produce] replaces the first produce with a nop, [Swap_branch]
+    swaps the targets of the first conditional branch. *)
+type mutation = Drop_produce | Swap_branch
+
+val mutation_name : mutation -> string
+val mutation_of_string : string -> mutation option
+
+(** Apply a mutation; [None] when no applicable instruction exists. *)
+val apply_mutation : mutation -> Gmt_ir.Mtprog.t -> Gmt_ir.Mtprog.t option
+
+type finding = {
+  cell : string;  (** e.g. ["gremio+coco"] *)
+  detail : string;
+}
+
+(** Cross-check one workload over all four cells; [Ok ()] when every
+    cell agrees. With [mutate], cells where the mutation does not apply
+    are skipped. [fuel] bounds each interpreter run (default 2,000,000). *)
+val check_workload :
+  ?mutate:mutation -> ?fuel:int -> ?n_threads:int -> Workload.t ->
+  (unit, finding) result
+
+(** Greedy minimization of a failing generated program: repeatedly take
+    the first shrink candidate that still yields a finding. *)
+val minimize :
+  ?mutate:mutation -> ?fuel:int -> ?n_threads:int -> Gen.stmt list ->
+  Gen.stmt list
+
+type report = {
+  tested : int;
+  skipped : int;  (** mutation requested but not applicable *)
+  findings : (string * finding) list;
+      (** (repro path or workload name, finding) *)
+}
+
+(** Fuzz generated programs for each seed: check, and on a finding
+    shrink it and write a standalone repro to
+    [out_dir/fuzz-seed<N>.gmt]. *)
+val fuzz_seeds :
+  ?mutate:mutation -> ?fuel:int -> ?out_dir:string -> seeds:int list ->
+  unit -> report
+
+(** Fuzz named workloads (the on-disk corpus); no shrinking — the
+    repro written on a finding is the workload itself. *)
+val fuzz_workloads :
+  ?mutate:mutation -> ?fuel:int -> ?out_dir:string ->
+  (string * Workload.t) list -> report
+
+(** One-line human summary. *)
+val render_report : report -> string

@@ -1,0 +1,200 @@
+open Gmt_ir
+module Workload = Gmt_workloads.Workload
+
+type stmt =
+  | Arith of int * int * int * int
+  | Mload of int * int * int
+  | Mstore of int * int * int
+  | If of int * stmt list * stmt list
+  | Loop of int * stmt list
+
+let n_pool = 6
+let n_regions = 2
+let mem_size = 256
+
+let ops =
+  [| Instr.Add; Instr.Sub; Instr.Mul; Instr.And; Instr.Or; Instr.Xor;
+     Instr.Min; Instr.Max; Instr.Lt; Instr.Eq; Instr.Shr |]
+
+let init_regs = List.init n_pool (fun i -> (Reg.of_int i, (i * 37) + 3))
+let init_mem = List.init 32 (fun i -> (i * 7, i + 1))
+
+(* ------------------------ seeded generation ----------------------- *)
+
+(* xorshift64*: deterministic across runs and OCaml versions; the fuzz
+   harness's reproducibility rests on this, not on Random. *)
+let mk_rng seed =
+  let state = ref (Int64.of_int (seed + 0x9E3779B9) ) in
+  if !state = 0L then state := 88172645463325252L;
+  fun bound ->
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_int (Int64.rem (Int64.logand x Int64.max_int) (Int64.of_int bound))
+
+(* Mirrors the QCheck distribution of the property suite: leaves are
+   arith/load/store; at positive depth, If and Loop each appear with
+   weight 1 against 4 for a leaf. *)
+let gen ~seed =
+  let rand = mk_rng seed in
+  let range lo hi = lo + rand (hi - lo + 1) in
+  let reg () = rand n_pool in
+  let region () = rand n_regions in
+  let leaf () =
+    match rand 3 with
+    | 0 -> Arith (rand (Array.length ops), reg (), reg (), reg ())
+    | 1 -> Mload (region (), reg (), reg ())
+    | _ -> Mstore (region (), reg (), reg ())
+  in
+  let rec stmt depth =
+    if depth = 0 then leaf ()
+    else
+      match rand 6 with
+      | 0 ->
+        If
+          ( reg (),
+            List.init (range 1 4) (fun _ -> stmt (depth - 1)),
+            List.init (range 0 3) (fun _ -> stmt (depth - 1)) )
+      | 1 -> Loop (range 1 3, List.init (range 1 4) (fun _ -> stmt (depth - 1)))
+      | _ -> leaf ()
+  in
+  List.init (range 2 10) (fun _ -> stmt 2)
+
+(* --------------------------- lowering ----------------------------- *)
+
+(* Identical to the property suite's lowering: regions are confined to
+   disjoint 64-word windows so the region-based alias analysis stays
+   sound, and loops run on a dedicated counter so every program
+   terminates. *)
+let lower ?(name = "rand") stmts =
+  let b = Builder.create ~name () in
+  let pool = Array.init n_pool (fun _ -> Builder.reg b) in
+  let regions =
+    Array.init n_regions (fun i -> Builder.region b (Printf.sprintf "m%d" i))
+  in
+  let entry = Builder.block b in
+  let confine blk r a =
+    let mask = Builder.reg b in
+    let base = Builder.reg b in
+    let t1 = Builder.reg b in
+    let t2 = Builder.reg b in
+    ignore (Builder.add b blk (Instr.Const (mask, 63)));
+    ignore (Builder.add b blk (Instr.Const (base, r * 64)));
+    ignore (Builder.add b blk (Instr.Binop (Instr.And, t1, pool.(a), mask)));
+    ignore (Builder.add b blk (Instr.Binop (Instr.Add, t2, t1, base)));
+    t2
+  in
+  let rec go blk = function
+    | [] -> blk
+    | Arith (o, d, x, y) :: rest ->
+      ignore
+        (Builder.add b blk
+           (Instr.Binop (ops.(o mod Array.length ops), pool.(d), pool.(x),
+                         pool.(y))));
+      go blk rest
+    | Mload (r, d, a) :: rest ->
+      let addr = confine blk r a in
+      ignore (Builder.add b blk (Instr.Load (regions.(r), pool.(d), addr, 0)));
+      go blk rest
+    | Mstore (r, a, s) :: rest ->
+      let addr = confine blk r a in
+      ignore
+        (Builder.add b blk (Instr.Store (regions.(r), addr, 0, pool.(s))));
+      go blk rest
+    | If (c, thens, elses) :: rest ->
+      let bt = Builder.block b in
+      let be = Builder.block b in
+      let join = Builder.block b in
+      ignore (Builder.terminate b blk (Instr.Branch (pool.(c), bt, be)));
+      let bt_end = go bt thens in
+      ignore (Builder.terminate b bt_end (Instr.Jump join));
+      let be_end = go be elses in
+      ignore (Builder.terminate b be_end (Instr.Jump join));
+      go join rest
+    | Loop (n, body) :: rest ->
+      let counter = Builder.reg b in
+      let cond = Builder.reg b in
+      let one = Builder.reg b in
+      ignore (Builder.add b blk (Instr.Const (counter, n)));
+      ignore (Builder.add b blk (Instr.Const (one, 1)));
+      let head = Builder.block b in
+      let exit = Builder.block b in
+      ignore (Builder.terminate b blk (Instr.Jump head));
+      let body_end = go head body in
+      ignore
+        (Builder.add b body_end
+           (Instr.Binop (Instr.Sub, counter, counter, one)));
+      ignore
+        (Builder.add b body_end (Instr.Binop (Instr.Gt, cond, counter, one)));
+      ignore (Builder.terminate b body_end (Instr.Branch (cond, head, exit)));
+      go exit rest
+  in
+  let last = go entry stmts in
+  ignore (Builder.terminate b last Instr.Return);
+  Builder.finish b ~live_in:(Array.to_list pool) ~live_out:[]
+
+let workload ?(name = "fuzz") stmts =
+  let input = { Workload.regs = init_regs; mem = init_mem } in
+  Workload.make ~name ~suite:"fuzz" ~func_name:name ~exec_pct:0
+    ~description:"randomly generated structured program"
+    ~func:(lower ~name stmts) ~train:input ~reference:input
+    ~mem_size:mem_size ()
+
+(* --------------------------- shrinking ---------------------------- *)
+
+(* Candidates ordered most-aggressive first: the greedy minimizer takes
+   the first candidate that still reproduces the failure and restarts,
+   so big deletions are tried before structural simplifications. *)
+let rec shrink_candidates stmts =
+  let n = List.length stmts in
+  let removals =
+    List.init n (fun i -> List.filteri (fun j _ -> j <> i) stmts)
+  in
+  let splices =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           let replace_with subs =
+             List.concat_map
+               (fun (j, s') -> if i = j then subs else [ s' ])
+               (List.mapi (fun j s' -> (j, s')) stmts)
+           in
+           match s with
+           | If (_, thens, elses) -> [ replace_with thens; replace_with elses ]
+           | Loop (k, body) ->
+             (if k > 1 then [ replace_with [ Loop (1, body) ] ] else [])
+             @ [ replace_with body ]
+           | _ -> [])
+         stmts)
+  in
+  let nested =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match s with
+           | If (c, thens, elses) ->
+             List.map
+               (fun thens' ->
+                 List.mapi
+                   (fun j s' -> if i = j then If (c, thens', elses) else s')
+                   stmts)
+               (shrink_candidates thens)
+             @ List.map
+                 (fun elses' ->
+                   List.mapi
+                     (fun j s' -> if i = j then If (c, thens, elses') else s')
+                     stmts)
+                 (shrink_candidates elses)
+           | Loop (k, body) ->
+             List.map
+               (fun body' ->
+                 List.mapi
+                   (fun j s' -> if i = j then Loop (k, body') else s')
+                   stmts)
+               (shrink_candidates body)
+           | _ -> [])
+         stmts)
+  in
+  removals @ splices @ nested

@@ -1,0 +1,49 @@
+(** Random structured programs, shared between the property tests and
+    the corpus fuzzer.
+
+    The statement AST and its IR lowering come from the original QCheck
+    property suite (nested counted loops, hammocks, region-confined
+    loads/stores over a fixed register pool); this module adds a
+    deterministic seed-driven generator — so [gmtc fuzz --seed N] is
+    reproducible without QCheck — and structural shrink candidates used
+    to minimize fuzz counterexamples. *)
+
+open Gmt_ir
+module Workload = Gmt_workloads.Workload
+
+type stmt =
+  | Arith of int * int * int * int  (** op selector, dst, src1, src2 *)
+  | Mload of int * int * int        (** region, dst, addr reg *)
+  | Mstore of int * int * int       (** region, addr reg, src *)
+  | If of int * stmt list * stmt list  (** cond reg, then, else *)
+  | Loop of int * stmt list            (** trip count, body *)
+
+(** Registers [r0 .. r_{n_pool-1}] form the data pool, all live-in. *)
+val n_pool : int
+
+val n_regions : int
+val mem_size : int
+
+(** Arithmetic operations selectable by [Arith]'s op index. *)
+val ops : Instr.binop array
+
+(** The fixed interpreter inputs every generated program runs under. *)
+val init_regs : (Reg.t * int) list
+
+val init_mem : (int * int) list
+
+(** Deterministic program from a seed (xorshift-driven; same shape
+    distribution as the QCheck generator). *)
+val gen : seed:int -> stmt list
+
+(** Lower a statement list to IR ([name] defaults to ["rand"]). *)
+val lower : ?name:string -> stmt list -> Func.t
+
+(** [workload ~name stmts] wraps the lowered function as a workload
+    whose train and reference inputs are {!init_regs}/{!init_mem}. *)
+val workload : ?name:string -> stmt list -> Workload.t
+
+(** Structurally smaller variants, largest deletions first: dropping a
+    top-level statement, replacing an [If]/[Loop] by its body, dropping
+    a nested statement. Used greedily by the fuzz minimizer. *)
+val shrink_candidates : stmt list -> stmt list list

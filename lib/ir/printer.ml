@@ -1,3 +1,33 @@
+(* The canonical textual form of functions: what [gmtc export] writes and
+   what the gmt_text frontend parses back (grammar in docs/FORMAT.md).
+   Output is parser-safe and deterministic: names are always quoted with
+   escapes, regions are listed with their indices, and the live-in /
+   live-out lists are printed sorted and de-duplicated — so equal
+   functions (up to live-set order) print byte-identically. *)
+
+(* Quoted-string form: backslash escapes for the quote, the backslash
+   and control characters; bytes >= 0x80 pass through verbatim (UTF-8
+   stays readable). The gmt_text lexer inverts exactly this. *)
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 || Char.code c = 127 ->
+        Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let pp_quoted ppf s = Format.pp_print_string ppf (escape_string s)
+
 let pp_block ppf (b : Cfg.block) =
   Format.fprintf ppf "@[<v 2>B%d:" b.label;
   List.iter (fun i -> Format.fprintf ppf "@,%a" Instr.pp i) b.body;
@@ -8,17 +38,32 @@ let pp_cfg ppf cfg =
   Cfg.iter_blocks cfg (fun b -> Format.fprintf ppf "@,%a" pp_block b);
   Format.fprintf ppf "@]"
 
+(* Sorted, de-duplicated: the canonical order of a live set. *)
+let canonical_regs rs =
+  List.sort_uniq Reg.compare rs
+
 let pp_regs ppf rs =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
-    Reg.pp ppf rs
+    Reg.pp ppf (canonical_regs rs)
+
+let pp_regions ppf regions =
+  Format.pp_print_string ppf "regions: [";
+  Array.iteri
+    (fun i name ->
+      if i > 0 then Format.pp_print_string ppf ", ";
+      Format.fprintf ppf "m%d = %a" i pp_quoted name)
+    regions;
+  Format.pp_print_string ppf "]"
 
 let pp_func ppf (f : Func.t) =
-  Format.fprintf ppf "@[<v>func %s (regs: %d, live_in: [%a], live_out: [%a])@,%a@]"
-    f.name f.n_regs pp_regs f.live_in pp_regs f.live_out pp_cfg f.cfg
+  Format.fprintf ppf
+    "@[<v>func %a (regs: %d, live_in: [%a], live_out: [%a])@,%a@,%a@]"
+    pp_quoted f.name f.n_regs pp_regs f.live_in pp_regs f.live_out pp_regions
+    f.regions pp_cfg f.cfg
 
 let pp_mtprog ppf (p : Mtprog.t) =
-  Format.fprintf ppf "@[<v>mtprog %s (%d threads, %d queues)" p.name
+  Format.fprintf ppf "@[<v>mtprog %a (%d threads, %d queues)" pp_quoted p.name
     (Array.length p.threads) p.n_queues;
   Array.iteri
     (fun i f -> Format.fprintf ppf "@,--- thread %d ---@,%a" i pp_func f)

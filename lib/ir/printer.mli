@@ -1,4 +1,21 @@
-(** Pretty-printing of CFGs, functions and multi-threaded programs. *)
+(** Pretty-printing of CFGs, functions and multi-threaded programs.
+
+    {!func_to_string} is the {e canonical} serializer of the textual
+    GMT-IR v1 format (docs/FORMAT.md): names are quoted and escaped,
+    regions are listed with their indices, live-in/live-out are printed
+    sorted and de-duplicated, and the [gmt_text] frontend parses the
+    output back to a structurally equal function ([parse ∘ print = id]). *)
+
+(** [escape_string s] is [s] in double quotes with backslash escapes for
+    quote, backslash and control characters (bytes >= 0x80 pass through
+    verbatim, so UTF-8 stays readable). *)
+val escape_string : string -> string
+
+val pp_quoted : Format.formatter -> string -> unit
+
+(** Sorted, de-duplicated register list — the canonical order in which
+    live-in/live-out sets are printed. *)
+val canonical_regs : Reg.t list -> Reg.t list
 
 val pp_block : Format.formatter -> Cfg.block -> unit
 val pp_cfg : Format.formatter -> Cfg.t -> unit

@@ -13,9 +13,18 @@ let all () =
     Sjeng.workload ();
   ]
 
-let find name =
-  match List.find_opt (fun (w : Workload.t) -> w.name = name) (all ()) with
-  | Some w -> w
-  | None -> raise Not_found
-
 let names () = List.map (fun (w : Workload.t) -> w.name) (all ())
+
+(* The one "unknown benchmark" message, shared by every consumer (gmtc
+   name resolution, the fuzz harness, ...): names are listed sorted so
+   the hint reads the same everywhere. *)
+let lookup name =
+  match List.find_opt (fun (w : Workload.t) -> w.name = name) (all ()) with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %S (known: %s)" name
+         (String.concat ", " (List.sort compare (names ()))))
+
+let find name =
+  match lookup name with Ok w -> w | Error _ -> raise Not_found

@@ -2,7 +2,12 @@
 
 val all : unit -> Workload.t list
 
-(** @raise Not_found for unknown names. *)
+(** [lookup name] resolves a benchmark by name; [Error msg] carries the
+    canonical one-line "unknown benchmark" message listing the known
+    names in sorted order (shared by gmtc and the fuzz harness). *)
+val lookup : string -> (Workload.t, string) result
+
+(** @raise Not_found for unknown names (see {!lookup} for a message). *)
 val find : string -> Workload.t
 
 val names : unit -> string list

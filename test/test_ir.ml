@@ -183,7 +183,35 @@ let test_printer_mentions () =
   List.iter
     (fun frag ->
       Alcotest.(check bool) (frag ^ " printed") true (contains ~needle:frag s))
-    [ "func fig3"; "B0:"; "store"; "branch"; "return"; "entry: B0" ]
+    [ "func \"fig3\""; "B0:"; "store"; "branch"; "return"; "entry: B0";
+      "regions:" ]
+
+(* The printer is the canonical serializer of the textual format: names
+   are quoted with escapes and live lists come out sorted/de-duplicated,
+   so printing is deterministic in the live-set order. *)
+let test_printer_canonical () =
+  let mk live_in =
+    let b = Builder.create ~name:"we ird\"name" () in
+    let r0 = Builder.reg b in
+    let r1 = Builder.reg b in
+    let m = Builder.region b "sp ace\tand\"quote\\" in
+    let blk = Builder.block b in
+    ignore (Builder.add b blk (Instr.Store (m, r0, 0, r1)));
+    ignore (Builder.terminate b blk Instr.Return);
+    Builder.finish b ~live_in ~live_out:[]
+  in
+  let r0 = Reg.of_int 0 and r1 = Reg.of_int 1 in
+  let a = Printer.func_to_string (mk [ r0; r1 ]) in
+  let b = Printer.func_to_string (mk [ r1; r0; r1 ]) in
+  Alcotest.(check string) "live order canonicalized" a b;
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (frag ^ " printed") true (contains ~needle:frag a))
+    [
+      "func \"we ird\\\"name\"";
+      "regions: [m0 = \"sp ace\\tand\\\"quote\\\\\"]";
+      "live_in: [r0, r1]";
+    ]
 
 (* Golden output for the partition-colored dot export: pinning the exact
    text catches accidental drift in the HTML-like label markup, which
@@ -293,6 +321,8 @@ let tests =
     Alcotest.test_case "validate queue bounds" `Quick
       test_validate_queue_bounds;
     Alcotest.test_case "printer output" `Quick test_printer_mentions;
+    Alcotest.test_case "printer canonical quoting" `Quick
+      test_printer_canonical;
     Alcotest.test_case "dot partition golden" `Quick
       test_dot_partition_golden;
   ]

@@ -14,6 +14,7 @@ let () =
       ("workloads", Test_workloads.tests);
       ("pipeline", Test_pipeline.tests);
       ("properties", Test_props.tests);
+      ("frontend", Test_frontend.tests);
       ("verify", Test_verify.tests);
       ("opt", Test_opt.tests);
     ]

@@ -5,9 +5,14 @@
    equivalent to the single-threaded original and deadlock-free for ANY
    partition — is exercised here on randomly generated programs with
    nested loops, hammocks, loads and stores, under random thread
-   assignments, several schedulers and queue capacities. *)
+   assignments, several schedulers and queue capacities.
+
+   The statement AST, its IR lowering and the fixed interpreter inputs
+   live in {!Gmt_frontend.Gen}, shared with the corpus fuzzer; this file
+   keeps only the QCheck shape generator and the properties. *)
 
 open Gmt_ir
+module G = Gmt_frontend.Gen
 module Interp = Gmt_machine.Interp
 module Mt_interp = Gmt_machine.Mt_interp
 module Mtcg = Gmt_mtcg.Mtcg
@@ -15,35 +20,23 @@ module Partition = Gmt_sched.Partition
 
 (* ------------------- random structured programs ------------------- *)
 
-type stmt =
-  | Arith of int * int * int * int  (* op selector, dst, src1, src2 *)
-  | Mload of int * int * int        (* region, dst, addr reg *)
-  | Mstore of int * int * int       (* region, addr reg, src *)
-  | If of int * stmt list * stmt list  (* cond reg, then, else *)
-  | Loop of int * stmt list            (* trip count, body *)
+let n_pool = G.n_pool
+let mem_size = G.mem_size
 
-let n_pool = 6 (* registers r0..r5 are the data pool, all live-in *)
-let n_regions = 2
-let mem_size = 256
-
-let ops =
-  [| Instr.Add; Instr.Sub; Instr.Mul; Instr.And; Instr.Or; Instr.Xor;
-     Instr.Min; Instr.Max; Instr.Lt; Instr.Eq; Instr.Shr |]
-
-let gen_stmt : stmt QCheck.Gen.t =
+let gen_stmt : G.stmt QCheck.Gen.t =
   let open QCheck.Gen in
   let reg = int_range 0 (n_pool - 1) in
-  let region = int_range 0 (n_regions - 1) in
+  let region = int_range 0 (G.n_regions - 1) in
   fix
     (fun self depth ->
       let leaf =
         oneof
           [
             map
-              (fun (o, d, a, b) -> Arith (o, d, a, b))
-              (quad (int_range 0 (Array.length ops - 1)) reg reg reg);
-            map (fun (r, d, a) -> Mload (r, d, a)) (triple region reg reg);
-            map (fun (r, a, s) -> Mstore (r, a, s)) (triple region reg reg);
+              (fun (o, d, a, b) -> G.Arith (o, d, a, b))
+              (quad (int_range 0 (Array.length G.ops - 1)) reg reg reg);
+            map (fun (r, d, a) -> G.Mload (r, d, a)) (triple region reg reg);
+            map (fun (r, a, s) -> G.Mstore (r, a, s)) (triple region reg reg);
           ]
       in
       if depth = 0 then leaf
@@ -53,94 +46,20 @@ let gen_stmt : stmt QCheck.Gen.t =
             (4, leaf);
             ( 1,
               map
-                (fun (c, t, e) -> If (c, t, e))
+                (fun (c, t, e) -> G.If (c, t, e))
                 (triple reg
                    (list_size (int_range 1 4) (self (depth - 1)))
                    (list_size (int_range 0 3) (self (depth - 1)))) );
             ( 1,
               map
-                (fun (n, b) -> Loop (n, b))
+                (fun (n, b) -> G.Loop (n, b))
                 (pair (int_range 1 3)
                    (list_size (int_range 1 4) (self (depth - 1)))) );
           ])
     2
 
 let gen_prog = QCheck.Gen.(list_size (int_range 2 10) gen_stmt)
-
-(* Lower a statement list to IR. *)
-let lower stmts =
-  let b = Builder.create ~name:"rand" () in
-  let pool = Array.init n_pool (fun _ -> Builder.reg b) in
-  let regions =
-    Array.init n_regions (fun i -> Builder.region b (Printf.sprintf "m%d" i))
-  in
-  let entry = Builder.block b in
-  let confine blk r a =
-    let mask = Builder.reg b in
-    let base = Builder.reg b in
-    let t1 = Builder.reg b in
-    let t2 = Builder.reg b in
-    ignore (Builder.add b blk (Instr.Const (mask, 63)));
-    ignore (Builder.add b blk (Instr.Const (base, r * 64)));
-    ignore (Builder.add b blk (Instr.Binop (Instr.And, t1, pool.(a), mask)));
-    ignore (Builder.add b blk (Instr.Binop (Instr.Add, t2, t1, base)));
-    t2
-  in
-  let rec go blk = function
-    | [] -> blk
-    | Arith (o, d, x, y) :: rest ->
-      ignore
-        (Builder.add b blk
-           (Instr.Binop (ops.(o), pool.(d), pool.(x), pool.(y))));
-      go blk rest
-    | Mload (r, d, a) :: rest ->
-      (* Region-based alias analysis is sound only when distinct regions
-         occupy disjoint address ranges (the discipline all workloads
-         follow); confine each region to its own 64-word window. *)
-      let addr = confine blk r a in
-      ignore (Builder.add b blk (Instr.Load (regions.(r), pool.(d), addr, 0)));
-      go blk rest
-    | Mstore (r, a, s) :: rest ->
-      let addr = confine blk r a in
-      ignore
-        (Builder.add b blk (Instr.Store (regions.(r), addr, 0, pool.(s))));
-      go blk rest
-    | If (c, thens, elses) :: rest ->
-      let bt = Builder.block b in
-      let be = Builder.block b in
-      let join = Builder.block b in
-      ignore (Builder.terminate b blk (Instr.Branch (pool.(c), bt, be)));
-      let bt_end = go bt thens in
-      ignore (Builder.terminate b bt_end (Instr.Jump join));
-      let be_end = go be elses in
-      ignore (Builder.terminate b be_end (Instr.Jump join));
-      go join rest
-    | Loop (n, body) :: rest ->
-      (* A dedicated counter register keeps loops terminating no matter
-         what the body computes. *)
-      let counter = Builder.reg b in
-      let cond = Builder.reg b in
-      let one = Builder.reg b in
-      ignore (Builder.add b blk (Instr.Const (counter, n)));
-      ignore (Builder.add b blk (Instr.Const (one, 1)));
-      let head = Builder.block b in
-      let exit = Builder.block b in
-      ignore (Builder.terminate b blk (Instr.Jump head));
-      let body_end = go head body in
-      ignore
-        (Builder.add b body_end (Instr.Binop (Instr.Sub, counter, counter, one)));
-      ignore
-        (Builder.add b body_end (Instr.Binop (Instr.Gt, cond, counter, one)));
-      (* counter > 1 ? loop again : exit — with the decrement first, this
-         runs the body exactly n times for n >= 1. *)
-      ignore (Builder.terminate b body_end (Instr.Branch (cond, head, exit)));
-      go exit rest
-  in
-  let last = go entry stmts in
-  ignore (Builder.terminate b last Instr.Return);
-  Builder.finish b
-    ~live_in:(Array.to_list pool)
-    ~live_out:[]
+let lower stmts = G.lower stmts
 
 (* Deterministic pseudo-random partition of a function. *)
 let random_partition f ~n_threads ~seed =
@@ -159,10 +78,8 @@ let random_partition f ~n_threads ~seed =
         pairs := (i.Instr.id, next () mod n_threads) :: !pairs);
   Partition.make ~n_threads !pairs
 
-let init_regs =
-  List.init n_pool (fun i -> (Reg.of_int i, (i * 37) + 3))
-
-let init_mem = List.init 32 (fun i -> (i * 7, i + 1))
+let init_regs = G.init_regs
+let init_mem = G.init_mem
 
 let st_memory f =
   let r = Interp.run ~init_regs ~init_mem ~fuel:200_000 f ~mem_size in
