@@ -16,6 +16,9 @@
      fuzz    — corpus-driven differential fuzz: gmt_verify verdicts
                cross-checked against MT-interpreter equivalence on every
                technique cell, plus a seeded-miscompile detection pass
+     service — gmtd daemon round-trip latency: cold compile vs
+               content-addressed cache hit, and throughput under four
+               concurrent clients; writes BENCH_service.json
 
    Run with no arguments for the main figures; pass section names to
    select (e.g. `dune exec bench/main.exe fig7 fig8 ablate`). The
@@ -700,6 +703,149 @@ let fuzz_section () =
     corpus.Fuzz.tested gen.Fuzz.tested
     (Unix.gettimeofday () -. t0)
 
+(* service: round-trip latency against an in-process gmtd daemon, using
+   check requests — the op whose cost IS the compile: a cold check runs
+   the full pipeline plus the translation validator, a warm one serves
+   the stored artifact and its verdict from the content-addressed cache
+   (run requests re-simulate by design, so their cached gain is only the
+   compile share). A second phase hammers the daemon with four
+   concurrent clients for a throughput figure. Results land in
+   BENCH_service.json (schema gmt-bench-service/1, self-parsed before
+   writing, like BENCH_fig8.json). *)
+let service_bench () =
+  let module Server = Gmt_service.Server in
+  let module Client = Gmt_service.Client in
+  let module Cache = Gmt_cache.Cache in
+  let module Text = Gmt_frontend.Text in
+  print_endline "";
+  print_endline "gmtd service: cold compile vs artifact-cache hit";
+  hr ();
+  let j = match !jobs with Some j -> j | None -> Pool.default_jobs () in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gmtd-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cfg = { (Server.default_config ~socket) with Server.jobs = j } in
+  let srv = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let request req =
+    match Client.request ~socket req with
+    | Ok o when o.Gmt_service.Render.code = 0 -> o
+    | Ok o ->
+      Printf.eprintf "[service] request failed (exit %d):\n%s"
+        o.Gmt_service.Render.code o.Gmt_service.Render.err;
+      exit 1
+    | Error _ ->
+      prerr_endline "[service] daemon unreachable";
+      exit 1
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let warm_rounds = 20 in
+  let cells =
+    [ ("ks", "gremio", false); ("ks", "dswp", true);
+      ("adpcmdec", "gremio", true); ("mpeg2enc", "dswp", false) ]
+  in
+  Printf.printf "%-12s %-8s %5s | %9s | %9s | %8s\n" "benchmark" "tech"
+    "coco" "cold (ms)" "hit (ms)" "speedup";
+  hr ();
+  let rows =
+    List.map
+      (fun (name, tech, coco) ->
+        let gmt = Text.print (Suite.find name) in
+        let req =
+          Client.check_request ~gmt ~technique:tech ~coco ~threads:2 ()
+        in
+        let cold_o, cold_s = time (fun () -> request req) in
+        if cold_o.Gmt_service.Render.cache_status <> "miss" then begin
+          Printf.eprintf "[service] cold request for %s was not a miss\n" name;
+          exit 1
+        end;
+        let _, warm_total =
+          time (fun () ->
+              for _ = 1 to warm_rounds do
+                let o = request req in
+                if o.Gmt_service.Render.cache_status <> "hit" then begin
+                  Printf.eprintf "[service] warm request for %s missed\n" name;
+                  exit 1
+                end
+              done)
+        in
+        let hit_s = warm_total /. float_of_int warm_rounds in
+        let ratio = if hit_s > 0.0 then cold_s /. hit_s else 0.0 in
+        Printf.printf "%-12s %-8s %5b | %9.2f | %9.3f | %7.1fx\n" name tech
+          coco (1e3 *. cold_s) (1e3 *. hit_s) ratio;
+        (name, tech, coco, cold_s, hit_s, ratio))
+      cells
+  in
+  (* Throughput: four clients, each re-requesting its (cached) cell. *)
+  let per_client = 50 in
+  let clients =
+    List.map
+      (fun (name, tech, coco) ->
+        let gmt = Text.print (Suite.find name) in
+        let req =
+          Client.check_request ~gmt ~technique:tech ~coco ~threads:2 ()
+        in
+        Domain.spawn (fun () ->
+            for _ = 1 to per_client do
+              ignore (request req)
+            done))
+      cells
+  in
+  let _, hammer_s = time (fun () -> List.iter Domain.join clients) in
+  let n_clients = List.length cells in
+  let rps = float_of_int (n_clients * per_client) /. hammer_s in
+  hr ();
+  Printf.printf "throughput: %d clients x %d cached requests in %.2fs = %.0f \
+                 req/s\n"
+    n_clients per_client hammer_s rps;
+  let s = Cache.stats (Server.cache srv) in
+  Printf.printf "cache: %d hits, %d misses, %d stores\n" s.Cache.hits
+    s.Cache.misses s.Cache.stores;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"gmt-bench-service/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" j);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warm_rounds\": %d,\n" warm_rounds);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"throughput\": {\"clients\": %d, \"requests_per_client\": %d, \
+        \"wall_s\": %.6f, \"req_per_s\": %.1f},\n"
+       n_clients per_client hammer_s rps);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"cache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d},\n"
+       s.Cache.hits s.Cache.misses s.Cache.stores);
+  Buffer.add_string buf "  \"cells\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (name, tech, coco, cold_s, hit_s, ratio) ->
+            Printf.sprintf
+              "    {\"bench\": %S, \"technique\": %S, \"coco\": %b, \
+               \"cold_ms\": %.3f, \"hit_ms\": %.3f, \"hit_speedup\": %.1f}"
+              name tech coco (1e3 *. cold_s) (1e3 *. hit_s) ratio)
+          rows));
+  Buffer.add_string buf "\n  ]\n}\n";
+  (match Json.parse (Buffer.contents buf) with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "[service] BENCH_service.json would be malformed: %s\n" e;
+    exit 1);
+  let oc = open_out "BENCH_service.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  let worst =
+    List.fold_left (fun acc (_, _, _, _, _, r) -> min acc r) infinity rows
+  in
+  Printf.eprintf
+    "[service] BENCH_service.json written (worst hit speedup %.1fx)\n%!" worst
+
 let trace_out : string option ref = ref None
 let metrics_out : string option ref = ref None
 
@@ -751,7 +897,8 @@ let () =
      if want "caches" then caches ();
      if want "compile" then compile_bench ();
      if List.mem "ablate" args then ablate ();
-     if List.mem "fuzz" args then fuzz_section ()
+     if List.mem "fuzz" args then fuzz_section ();
+     if List.mem "service" args then service_bench ()
    end);
   Option.iter Obs.write_trace !trace_out;
   Option.iter Obs.write_metrics !metrics_out

@@ -9,13 +9,17 @@
      gmtc export ks                    print a kernel as textual GMT-IR
      gmtc sweep ks --threads 4         communication across thread counts
      gmtc fuzz --seed 7 --count 20     differential-fuzz the pipeline
+     gmtc serve --socket S --jobs 4    run the gmtd compile daemon
+     gmtc remote run ks -t gremio      compile via the daemon (or fall
+                                       back to local when none listens)
 
    Anywhere a benchmark name is accepted, a path to a textual GMT-IR
    file ([*.gmt]) or [-] (stdin) works too.
 
    Exit codes: 1 deadlock, 2 parse error in a .gmt file, 3 unknown
    benchmark/technique name, 4 translation validation rejected the
-   generated code. *)
+   generated code, 5 the --fuel budget ran out mid-simulation, 6 the
+   daemon refused the request as over its bound. *)
 
 open Cmdliner
 module V = Gmt_core.Velocity
@@ -24,6 +28,9 @@ module Suite = Gmt_workloads.Suite
 module Verify = Gmt_verify.Verify
 module Text = Gmt_frontend.Text
 module Fuzz = Gmt_frontend.Fuzz
+module Render = Gmt_service.Render
+module Server = Gmt_service.Server
+module Client = Gmt_service.Client
 open Gmt_ir
 
 (* Unknown names and malformed input files are user input errors, not
@@ -115,6 +122,24 @@ let jobs_arg =
 let resolve_jobs = function
   | Some j -> j
   | None -> Gmt_parallel.Pool.default_jobs ()
+
+let fuel_opt_arg =
+  Arg.(
+    value
+    & opt (some pos_int_conv) None
+    & info [ "fuel" ] ~docv:"STEPS"
+        ~doc:
+          "Budget of interpreter/simulator steps; exhausting it aborts the \
+           measurement with exit code 5 instead of running forever.")
+
+(* Print exactly what a Render outcome says and exit with its code —
+   the one funnel both local and remote execution drain through. *)
+let finish_outcome (o : Render.outcome) =
+  print_string o.Render.out;
+  prerr_string o.Render.err;
+  flush stdout;
+  flush stderr;
+  if o.Render.code <> 0 then exit o.Render.code
 
 (* --------------------------- observability --------------------------- *)
 
@@ -270,21 +295,29 @@ let check_cmd =
   let run bench tech coco threads json inject =
     let w = resolve_workload bench in
     let tech = resolve_technique tech in
-    let c = V.compile ~n_threads:threads ~coco ~verify:false tech w in
-    let c = apply_inject inject c in
-    let diags = V.verify_compiled c in
-    let label =
-      Printf.sprintf "%s/%s" w.W.name (V.cell_name (V.Mt (tech, coco)))
-    in
-    if json then print_endline (Verify.to_json ~label ~name:w.W.func_name diags)
-    else if diags = [] then
-      Printf.printf "%s: verified (%d threads, %d queues, %d comm sites)\n"
-        label threads c.V.mtp.Mtprog.n_queues
-        (List.length c.V.plan.Gmt_mtcg.Mtcg.comms)
-    else
-      Printf.eprintf "%s: translation validation FAILED (%d diagnostics)\n%s\n"
-        label (List.length diags) (Verify.render diags);
-    if diags <> [] then exit 4
+    if json || inject <> None then begin
+      (* The JSON report and the seeded-miscompile drill need the raw
+         diagnostics; the plain path below goes through Render so its
+         bytes stay identical to the daemon's. *)
+      let c = V.compile ~n_threads:threads ~coco ~verify:false tech w in
+      let c = apply_inject inject c in
+      let diags = V.verify_compiled c in
+      let label =
+        Printf.sprintf "%s/%s" w.W.name (V.cell_name (V.Mt (tech, coco)))
+      in
+      if json then
+        print_endline (Verify.to_json ~label ~name:w.W.func_name diags)
+      else if diags = [] then
+        Printf.printf "%s: verified (%d threads, %d queues, %d comm sites)\n"
+          label threads c.V.mtp.Mtprog.n_queues
+          (List.length c.V.plan.Gmt_mtcg.Mtcg.comms)
+      else
+        Printf.eprintf
+          "%s: translation validation FAILED (%d diagnostics)\n%s\n" label
+          (List.length diags) (Verify.render diags);
+      if diags <> [] then exit 4
+    end
+    else finish_outcome (Render.check ~technique:tech ~coco ~threads w)
   in
   let json_arg =
     Arg.(
@@ -307,42 +340,16 @@ let check_cmd =
 (* ------------------------------ run ------------------------------ *)
 
 let run_cmd =
-  let run bench tech coco threads no_verify jobs trace metrics =
+  let run bench tech coco threads no_verify jobs fuel trace metrics =
     let w = resolve_workload bench in
-    let tech = resolve_technique tech in
+    let technique = resolve_technique tech in
     let jobs = resolve_jobs jobs in
     with_obs trace metrics @@ fun () ->
     (* The single-threaded baseline and the multi-threaded cell are
-       independent; fan them out over the domain pool. *)
-    let cells =
-      Gmt_parallel.Pool.run_list ~jobs
-        [
-          (fun () -> V.measure_single w);
-          (fun () ->
-            V.measure
-              (V.compile ~n_threads:threads ~coco ~verify:(not no_verify)
-                 tech w));
-        ]
-    in
-    let st, m =
-      match cells with [ st; m ] -> (st, m) | _ -> assert false
-    in
-    if st.V.deadlocked then
-      raise (V.Deadlock (w.W.name ^ "/single: simulator deadlock"));
-    Printf.printf "%s / %s%s / %d threads\n" w.W.name (V.technique_name tech)
-      (if coco then "+COCO" else "")
-      threads;
-    Printf.printf "  single-threaded : %8d instrs %8d cycles\n" st.V.dyn_instrs
-      st.V.cycles;
-    Printf.printf "  multi-threaded  : %8d instrs %8d cycles\n" m.V.dyn_instrs
-      m.V.cycles;
-    Printf.printf "  communication   : %8d instrs (%.1f%%), %d memory syncs\n"
-      m.V.comm_instrs
-      (100.0 *. float_of_int m.V.comm_instrs /. float_of_int m.V.dyn_instrs)
-      m.V.mem_syncs;
-    Printf.printf "  speedup         : %.2fx\n"
-      (float_of_int st.V.cycles /. float_of_int m.V.cycles);
-    print_endline "  (memory state verified against the single-threaded run)"
+       independent; Render.run fans them out over the domain pool. *)
+    finish_outcome
+      (Render.run ~jobs ?fuel ~verify:(not no_verify) ~technique ~coco
+         ~threads w)
   in
   Cmd.v
     (Cmd.info "run"
@@ -351,7 +358,7 @@ let run_cmd =
           performance.")
     Term.(
       const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
-      $ no_verify_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ no_verify_arg $ jobs_arg $ fuel_opt_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
@@ -394,64 +401,25 @@ let dot_cmd =
 (* ----------------------------- sweep ----------------------------- *)
 
 let sweep_cmd =
-  let run bench max_threads jobs trace metrics =
+  let run bench max_threads jobs fuel trace metrics =
     let w = resolve_workload bench in
     let jobs = resolve_jobs jobs in
     with_obs trace metrics @@ fun () ->
-    let profile =
-      (Gmt_machine.Interp.run ~init_regs:w.W.train.W.regs
-         ~init_mem:w.W.train.W.mem w.W.func ~mem_size:w.W.mem_size)
-        .Gmt_machine.Interp.profile
-    in
-    let pdg = Gmt_pdg.Pdg.build w.W.func in
-    Printf.printf "%8s | %12s | %12s | %s\n" "threads" "comm(MTCG)"
-      "comm(+COCO)" "remaining";
-    (* Thread counts are independent cells: fan out, print in order. *)
-    let cell n () =
-      let part = Gmt_sched.Gremio.partition ~n_threads:n pdg profile in
-      let measure plan =
-        let mtp = Gmt_mtcg.Mtcg.generate pdg part plan in
-        let r =
-          Gmt_machine.Mt_interp.run ~init_regs:w.W.reference.W.regs
-            ~init_mem:w.W.reference.W.mem mtp ~queue_capacity:32
-            ~mem_size:w.W.mem_size
-        in
-        if r.Gmt_machine.Mt_interp.deadlocked then
-          raise
-            (V.Deadlock
-               (String.concat "\n"
-                  (Printf.sprintf "%s: deadlock at %d threads" w.W.name n
-                  :: r.Gmt_machine.Mt_interp.blocked)));
-        Gmt_machine.Mt_interp.total_comm r
-      in
-      let base = measure (Gmt_mtcg.Mtcg.baseline_plan pdg part) in
-      let coco = measure (fst (Gmt_coco.Coco.optimize pdg part profile)) in
-      (n, base, coco)
-    in
-    let cells =
-      Gmt_parallel.Pool.run_list ~jobs
-        (List.init (max 0 (max_threads - 1)) (fun i -> cell (i + 2)))
-    in
-    List.iter
-      (fun (n, base, coco) ->
-        Printf.printf "%8d | %12d | %12d | %8.1f%%\n" n base coco
-          (100.0 *. float_of_int coco /. float_of_int (max 1 base)))
-      cells
+    finish_outcome (Render.sweep ~jobs ?fuel ~max_threads w)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep thread counts and report communication.")
     Term.(
-      const run $ bench_arg $ threads_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      const run $ bench_arg $ threads_arg $ jobs_arg $ fuel_opt_arg
+      $ trace_arg $ metrics_arg)
 
 (* ----------------------------- export ---------------------------- *)
 
 let export_cmd =
   let run bench all out =
-    let write path w =
-      let oc = open_out path in
-      output_string oc (Text.print w);
-      close_out oc
-    in
+    (* Atomic (temp + rename): an interrupted export never leaves a
+       truncated .gmt behind for the corpus check to trip over. *)
+    let write path w = Gmt_cache.Diskio.write_atomic path (Text.print w) in
     if all then begin
       let dir = Option.value out ~default:"." in
       List.iter
@@ -568,6 +536,194 @@ let fuzz_cmd =
       const run $ files_arg $ seed_arg $ count_arg $ inject_arg $ fuel_arg
       $ out_dir_arg)
 
+(* ------------------------------ serve ----------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/gmtd.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "GMTD_SOCKET")
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let run socket jobs cache_dir queue_bound fuel_cap trace metrics =
+    let jobs = resolve_jobs jobs in
+    with_obs trace metrics @@ fun () ->
+    let cfg =
+      {
+        (Server.default_config ~socket) with
+        Server.jobs;
+        cache_dir;
+        queue_bound;
+        fuel_cap;
+      }
+    in
+    let srv = Server.start cfg in
+    let stop = Atomic.make false in
+    let ask_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle ask_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle ask_stop);
+    Printf.printf "gmtd: listening on %s (%d jobs, cache %s)\n%!" socket jobs
+      (Option.value cache_dir ~default:"in-memory");
+    (* Park until a signal asks for the graceful drain. *)
+    while not (Atomic.get stop) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Printf.printf "gmtd: draining\n%!";
+    Server.stop srv;
+    Printf.printf "gmtd: stopped\n%!"
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the on-disk artifact store (created if missing); \
+             omitted = in-memory cache only.")
+  in
+  let queue_bound_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Maximum in-flight requests before newcomers get an explicit \
+             busy reply (exit 6 on the client).")
+  in
+  let fuel_cap_arg =
+    Arg.(
+      value
+      & opt (some pos_int_conv) None
+      & info [ "fuel-cap" ] ~docv:"STEPS"
+          ~doc:
+            "Server-side ceiling on per-request simulation fuel; requests \
+             asking for more are clamped.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run gmtd: a concurrent compile service with a content-addressed \
+          artifact cache, answering $(b,gmtc remote) clients over a \
+          Unix-domain socket. SIGINT/SIGTERM drain gracefully.")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ cache_dir_arg $ queue_bound_arg
+      $ fuel_cap_arg $ trace_arg $ metrics_arg)
+
+(* ----------------------------- remote ----------------------------- *)
+
+(* The client resolves names/files locally (same exits 2/3 as offline),
+   ships canonical GMT-IR text, and falls back to running the identical
+   Render code in-process when nothing listens on the socket — so remote
+   output is byte-identical to offline output, daemon or not. *)
+let remote_finish ~socket ~fallback req =
+  match Client.request ~socket req with
+  | Ok o -> finish_outcome o
+  | Error `No_daemon -> finish_outcome (fallback ())
+  | Error (`Busy msg) ->
+    prerr_string msg;
+    flush stderr;
+    exit Render.exit_busy
+  | Error (`Protocol msg) ->
+    Printf.eprintf "gmtc: remote: %s\n" msg;
+    exit 1
+
+let remote_run_cmd =
+  let run bench tech coco threads fuel socket =
+    let w = resolve_workload bench in
+    let gmt = Text.print w in
+    remote_finish ~socket
+      ~fallback:(fun () ->
+        let technique = resolve_technique tech in
+        Render.run ~jobs:1 ?fuel ~technique ~coco ~threads w)
+      (Client.run_request ~gmt ~technique:tech ~coco ~threads ?fuel ())
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Like $(b,gmtc run), but served by a gmtd daemon when one \
+          listens on the socket (local fallback otherwise).")
+    Term.(
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
+      $ fuel_opt_arg $ socket_arg)
+
+let remote_check_cmd =
+  let run bench tech coco threads socket =
+    let w = resolve_workload bench in
+    let gmt = Text.print w in
+    remote_finish ~socket
+      ~fallback:(fun () ->
+        let technique = resolve_technique tech in
+        Render.check ~technique ~coco ~threads w)
+      (Client.check_request ~gmt ~technique:tech ~coco ~threads ())
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Like $(b,gmtc check), served by gmtd.")
+    Term.(
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
+      $ socket_arg)
+
+let remote_sweep_cmd =
+  let run bench max_threads fuel socket =
+    let w = resolve_workload bench in
+    let gmt = Text.print w in
+    remote_finish ~socket
+      ~fallback:(fun () -> Render.sweep ~jobs:1 ?fuel ~max_threads w)
+      (Client.sweep_request ~gmt ~max_threads ?fuel ())
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Like $(b,gmtc sweep), served by gmtd.")
+    Term.(const run $ bench_arg $ threads_arg $ fuel_opt_arg $ socket_arg)
+
+let remote_ping_cmd =
+  let run socket =
+    match Client.ping ~socket with
+    | Ok version -> Printf.printf "gmtd %s at %s\n" version socket
+    | Error `No_daemon ->
+      Printf.eprintf "gmtc: no daemon at %s\n" socket;
+      exit 1
+    | Error (`Busy msg) ->
+      prerr_string msg;
+      exit Render.exit_busy
+    | Error (`Protocol msg) ->
+      Printf.eprintf "gmtc: remote: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Report the protocol version of a listening gmtd.")
+    Term.(const run $ socket_arg)
+
+let remote_stats_cmd =
+  let run socket =
+    match Client.rpc ~socket Client.stats_request with
+    | Ok j -> print_endline (Gmt_obs.Json.to_string j)
+    | Error `No_daemon ->
+      Printf.eprintf "gmtc: no daemon at %s\n" socket;
+      exit 1
+    | Error (`Busy msg) ->
+      prerr_string msg;
+      exit Render.exit_busy
+    | Error (`Protocol msg) ->
+      Printf.eprintf "gmtc: remote: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Print a listening gmtd's cache counters as JSON.")
+    Term.(const run $ socket_arg)
+
+let remote_cmd =
+  Cmd.group
+    (Cmd.info "remote"
+       ~doc:
+         "Execute compile requests against a gmtd daemon; responses are \
+          byte-identical to the offline commands, and when no daemon \
+          listens the client silently compiles locally.")
+    [
+      remote_run_cmd; remote_check_cmd; remote_sweep_cmd; remote_ping_cmd;
+      remote_stats_cmd;
+    ]
+
 let () =
   let doc =
     "global multi-threaded instruction scheduling (GREMIO/DSWP + MTCG + COCO)"
@@ -577,4 +733,4 @@ let () =
        (Cmd.group
           (Cmd.info "gmtc" ~version:"1.0.0" ~doc)
           [ list_cmd; show_cmd; pdg_cmd; compile_cmd; check_cmd; run_cmd;
-            sweep_cmd; dot_cmd; export_cmd; fuzz_cmd ]))
+            sweep_cmd; dot_cmd; export_cmd; fuzz_cmd; serve_cmd; remote_cmd ]))

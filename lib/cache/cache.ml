@@ -1,0 +1,174 @@
+module Obs = Gmt_obs.Obs
+
+type entry = {
+  mtp : Gmt_ir.Mtprog.t;
+  comm_sites : int;
+  verified : bool;
+  w_name : string;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  corrupt : int;
+}
+
+type slot = { value : entry; mutable tick : int }
+
+type t = {
+  lock : Mutex.t;
+  mem : (string, slot) Hashtbl.t;
+  mem_capacity : int;
+  disk : string option;
+  mutable clock : int;  (** LRU timestamp source *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+}
+
+let header = Printf.sprintf "gmt-cache/%d" Fingerprint.format_version
+
+let create ?(mem_capacity = 128) ?dir () =
+  Option.iter Diskio.ensure_dir dir;
+  {
+    lock = Mutex.create ();
+    mem = Hashtbl.create 64;
+    mem_capacity = max 1 mem_capacity;
+    disk = dir;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    evictions = 0;
+    corrupt = 0;
+  }
+
+let dir t = t.disk
+
+let entry_path t key =
+  Option.map (fun d -> Filename.concat d (key ^ ".entry")) t.disk
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let touch t slot =
+  t.clock <- t.clock + 1;
+  slot.tick <- t.clock
+
+(* Drop least-recently-used slots until the table fits. Capacity is
+   small, so a linear scan per eviction is fine. *)
+let enforce_capacity t =
+  while Hashtbl.length t.mem > t.mem_capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k s ->
+        match !victim with
+        | Some (_, best) when best <= s.tick -> ()
+        | _ -> victim := Some (k, s.tick))
+      t.mem;
+    match !victim with
+    | None -> ()
+    | Some (k, _) ->
+      Hashtbl.remove t.mem k;
+      t.evictions <- t.evictions + 1;
+      Obs.Metrics.add "cache.evict" 1
+  done
+
+let encode e =
+  let payload = Marshal.to_string e [] in
+  String.concat "\n" [ header; Digest.to_hex (Digest.string payload); payload ]
+
+(* [Ok e] on a well-formed entry; [Error reason] on a stale version,
+   damaged header, checksum mismatch, or anything Marshal chokes on. The
+   checksum is verified before unmarshalling, so Marshal only ever sees
+   bytes the writer produced. *)
+let decode s =
+  match String.index_opt s '\n' with
+  | None -> Error "no header"
+  | Some i -> (
+    let got = String.sub s 0 i in
+    if got <> header then Error (Printf.sprintf "version %S, want %S" got header)
+    else
+      match String.index_from_opt s (i + 1) '\n' with
+      | None -> Error "no checksum"
+      | Some j ->
+        let sum = String.sub s (i + 1) (j - i - 1) in
+        let payload = String.sub s (j + 1) (String.length s - j - 1) in
+        if Digest.to_hex (Digest.string payload) <> sum then
+          Error "checksum mismatch"
+        else (
+          match (Marshal.from_string payload 0 : entry) with
+          | e -> Ok e
+          | exception _ -> Error "unmarshal failed"))
+
+(* Caller holds the lock. *)
+let evict_corrupt t key =
+  t.corrupt <- t.corrupt + 1;
+  t.evictions <- t.evictions + 1;
+  Obs.Metrics.add "cache.corrupt" 1;
+  Obs.Metrics.add "cache.evict" 1;
+  match entry_path t key with
+  | None -> ()
+  | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.mem key with
+  | Some slot ->
+    touch t slot;
+    t.hits <- t.hits + 1;
+    Obs.Metrics.add "cache.hit" 1;
+    Obs.Metrics.add "cache.hit.mem" 1;
+    Some slot.value
+  | None -> (
+    let miss () =
+      t.misses <- t.misses + 1;
+      Obs.Metrics.add "cache.miss" 1;
+      None
+    in
+    match entry_path t key with
+    | None -> miss ()
+    | Some path -> (
+      match Diskio.read_file path with
+      | None -> miss ()
+      | Some raw -> (
+        match decode raw with
+        | Error _ ->
+          evict_corrupt t key;
+          miss ()
+        | Ok e ->
+          let slot = { value = e; tick = 0 } in
+          touch t slot;
+          Hashtbl.replace t.mem key slot;
+          enforce_capacity t;
+          t.hits <- t.hits + 1;
+          Obs.Metrics.add "cache.hit" 1;
+          Obs.Metrics.add "cache.hit.disk" 1;
+          Some e)))
+
+let store t key e =
+  locked t @@ fun () ->
+  let slot = { value = e; tick = 0 } in
+  touch t slot;
+  Hashtbl.replace t.mem key slot;
+  enforce_capacity t;
+  t.stores <- t.stores + 1;
+  Obs.Metrics.add "cache.store" 1;
+  match entry_path t key with
+  | None -> ()
+  | Some path -> Diskio.write_atomic path (encode e)
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stores = t.stores;
+    evictions = t.evictions;
+    corrupt = t.corrupt;
+  }

@@ -1,0 +1,77 @@
+(** Content-addressed store of compiled artifacts (library [gmt_cache]).
+
+    A bounded in-memory LRU in front of an optional on-disk store. Keys
+    are {!Fingerprint} hex digests; values are serialized multi-threaded
+    programs together with their translation-validation verdict and the
+    compile-time counts the service reports — a hit skips the whole
+    PDG → partition → MTCG/COCO → verify pipeline.
+
+    {2 On-disk format}
+
+    One file per entry, [<key>.entry] under the cache directory:
+
+    {v
+    gmt-cache/<format_version>\n
+    <md5 hex of payload>\n
+    <payload: Marshal of entry>
+    v}
+
+    Writes go through {!Diskio.write_atomic} (temp file + rename), so a
+    crashed or interrupted writer never leaves a truncated entry. Reads
+    verify the version header and the checksum {e before} unmarshalling;
+    a corrupt or stale-version entry is counted, deleted (evicted) and
+    reported as a miss, so the caller transparently recompiles and
+    overwrites it.
+
+    {2 Counters}
+
+    Every operation updates both the per-cache {!stats} snapshot (always
+    on — tests and the service's [stats] op read it) and the global
+    {!Gmt_obs.Obs.Metrics} registry under [cache.hit], [cache.hit.mem],
+    [cache.hit.disk], [cache.miss], [cache.store], [cache.evict] and
+    [cache.corrupt] (no-ops unless metrics are enabled).
+
+    All operations are thread-safe (a single mutex per cache). *)
+
+type entry = {
+  mtp : Gmt_ir.Mtprog.t;  (** the generated thread code *)
+  comm_sites : int;       (** communication plan size, as [gmtc check] reports *)
+  verified : bool;        (** gmt_verify verdict at store time *)
+  w_name : string;
+      (** workload name at store time — lets the service label a hit
+          without re-parsing the request's GMT-IR text *)
+}
+
+type stats = {
+  hits : int;       (** memory + disk hits *)
+  misses : int;
+  stores : int;
+  evictions : int;  (** LRU drops from memory + corrupt-entry deletions *)
+  corrupt : int;    (** bad checksum, bad header, or stale version *)
+}
+
+type t
+
+(** [create ()] — [mem_capacity] bounds the in-memory LRU (default 128
+    entries); [dir], when given, enables the on-disk store (created if
+    missing). *)
+val create : ?mem_capacity:int -> ?dir:string -> unit -> t
+
+val dir : t -> string option
+
+(** The on-disk path an entry for [key] would live at ([None] for a
+    memory-only cache). Exposed so tests and the corruption drill can
+    damage an entry deliberately. *)
+val entry_path : t -> string -> string option
+
+(** [find t key] — memory first, then disk (a disk hit is promoted into
+    memory). Corrupt or stale disk entries are evicted and miss. *)
+val find : t -> string -> entry option
+
+(** [store t key e] — inserts into memory (evicting least-recently-used
+    entries beyond capacity) and, when a directory is configured, writes
+    the entry to disk atomically. *)
+val store : t -> string -> entry -> unit
+
+(** Point-in-time snapshot of this cache's counters. *)
+val stats : t -> stats

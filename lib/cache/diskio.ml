@@ -1,0 +1,40 @@
+let write_atomic path contents =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir
+      ("." ^ Filename.basename path ^ ".")
+      ".tmp"
+  in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+    match
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | s -> Some s
+    | exception _ -> None)
+
+let rec ensure_dir path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if parent <> path then ensure_dir parent;
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.is_directory path -> ()
+  end
+  else if not (Sys.is_directory path) then
+    failwith (path ^ ": exists but is not a directory")

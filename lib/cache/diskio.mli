@@ -1,0 +1,20 @@
+(** Crash-safe file writes for artifacts the tree must never hold in a
+    truncated state: cache entries, [gmtc export] output, fuzz repros.
+
+    POSIX [rename(2)] within one directory is atomic, so readers observe
+    either the old file or the complete new one — never a partial
+    write. *)
+
+(** [write_atomic path contents] writes [contents] to a fresh temporary
+    file in [path]'s directory, flushes and closes it, then renames it
+    over [path]. The temporary file is removed if any step fails. *)
+val write_atomic : string -> string -> unit
+
+(** [read_file path] is the whole file as one string, or [None] when it
+    does not exist or cannot be read. *)
+val read_file : string -> string option
+
+(** [ensure_dir path] creates [path] (and missing parents) as
+    directories; existing directories are fine.
+    @raise Failure when [path] exists but is not a directory. *)
+val ensure_dir : string -> unit

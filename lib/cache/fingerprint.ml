@@ -1,0 +1,20 @@
+let format_version = 2
+
+let compute ?(version = format_version) ~text ~technique ~n_threads ~coco
+    ~machine () =
+  let buf = Buffer.create (String.length text + 256) in
+  let field k v =
+    Buffer.add_string buf k;
+    Buffer.add_char buf '=';
+    Buffer.add_string buf (string_of_int (String.length v));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf v;
+    Buffer.add_char buf '\n'
+  in
+  field "gmt-cache" (string_of_int version);
+  field "technique" technique;
+  field "n_threads" (string_of_int n_threads);
+  field "coco" (string_of_bool coco);
+  field "machine" machine;
+  field "text" text;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

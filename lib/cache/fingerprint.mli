@@ -1,0 +1,35 @@
+(** Content-addressed compilation-cache keys.
+
+    Partitioning and MTCG are deterministic functions of (IR, technique,
+    thread count, machine configuration), so a compiled [Mtprog] is
+    addressed by a digest over exactly those inputs: the canonical
+    textual GMT-IR of the workload ({!Gmt_frontend.Text.print}, whose
+    serializer is the parser's inverse), the technique name, the thread
+    count, the COCO flag and a rendering of the machine configuration.
+
+    The digest input is framed field-by-field with explicit lengths, so
+    no two distinct input tuples collide by concatenation, and it embeds
+    {!format_version}: bumping the version (required whenever the
+    canonical serializer or the cached-entry layout changes) invalidates
+    every existing key at once. The golden-fingerprint tests in
+    [test/test_cache.ml] pin the computed keys for two corpus kernels —
+    a canonical-serializer change that forgets to bump the version fails
+    there loudly. *)
+
+(** Version of the cache key and on-disk entry layout. Bump on any
+    change to the canonical GMT-IR serializer or to {!Cache.entry}. *)
+val format_version : int
+
+(** [compute ~text ~technique ~n_threads ~coco ~machine] is the
+    lowercase hex cache key (32 chars). [version] defaults to
+    {!format_version} and exists so tests can prove a version bump
+    changes every key. *)
+val compute :
+  ?version:int ->
+  text:string ->
+  technique:string ->
+  n_threads:int ->
+  coco:bool ->
+  machine:string ->
+  unit ->
+  string

@@ -161,12 +161,73 @@ let compile ?(n_threads = 2) ?(coco = false) ?(profile_mode = `Train)
   end;
   c
 
+type artifact = {
+  a_workload : Workload.t;
+  a_technique : technique;
+  a_coco : bool;
+  a_n_threads : int;
+  a_mtp : Mtprog.t;
+  a_comm_sites : int;
+  a_verified : bool;
+  a_from_cache : bool;
+}
+
+let fingerprint ?(n_threads = 2) ?(coco = false) technique ~canonical =
+  let mc = machine_config ~n_cores:(max 2 n_threads) technique in
+  Gmt_cache.Fingerprint.compute ~text:canonical
+    ~technique:(technique_name technique) ~n_threads ~coco
+    ~machine:(Format.asprintf "%a" Config.pp mc)
+    ()
+
+let compile_cached ?cache ?(n_threads = 2) ?(coco = false) ?(verify = true)
+    ~canonical technique (w : Workload.t) =
+  let key = fingerprint ~n_threads ~coco technique ~canonical in
+  (* Only verified artifacts are stored, so an unverified compile must
+     not be served from (or written to) the cache. *)
+  let cache = if verify then cache else None in
+  match Option.bind cache (fun c -> Gmt_cache.Cache.find c key) with
+  | Some e ->
+    {
+      a_workload = w;
+      a_technique = technique;
+      a_coco = coco;
+      a_n_threads = n_threads;
+      a_mtp = e.Gmt_cache.Cache.mtp;
+      a_comm_sites = e.Gmt_cache.Cache.comm_sites;
+      a_verified = e.Gmt_cache.Cache.verified;
+      a_from_cache = true;
+    }
+  | None ->
+    let c = compile ~n_threads ~coco ~verify technique w in
+    let comm_sites = List.length c.plan.Mtcg.comms in
+    Option.iter
+      (fun cch ->
+        Gmt_cache.Cache.store cch key
+          {
+            Gmt_cache.Cache.mtp = c.mtp;
+            comm_sites;
+            verified = verify;
+            w_name = w.Workload.name;
+          })
+      cache;
+    {
+      a_workload = w;
+      a_technique = technique;
+      a_coco = coco;
+      a_n_threads = n_threads;
+      a_mtp = c.mtp;
+      a_comm_sites = comm_sites;
+      a_verified = verify;
+      a_from_cache = false;
+    }
+
 type metrics = {
   dyn_instrs : int;
   comm_instrs : int;
   mem_syncs : int;
   cycles : int;
   deadlocked : bool;
+  fuel_exhausted : bool;
   stall_attr : int array array;
   queue_peak : int array;
 }
@@ -204,10 +265,13 @@ let record_sim_metrics label (sim : Sim.result) =
       sim.Sim.queue_peak
   end
 
-let measure ?fuel ?kernel ?expect c =
-  let w = c.workload in
-  let label = mt_label w c.technique c.coco in
-  let mc = machine_config ~n_cores:(max 2 c.n_threads) c.technique in
+(* Shared measurement core: everything [measure] needs is the generated
+   program plus the cell identity, so a cache-reconstructed {!artifact}
+   measures through the same code as a fresh {!compiled}. *)
+let measure_prog ?fuel ?kernel ?expect ~technique ~coco ~n_threads
+    (w : Workload.t) (mtp : Mtprog.t) =
+  let label = mt_label w technique coco in
+  let mc = machine_config ~n_cores:(max 2 n_threads) technique in
   let expect, _ =
     match expect with Some e -> e | None -> expected_memory w
   in
@@ -215,7 +279,7 @@ let measure ?fuel ?kernel ?expect c =
   let mt =
     Obs.span "verify.mt_interp" (fun () ->
         Mt_interp.run ?fuel ~init_regs:w.reference.Workload.regs
-          ~init_mem:w.reference.Workload.mem c.mtp
+          ~init_mem:w.reference.Workload.mem mtp
           ~queue_capacity:mc.Config.queue_size ~mem_size:w.mem_size)
   in
   if mt.Mt_interp.deadlocked then
@@ -232,7 +296,7 @@ let measure ?fuel ?kernel ?expect c =
   let sim =
     Obs.span "sim.run" (fun () ->
         Sim.run ?fuel ?kernel ~init_regs:w.reference.Workload.regs
-          ~init_mem:w.reference.Workload.mem mc c.mtp ~mem_size:w.mem_size)
+          ~init_mem:w.reference.Workload.mem mc mtp ~mem_size:w.mem_size)
   in
   record_sim_metrics label sim;
   if sim.Sim.deadlocked then
@@ -254,9 +318,18 @@ let measure ?fuel ?kernel ?expect c =
     mem_syncs = syncs;
     cycles = sim.Sim.cycles;
     deadlocked = false;
+    fuel_exhausted = mt.Mt_interp.fuel_exhausted || sim.Sim.fuel_exhausted;
     stall_attr = sim.Sim.stall_attr;
     queue_peak = sim.Sim.queue_peak;
   }
+
+let measure ?fuel ?kernel ?expect c =
+  measure_prog ?fuel ?kernel ?expect ~technique:c.technique ~coco:c.coco
+    ~n_threads:c.n_threads c.workload c.mtp
+
+let measure_artifact ?fuel ?kernel ?expect (a : artifact) =
+  measure_prog ?fuel ?kernel ?expect ~technique:a.a_technique ~coco:a.a_coco
+    ~n_threads:a.a_n_threads a.a_workload a.a_mtp
 
 let measure_single ?fuel ?kernel ?expect (w : Workload.t) =
   let mc = Config.itanium2 () in
@@ -274,6 +347,7 @@ let measure_single ?fuel ?kernel ?expect (w : Workload.t) =
     mem_syncs = 0;
     cycles = sim.Sim.cycles;
     deadlocked = sim.Sim.deadlocked;
+    fuel_exhausted = sim.Sim.fuel_exhausted;
     stall_attr = sim.Sim.stall_attr;
     queue_peak = sim.Sim.queue_peak;
   }

@@ -72,12 +72,63 @@ val compile :
   Workload.t ->
   compiled
 
+(** {2 Cached compilation}
+
+    The compile pipeline is a deterministic function of (canonical
+    GMT-IR text, technique, thread count, machine configuration), which
+    makes its output a content-addressable artifact. {!compile_cached}
+    consults an optional {!Gmt_cache.Cache.t} keyed by {!fingerprint}; a
+    hit skips the whole pipeline {e and} re-verification (the stored
+    verdict rides along), a miss compiles, verifies and stores. *)
+
+(** What a cache hit reconstructs: enough to measure ({!a_mtp}) and to
+    render the [gmtc check]/service reports, without the PDG, partition
+    or plan the full {!compiled} record carries. *)
+type artifact = {
+  a_workload : Workload.t;
+  a_technique : technique;
+  a_coco : bool;
+  a_n_threads : int;
+  a_mtp : Mtprog.t;
+  a_comm_sites : int;  (** communication-plan transfer count *)
+  a_verified : bool;   (** gmt_verify verdict (stored on hit) *)
+  a_from_cache : bool;
+}
+
+(** Cache key for one compilation cell: digests the canonical GMT-IR
+    text ([canonical], normally {!Gmt_frontend.Text.print}) together
+    with the technique, thread count and the {!machine_config} rendering
+    under the cache {!Gmt_cache.Fingerprint.format_version}. *)
+val fingerprint :
+  ?n_threads:int -> ?coco:bool -> technique -> canonical:string -> string
+
+(** [compile_cached ?cache ~canonical tech w] — with a cache and
+    [verify] (default true), look up the {!fingerprint} first and store
+    the artifact after a miss; without a cache (or with [~verify:false],
+    whose output the cache never holds) this is plain {!compile}.
+    @raise Failure when verification rejects freshly generated code. *)
+val compile_cached :
+  ?cache:Gmt_cache.Cache.t ->
+  ?n_threads:int ->
+  ?coco:bool ->
+  ?verify:bool ->
+  canonical:string ->
+  technique ->
+  Workload.t ->
+  artifact
+
 type metrics = {
   dyn_instrs : int;     (** total dynamic instructions, all threads *)
   comm_instrs : int;    (** produce+consume+sync instructions *)
   mem_syncs : int;      (** produce_sync + consume_sync only *)
   cycles : int;         (** simulated cycles (max over cores) *)
   deadlocked : bool;
+  fuel_exhausted : bool;
+      (** the untimed interpreter or the simulator ran out of its [fuel]
+          step budget and stopped mid-flight; counts and cycles are
+          partial and the memory-equivalence check was skipped. The
+          driver and the compile service map this to the distinct
+          timeout exit code. *)
   stall_attr : int array array;
       (** per-core cycle attribution, indexed by
           {!Gmt_machine.Sim.stall_labels}; each row sums to [cycles] *)
@@ -98,6 +149,14 @@ val measure :
   ?kernel:Gmt_machine.Sim.kernel ->
   ?expect:int array * int ->
   compiled ->
+  metrics
+
+(** {!measure} for a (possibly cache-reconstructed) {!artifact}. *)
+val measure_artifact :
+  ?fuel:int ->
+  ?kernel:Gmt_machine.Sim.kernel ->
+  ?expect:int array * int ->
+  artifact ->
   metrics
 
 (** Single-threaded reference numbers on the reference input. *)

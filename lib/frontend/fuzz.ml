@@ -238,13 +238,10 @@ type report = {
   findings : (string * finding) list;
 }
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
-let ensure_dir dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+(* Atomic: a fuzz run killed mid-write must not leave a truncated repro
+   that the next triage run then fails to parse. *)
+let write_file path contents = Gmt_cache.Diskio.write_atomic path contents
+let ensure_dir = Gmt_cache.Diskio.ensure_dir
 
 let fuzz_seeds ?mutate ?fuel ?(out_dir = ".") ~seeds () =
   let tested = ref 0 and skipped = ref 0 and findings = ref [] in

@@ -26,3 +26,8 @@ val escape : string -> string
 val member : string -> t -> t option
 
 val to_string : t -> string
+
+(** [to_buffer buf j] serializes without materializing intermediate
+    strings — the service uses it for frames that embed whole GMT-IR
+    programs, where allocation churn is measurable. *)
+val to_buffer : Buffer.t -> t -> unit

@@ -1,0 +1,117 @@
+module Json = Gmt_obs.Json
+
+type error = [ `No_daemon | `Busy of string | `Protocol of string ]
+
+let connect socket_path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> Ok fd
+  | exception
+      Unix.Unix_error
+        ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.ENOTSOCK | Unix.EACCES), _, _)
+    ->
+    (try Unix.close fd with _ -> ());
+    Error `No_daemon
+  | exception e ->
+    (try Unix.close fd with _ -> ());
+    raise e
+
+(* A request is a small JSON document plus the GMT-IR text as the
+   frame's raw attachment — see {!Proto} for why the program does not
+   ride inside the JSON. *)
+type req = { body : Json.t; payload : string }
+
+let rpc ~socket { body; payload } =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        let read_reply ~on_eof () =
+          match Proto.read_frame fd with
+          | Ok (j, _) -> Ok j
+          | Error `Eof -> on_eof
+          | Error (`Malformed msg) -> Error (`Protocol msg)
+        in
+        match Proto.write_frame fd ~payload body with
+        | exception Unix.Unix_error _ ->
+          (* EPIPE: the daemon hung up before our request landed — but it
+             may have answered first (the busy reply does exactly that),
+             and that frame is still in our receive buffer. Only a silent
+             hangup means nobody is really serving. *)
+          read_reply ~on_eof:(Error `No_daemon) ()
+        | () ->
+          read_reply ~on_eof:(Error (`Protocol "connection closed before reply"))
+            ())
+
+(* --------------------------- request bodies ------------------------ *)
+
+let opt_fuel fuel rest =
+  match fuel with
+  | None -> rest
+  | Some f -> ("fuel", Json.Num (float_of_int f)) :: rest
+
+let compile_body ~op ~gmt ?fuel rest =
+  {
+    body = Json.Obj (("op", Json.Str op) :: opt_fuel fuel rest);
+    payload = gmt;
+  }
+
+let run_request ~gmt ~technique ~coco ~threads ?fuel () =
+  compile_body ~op:"run" ~gmt ?fuel
+    [
+      ("technique", Json.Str technique);
+      ("coco", Json.Bool coco);
+      ("threads", Json.Num (float_of_int threads));
+    ]
+
+let check_request ~gmt ~technique ~coco ~threads () =
+  compile_body ~op:"check" ~gmt
+    [
+      ("technique", Json.Str technique);
+      ("coco", Json.Bool coco);
+      ("threads", Json.Num (float_of_int threads));
+    ]
+
+let sweep_request ~gmt ~max_threads ?fuel () =
+  compile_body ~op:"sweep" ~gmt ?fuel
+    [ ("max_threads", Json.Num (float_of_int max_threads)) ]
+
+let ping_request = { body = Json.Obj [ ("op", Json.Str "ping") ]; payload = "" }
+let stats_request =
+  { body = Json.Obj [ ("op", Json.Str "stats") ]; payload = "" }
+
+(* ----------------------------- replies ----------------------------- *)
+
+let reply_error j =
+  let err = Option.value (Proto.str_field j "err") ~default:"" in
+  if Proto.bool_field j "busy" = Some true then `Busy err
+  else `Protocol (if err = "" then "malformed reply" else err)
+
+let request ~socket req =
+  match rpc ~socket req with
+  | Error _ as e -> e
+  | Ok j -> (
+    match Proto.bool_field j "ok" with
+    | Some true -> (
+      match
+        ( Proto.str_field j "out",
+          Proto.str_field j "err",
+          Proto.int_field j "exit" )
+      with
+      | Some out, Some err, Some code ->
+        let cache_status =
+          Option.value (Proto.str_field j "cache") ~default:"none"
+        in
+        Ok { Render.out; err; code; cache_status }
+      | _ -> Error (`Protocol "reply lacks out/err/exit fields"))
+    | _ -> Error (reply_error j))
+
+let ping ~socket =
+  match rpc ~socket ping_request with
+  | Error _ as e -> e
+  | Ok j -> (
+    match (Proto.bool_field j "ok", Proto.str_field j "version") with
+    | Some true, Some v -> Ok v
+    | _ -> Error (reply_error j))

@@ -1,0 +1,50 @@
+(** Client side of the gmtd protocol.
+
+    [gmtc remote] resolves the workload {e locally} (so name and parse
+    failures exit with the same codes as offline gmtc, daemon or not),
+    serializes it to canonical GMT-IR text and ships that — the daemon
+    never needs the client's filesystem. [`No_daemon] distinguishes
+    "nothing is listening on that path" (the documented silent-fallback
+    case: the caller compiles locally through the same {!Render}
+    functions the daemon would have used, producing the same bytes) from
+    a daemon that answered badly ([`Protocol]) or refused ([`Busy]). *)
+
+type error = [ `Busy of string | `No_daemon | `Protocol of string ]
+
+(** A framed request: the JSON document plus the GMT-IR program as the
+    frame's raw attachment (empty for ping/stats). *)
+type req = { body : Gmt_obs.Json.t; payload : string }
+
+(** One framed request/reply round trip on a fresh connection.
+    [`No_daemon] when nothing accepts on [socket]. *)
+val rpc : socket:string -> req -> (Gmt_obs.Json.t, [> error ]) result
+
+(** {2 Request builders} *)
+
+val run_request :
+  gmt:string ->
+  technique:string ->
+  coco:bool ->
+  threads:int ->
+  ?fuel:int ->
+  unit ->
+  req
+
+val check_request :
+  gmt:string -> technique:string -> coco:bool -> threads:int -> unit -> req
+
+val sweep_request :
+  gmt:string -> max_threads:int -> ?fuel:int -> unit -> req
+
+val ping_request : req
+val stats_request : req
+
+(** {2 Typed round trips} *)
+
+(** Send a compile request and decode the reply into the exact outcome
+    offline gmtc would have produced: print [out], print [err], exit
+    with [code]. *)
+val request : socket:string -> req -> (Render.outcome, [> error ]) result
+
+(** Protocol version of the listening daemon. *)
+val ping : socket:string -> (string, [> error ]) result

@@ -1,0 +1,90 @@
+module Json = Gmt_obs.Json
+
+let max_frame = 16 * 1024 * 1024
+let version = "gmtd/2"
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n = Unix.write fd b pos len in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let rec write_all_sub fd s pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_all_sub fd s (pos + n) (len - n)
+  end
+
+(* Frames carry whole GMT-IR programs, so everything writes straight
+   from the source strings — no [Bytes] copies. Extra copies here are
+   not just memcpy: large-object churn triggers GC pauses that dominate
+   the warm-path latency of the service. *)
+let write_frame fd ?(payload = "") j =
+  let doc = Json.to_string j in
+  let jn = String.length doc in
+  let pn = String.length payload in
+  let header = Bytes.create 8 in
+  Bytes.set_int32_be header 0 (Int32.of_int (4 + jn + pn));
+  Bytes.set_int32_be header 4 (Int32.of_int jn);
+  write_all fd header 0 8;
+  write_all_sub fd doc 0 jn;
+  if pn > 0 then write_all_sub fd payload 0 pn
+
+(* Read exactly [len] bytes; [Ok false] on EOF before the first byte,
+   [Error] on EOF mid-buffer. *)
+let read_exact fd b len =
+  let rec go pos =
+    if pos >= len then Ok true
+    else
+      match Unix.read fd b pos (len - pos) with
+      | 0 -> if pos = 0 then Ok false else Error "unexpected EOF"
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  go 0
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  match read_exact fd header 4 with
+  | Error e -> Error (`Malformed ("truncated header: " ^ e))
+  | Ok false -> Error `Eof
+  | Ok true -> (
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len <= 4 || len > max_frame then
+      Error (`Malformed (Printf.sprintf "bad frame length %d" len))
+    else
+      (* Document and attachment land in separate exact-size buffers:
+         no oversized read buffer to slice (and copy) afterwards. *)
+      match read_exact fd header 4 with
+      | Ok false | Error _ -> Error (`Malformed "truncated payload")
+      | Ok true -> (
+        let jn = Int32.to_int (Bytes.get_int32_be header 0) in
+        if jn <= 0 || jn > len - 4 then
+          Error (`Malformed (Printf.sprintf "bad document length %d" jn))
+        else
+          let doc = Bytes.create jn in
+          match read_exact fd doc jn with
+          | Ok false | Error _ -> Error (`Malformed "truncated payload")
+          | Ok true -> (
+            (* Safe: [doc] is never touched again. *)
+            match Json.parse (Bytes.unsafe_to_string doc) with
+            | Error e -> Error (`Malformed ("invalid JSON: " ^ e))
+            | Ok j -> (
+              let pn = len - 4 - jn in
+              let payload = Bytes.create pn in
+              match read_exact fd payload pn with
+              | Ok false | Error _ -> Error (`Malformed "truncated payload")
+              | Ok true ->
+                (* Safe: [payload] is never touched again. *)
+                Ok (j, Bytes.unsafe_to_string payload)))))
+
+let str_field j k =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
+let int_field j k =
+  match Json.member k j with
+  | Some (Json.Num f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let bool_field j k =
+  match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None

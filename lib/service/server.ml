@@ -1,0 +1,285 @@
+module Json = Gmt_obs.Json
+module Obs = Gmt_obs.Obs
+module Cache = Gmt_cache.Cache
+module Pool = Gmt_parallel.Pool
+module Text = Gmt_frontend.Text
+module V = Gmt_core.Velocity
+
+type config = {
+  socket : string;
+  jobs : int;
+  cache_dir : string option;
+  mem_capacity : int;
+  queue_bound : int;
+  fuel_cap : int option;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    jobs = Pool.default_jobs ();
+    cache_dir = None;
+    mem_capacity = 128;
+    queue_bound = 64;
+    fuel_cap = None;
+  }
+
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  pool : Pool.t;
+  listen_fd : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  in_flight : int Atomic.t;
+  mutable accept_dom : unit Domain.t option;
+}
+
+let cache t = t.cache
+let socket t = t.cfg.socket
+
+(* ----------------------------- replies ----------------------------- *)
+
+let outcome_json (o : Render.outcome) =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("out", Json.Str o.Render.out);
+      ("err", Json.Str o.Render.err);
+      ("exit", Json.Num (float_of_int o.Render.code));
+      ("cache", Json.Str o.Render.cache_status);
+    ]
+
+let error_json msg = Json.Obj [ ("ok", Json.Bool false); ("err", Json.Str msg) ]
+
+let busy_json =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ("busy", Json.Bool true);
+      ( "err",
+        Json.Str "gmtd: busy: request bound reached, retry or raise --jobs\n"
+      );
+    ]
+
+(* ----------------------------- requests ---------------------------- *)
+
+let outcome_err ~code msg =
+  { Render.out = ""; err = msg; code; cache_status = "none" }
+
+let effective_fuel cfg req_fuel =
+  match (req_fuel, cfg.fuel_cap) with
+  | Some f, Some cap -> Some (min f cap)
+  | Some f, None -> Some f
+  | None, cap -> cap
+
+let technique_of_name = function
+  | "gremio" -> Some V.Gremio
+  | "dswp" -> Some V.Dswp
+  | _ -> None
+
+(* The compile ops carry the canonical GMT-IR text; the client already
+   resolved names and files, so a parse failure here means a foreign
+   client — it gets the same message and exit offline gmtc would give
+   for a broken [.gmt] file. [check] defers parsing to
+   {!Render.check_text} so a warm request never pays for it; [run] and
+   [sweep] simulate and must parse regardless, but still key the cache
+   on the received bytes. *)
+let compile_request t j payload op =
+  let gmt =
+    if payload <> "" then Some payload else Proto.str_field j "gmt"
+  in
+  match gmt with
+  | None -> outcome_err ~code:Render.exit_parse "gmtc: request lacks GMT-IR\n"
+  | Some text -> (
+    let parsed () =
+      match Text.parse ~file:"<request>" text with
+      | Error e ->
+        Error
+          (outcome_err ~code:Render.exit_parse
+             (Printf.sprintf "gmtc: %s\n" (Text.render_error e)))
+      | Ok w -> Ok w
+    in
+    let fuel = effective_fuel t.cfg (Proto.int_field j "fuel") in
+    match op with
+    | `Sweep -> (
+      match parsed () with
+      | Error o -> o
+      | Ok w ->
+        let max_threads =
+          Option.value (Proto.int_field j "max_threads") ~default:4
+        in
+        Render.sweep ~jobs:1 ?fuel ~max_threads w)
+    | (`Run | `Check) as op -> (
+      let name = Option.value (Proto.str_field j "technique") ~default:"" in
+      match technique_of_name name with
+      | None ->
+        outcome_err ~code:Render.exit_unknown
+          (Printf.sprintf "gmtc: unknown technique %S (known: gremio, dswp)\n"
+             name)
+      | Some technique -> (
+        let coco = Option.value (Proto.bool_field j "coco") ~default:false in
+        let threads = Option.value (Proto.int_field j "threads") ~default:2 in
+        match op with
+        | `Check ->
+          Render.check_text ~cache:t.cache ~technique ~coco ~threads text
+        | `Run -> (
+          match parsed () with
+          | Error o -> o
+          | Ok w ->
+            Render.run ~cache:t.cache ~canonical:text ~jobs:1 ?fuel ~technique
+              ~coco ~threads w))))
+
+let stats_json t =
+  let s = Cache.stats t.cache in
+  let n name v = (name, Json.Num (float_of_int v)) in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("version", Json.Str Proto.version);
+      n "jobs" t.cfg.jobs;
+      n "in_flight" (Atomic.get t.in_flight);
+      ( "cache",
+        Json.Obj
+          [
+            n "hits" s.Cache.hits;
+            n "misses" s.Cache.misses;
+            n "stores" s.Cache.stores;
+            n "evictions" s.Cache.evictions;
+            n "corrupt" s.Cache.corrupt;
+          ] );
+    ]
+
+let handle_request t j payload =
+  match Proto.str_field j "op" with
+  | Some "ping" ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("version", Json.Str Proto.version);
+        ("jobs", Json.Num (float_of_int t.cfg.jobs));
+      ]
+  | Some "stats" -> stats_json t
+  | Some (("run" | "check" | "sweep") as name) ->
+    let op =
+      match name with
+      | "run" -> `Run
+      | "check" -> `Check
+      | _ -> `Sweep
+    in
+    let o =
+      Obs.span ~cat:"service" ("serve." ^ name) (fun () ->
+          compile_request t j payload op)
+    in
+    outcome_json o
+  | Some op -> error_json (Printf.sprintf "gmtd: unknown op %S" op)
+  | None -> error_json "gmtd: request lacks an \"op\" field"
+
+(* --------------------------- connections --------------------------- *)
+
+let send fd j = try Proto.write_frame fd j with Unix.Unix_error _ -> ()
+
+(* One connection may carry any number of requests; the first malformed
+   frame is answered with an error and ends the connection (framing is
+   lost, so resynchronizing is not possible). *)
+let handle_conn t fd =
+  let rec loop () =
+    match Proto.read_frame fd with
+    | Error `Eof -> ()
+    | Error (`Malformed msg) -> send fd (error_json ("gmtd: " ^ msg))
+    | Ok (j, payload) ->
+      let reply =
+        try handle_request t j payload
+        with e -> error_json ("gmtd: internal error: " ^ Printexc.to_string e)
+      in
+      send fd reply;
+      loop ()
+  in
+  loop ()
+
+(* --------------------------- accept loop --------------------------- *)
+
+let accept_loop t =
+  let rec go () =
+    if not (Atomic.get t.stop_flag) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+          if Atomic.get t.stop_flag then (try Unix.close fd with _ -> ())
+          else if Atomic.fetch_and_add t.in_flight 1 >= t.cfg.queue_bound
+          then begin
+            (* Over the bound: an explicit busy reply, never a hang. *)
+            Atomic.decr t.in_flight;
+            send fd busy_json;
+            try Unix.close fd with _ -> ()
+          end
+          else
+            ignore
+              (Pool.submit t.pool (fun () ->
+                   Fun.protect
+                     ~finally:(fun () ->
+                       (try Unix.close fd with _ -> ());
+                       Atomic.decr t.in_flight)
+                     (fun () -> handle_conn t fd)))));
+      go ()
+    end
+  in
+  go ();
+  (try Unix.close t.listen_fd with _ -> ());
+  try Unix.unlink t.cfg.socket with _ -> ()
+
+(* ---------------------------- lifecycle ---------------------------- *)
+
+let start cfg =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Latency over memory: every request churns frame-sized (hundreds of
+     KB) short-lived blocks while the live heap — suite, pool, artifact
+     cache — stays small, so the default pacer finishes a full major
+     cycle every couple of requests and its stop-the-world phases
+     dominate warm (cache-hit) latency. A high space overhead makes
+     major cycles rare; the LRU bounds how far the live set can grow. *)
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 800 };
+  let cache = Cache.create ~mem_capacity:cfg.mem_capacity ?dir:cfg.cache_dir ()
+  in
+  let pool = Pool.create ~jobs:(max 1 cfg.jobs) in
+  (* A stale socket file from a crashed daemon would make bind fail;
+     replace it. A live daemon on the same path loses its socket — the
+     operator picked the path, so last-started wins. *)
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      cache;
+      pool;
+      listen_fd;
+      stop_flag = Atomic.make false;
+      in_flight = Atomic.make 0;
+      accept_dom = None;
+    }
+  in
+  t.accept_dom <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let request_stop t = Atomic.set t.stop_flag true
+
+let join t =
+  (match t.accept_dom with
+  | Some d ->
+    Domain.join d;
+    t.accept_dom <- None
+  | None -> ());
+  Pool.shutdown t.pool
+
+let stop t =
+  request_stop t;
+  join t

@@ -1,0 +1,63 @@
+(** The gmtd daemon: a concurrent compile service over a Unix-domain
+    socket.
+
+    One domain accepts connections; each accepted connection becomes a
+    task on a {!Gmt_parallel.Pool} of [jobs] workers, so up to [jobs]
+    requests compile concurrently while excess connections queue. When
+    more than [queue_bound] connections are in flight the newcomer gets
+    one explicit busy frame and is closed — the service degrades loudly,
+    never by hanging.
+
+    All workers share one {!Gmt_cache.Cache.t}, so a kernel compiled for
+    one client is a cache hit for every later client (and for the
+    daemon's own re-verification: cached artifacts carry their
+    translation-validation verdict).
+
+    Responses are rendered by the same {!Render} functions offline
+    [gmtc] prints through, which makes served bytes identical to offline
+    bytes by construction.
+
+    Shutdown is graceful: {!request_stop} flips an atomic flag; the
+    accept loop notices within its 200 ms poll interval, stops
+    accepting, closes and unlinks the socket; {!join} then drains the
+    worker pool, so every accepted request is still answered. *)
+
+type config = {
+  socket : string;  (** path of the Unix-domain socket *)
+  jobs : int;  (** worker pool size (min 1) *)
+  cache_dir : string option;  (** on-disk artifact store, [None] = memory only *)
+  mem_capacity : int;  (** in-memory LRU bound *)
+  queue_bound : int;  (** max in-flight connections before busy replies *)
+  fuel_cap : int option;
+      (** server-side ceiling on per-request simulation fuel; a request's
+          own fuel is clamped to this *)
+}
+
+(** [jobs = Pool.default_jobs ()], no disk store, capacity 128, bound 64,
+    no fuel cap. *)
+val default_config : socket:string -> config
+
+type t
+
+(** Bind, listen, and spawn the accept domain. Replaces a stale socket
+    file at the configured path. SIGPIPE is set to ignore (a client
+    hanging up mid-reply must not kill the daemon).
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+val start : config -> t
+
+(** The shared artifact cache (exposed for the service tests' corrupt-
+    entry drill and the [stats] op). *)
+val cache : t -> Gmt_cache.Cache.t
+
+val socket : t -> string
+
+(** Ask the accept loop to stop. Returns immediately; pair with
+    {!join}. Safe from a signal handler's continuation. *)
+val request_stop : t -> unit
+
+(** Wait for the accept domain to exit, then drain and join the worker
+    pool. In-flight requests finish and are answered. *)
+val join : t -> unit
+
+(** [request_stop] + [join]. *)
+val stop : t -> unit

@@ -1,0 +1,275 @@
+(* The content-addressed artifact cache: golden cache keys (pinning the
+   canonical serializer to the format version), the framed-digest
+   sensitivity properties, disk round-trips through a second cache
+   instance, corruption/stale-version eviction, LRU bounds and atomic
+   writes.
+
+   The golden table is the contract that a canonical-serializer change
+   must bump [Fingerprint.format_version]: the keys below digest the
+   exact [Text.print] bytes of two corpus kernels, so any serializer
+   drift without a version bump lands here as a loud mismatch (and with
+   a bump, [test_version_bump] proves every key changes). *)
+
+module Cache = Gmt_cache.Cache
+module Fingerprint = Gmt_cache.Fingerprint
+module Diskio = Gmt_cache.Diskio
+module V = Gmt_core.Velocity
+module Text = Gmt_frontend.Text
+module Suite = Gmt_workloads.Suite
+
+let workload name =
+  match Suite.lookup name with
+  | Ok w -> w
+  | Error e -> Alcotest.failf "suite lookup %s: %s" name e
+
+let fingerprint name technique coco =
+  let w = workload name in
+  V.fingerprint ~n_threads:2 ~coco technique ~canonical:(Text.print w)
+
+(* ------------------------ golden fingerprints ---------------------- *)
+
+(* Two corpus kernels x (GREMIO, DSWP) x (-COCO, +COCO), at 2 threads.
+   Regenerate by running this test and copying the actual values — but
+   only together with a [format_version] bump if the canonical
+   serializer changed. *)
+let golden =
+  [
+    ("ks", V.Gremio, false, "157e002a28415b32228ee0b866b9c5cc");
+    ("ks", V.Gremio, true, "a94b66ff43fab593dfc4871933c72cb3");
+    ("ks", V.Dswp, false, "78885c61fb3c8b4637fbbf7aef0bae36");
+    ("ks", V.Dswp, true, "65f8e32cf9f80c0024c58136e188767b");
+    ("adpcmdec", V.Gremio, false, "f5ebf709f11e7a32ba5d2991ff153498");
+    ("adpcmdec", V.Gremio, true, "5010f3cd1cb23925fe174b7fa7551166");
+    ("adpcmdec", V.Dswp, false, "22151d58f4c402fc98710b8350be6f54");
+    ("adpcmdec", V.Dswp, true, "08d8ca9aeb11a268e0fa362505963f84");
+  ]
+
+let test_golden_fingerprints () =
+  List.iter
+    (fun (name, technique, coco, expect) ->
+      let label =
+        Printf.sprintf "%s/%s%s" name
+          (V.technique_name technique)
+          (if coco then "+coco" else "")
+      in
+      Alcotest.(check string) label expect (fingerprint name technique coco))
+    golden
+
+let test_golden_distinct () =
+  let keys = List.map (fun (_, _, _, k) -> k) golden in
+  Alcotest.(check int)
+    "8 distinct keys" 8
+    (List.length (List.sort_uniq compare keys))
+
+(* ------------------------- key sensitivity ------------------------- *)
+
+let base_key ?version ?(text = "gmt-ir v1\n") ?(technique = "gremio")
+    ?(n_threads = 2) ?(coco = false) ?(machine = "cores=2") () =
+  Fingerprint.compute ?version ~text ~technique ~n_threads ~coco ~machine ()
+
+let test_sensitivity () =
+  let base = base_key () in
+  let differs label key =
+    Alcotest.(check bool) (label ^ " changes the key") false (base = key)
+  in
+  differs "text" (base_key ~text:"gmt-ir v1\n\n" ());
+  differs "technique" (base_key ~technique:"dswp" ());
+  differs "n_threads" (base_key ~n_threads:3 ());
+  differs "coco" (base_key ~coco:true ());
+  differs "machine" (base_key ~machine:"cores=4" ());
+  (* Length framing: moving bytes across a field boundary must not
+     collide. *)
+  Alcotest.(check bool) "framing" false
+    (base_key ~technique:"ab" ~machine:"c" ()
+    = base_key ~technique:"a" ~machine:"bc" ());
+  Alcotest.(check string) "deterministic" base (base_key ())
+
+let test_version_bump () =
+  (* A serializer change without a [format_version] bump is exactly what
+     the golden table catches; this proves the bump then invalidates
+     every key in one stroke. *)
+  let bumped = Fingerprint.format_version + 1 in
+  List.iter
+    (fun (name, technique, coco, pinned) ->
+      let w = workload name in
+      let mc =
+        V.machine_config ~n_cores:2 technique |> Format.asprintf "%a"
+                                                   Gmt_machine.Config.pp
+      in
+      let key =
+        Fingerprint.compute ~version:bumped ~text:(Text.print w)
+          ~technique:(V.technique_name technique)
+          ~n_threads:2 ~coco ~machine:mc ()
+      in
+      Alcotest.(check bool)
+        (name ^ ": bumped version invalidates the pinned key")
+        false (key = pinned))
+    golden
+
+(* --------------------------- disk store ---------------------------- *)
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gmt-cache-test-%d" (Unix.getpid ()))
+  in
+  let rec cleanup path =
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun n -> cleanup (Filename.concat path n))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then cleanup dir;
+  Diskio.ensure_dir dir;
+  Fun.protect ~finally:(fun () -> cleanup dir) (fun () -> f dir)
+
+let sample_entry () =
+  let w = workload "ks" in
+  let c = V.compile ~n_threads:2 V.Gremio w in
+  {
+    Cache.mtp = c.V.mtp;
+    comm_sites = List.length c.V.plan.Gmt_mtcg.Mtcg.comms;
+    verified = true;
+    w_name = w.Gmt_workloads.Workload.name;
+  }
+
+let check_stats label (s : Cache.stats) ~hits ~misses ~stores ~evictions
+    ~corrupt =
+  Alcotest.(check (list int))
+    (label ^ " stats")
+    [ hits; misses; stores; evictions; corrupt ]
+    [ s.Cache.hits; s.Cache.misses; s.Cache.stores; s.Cache.evictions;
+      s.Cache.corrupt ]
+
+let test_disk_roundtrip () =
+  with_tmpdir @@ fun dir ->
+  let key = String.make 32 'a' in
+  let e = sample_entry () in
+  let c1 = Cache.create ~dir () in
+  Alcotest.(check bool) "cold miss" true (Cache.find c1 key = None);
+  Cache.store c1 key e;
+  (* A second instance has a cold memory LRU: the hit must come from
+     disk and carry the full entry. *)
+  let c2 = Cache.create ~dir () in
+  (match Cache.find c2 key with
+  | None -> Alcotest.fail "disk entry not found"
+  | Some got ->
+    Alcotest.(check int) "comm sites" e.Cache.comm_sites got.Cache.comm_sites;
+    Alcotest.(check bool) "verified" true got.Cache.verified;
+    Alcotest.(check string) "workload name" "ks" got.Cache.w_name;
+    Alcotest.(check int) "threads"
+      (Array.length e.Cache.mtp.Gmt_ir.Mtprog.threads)
+      (Array.length got.Cache.mtp.Gmt_ir.Mtprog.threads));
+  (* Promoted to memory: the next find hits without touching disk. *)
+  Option.iter Sys.remove (Cache.entry_path c2 key);
+  Alcotest.(check bool) "memory hit after promotion" true
+    (Cache.find c2 key <> None);
+  check_stats "second instance" (Cache.stats c2) ~hits:2 ~misses:0 ~stores:0
+    ~evictions:0 ~corrupt:0
+
+let test_corrupt_entry_evicted () =
+  with_tmpdir @@ fun dir ->
+  let key = String.make 32 'b' in
+  let c1 = Cache.create ~dir () in
+  Cache.store c1 key (sample_entry ());
+  let path = Option.get (Cache.entry_path c1 key) in
+  (* Flip payload bytes behind the checksum's back. *)
+  let contents = Option.get (Diskio.read_file path) in
+  let broken = Bytes.of_string contents in
+  let last = Bytes.length broken - 1 in
+  Bytes.set broken last (Char.chr (Char.code (Bytes.get broken last) lxor 0xff));
+  Diskio.write_atomic path (Bytes.to_string broken);
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check bool) "corrupt entry misses" true (Cache.find c2 key = None);
+  Alcotest.(check bool) "corrupt entry deleted" false (Sys.file_exists path);
+  check_stats "after corruption" (Cache.stats c2) ~hits:0 ~misses:1 ~stores:0
+    ~evictions:1 ~corrupt:1;
+  (* The caller recompiles and overwrites transparently. *)
+  Cache.store c2 key (sample_entry ());
+  Alcotest.(check bool) "recompiled entry hits" true
+    (Cache.find c2 key <> None)
+
+let test_stale_version_evicted () =
+  with_tmpdir @@ fun dir ->
+  let key = String.make 32 'c' in
+  let c1 = Cache.create ~dir () in
+  Cache.store c1 key (sample_entry ());
+  let path = Option.get (Cache.entry_path c1 key) in
+  let contents = Option.get (Diskio.read_file path) in
+  (* Rewrite the header as a future format version, payload intact. *)
+  let nl = String.index contents '\n' in
+  let rest = String.sub contents nl (String.length contents - nl) in
+  Diskio.write_atomic path
+    (Printf.sprintf "gmt-cache/%d%s" (Fingerprint.format_version + 1) rest);
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check bool) "stale version misses" true (Cache.find c2 key = None);
+  Alcotest.(check bool) "stale entry deleted" false (Sys.file_exists path);
+  Alcotest.(check int) "counted corrupt" 1 (Cache.stats c2).Cache.corrupt
+
+let test_lru_eviction () =
+  let c = Cache.create ~mem_capacity:2 () in
+  let e = sample_entry () in
+  let key i = Printf.sprintf "%032d" i in
+  Cache.store c (key 1) e;
+  Cache.store c (key 2) e;
+  Alcotest.(check bool) "touch 1" true (Cache.find c (key 1) <> None);
+  (* 2 is now least recently used; a third insert evicts it. *)
+  Cache.store c (key 3) e;
+  Alcotest.(check bool) "1 survives" true (Cache.find c (key 1) <> None);
+  Alcotest.(check bool) "3 present" true (Cache.find c (key 3) <> None);
+  Alcotest.(check bool) "2 evicted" true (Cache.find c (key 2) = None);
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions
+
+let test_atomic_write () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "out.txt" in
+  Diskio.write_atomic path "first";
+  Diskio.write_atomic path "second";
+  Alcotest.(check (option string)) "overwrite" (Some "second")
+    (Diskio.read_file path);
+  Alcotest.(check (list string)) "no temp files left" [ "out.txt" ]
+    (Array.to_list (Sys.readdir dir))
+
+(* -------------------- cached compile (Velocity) -------------------- *)
+
+let test_compile_cached () =
+  let w = workload "ks" in
+  let canonical = Text.print w in
+  let cache = Cache.create () in
+  let a1 = V.compile_cached ~cache ~n_threads:2 ~canonical V.Gremio w in
+  Alcotest.(check bool) "first compile is a miss" false a1.V.a_from_cache;
+  let a2 = V.compile_cached ~cache ~n_threads:2 ~canonical V.Gremio w in
+  Alcotest.(check bool) "second compile hits" true a2.V.a_from_cache;
+  Alcotest.(check bool) "hit is verified" true a2.V.a_verified;
+  (* The cached artifact simulates to the same numbers. *)
+  let m1 = V.measure_artifact a1 and m2 = V.measure_artifact a2 in
+  Alcotest.(check int) "cycles agree" m1.V.cycles m2.V.cycles;
+  Alcotest.(check int) "instrs agree" m1.V.dyn_instrs m2.V.dyn_instrs;
+  (* An unverified compile must not poison the verified cache. *)
+  let cache2 = Cache.create () in
+  let a3 =
+    V.compile_cached ~cache:cache2 ~n_threads:2 ~verify:false ~canonical
+      V.Gremio w
+  in
+  Alcotest.(check bool) "unverified not cached" false a3.V.a_from_cache;
+  Alcotest.(check int) "no store" 0 (Cache.stats cache2).Cache.stores
+
+let tests =
+  [
+    Alcotest.test_case "golden fingerprints" `Quick test_golden_fingerprints;
+    Alcotest.test_case "golden keys distinct" `Quick test_golden_distinct;
+    Alcotest.test_case "key sensitivity" `Quick test_sensitivity;
+    Alcotest.test_case "version bump invalidates" `Quick test_version_bump;
+    Alcotest.test_case "disk round-trip" `Quick test_disk_roundtrip;
+    Alcotest.test_case "corrupt entry evicted" `Quick
+      test_corrupt_entry_evicted;
+    Alcotest.test_case "stale version evicted" `Quick
+      test_stale_version_evicted;
+    Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "atomic write" `Quick test_atomic_write;
+    Alcotest.test_case "compile_cached" `Quick test_compile_cached;
+  ]

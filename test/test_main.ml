@@ -17,4 +17,6 @@ let () =
       ("frontend", Test_frontend.tests);
       ("verify", Test_verify.tests);
       ("opt", Test_opt.tests);
+      ("cache", Test_cache.tests);
+      ("service", Test_service.tests);
     ]

@@ -1,0 +1,259 @@
+(* The gmtd compile service, driven in-process: concurrent clients get
+   byte-identical answers to offline rendering, the artifact cache
+   survives daemon restarts, a deliberately corrupted cache entry is
+   detected and transparently recompiled, overload produces explicit
+   busy replies, malformed frames are rejected, and fuel exhaustion
+   comes back as the documented timeout exit. *)
+
+module Server = Gmt_service.Server
+module Client = Gmt_service.Client
+module Render = Gmt_service.Render
+module Proto = Gmt_service.Proto
+module Cache = Gmt_cache.Cache
+module Json = Gmt_obs.Json
+module V = Gmt_core.Velocity
+module Text = Gmt_frontend.Text
+module Suite = Gmt_workloads.Suite
+
+let socket_counter = ref 0
+
+let fresh_socket () =
+  incr socket_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "gmtd-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+
+let with_server ?cache_dir ?(jobs = 2) ?(queue_bound = 64) ?fuel_cap f =
+  let cfg =
+    {
+      (Server.default_config ~socket:(fresh_socket ())) with
+      Server.jobs;
+      cache_dir;
+      queue_bound;
+      fuel_cap;
+    }
+  in
+  let srv = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let workload name =
+  match Suite.lookup name with
+  | Ok w -> w
+  | Error e -> Alcotest.failf "suite lookup %s: %s" name e
+
+let request_ok ~socket req =
+  match Client.request ~socket req with
+  | Ok o -> o
+  | Error `No_daemon -> Alcotest.fail "daemon not reachable"
+  | Error (`Busy m) -> Alcotest.failf "unexpected busy: %s" m
+  | Error (`Protocol m) -> Alcotest.failf "protocol error: %s" m
+
+let check_outcome label (expect : Render.outcome) (got : Render.outcome) =
+  Alcotest.(check string) (label ^ " stdout") expect.Render.out got.Render.out;
+  Alcotest.(check string) (label ^ " stderr") expect.Render.err got.Render.err;
+  Alcotest.(check int) (label ^ " exit") expect.Render.code got.Render.code
+
+(* ----------------------- concurrent identity ----------------------- *)
+
+(* Four cells across two kernels. Offline outcomes are rendered first in
+   this domain; then four client domains issue the same requests
+   concurrently against one daemon, twice each (second round hits the
+   cache), and every reply must match the offline bytes. *)
+let test_concurrent_clients () =
+  let cells =
+    [
+      ("ks", "gremio", V.Gremio, false);
+      ("ks", "dswp", V.Dswp, false);
+      ("adpcmdec", "gremio", V.Gremio, true);
+      ("adpcmdec", "dswp", V.Dswp, true);
+    ]
+  in
+  let offline =
+    List.map
+      (fun (name, _, technique, coco) ->
+        Render.run ~jobs:1 ~technique ~coco ~threads:2 (workload name))
+      cells
+  in
+  with_server ~jobs:4 @@ fun srv ->
+  let socket = Server.socket srv in
+  let clients =
+    List.map
+      (fun (name, tech, _, coco) ->
+        Domain.spawn (fun () ->
+            let gmt = Text.print (workload name) in
+            let req =
+              Client.run_request ~gmt ~technique:tech ~coco ~threads:2 ()
+            in
+            let cold = request_ok ~socket req in
+            let warm = request_ok ~socket req in
+            (cold, warm)))
+      cells
+  in
+  let replies = List.map Domain.join clients in
+  List.iteri
+    (fun i ((cold, warm), expect) ->
+      let label = Printf.sprintf "cell %d" i in
+      check_outcome (label ^ " cold") expect cold;
+      check_outcome (label ^ " warm") expect warm;
+      Alcotest.(check string) (label ^ " warm cache") "hit"
+        warm.Render.cache_status)
+    (List.combine replies offline);
+  let s = Cache.stats (Server.cache srv) in
+  Alcotest.(check int) "4 misses" 4 s.Cache.misses;
+  Alcotest.(check int) "4 hits" 4 s.Cache.hits
+
+(* ------------------- corruption drill + restart -------------------- *)
+
+let test_corrupt_entry_recompiled () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gmtd-test-cache-%d" (Unix.getpid ()))
+  in
+  let rec cleanup path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun n -> cleanup (Filename.concat path n))
+          (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  cleanup dir;
+  Fun.protect ~finally:(fun () -> cleanup dir) @@ fun () ->
+  let w = workload "ks" in
+  let gmt = Text.print w in
+  let req = Client.run_request ~gmt ~technique:"gremio" ~coco:false ~threads:2 () in
+  let offline = Render.run ~jobs:1 ~technique:V.Gremio ~coco:false ~threads:2 w in
+  let key = V.fingerprint ~n_threads:2 ~coco:false V.Gremio ~canonical:gmt in
+  (* Round 1: populate the on-disk store, then corrupt the entry. *)
+  let entry_path =
+    with_server ~cache_dir:dir @@ fun srv ->
+    let o = request_ok ~socket:(Server.socket srv) req in
+    check_outcome "populate" offline o;
+    Option.get (Cache.entry_path (Server.cache srv) key)
+  in
+  Alcotest.(check bool) "entry on disk" true (Sys.file_exists entry_path);
+  let contents = Option.get (Gmt_cache.Diskio.read_file entry_path) in
+  let broken = Bytes.of_string contents in
+  let last = Bytes.length broken - 1 in
+  Bytes.set broken last (Char.chr (Char.code (Bytes.get broken last) lxor 0xff));
+  Gmt_cache.Diskio.write_atomic entry_path (Bytes.to_string broken);
+  (* Round 2: a fresh daemon on the same store detects the damage,
+     recompiles transparently, and the client still gets offline
+     bytes. *)
+  with_server ~cache_dir:dir @@ fun srv ->
+  let socket = Server.socket srv in
+  let o = request_ok ~socket req in
+  check_outcome "recompiled" offline o;
+  Alcotest.(check string) "reply is a miss" "miss" o.Render.cache_status;
+  let s = Cache.stats (Server.cache srv) in
+  Alcotest.(check int) "corrupt counted" 1 s.Cache.corrupt;
+  Alcotest.(check int) "recompile stored" 1 s.Cache.stores;
+  (* The counter is visible to clients through the stats op. *)
+  match Client.rpc ~socket Client.stats_request with
+  | Ok j ->
+    let corrupt =
+      Option.bind (Json.member "cache" j) (fun c ->
+          match Json.member "corrupt" c with
+          | Some (Json.Num n) -> Some (int_of_float n)
+          | _ -> None)
+    in
+    Alcotest.(check (option int)) "stats op corrupt" (Some 1) corrupt;
+    (* And a third request hits the rewritten entry. *)
+    let o3 = request_ok ~socket req in
+    check_outcome "after recompile" offline o3;
+    Alcotest.(check string) "third is a hit" "hit" o3.Render.cache_status
+  | Error _ -> Alcotest.fail "stats op failed"
+
+(* ------------------------------ busy ------------------------------- *)
+
+let test_busy_reply () =
+  with_server ~queue_bound:0 @@ fun srv ->
+  let gmt = Text.print (workload "ks") in
+  let req = Client.run_request ~gmt ~technique:"gremio" ~coco:false ~threads:2 () in
+  match Client.request ~socket:(Server.socket srv) req with
+  | Error (`Busy msg) ->
+    Alcotest.(check bool) "busy names itself" true
+      (String.length msg > 0
+      && String.sub msg 0 10 = "gmtd: busy")
+  | Ok _ -> Alcotest.fail "expected busy, got an answer"
+  | Error `No_daemon -> Alcotest.fail "expected busy, got No_daemon"
+  | Error (`Protocol m) -> Alcotest.failf "expected busy, got protocol: %s" m
+
+(* -------------------------- malformed frame ------------------------ *)
+
+let test_malformed_frame () =
+  with_server @@ fun srv ->
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX (Server.socket srv));
+  (* Declared length far over max_frame. *)
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 0x7fffffffl;
+  ignore (Unix.write fd header 0 4);
+  (match Proto.read_frame fd with
+  | Ok (j, _) ->
+    Alcotest.(check (option bool)) "rejected" (Some false)
+      (Proto.bool_field j "ok")
+  | Error _ -> Alcotest.fail "no error reply to a malformed frame");
+  (* The server hangs up after answering. *)
+  Alcotest.(check bool) "connection closed" true
+    (match Proto.read_frame fd with Error `Eof -> true | _ -> false)
+
+(* ------------------------- fuel timeout ---------------------------- *)
+
+let test_fuel_timeout () =
+  let w = workload "ks" in
+  let offline = Render.run ~jobs:1 ~fuel:10 ~technique:V.Gremio ~coco:false ~threads:2 w in
+  Alcotest.(check int) "offline timeout exit" Render.exit_timeout
+    offline.Render.code;
+  with_server @@ fun srv ->
+  let gmt = Text.print w in
+  let o =
+    request_ok ~socket:(Server.socket srv)
+      (Client.run_request ~gmt ~technique:"gremio" ~coco:false ~threads:2
+         ~fuel:10 ())
+  in
+  check_outcome "served timeout" offline o
+
+(* The server-side cap clamps even a request that asked for no fuel at
+   all to the same timeout a --fuel client would see. *)
+let test_fuel_cap () =
+  let w = workload "ks" in
+  let offline =
+    Render.run ~jobs:1 ~fuel:10 ~technique:V.Gremio ~coco:false ~threads:2 w
+  in
+  with_server ~fuel_cap:10 @@ fun srv ->
+  let gmt = Text.print w in
+  let o =
+    request_ok ~socket:(Server.socket srv)
+      (Client.run_request ~gmt ~technique:"gremio" ~coco:false ~threads:2 ())
+  in
+  check_outcome "capped" offline o
+
+(* ------------------------------ ping ------------------------------- *)
+
+let test_ping () =
+  with_server @@ fun srv ->
+  (match Client.ping ~socket:(Server.socket srv) with
+  | Ok v -> Alcotest.(check string) "version" Proto.version v
+  | Error _ -> Alcotest.fail "ping failed");
+  match Client.ping ~socket:(fresh_socket ()) with
+  | Error `No_daemon -> ()
+  | _ -> Alcotest.fail "expected No_daemon on a dead socket"
+
+let tests =
+  [
+    Alcotest.test_case "concurrent clients byte-identical" `Quick
+      test_concurrent_clients;
+    Alcotest.test_case "corrupt entry recompiled" `Quick
+      test_corrupt_entry_recompiled;
+    Alcotest.test_case "busy reply" `Quick test_busy_reply;
+    Alcotest.test_case "malformed frame rejected" `Quick test_malformed_frame;
+    Alcotest.test_case "fuel timeout" `Quick test_fuel_timeout;
+    Alcotest.test_case "server fuel cap" `Quick test_fuel_cap;
+    Alcotest.test_case "ping" `Quick test_ping;
+  ]
