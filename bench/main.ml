@@ -24,10 +24,16 @@
    select (e.g. `dune exec bench/main.exe fig7 fig8 ablate`). The
    evaluation matrix fans out across a domain pool: `--jobs N` sets the
    worker count (default: GMT_JOBS or the recommended domain count);
-   results are byte-identical for every N. `--smoke` runs a tiny-fuel
-   3-kernel matrix through the decoded kernel and the pool (CI's @smoke
-   alias). `fig8` additionally writes BENCH_fig8.json with per-cell
-   wall-clock and simulated cycles. *)
+   results are byte-identical for every N. `--kernel jit|decoded|legacy`
+   selects the simulator execution engine for the matrix (default jit;
+   all three produce identical metrics). `--smoke` runs a tiny-fuel
+   3-kernel matrix through the pool plus a three-engine simulator
+   equivalence check (CI's @smoke alias). `--bench-smoke` validates the
+   committed BENCH_fig8.json and re-proves one cell's three-engine
+   equivalence (CI's @bench-smoke alias, folded into @smoke). `fig8`
+   additionally times every cell under all three engines and writes
+   BENCH_fig8.json with per-cell wall-clock, simulated cycles, and the
+   per-engine comparison column. *)
 
 module V = Gmt_core.Velocity
 module W = Gmt_workloads.Workload
@@ -41,11 +47,10 @@ module Sim = Gmt_machine.Sim
 type row = V.row
 
 let jobs : int option ref = ref None
-let kernel : Gmt_machine.Sim.kernel ref = ref `Decoded
+let kernel : Gmt_machine.Sim.kernel ref = ref `Jit
 let matrix_wall = ref 0.0
 
-let kernel_name () =
-  match !kernel with `Decoded -> "decoded" | `Legacy -> "legacy"
+let kernel_name () = Gmt_machine.Sim.kernel_name !kernel
 
 let rows : row list Lazy.t =
   lazy
@@ -148,11 +153,117 @@ let fig7 () =
     \ reduction ks with GREMIO, to 26.3%; adpcmenc/GREMIO had no\n\
     \ opportunity; >99% of mesa & gromacs memory syncs removed)"
 
+(* ------------- three-engine wall-clock comparison (fig8) ------------ *)
+
+(* One Fig-8 cell timed under each execution engine on the same compiled
+   program. The engines must agree bit-for-bit — [Sim.result] is compared
+   structurally, stall attribution and queue peaks included — so the only
+   visible difference is wall clock. Compilation happens once, outside
+   the timed region: this measures [Sim.run] alone. *)
+type kcell = {
+  kc_bench : string;
+  kc_config : string;
+  kc_wall : (string * float) list;  (* engine name -> seconds *)
+}
+
+let time_thunk f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let kernel_compare_cells ws =
+  Printf.eprintf "[bench] timing %d cells under %d engines...\n%!"
+    (List.length ws * List.length V.matrix_kinds)
+    (List.length Sim.all_kernels);
+  List.concat_map
+    (fun (w : W.t) ->
+      List.map
+        (fun kind ->
+          let run =
+            match kind with
+            | V.Single ->
+              let mc = Config.itanium2 () in
+              fun kernel ->
+                Sim.run_single ~kernel ~init_regs:w.W.reference.W.regs
+                  ~init_mem:w.W.reference.W.mem mc w.W.func
+                  ~mem_size:w.W.mem_size
+            | V.Mt (tech, coco) ->
+              let c = V.compile ~coco tech w in
+              let mc = V.machine_config tech in
+              fun kernel ->
+                Sim.run ~kernel ~init_regs:w.W.reference.W.regs
+                  ~init_mem:w.W.reference.W.mem mc c.V.mtp
+                  ~mem_size:w.W.mem_size
+          in
+          (* [Sim.all_kernels] is oracle-first: the legacy result is the
+             reference the other engines are checked against. Wall clock
+             is the min over three runs — the simulator is deterministic,
+             so spread between runs is allocator/GC noise, and the min is
+             the cleanest estimate of the engine's cost. *)
+          let reps = 3 in
+          let timed =
+            List.map
+              (fun k ->
+                let r0, s0 = time_thunk (fun () -> run k) in
+                let best = ref s0 in
+                for _ = 2 to reps do
+                  let r, s = time_thunk (fun () -> run k) in
+                  if r <> r0 then begin
+                    Printf.eprintf
+                      "[bench] FAIL: %s/%s: %s engine nondeterministic\n"
+                      w.W.name (V.cell_name kind) (Sim.kernel_name k);
+                    exit 1
+                  end;
+                  if s < !best then best := s
+                done;
+                (Sim.kernel_name k, r0, !best))
+              Sim.all_kernels
+          in
+          (match timed with
+          | (_, reference, _) :: rest ->
+            List.iter
+              (fun (kn, r, _) ->
+                if r <> reference then begin
+                  Printf.eprintf
+                    "[bench] FAIL: %s/%s: %s engine disagrees with legacy\n"
+                    w.W.name (V.cell_name kind) kn;
+                  exit 1
+                end)
+              rest
+          | [] -> ());
+          {
+            kc_bench = w.W.name;
+            kc_config = V.cell_name kind;
+            kc_wall = List.map (fun (kn, _, s) -> (kn, s)) timed;
+          })
+        V.matrix_kinds)
+    ws
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+    exp
+      (List.fold_left (fun a x -> a +. log x) 0.0 xs
+      /. float_of_int (List.length xs))
+
+(* Geometric-mean jit-vs-legacy [Sim.run] speedup across all cells. *)
+let kernel_geomean kcells =
+  geomean
+    (List.filter_map
+       (fun kc ->
+         match
+           ( List.assoc_opt "legacy" kc.kc_wall,
+             List.assoc_opt "jit" kc.kc_wall )
+         with
+         | Some l, Some j when j > 0.0 && l > 0.0 -> Some (l /. j)
+         | _ -> None)
+       kcells)
+
 (* Machine-readable perf trajectory: per-cell simulated cycles, dynamic
    communication, wall-clock, and simulated speedup vs the single-thread
-   run, plus the harness-level wall-clock summary. Schema documented in
-   README.md. *)
-let write_fig8_json rs =
+   run, plus the per-engine comparison column and the harness-level
+   wall-clock summary. Schema documented in README.md. *)
+let write_fig8_json rs kcells =
   let j = match !jobs with Some j -> j | None -> Pool.default_jobs () in
   let buf = Buffer.create 4096 in
   (* Pass wall-clock breakdown: aggregate span durations by name (a cell
@@ -196,6 +307,21 @@ let write_fig8_json rs =
       m.V.queue_peak;
     String.concat ", " (List.rev !nz)
   in
+  (* Per-engine wall-clock column from the three-way comparison pass. *)
+  let kernels_json bench config =
+    match
+      List.find_opt
+        (fun kc -> kc.kc_bench = bench && kc.kc_config = config)
+        kcells
+    with
+    | None -> ""
+    | Some kc ->
+      Printf.sprintf ", \"kernels\": {%s}"
+        (String.concat ", "
+           (List.map
+              (fun (kn, s) -> Printf.sprintf "%S: %.6f" kn s)
+              kc.kc_wall))
+  in
   let cells =
     List.concat_map
       (fun (r : row) ->
@@ -211,10 +337,11 @@ let write_fig8_json rs =
               "    {\"bench\": %S, \"config\": %S, \"cycles\": %d, \
                \"dyn_instrs\": %d, \"comm_instrs\": %d, \"mem_syncs\": %d, \
                \"wall_s\": %.6f, \"sim_speedup\": %.4f, \
-               \"passes_ms\": {%s}, \"stalls\": [%s], \"queue_peak\": {%s}}"
+               \"passes_ms\": {%s}, \"stalls\": [%s], \"queue_peak\": {%s}%s}"
               r.V.rw.W.name (V.cell_name kind) m.V.cycles m.V.dyn_instrs
               m.V.comm_instrs m.V.mem_syncs t.V.wall_s sim_speedup
-              (passes_json t) (stalls_json m) (queue_peak_json m))
+              (passes_json t) (stalls_json m) (queue_peak_json m)
+              (kernels_json r.V.rw.W.name (V.cell_name kind)))
           V.matrix_kinds
           [ r.V.st; r.V.gremio; r.V.gremio_coco; r.V.dswp; r.V.dswp_coco ])
       rs
@@ -231,8 +358,9 @@ let write_fig8_json rs =
   let harness_speedup =
     if !matrix_wall > 0.0 then sum_cell_wall /. !matrix_wall else 1.0
   in
+  let kgeo = kernel_geomean kcells in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gmt-bench-fig8/2\",\n";
+  Buffer.add_string buf "  \"schema\": \"gmt-bench-fig8/3\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" j);
   Buffer.add_string buf
     (Printf.sprintf "  \"kernel\": %S,\n" (kernel_name ()));
@@ -242,6 +370,8 @@ let write_fig8_json rs =
     (Printf.sprintf "  \"sum_cell_wall_s\": %.6f,\n" sum_cell_wall);
   Buffer.add_string buf
     (Printf.sprintf "  \"harness_speedup\": %.4f,\n" harness_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"kernel_geomean_speedup\": %.4f,\n" kgeo);
   Buffer.add_string buf "  \"cells\": [\n";
   Buffer.add_string buf (String.concat ",\n" cells);
   Buffer.add_string buf "\n  ]\n}\n";
@@ -255,9 +385,9 @@ let write_fig8_json rs =
   close_out oc;
   Printf.eprintf
     "[bench] BENCH_fig8.json written (total %.2fs, cells %.2fs, harness \
-     speedup %.2fx)\n\
+     speedup %.2fx, jit-vs-legacy geomean %.2fx)\n\
      %!"
-    !matrix_wall sum_cell_wall harness_speedup
+    !matrix_wall sum_cell_wall harness_speedup kgeo
 
 let fig8 () =
   print_endline "";
@@ -290,7 +420,27 @@ let fig8 () =
   print_endline
     "(paper: COCO improves GREMIO speedups by 15.6% on average and DSWP by\n\
     \ 2.7%; the largest gain is ks with GREMIO, +47.6%)";
-  write_fig8_json (Lazy.force rows)
+  let kcells = kernel_compare_cells (List.map (fun r -> r.V.rw) (Lazy.force rows)) in
+  print_endline "";
+  print_endline
+    "Execution-engine comparison: Sim.run wall-clock per cell (identical \
+     results)";
+  hr ();
+  Printf.printf "%-12s %-12s | %10s %10s %10s | %8s\n" "benchmark" "config"
+    "legacy(ms)" "decoded(ms)" "jit(ms)" "jit-gain";
+  hr ();
+  List.iter
+    (fun kc ->
+      let ms kn = 1e3 *. Option.value ~default:0.0 (List.assoc_opt kn kc.kc_wall) in
+      let l = ms "legacy" and d = ms "decoded" and j = ms "jit" in
+      Printf.printf "%-12s %-12s | %10.2f %10.2f %10.2f | %7.1fx\n"
+        kc.kc_bench kc.kc_config l d j
+        (if j > 0.0 then l /. j else 0.0))
+    kcells;
+  hr ();
+  Printf.printf "geomean jit-vs-legacy speedup: %.2fx (floor: 5.00x)\n"
+    (kernel_geomean kcells);
+  write_fig8_json (Lazy.force rows) kcells
 
 (* ---------------------------------------------------------------- *)
 
@@ -519,8 +669,9 @@ let compile_bench () =
 
 (* --smoke: a seconds-scale end-to-end pass for CI (the dune @smoke
    alias): three kernels through the full matrix on a 2-worker domain
-   pool with tiny fuel, plus a decoded-vs-legacy simulator equivalence
-   check and a jobs-determinism check. Exits non-zero on any mismatch. *)
+   pool with tiny fuel, plus a three-engine (legacy/decoded/jit)
+   simulator equivalence check and a jobs-determinism check. Exits
+   non-zero on any mismatch. *)
 let smoke () =
   let ws = List.map Suite.find [ "adpcmdec"; "ks"; "mpeg2enc" ] in
   let fuel = 2_000_000 in
@@ -545,11 +696,15 @@ let smoke () =
         Gmt_machine.Sim.run ~fuel ~kernel ~init_regs:w.W.reference.W.regs
           ~init_mem:w.W.reference.W.mem mc c.V.mtp ~mem_size:w.W.mem_size
       in
-      if run `Decoded <> run `Legacy then begin
-        Printf.eprintf "[smoke] FAIL: %s decoded/legacy results differ\n"
-          w.W.name;
-        exit 1
-      end)
+      let reference = run `Legacy in
+      List.iter
+        (fun k ->
+          if run k <> reference then begin
+            Printf.eprintf "[smoke] FAIL: %s %s/legacy results differ\n"
+              w.W.name (Sim.kernel_name k);
+            exit 1
+          end)
+        [ `Decoded; `Jit ])
     ws;
   (* One traced cell through the observability layer: the emitted Chrome
      trace and metrics JSON must parse and have the expected shape, and
@@ -620,7 +775,7 @@ let smoke () =
   Obs.reset ();
   Printf.printf
     "[smoke] ok: %d kernels x %d configs, pool jobs=2 deterministic, \
-     decoded==legacy, traced cell JSON valid (%.2fs)\n"
+     jit==decoded==legacy, traced cell JSON valid (%.2fs)\n"
     (List.length ws)
     (List.length V.matrix_kinds)
     (Unix.gettimeofday () -. t0)
@@ -660,6 +815,76 @@ let verify_matrix () =
   if bad <> [] then exit 1;
   Printf.printf "[verify] ok: %d matrix cells translation-validated (%.2fs)\n"
     (List.length results)
+    (Unix.gettimeofday () -. t0)
+
+(* --bench-smoke: validate the committed BENCH_fig8.json — it must
+   parse, carry the current schema, record a per-engine wall-clock entry
+   for every engine, and record a jit-vs-legacy geomean at or above the
+   5x floor — then re-prove on one live cell that all three engines
+   still produce bit-identical results. The JSON checks read the
+   committed artifact (deterministic in CI); only the equivalence gate
+   simulates. Runs under CI's @bench-smoke alias, folded into @smoke. *)
+let bench_smoke path =
+  let t0 = Unix.gettimeofday () in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "[bench-smoke] FAIL: %s\n" s;
+        exit 1)
+      fmt
+  in
+  let text =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> s
+    | exception Sys_error e -> fail "cannot read %s: %s" path e
+  in
+  (match Json.parse text with
+  | Error e -> fail "%s malformed: %s" path e
+  | Ok j ->
+    (match Json.member "schema" j with
+    | Some (Json.Str "gmt-bench-fig8/3") -> ()
+    | _ -> fail "%s lacks schema gmt-bench-fig8/3" path);
+    (match Json.member "kernel_geomean_speedup" j with
+    | Some (Json.Num g) when g >= 5.0 -> ()
+    | Some (Json.Num g) ->
+      fail "recorded jit-vs-legacy geomean %.2fx is below the 5x floor" g
+    | _ -> fail "%s lacks kernel_geomean_speedup" path);
+    (match Json.member "cells" j with
+    | Some (Json.Arr (cell :: _ as cs)) ->
+      (match Json.member "kernels" cell with
+      | Some (Json.Obj ks) ->
+        List.iter
+          (fun k ->
+            let name = Sim.kernel_name k in
+            if not (List.mem_assoc name ks) then
+              fail "first cell lacks a %S wall-clock entry" name)
+          Sim.all_kernels
+      | _ -> fail "first cell lacks a kernels object");
+      let expected =
+        List.length (Suite.all ()) * List.length V.matrix_kinds
+      in
+      if List.length cs <> expected then
+        fail "%s has %d cells, want %d" path (List.length cs) expected
+    | _ -> fail "%s lacks a cells array" path));
+  let w = Suite.find "ks" in
+  let c = V.compile ~coco:true V.Gremio w in
+  let mc = V.machine_config V.Gremio in
+  let run kernel =
+    Sim.run ~kernel ~init_regs:w.W.reference.W.regs
+      ~init_mem:w.W.reference.W.mem mc c.V.mtp ~mem_size:w.W.mem_size
+  in
+  let reference = run `Legacy in
+  List.iter
+    (fun k ->
+      if run k <> reference then
+        fail "ks/gremio+coco: %s engine disagrees with legacy"
+          (Sim.kernel_name k))
+    [ `Decoded; `Jit ];
+  Printf.printf
+    "[bench-smoke] ok: %s schema valid, geomean floor met, ks cell \
+     identical across %d engines (%.2fs)\n"
+    path
+    (List.length Sim.all_kernels)
     (Unix.gettimeofday () -. t0)
 
 (* fuzz: the corpus-driven differential fuzzer (explicit section, like
@@ -861,15 +1086,17 @@ let () =
     | [] -> []
     | "--smoke" :: rest -> "--smoke-marker" :: parse rest
     | "--verify-matrix" :: rest -> "--verify-marker" :: parse rest
+    | "--bench-smoke" :: rest -> "--bench-smoke-marker" :: parse rest
     | "--jobs" :: n :: rest ->
       jobs := Some (parse_jobs n);
       parse rest
     | "--kernel" :: k :: rest ->
-      (kernel :=
-         match k with
-         | "decoded" -> `Decoded
-         | "legacy" -> `Legacy
-         | _ -> failwith "--kernel expects decoded|legacy");
+      (match Sim.kernel_of_string k with
+      | Some kk -> kernel := kk
+      | None ->
+        Printf.eprintf "bench: --kernel expects jit|decoded|legacy, got %S\n"
+          k;
+        exit 2);
       parse rest
     | "--trace" :: f :: rest ->
       trace_out := Some f;
@@ -888,6 +1115,11 @@ let () =
   if !metrics_out <> None then Obs.enable_metrics ();
   (if List.mem "--smoke-marker" args then smoke ()
    else if List.mem "--verify-marker" args then verify_matrix ()
+   else if List.mem "--bench-smoke-marker" args then
+     bench_smoke
+       (match List.filter (fun a -> a <> "--bench-smoke-marker") args with
+       | p :: _ -> p
+       | [] -> "BENCH_fig8.json")
    else begin
      let want s = args = [] || List.mem s args in
      if want "fig6" then fig6 ();

@@ -132,6 +132,31 @@ let fuel_opt_arg =
           "Budget of interpreter/simulator steps; exhausting it aborts the \
            measurement with exit code 5 instead of running forever.")
 
+let kernel_conv =
+  let parse s =
+    match Gmt_machine.Sim.kernel_of_string (String.trim s) with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown kernel %S (known: jit, decoded, legacy)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf k -> Format.pp_print_string ppf (Gmt_machine.Sim.kernel_name k)
+    )
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (some kernel_conv) None
+    & info [ "kernel" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,jit) (closure-compiled, the default), \
+           $(b,decoded) or $(b,legacy). Reports, metrics and cached \
+           artifacts are byte-identical for any choice — the slower \
+           engines are kept as equivalence oracles.")
+
 (* Print exactly what a Render outcome says and exit with its code —
    the one funnel both local and remote execution drain through. *)
 let finish_outcome (o : Render.outcome) =
@@ -292,7 +317,7 @@ let apply_inject inject (c : V.compiled) =
       exit 1)
 
 let check_cmd =
-  let run bench tech coco threads json inject =
+  let run bench tech coco threads json inject kernel =
     let w = resolve_workload bench in
     let tech = resolve_technique tech in
     if json || inject <> None then begin
@@ -317,7 +342,7 @@ let check_cmd =
           (List.length diags) (Verify.render diags);
       if diags <> [] then exit 4
     end
-    else finish_outcome (Render.check ~technique:tech ~coco ~threads w)
+    else finish_outcome (Render.check ?kernel ~technique:tech ~coco ~threads w)
   in
   let json_arg =
     Arg.(
@@ -335,12 +360,12 @@ let check_cmd =
           def-before-use); exit 4 if any check rejects.")
     Term.(
       const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg $ json_arg
-      $ inject_arg)
+      $ inject_arg $ kernel_arg)
 
 (* ------------------------------ run ------------------------------ *)
 
 let run_cmd =
-  let run bench tech coco threads no_verify jobs fuel trace metrics =
+  let run bench tech coco threads no_verify jobs fuel kernel trace metrics =
     let w = resolve_workload bench in
     let technique = resolve_technique tech in
     let jobs = resolve_jobs jobs in
@@ -348,8 +373,8 @@ let run_cmd =
     (* The single-threaded baseline and the multi-threaded cell are
        independent; Render.run fans them out over the domain pool. *)
     finish_outcome
-      (Render.run ~jobs ?fuel ~verify:(not no_verify) ~technique ~coco
-         ~threads w)
+      (Render.run ~jobs ?fuel ?kernel ~verify:(not no_verify) ~technique
+         ~coco ~threads w)
   in
   Cmd.v
     (Cmd.info "run"
@@ -358,7 +383,8 @@ let run_cmd =
           performance.")
     Term.(
       const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
-      $ no_verify_arg $ jobs_arg $ fuel_opt_arg $ trace_arg $ metrics_arg)
+      $ no_verify_arg $ jobs_arg $ fuel_opt_arg $ kernel_arg $ trace_arg
+      $ metrics_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
@@ -401,17 +427,17 @@ let dot_cmd =
 (* ----------------------------- sweep ----------------------------- *)
 
 let sweep_cmd =
-  let run bench max_threads jobs fuel trace metrics =
+  let run bench max_threads jobs fuel kernel trace metrics =
     let w = resolve_workload bench in
     let jobs = resolve_jobs jobs in
     with_obs trace metrics @@ fun () ->
-    finish_outcome (Render.sweep ~jobs ?fuel ~max_threads w)
+    finish_outcome (Render.sweep ~jobs ?fuel ?kernel ~max_threads w)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep thread counts and report communication.")
     Term.(
       const run $ bench_arg $ threads_arg $ jobs_arg $ fuel_opt_arg
-      $ trace_arg $ metrics_arg)
+      $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* ----------------------------- export ---------------------------- *)
 
@@ -629,14 +655,14 @@ let remote_finish ~socket ~fallback req =
     exit 1
 
 let remote_run_cmd =
-  let run bench tech coco threads fuel socket =
+  let run bench tech coco threads fuel kernel socket =
     let w = resolve_workload bench in
     let gmt = Text.print w in
     remote_finish ~socket
       ~fallback:(fun () ->
         let technique = resolve_technique tech in
-        Render.run ~jobs:1 ?fuel ~technique ~coco ~threads w)
-      (Client.run_request ~gmt ~technique:tech ~coco ~threads ?fuel ())
+        Render.run ~jobs:1 ?fuel ?kernel ~technique ~coco ~threads w)
+      (Client.run_request ~gmt ~technique:tech ~coco ~threads ?fuel ?kernel ())
   in
   Cmd.v
     (Cmd.info "run"
@@ -645,7 +671,7 @@ let remote_run_cmd =
           listens on the socket (local fallback otherwise).")
     Term.(
       const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
-      $ fuel_opt_arg $ socket_arg)
+      $ fuel_opt_arg $ kernel_arg $ socket_arg)
 
 let remote_check_cmd =
   let run bench tech coco threads socket =
@@ -664,16 +690,18 @@ let remote_check_cmd =
       $ socket_arg)
 
 let remote_sweep_cmd =
-  let run bench max_threads fuel socket =
+  let run bench max_threads fuel kernel socket =
     let w = resolve_workload bench in
     let gmt = Text.print w in
     remote_finish ~socket
-      ~fallback:(fun () -> Render.sweep ~jobs:1 ?fuel ~max_threads w)
-      (Client.sweep_request ~gmt ~max_threads ?fuel ())
+      ~fallback:(fun () -> Render.sweep ~jobs:1 ?fuel ?kernel ~max_threads w)
+      (Client.sweep_request ~gmt ~max_threads ?fuel ?kernel ())
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Like $(b,gmtc sweep), served by gmtd.")
-    Term.(const run $ bench_arg $ threads_arg $ fuel_opt_arg $ socket_arg)
+    Term.(
+      const run $ bench_arg $ threads_arg $ fuel_opt_arg $ kernel_arg
+      $ socket_arg)
 
 let remote_ping_cmd =
   let run socket =

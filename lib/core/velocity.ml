@@ -278,7 +278,8 @@ let measure_prog ?fuel ?kernel ?expect ~technique ~coco ~n_threads
   (* Untimed run for instruction counts + the correctness check. *)
   let mt =
     Obs.span "verify.mt_interp" (fun () ->
-        Mt_interp.run ?fuel ~init_regs:w.reference.Workload.regs
+        Mt_interp.run ?fuel ?engine:kernel
+          ~init_regs:w.reference.Workload.regs
           ~init_mem:w.reference.Workload.mem mtp
           ~queue_capacity:mc.Config.queue_size ~mem_size:w.mem_size)
   in

@@ -138,7 +138,9 @@ type metrics = {
 (** Execute compiled code on the reference input and also check that its
     final memory matches the single-threaded run (skipped when [fuel] ran
     out — smoke mode's tiny budgets stop mid-flight). [kernel] selects
-    the simulator issue loop (default decoded; see {!Gmt_machine.Sim}).
+    the execution engine for both the untimed interpreter and the
+    simulator issue loop (default jit; see {!Gmt_machine.Sim}) —
+    results are byte-identical whichever engine runs.
     [expect] supplies the precomputed reference-run oracle (final memory,
     dynamic instruction count) — {!run_matrix} computes it once per
     workload instead of once per cell.

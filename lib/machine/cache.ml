@@ -7,6 +7,13 @@ type t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  (* MRU filter: way index of the most recently touched line and its
+     tag (-1 = none). Same-line streaks — the common case for
+     sequential loads — skip the set scan; the fast path performs
+     exactly the bookkeeping the scan would (clock, LRU stamp, hit
+     count), so stats and eviction order are bit-identical. *)
+  mutable last_tag : int;
+  mutable last_way : int;
 }
 
 let create ~size ~assoc ~line =
@@ -21,41 +28,55 @@ let create ~size ~assoc ~line =
     clock = 0;
     hits = 0;
     misses = 0;
+    last_tag = -1;
+    last_way = 0;
   }
 
-let locate t ~addr =
-  let line_addr = addr / t.line in
-  let set = line_addr mod t.n_sets in
-  let tag = line_addr in
-  let base = set * t.assoc in
+(* [locate] returns the hit way via an out-free scan (no tuple — these
+   run once per simulated memory access, and a returned tuple would be
+   the issue loops' only steady-state allocation). *)
+let locate t ~base ~tag =
   let found = ref (-1) in
   for i = base to base + t.assoc - 1 do
     if t.tags.(i) = tag then found := i
   done;
-  (base, tag, !found)
+  !found
 
 let probe t ~addr =
-  let _, _, found = locate t ~addr in
-  found >= 0
+  let tag = addr / t.line in
+  locate t ~base:(tag mod t.n_sets * t.assoc) ~tag >= 0
 
 let access t ~addr =
   t.clock <- t.clock + 1;
-  let base, tag, found = locate t ~addr in
-  if found >= 0 then begin
-    t.stamp.(found) <- t.clock;
+  let tag = addr / t.line in
+  if tag = t.last_tag then begin
+    t.stamp.(t.last_way) <- t.clock;
     t.hits <- t.hits + 1;
     true
   end
   else begin
-    (* Evict LRU way. *)
-    let victim = ref base in
-    for i = base + 1 to base + t.assoc - 1 do
-      if t.stamp.(i) < t.stamp.(!victim) then victim := i
-    done;
-    t.tags.(!victim) <- tag;
-    t.stamp.(!victim) <- t.clock;
-    t.misses <- t.misses + 1;
-    false
+    let base = tag mod t.n_sets * t.assoc in
+    let found = locate t ~base ~tag in
+    if found >= 0 then begin
+      t.stamp.(found) <- t.clock;
+      t.hits <- t.hits + 1;
+      t.last_tag <- tag;
+      t.last_way <- found;
+      true
+    end
+    else begin
+      (* Evict LRU way. *)
+      let victim = ref base in
+      for i = base + 1 to base + t.assoc - 1 do
+        if t.stamp.(i) < t.stamp.(!victim) then victim := i
+      done;
+      t.tags.(!victim) <- tag;
+      t.stamp.(!victim) <- t.clock;
+      t.misses <- t.misses + 1;
+      t.last_tag <- tag;
+      t.last_way <- !victim;
+      false
+    end
   end
 
 let hits t = t.hits

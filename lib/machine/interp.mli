@@ -21,10 +21,19 @@ type result = {
 exception Stuck of string
 (** Raised on produce/consume in single-threaded code. *)
 
+(** Inner-loop implementation. [`Jit] (the default) compiles each
+    instruction once into a closure over the register file and memory;
+    [`Decoded] snapshots block bodies into arrays; [`Legacy] re-walks
+    the IR lists. All three produce identical results (memory, regs,
+    dyn_instrs, profile, fuel behavior) — enforced by QCheck properties
+    in [test_simkernel]. *)
+type engine = [ `Decoded | `Jit | `Legacy ]
+
 val run :
   ?fuel:int ->
   ?init_regs:(Reg.t * int) list ->
   ?init_mem:(int * int) list ->
+  ?engine:engine ->
   Func.t ->
   mem_size:int ->
   result

@@ -2,6 +2,8 @@ open Gmt_ir
 
 type sched = Round_robin | Random of int
 
+type engine = [ `Decoded | `Jit | `Legacy ]
+
 type thread_stats = {
   dyn_instrs : int;
   produces : int;
@@ -28,7 +30,9 @@ let total_dyn r = Array.fold_left (fun acc s -> acc + s.dyn_instrs) 0 r.threads
 type tstate = {
   func : Func.t;
   regs : int array;
-  mutable rest : Instr.t list;
+  mutable rest : Instr.t list; (* legacy engine: remaining block body *)
+  mutable blk : int; (* decoded/jit engines: current block label... *)
+  mutable ix : int; (* ...and instruction index within it *)
   mutable finished : bool;
   mutable dyn : int;
   mutable prod : int;
@@ -51,12 +55,15 @@ let make_rng seed =
     !state mod bound
 
 let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
-    ?(init_mem = []) (p : Mtprog.t) ~queue_capacity ~mem_size =
+    ?(init_mem = []) ?(engine = `Jit) (p : Mtprog.t) ~queue_capacity ~mem_size
+    =
   if not (is_pow2 mem_size) then invalid_arg "Mt_interp.run: mem_size not 2^k";
   let mask = mem_size - 1 in
   let memory = Array.make mem_size 0 in
   List.iter (fun (a, v) -> memory.(a land mask) <- v) init_mem;
-  let sa = Syncarray.create ~n_queues:(max 1 p.n_queues) ~capacity:queue_capacity in
+  let sa =
+    Syncarray.create ~n_queues:(max 1 p.n_queues) ~capacity:queue_capacity
+  in
   let mk_thread (f : Func.t) =
     let regs = Array.make (max 1 f.n_regs) 0 in
     List.iter
@@ -67,6 +74,8 @@ let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
       func = f;
       regs;
       rest = Cfg.body f.cfg (Cfg.entry f.cfg);
+      blk = Cfg.entry f.cfg;
+      ix = 0;
       finished = false;
       dyn = 0;
       prod = 0;
@@ -78,9 +87,26 @@ let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
   let threads = Array.map mk_thread p.threads in
   let n = Array.length threads in
   let fuel_left = ref fuel in
-  let rng = match sched with Random seed -> make_rng seed | Round_robin -> fun _ -> 0 in
-  (* Execute one instruction of thread [t]. Returns true on progress. *)
-  let step t =
+  let rng =
+    match sched with Random seed -> make_rng seed | Round_robin -> fun _ -> 0
+  in
+  (* Block bodies snapshotted into arrays for the decoded and jit
+     engines (indexed [thread].(label).(ix)); the legacy engine walks the
+     IR lists directly. *)
+  let codes =
+    match engine with
+    | `Legacy -> [||]
+    | `Decoded | `Jit ->
+      Array.map
+        (fun st ->
+          Array.init
+            (Cfg.n_blocks st.func.Func.cfg)
+            (fun l -> Array.of_list (Cfg.body st.func.Func.cfg l)))
+        threads
+  in
+  (* ---- legacy engine: one instruction of thread [t]; true on progress,
+     false (without advancing) when blocked on a queue. *)
+  let step_legacy t =
     let st = threads.(t) in
     if st.finished then false
     else
@@ -98,7 +124,9 @@ let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
         match i.op with
         | Const (d, k) -> set d k; advance (); retire (); true
         | Copy (d, s) -> set d (get s); advance (); retire (); true
-        | Unop (u, d, s) -> set d (Instr.eval_unop u (get s)); advance (); retire (); true
+        | Unop (u, d, s) ->
+          set d (Instr.eval_unop u (get s));
+          advance (); retire (); true
         | Binop (b, d, x, y) ->
           set d (Instr.eval_binop b (get x) (get y));
           advance (); retire (); true
@@ -141,12 +169,237 @@ let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
           else false
         | Nop -> advance (); retire (); true)
   in
+  (* ---- decoded engine: the same dispatch over array-indexed bodies. *)
+  let step_decoded t =
+    let st = threads.(t) in
+    if st.finished then false
+    else begin
+      let body = codes.(t).(st.blk) in
+      if st.ix >= Array.length body then
+        invalid_arg "Mt_interp: block without terminator";
+      let i = body.(st.ix) in
+      let get r = st.regs.(Reg.to_int r) in
+      let set r v = st.regs.(Reg.to_int r) <- v in
+      let goto l =
+        st.blk <- l;
+        st.ix <- 0
+      in
+      let advance () = st.ix <- st.ix + 1 in
+      let retire () =
+        st.dyn <- st.dyn + 1;
+        decr fuel_left
+      in
+      match i.Instr.op with
+      | Const (d, k) -> set d k; advance (); retire (); true
+      | Copy (d, s) -> set d (get s); advance (); retire (); true
+      | Unop (u, d, s) ->
+        set d (Instr.eval_unop u (get s));
+        advance (); retire (); true
+      | Binop (b, d, x, y) ->
+        set d (Instr.eval_binop b (get x) (get y));
+        advance (); retire (); true
+      | Load (_, d, base, off) ->
+        set d memory.((get base + off) land mask);
+        advance (); retire (); true
+      | Store (_, base, off, s) ->
+        memory.((get base + off) land mask) <- get s;
+        advance (); retire (); true
+      | Jump l -> goto l; retire (); true
+      | Branch (c, l1, l2) ->
+        goto (if get c <> 0 then l1 else l2);
+        retire (); true
+      | Return -> st.finished <- true; retire (); true
+      | Produce (q, s) ->
+        if Syncarray.try_produce sa ~q ~value:(get s) ~ready:0 then begin
+          st.prod <- st.prod + 1;
+          advance (); retire (); true
+        end
+        else false
+      | Consume (d, q) ->
+        if Syncarray.can_consume sa ~q ~now:0 then begin
+          set d (Syncarray.consume sa ~q ~now:0);
+          st.cons <- st.cons + 1;
+          advance (); retire (); true
+        end
+        else false
+      | Produce_sync q ->
+        if Syncarray.try_produce sa ~q ~value:1 ~ready:0 then begin
+          st.psync <- st.psync + 1;
+          advance (); retire (); true
+        end
+        else false
+      | Consume_sync q ->
+        if Syncarray.can_consume sa ~q ~now:0 then begin
+          ignore (Syncarray.consume sa ~q ~now:0);
+          st.csync <- st.csync + 1;
+          advance (); retire (); true
+        end
+        else false
+      | Nop -> advance (); retire (); true
+    end
+  in
+  (* ---- jit engine: every instruction compiled once into a closure
+     that performs the op, advances, retires and reports progress; the
+     step indexes [jcodes] and calls — no opcode [match], no per-step
+     allocation. *)
+  let jcodes =
+    match engine with
+    | `Legacy | `Decoded -> [||]
+    | `Jit ->
+      Array.mapi
+        (fun t blocks ->
+          let st = threads.(t) in
+          let regs = st.regs in
+          let retire () =
+            st.dyn <- st.dyn + 1;
+            decr fuel_left
+          in
+          Array.map
+            (fun body ->
+              Array.mapi
+                (fun ix (i : Instr.t) : (unit -> bool) ->
+                  let next_ix = ix + 1 in
+                  match i.Instr.op with
+                  | Const (d, k) ->
+                    let d = Reg.to_int d in
+                    fun () ->
+                      regs.(d) <- k;
+                      st.ix <- next_ix;
+                      retire ();
+                      true
+                  | Copy (d, s) ->
+                    let d = Reg.to_int d and s = Reg.to_int s in
+                    fun () ->
+                      regs.(d) <- regs.(s);
+                      st.ix <- next_ix;
+                      retire ();
+                      true
+                  | Unop (u, d, s) ->
+                    let d = Reg.to_int d and s = Reg.to_int s in
+                    fun () ->
+                      regs.(d) <- Instr.eval_unop u regs.(s);
+                      st.ix <- next_ix;
+                      retire ();
+                      true
+                  | Binop (b, d, x, y) ->
+                    let d = Reg.to_int d
+                    and x = Reg.to_int x
+                    and y = Reg.to_int y in
+                    fun () ->
+                      regs.(d) <- Instr.eval_binop b regs.(x) regs.(y);
+                      st.ix <- next_ix;
+                      retire ();
+                      true
+                  | Load (_, d, base, off) ->
+                    let d = Reg.to_int d and base = Reg.to_int base in
+                    fun () ->
+                      regs.(d) <- memory.((regs.(base) + off) land mask);
+                      st.ix <- next_ix;
+                      retire ();
+                      true
+                  | Store (_, base, off, s) ->
+                    let base = Reg.to_int base and s = Reg.to_int s in
+                    fun () ->
+                      memory.((regs.(base) + off) land mask) <- regs.(s);
+                      st.ix <- next_ix;
+                      retire ();
+                      true
+                  | Jump l ->
+                    fun () ->
+                      st.blk <- l;
+                      st.ix <- 0;
+                      retire ();
+                      true
+                  | Branch (c, l1, l2) ->
+                    let c = Reg.to_int c in
+                    fun () ->
+                      (if regs.(c) <> 0 then st.blk <- l1 else st.blk <- l2);
+                      st.ix <- 0;
+                      retire ();
+                      true
+                  | Return ->
+                    fun () ->
+                      st.finished <- true;
+                      retire ();
+                      true
+                  | Produce (q, s) ->
+                    let s = Reg.to_int s in
+                    fun () ->
+                      if
+                        Syncarray.try_produce sa ~q ~value:regs.(s) ~ready:0
+                      then begin
+                        st.prod <- st.prod + 1;
+                        st.ix <- next_ix;
+                        retire ();
+                        true
+                      end
+                      else false
+                  | Consume (d, q) ->
+                    let d = Reg.to_int d in
+                    fun () ->
+                      if Syncarray.can_consume sa ~q ~now:0 then begin
+                        regs.(d) <- Syncarray.consume sa ~q ~now:0;
+                        st.cons <- st.cons + 1;
+                        st.ix <- next_ix;
+                        retire ();
+                        true
+                      end
+                      else false
+                  | Produce_sync q ->
+                    fun () ->
+                      if Syncarray.try_produce sa ~q ~value:1 ~ready:0 then begin
+                        st.psync <- st.psync + 1;
+                        st.ix <- next_ix;
+                        retire ();
+                        true
+                      end
+                      else false
+                  | Consume_sync q ->
+                    fun () ->
+                      if Syncarray.can_consume sa ~q ~now:0 then begin
+                        ignore (Syncarray.consume sa ~q ~now:0);
+                        st.csync <- st.csync + 1;
+                        st.ix <- next_ix;
+                        retire ();
+                        true
+                      end
+                      else false
+                  | Nop ->
+                    fun () ->
+                      st.ix <- next_ix;
+                      retire ();
+                      true)
+                body)
+            blocks)
+        codes
+  in
+  let step_jit t =
+    let st = threads.(t) in
+    if st.finished then false
+    else begin
+      let body = jcodes.(t).(st.blk) in
+      if st.ix >= Array.length body then
+        invalid_arg "Mt_interp: block without terminator";
+      body.(st.ix) ()
+    end
+  in
+  let step =
+    match engine with
+    | `Legacy -> step_legacy
+    | `Decoded -> step_decoded
+    | `Jit -> step_jit
+  in
   let deadlocked = ref false in
-  let all_done () = Array.for_all (fun st -> st.finished) threads in
+  (* Per-pass scratch, hoisted so the scheduler loop allocates nothing. *)
+  let progressed = ref false in
+  (* Alloc-free finished scan: [Array.for_all] would build its predicate
+     closure on every call, which at one call per scheduler pass is the
+     whole steady-state allocation of the run. *)
+  let rec done_from i = i >= n || (threads.(i).finished && done_from (i + 1)) in
   (* Run until everyone finishes, fuel runs out, or no thread can step. *)
   (try
-     while (not (all_done ())) && !fuel_left > 0 do
-       let progressed = ref false in
+     while (not (done_from 0)) && !fuel_left > 0 do
+       progressed := false;
        (match sched with
        | Round_robin ->
          for t = 0 to n - 1 do
@@ -175,6 +428,15 @@ let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
      unfinished thread of a deadlocked run is parked on the head of its
      instruction stream, which the step function only refuses for
      communication ops. *)
+  let head_op t =
+    let st = threads.(t) in
+    match engine with
+    | `Legacy -> (
+      match st.rest with [] -> None | i :: _ -> Some i.Instr.op)
+    | `Decoded | `Jit ->
+      let body = codes.(t).(st.blk) in
+      if st.ix < Array.length body then Some body.(st.ix).Instr.op else None
+  in
   let blocked =
     if not !deadlocked then []
     else
@@ -183,19 +445,19 @@ let run ?(fuel = 50_000_000) ?(sched = Round_robin) ?(init_regs = [])
         let st = threads.(t) in
         if not st.finished then
           let line =
-            match st.rest with
-            | { Instr.op = Produce (q, _); _ } :: _ ->
+            match head_op t with
+            | Some (Produce (q, _)) ->
               Printf.sprintf
                 "thread %d: blocked producing to full queue %d (occupancy %d/%d)"
                 t q (Syncarray.occupancy sa ~q) (Syncarray.capacity sa)
-            | { Instr.op = Produce_sync q; _ } :: _ ->
+            | Some (Produce_sync q) ->
               Printf.sprintf
                 "thread %d: blocked on produce.sync to full queue %d (occupancy %d/%d)"
                 t q (Syncarray.occupancy sa ~q) (Syncarray.capacity sa)
-            | { Instr.op = Consume (_, q); _ } :: _ ->
+            | Some (Consume (_, q)) ->
               Printf.sprintf "thread %d: blocked on consume from empty queue %d"
                 t q
-            | { Instr.op = Consume_sync q; _ } :: _ ->
+            | Some (Consume_sync q) ->
               Printf.sprintf
                 "thread %d: blocked on consume.sync from empty queue %d" t q
             | _ ->

@@ -1,0 +1,135 @@
+(** Mutable machine state shared by {!Sim}'s three issue-loop kernels.
+
+    The legacy, decoded and jit kernels all step the same state — cores,
+    synchronization-array queues, caches, the cycle counter and the
+    per-cycle SA port budget — so their results are byte-identical by
+    construction wherever the stepping logic agrees. Queue entries and
+    waiting consumers live in preallocated rings (entries are bounded by
+    the queue capacity; waiter rings grow by doubling, bounded by
+    cores x registers), so produce/consume allocate nothing in steady
+    state. *)
+
+open Gmt_ir
+
+(** {2 Cycle attribution}
+
+    Bucket codes for [stall_attr] rows; they double as the step
+    functions' return values. *)
+
+val bucket_busy : int
+val bucket_latency : int
+val bucket_consume_empty : int
+val bucket_produce_full : int
+val bucket_ports : int
+val bucket_done : int
+
+val stall_labels : string array
+val n_stall_buckets : int
+
+(** Which per-core stat counter a blocked issue attempt charged
+    (recorded by the jit kernel for the idle fast-forward). *)
+
+val stat_none : int
+val stat_data : int
+val stat_queue : int
+val stat_ports : int
+
+(** [reg_ready] value marking a consume that has issued but whose datum
+    has not yet been produced (stall-on-use). *)
+val pending_mark : int
+
+(** One synchronization-array queue: a fixed entry ring plus a growable
+    ring of consumers blocked on an empty queue. *)
+type queue_state = {
+  entry_value : int array;
+  entry_ready : int array;
+  mutable e_head : int;
+  mutable e_len : int;
+  mutable waiter_core : int array;
+  mutable waiter_dst : int array;  (** destination register, or -1 = sync *)
+  mutable w_head : int;
+  mutable w_len : int;
+  mutable logical_occupancy : int;
+}
+
+val entry_push : queue_state -> value:int -> ready:int -> unit
+val entry_head_value : queue_state -> int
+val entry_head_ready : queue_state -> int
+val entry_drop : queue_state -> unit
+val waiter_push : queue_state -> core:int -> dst:int -> unit
+
+(** FIFO-order iteration over blocked consumers, oldest first. *)
+val waiter_iter : (core:int -> dst:int -> unit) -> queue_state -> unit
+
+type core = {
+  func : Func.t;
+  regs : int array;
+  reg_ready : int array;
+  mutable pc : int;  (** decoded/jit kernels: index into flat code *)
+  mutable finished : bool;
+  mutable finish_cycle : int;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  mutable outstanding_syncs : int;
+  mutable fence_ready : int;
+  k_cnt : int array;
+      (** jit: per-class slots consumed this cycle (Calu..Cnone) *)
+  mutable k_issued : int;  (** jit: instructions issued this cycle *)
+  mutable wake : int;
+      (** jit: earliest cycle a blocked guard could re-evaluate
+          differently; [max_int] when only another core can unblock it *)
+  mutable blocked_stat : int;  (** jit: stat counter the block charged *)
+  mutable frozen_stamp : int;
+      (** jit: global event stamp when the head blocked with
+          wake = [max_int] and nothing issued; replay the block until the
+          stamp moves (-1 = not frozen) *)
+  mutable replay_bucket : int;
+      (** jit: bucket to replay while frozen or before [wake] *)
+  mutable s_instrs : int;
+  mutable s_comm : int;
+  mutable s_stall_data : int;
+  mutable s_stall_queue : int;
+  mutable s_stall_ports : int;
+  mutable s_loads : int;
+  mutable s_l1 : int;
+  mutable s_l2 : int;
+  mutable s_l3 : int;
+  mutable s_mem : int;
+}
+
+type t = {
+  mc : Config.t;
+  memory : int array;
+  mask : int;
+  cores : core array;
+  queues : queue_state array;
+  queue_peak : int array;
+  l3 : Cache.t;
+  mutable now : int;
+  mutable sa_ports_left : int;
+  mutable stamp : int;
+      (** cross-core event counter (produce delivered / entry consumed);
+          lifts [frozen_stamp] replays *)
+}
+
+(** Build the initial state ([mem_size] must be a power of two — the
+    caller validates). *)
+val make :
+  Config.t ->
+  Mtprog.t ->
+  init_regs:(Reg.t * int) list ->
+  init_mem:(int * int) list ->
+  mem_size:int ->
+  t
+
+(** Deliver a produced value: to the oldest waiting consumer if any
+    (register write or fence release one SA latency out), else enqueue
+    and track the occupancy peak. *)
+val produce_to : t -> int -> int -> unit
+
+(** Walk the cache hierarchy for a load at word address [addr]; bumps
+    the per-level hit counters and returns the hit latency. *)
+val cache_load : t -> core -> int -> int
+
+(** Touch the hierarchy for a store (stores commit at issue). *)
+val cache_store : t -> core -> int -> unit

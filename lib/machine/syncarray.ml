@@ -1,7 +1,13 @@
-type entry = { value : int; ready : int }
+(* Bounded queues as preallocated rings: [value]/[ready] parallel int
+   arrays sized [capacity] per queue, so produce/consume never allocate.
+   The interface is unchanged — callers see the same FIFO semantics the
+   old [Queue.t]-backed version had. *)
 
 type t = {
-  queues : entry Queue.t array;
+  value : int array array;
+  ready : int array array;
+  head : int array;
+  len : int array;
   capacity : int;
   mutable produces : int;
   mutable consumes : int;
@@ -10,41 +16,52 @@ type t = {
 let create ~n_queues ~capacity =
   if n_queues <= 0 || capacity <= 0 then invalid_arg "Syncarray.create";
   {
-    queues = Array.init n_queues (fun _ -> Queue.create ());
+    value = Array.init n_queues (fun _ -> Array.make capacity 0);
+    ready = Array.init n_queues (fun _ -> Array.make capacity 0);
+    head = Array.make n_queues 0;
+    len = Array.make n_queues 0;
     capacity;
     produces = 0;
     consumes = 0;
   }
 
-let n_queues t = Array.length t.queues
+let n_queues t = Array.length t.value
 let capacity t = t.capacity
 
-let get t q =
-  if q < 0 || q >= Array.length t.queues then invalid_arg "Syncarray: bad queue";
-  t.queues.(q)
+let check t q =
+  if q < 0 || q >= Array.length t.value then invalid_arg "Syncarray: bad queue"
 
 let try_produce t ~q ~value ~ready =
-  let qu = get t q in
-  if Queue.length qu >= t.capacity then false
+  check t q;
+  if t.len.(q) >= t.capacity then false
   else begin
-    Queue.push { value; ready } qu;
+    let tail = t.head.(q) + t.len.(q) in
+    let tail = if tail >= t.capacity then tail - t.capacity else tail in
+    t.value.(q).(tail) <- value;
+    t.ready.(q).(tail) <- ready;
+    t.len.(q) <- t.len.(q) + 1;
     t.produces <- t.produces + 1;
     true
   end
 
 let can_consume t ~q ~now =
-  let qu = get t q in
-  match Queue.peek_opt qu with
-  | None -> false
-  | Some e -> e.ready <= now
+  check t q;
+  t.len.(q) > 0 && t.ready.(q).(t.head.(q)) <= now
 
 let consume t ~q ~now =
   if not (can_consume t ~q ~now) then invalid_arg "Syncarray.consume: not ready";
-  let e = Queue.pop (get t q) in
+  let h = t.head.(q) in
+  let v = t.value.(q).(h) in
+  let h' = h + 1 in
+  t.head.(q) <- (if h' >= t.capacity then 0 else h');
+  t.len.(q) <- t.len.(q) - 1;
   t.consumes <- t.consumes + 1;
-  e.value
+  v
 
-let occupancy t ~q = Queue.length (get t q)
-let all_empty t = Array.for_all Queue.is_empty t.queues
+let occupancy t ~q =
+  check t q;
+  t.len.(q)
+
+let all_empty t = Array.for_all (fun l -> l = 0) t.len
 let produces t = t.produces
 let consumes t = t.consumes

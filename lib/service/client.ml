@@ -52,14 +52,22 @@ let opt_fuel fuel rest =
   | None -> rest
   | Some f -> ("fuel", Json.Num (float_of_int f)) :: rest
 
-let compile_body ~op ~gmt ?fuel rest =
+(* Engine selection travels as its stable name; absent means the
+   server-side default (jit). Replies are byte-identical either way. *)
+let opt_kernel kernel rest =
+  match kernel with
+  | None -> rest
+  | Some k -> ("kernel", Json.Str (Gmt_machine.Sim.kernel_name k)) :: rest
+
+let compile_body ~op ~gmt ?fuel ?kernel rest =
   {
-    body = Json.Obj (("op", Json.Str op) :: opt_fuel fuel rest);
+    body =
+      Json.Obj (("op", Json.Str op) :: opt_fuel fuel (opt_kernel kernel rest));
     payload = gmt;
   }
 
-let run_request ~gmt ~technique ~coco ~threads ?fuel () =
-  compile_body ~op:"run" ~gmt ?fuel
+let run_request ~gmt ~technique ~coco ~threads ?fuel ?kernel () =
+  compile_body ~op:"run" ~gmt ?fuel ?kernel
     [
       ("technique", Json.Str technique);
       ("coco", Json.Bool coco);
@@ -74,8 +82,8 @@ let check_request ~gmt ~technique ~coco ~threads () =
       ("threads", Json.Num (float_of_int threads));
     ]
 
-let sweep_request ~gmt ~max_threads ?fuel () =
-  compile_body ~op:"sweep" ~gmt ?fuel
+let sweep_request ~gmt ~max_threads ?fuel ?kernel () =
+  compile_body ~op:"sweep" ~gmt ?fuel ?kernel
     [ ("max_threads", Json.Num (float_of_int max_threads)) ]
 
 let ping_request = { body = Json.Obj [ ("op", Json.Str "ping") ]; payload = "" }

@@ -21,12 +21,15 @@ val rpc : socket:string -> req -> (Gmt_obs.Json.t, [> error ]) result
 
 (** {2 Request builders} *)
 
+(** [kernel] selects the server-side execution engine (absent = the
+    default, jit); reply bytes are identical whichever engine runs. *)
 val run_request :
   gmt:string ->
   technique:string ->
   coco:bool ->
   threads:int ->
   ?fuel:int ->
+  ?kernel:Gmt_machine.Sim.kernel ->
   unit ->
   req
 
@@ -34,7 +37,12 @@ val check_request :
   gmt:string -> technique:string -> coco:bool -> threads:int -> unit -> req
 
 val sweep_request :
-  gmt:string -> max_threads:int -> ?fuel:int -> unit -> req
+  gmt:string ->
+  max_threads:int ->
+  ?fuel:int ->
+  ?kernel:Gmt_machine.Sim.kernel ->
+  unit ->
+  req
 
 val ping_request : req
 val stats_request : req

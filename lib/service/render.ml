@@ -75,8 +75,8 @@ let cell_label (w : W.t) technique coco =
 
 (* ------------------------------- run ------------------------------- *)
 
-let run ?cache ?canonical ?(jobs = 1) ?fuel ?(verify = true) ~technique ~coco
-    ~threads (w : W.t) =
+let run ?cache ?canonical ?(jobs = 1) ?fuel ?kernel ?(verify = true)
+    ~technique ~coco ~threads (w : W.t) =
   let canonical =
     match canonical with Some c -> c | None -> Text.print w
   in
@@ -86,13 +86,13 @@ let run ?cache ?canonical ?(jobs = 1) ?fuel ?(verify = true) ~technique ~coco
   let cells =
     Pool.run_list ~jobs
       [
-        (fun () -> `St (V.measure_single ?fuel w));
+        (fun () -> `St (V.measure_single ?fuel ?kernel w));
         (fun () ->
           let a =
             V.compile_cached ?cache ~n_threads:threads ~coco ~verify
               ~canonical technique w
           in
-          `Mt (a, V.measure_artifact ?fuel a));
+          `Mt (a, V.measure_artifact ?fuel ?kernel a));
       ]
   in
   let st, a, m =
@@ -128,7 +128,11 @@ let verified_out ~label ~threads n_queues comm_sites =
   Printf.sprintf "%s: verified (%d threads, %d queues, %d comm sites)\n" label
     threads n_queues comm_sites
 
-let check ?cache ?canonical ~technique ~coco ~threads (w : W.t) =
+let check ?cache ?canonical ?kernel ~technique ~coco ~threads (w : W.t) =
+  (* Translation validation is symbolic — no engine runs — and the cache
+     fingerprint intentionally excludes the kernel, so any [--kernel]
+     hits the same artifact. The flag is accepted for CLI uniformity. *)
+  ignore (kernel : Gmt_machine.Sim.kernel option);
   let label = cell_label w technique coco in
   let canonical =
     match canonical with Some c -> c | None -> Text.print w
@@ -212,10 +216,10 @@ let check_text ?cache ~technique ~coco ~threads text =
 
 (* ------------------------------ sweep ------------------------------ *)
 
-let sweep ?(jobs = 1) ?fuel ~max_threads (w : W.t) =
+let sweep ?(jobs = 1) ?fuel ?kernel ~max_threads (w : W.t) =
   guarded (ref "none") @@ fun () ->
   let train =
-    Gmt_machine.Interp.run ?fuel ~init_regs:w.W.train.W.regs
+    Gmt_machine.Interp.run ?fuel ?engine:kernel ~init_regs:w.W.train.W.regs
       ~init_mem:w.W.train.W.mem w.W.func ~mem_size:w.W.mem_size
   in
   if train.Gmt_machine.Interp.fuel_exhausted then
@@ -227,9 +231,9 @@ let sweep ?(jobs = 1) ?fuel ~max_threads (w : W.t) =
     let measure plan =
       let mtp = Gmt_mtcg.Mtcg.generate pdg part plan in
       let r =
-        Gmt_machine.Mt_interp.run ?fuel ~init_regs:w.W.reference.W.regs
-          ~init_mem:w.W.reference.W.mem mtp ~queue_capacity:32
-          ~mem_size:w.W.mem_size
+        Gmt_machine.Mt_interp.run ?fuel ?engine:kernel
+          ~init_regs:w.W.reference.W.regs ~init_mem:w.W.reference.W.mem mtp
+          ~queue_capacity:32 ~mem_size:w.W.mem_size
       in
       if r.Gmt_machine.Mt_interp.deadlocked then
         raise

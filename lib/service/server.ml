@@ -100,34 +100,57 @@ let compile_request t j payload op =
       | Ok w -> Ok w
     in
     let fuel = effective_fuel t.cfg (Proto.int_field j "fuel") in
-    match op with
-    | `Sweep -> (
-      match parsed () with
-      | Error o -> o
-      | Ok w ->
-        let max_threads =
-          Option.value (Proto.int_field j "max_threads") ~default:4
-        in
-        Render.sweep ~jobs:1 ?fuel ~max_threads w)
-    | (`Run | `Check) as op -> (
-      let name = Option.value (Proto.str_field j "technique") ~default:"" in
-      match technique_of_name name with
-      | None ->
-        outcome_err ~code:Render.exit_unknown
-          (Printf.sprintf "gmtc: unknown technique %S (known: gremio, dswp)\n"
-             name)
-      | Some technique -> (
-        let coco = Option.value (Proto.bool_field j "coco") ~default:false in
-        let threads = Option.value (Proto.int_field j "threads") ~default:2 in
-        match op with
-        | `Check ->
-          Render.check_text ~cache:t.cache ~technique ~coco ~threads text
-        | `Run -> (
-          match parsed () with
-          | Error o -> o
-          | Ok w ->
-            Render.run ~cache:t.cache ~canonical:text ~jobs:1 ?fuel ~technique
-              ~coco ~threads w))))
+    (* Engine selection rides along on run/sweep requests; absent means
+       the engine default (jit). Replies are byte-identical whichever
+       engine runs — the field only exists so clients can cross-check. *)
+    let kernel =
+      match Proto.str_field j "kernel" with
+      | None -> Ok None
+      | Some name -> (
+        match Gmt_machine.Sim.kernel_of_string name with
+        | Some k -> Ok (Some k)
+        | None ->
+          Error
+            (outcome_err ~code:Render.exit_unknown
+               (Printf.sprintf
+                  "gmtc: unknown kernel %S (known: jit, decoded, legacy)\n"
+                  name)))
+    in
+    match kernel with
+    | Error o -> o
+    | Ok kernel -> (
+      match op with
+      | `Sweep -> (
+        match parsed () with
+        | Error o -> o
+        | Ok w ->
+          let max_threads =
+            Option.value (Proto.int_field j "max_threads") ~default:4
+          in
+          Render.sweep ~jobs:1 ?fuel ?kernel ~max_threads w)
+      | (`Run | `Check) as op -> (
+        let name = Option.value (Proto.str_field j "technique") ~default:"" in
+        match technique_of_name name with
+        | None ->
+          outcome_err ~code:Render.exit_unknown
+            (Printf.sprintf
+               "gmtc: unknown technique %S (known: gremio, dswp)\n" name)
+        | Some technique -> (
+          let coco = Option.value (Proto.bool_field j "coco") ~default:false in
+          let threads =
+            Option.value (Proto.int_field j "threads") ~default:2
+          in
+          match op with
+          | `Check ->
+            (* Validation is symbolic; the kernel (already vetted above)
+               does not enter the fingerprint or the verdict. *)
+            Render.check_text ~cache:t.cache ~technique ~coco ~threads text
+          | `Run -> (
+            match parsed () with
+            | Error o -> o
+            | Ok w ->
+              Render.run ~cache:t.cache ~canonical:text ~jobs:1 ?fuel ?kernel
+                ~technique ~coco ~threads w)))))
 
 let stats_json t =
   let s = Cache.stats t.cache in

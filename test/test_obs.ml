@@ -223,6 +223,33 @@ let test_stall_attr_sums_to_cycles () =
         m.V.stall_attr)
     [ V.Single; V.Mt (V.Gremio, false); V.Mt (V.Dswp, true) ]
 
+(* The issue loops' steady state must not allocate: span allocation is
+   setup only (state arrays, caches, closure compilation — O(program +
+   memory)), so it fits a constant plus a few bytes per cycle of slack.
+   A per-cycle regression (a tuple per cache access, a closure per
+   scheduler pass) blows through the linear term immediately: before the
+   jit engine these spans ran 11-52 bytes per cycle, an order of
+   magnitude over this budget. *)
+let test_run_alloc_bounded () =
+  with_reset @@ fun () ->
+  let w = Suite.find "ks" in
+  let m, spans =
+    Obs.collect (fun () -> V.measure_cell (V.Mt (V.Gremio, false)) w)
+  in
+  Alcotest.(check bool) "run completed" false m.V.fuel_exhausted;
+  let budget = 1_500_000. +. (4. *. float_of_int m.V.cycles) in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (s : Obs.span) -> s.Obs.name = name) spans with
+      | None -> Alcotest.failf "span %s not recorded" name
+      | Some s ->
+        if s.Obs.alloc_bytes > budget then
+          Alcotest.failf
+            "%s allocated %.0f bytes (budget %.0f over %d cycles) — the \
+             issue loop is allocating per cycle again"
+            name s.Obs.alloc_bytes budget m.V.cycles)
+    [ "verify.mt_interp"; "sim.run" ]
+
 let test_queue_peak_bounded () =
   let w = Suite.find "ks" in
   let c = V.compile V.Gremio w in
@@ -260,4 +287,6 @@ let tests =
       test_stall_attr_sums_to_cycles;
     Alcotest.test_case "queue peaks bounded by capacity" `Quick
       test_queue_peak_bounded;
+    Alcotest.test_case "issue loops do not allocate per cycle" `Quick
+      test_run_alloc_bounded;
   ]

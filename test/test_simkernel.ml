@@ -1,21 +1,25 @@
-(* The decoded simulator kernel and the parallel evaluation harness.
+(* The simulator issue-loop kernels and the parallel evaluation harness.
 
    Two determinism contracts are enforced here:
-   - the pre-decoded issue loop produces results byte-identical to the
-     legacy list-walking kernel, on random structured programs (single-
-     and multi-threaded, with random partitions); and
+   - all three issue-loop kernels (legacy list-walking, decoded
+     flat-array, jit closure-compiled) produce byte-identical results on
+     random structured programs (single- and multi-threaded, with random
+     partitions), and the three interpreter engines agree likewise; and
    - Velocity.run_matrix over the Pool yields byte-identical metrics for
      every jobs count, 1..4, on the full benchmark suite. *)
 
 open Gmt_ir
 module Sim = Gmt_machine.Sim
+module Interp = Gmt_machine.Interp
+module Mt_interp = Gmt_machine.Mt_interp
+module Profile = Gmt_analysis.Profile
 module Config = Gmt_machine.Config
 module Pool = Gmt_parallel.Pool
 module V = Gmt_core.Velocity
 module W = Gmt_workloads.Workload
 module Suite = Gmt_workloads.Suite
 
-(* ------------- decoded == legacy on random programs ------------- *)
+(* ------- legacy == decoded == jit on random programs ------- *)
 
 let sim_results_equal (a : Sim.result) (b : Sim.result) =
   a.Sim.cycles = b.Sim.cycles
@@ -28,40 +32,44 @@ let sim_results_equal (a : Sim.result) (b : Sim.result) =
   && a.Sim.queue_peak = b.Sim.queue_peak
   && a.Sim.deadlock_report = b.Sim.deadlock_report
 
-let prop_decoded_equals_legacy_single =
+(* Run one simulation under every kernel and require byte-identical
+   results, legacy as the reference. *)
+let all_kernels_agree run =
+  let reference = run `Legacy in
+  List.for_all
+    (fun k -> sim_results_equal reference (run k))
+    [ `Decoded; `Jit ]
+
+let prop_kernels_agree_single =
   QCheck.Test.make ~count:120
-    ~name:"decoded kernel == legacy kernel (single-threaded)"
+    ~name:"legacy == decoded == jit (single-threaded)"
     Test_props.arbitrary_case
     (fun (stmts, _seed, _n_threads) ->
       let f = Test_props.lower stmts in
       Validate.check f;
-      let run kernel =
-        Sim.run_single ~fuel:500_000 ~kernel
-          ~init_regs:Test_props.init_regs ~init_mem:Test_props.init_mem
-          (Config.test_config ()) f ~mem_size:Test_props.mem_size
-      in
-      sim_results_equal (run `Decoded) (run `Legacy))
+      all_kernels_agree (fun kernel ->
+          Sim.run_single ~fuel:500_000 ~kernel
+            ~init_regs:Test_props.init_regs ~init_mem:Test_props.init_mem
+            (Config.test_config ()) f ~mem_size:Test_props.mem_size))
 
-let prop_decoded_equals_legacy_mt =
+let prop_kernels_agree_mt =
   QCheck.Test.make ~count:80
-    ~name:"decoded kernel == legacy kernel (MTCG output, random partitions)"
+    ~name:"legacy == decoded == jit (MTCG output, random partitions)"
     Test_props.arbitrary_case
     (fun (stmts, seed, n_threads) ->
       let f = Test_props.lower stmts in
       let pdg = Gmt_pdg.Pdg.build f in
       let part = Test_props.random_partition f ~n_threads ~seed in
       let mtp = Gmt_mtcg.Mtcg.run pdg part in
-      let run kernel =
-        Sim.run ~fuel:2_000_000 ~kernel ~init_regs:Test_props.init_regs
-          ~init_mem:Test_props.init_mem
-          (Config.test_config ~n_cores:n_threads ())
-          mtp ~mem_size:Test_props.mem_size
-      in
-      sim_results_equal (run `Decoded) (run `Legacy))
+      all_kernels_agree (fun kernel ->
+          Sim.run ~fuel:2_000_000 ~kernel ~init_regs:Test_props.init_regs
+            ~init_mem:Test_props.init_mem
+            (Config.test_config ~n_cores:n_threads ())
+            mtp ~mem_size:Test_props.mem_size))
 
 (* Also pin the kernels against each other on real workloads, both
    machine configs (1-entry GREMIO queues and 32-entry DSWP queues). *)
-let test_decoded_equals_legacy_workloads () =
+let test_kernels_agree_workloads () =
   List.iter
     (fun name ->
       let w = Suite.find name in
@@ -69,17 +77,80 @@ let test_decoded_equals_legacy_workloads () =
         (fun tech ->
           let c = V.compile tech w in
           let mc = V.machine_config tech in
-          let run kernel =
-            Sim.run ~kernel ~init_regs:w.W.reference.W.regs
-              ~init_mem:w.W.reference.W.mem mc c.V.mtp ~mem_size:w.W.mem_size
-          in
           Alcotest.(check bool)
-            (Printf.sprintf "%s/%s decoded==legacy" name
-               (V.technique_name tech))
+            (Printf.sprintf "%s/%s kernels agree" name (V.technique_name tech))
             true
-            (sim_results_equal (run `Decoded) (run `Legacy)))
+            (all_kernels_agree (fun kernel ->
+                 Sim.run ~kernel ~init_regs:w.W.reference.W.regs
+                   ~init_mem:w.W.reference.W.mem mc c.V.mtp
+                   ~mem_size:w.W.mem_size)))
         [ V.Gremio; V.Dswp ])
     [ "adpcmdec"; "ks" ]
+
+(* ---------- interpreter engines agree likewise ---------- *)
+
+let profiles_equal cfg a b =
+  let ok = ref true in
+  for l = 0 to Cfg.n_blocks cfg - 1 do
+    if Profile.block a l <> Profile.block b l then ok := false;
+    List.iter
+      (fun d ->
+        if Profile.edge a ~src:l ~dst:d <> Profile.edge b ~src:l ~dst:d then
+          ok := false)
+      (Cfg.succs cfg l)
+  done;
+  !ok
+
+let prop_interp_engines_agree =
+  QCheck.Test.make ~count:100
+    ~name:"interp engines agree (legacy == decoded == jit)"
+    Test_props.arbitrary_case
+    (fun (stmts, _seed, _n_threads) ->
+      let f = Test_props.lower stmts in
+      let run engine =
+        Interp.run ~fuel:200_000 ~engine ~init_regs:Test_props.init_regs
+          ~init_mem:Test_props.init_mem f ~mem_size:Test_props.mem_size
+      in
+      let a = run `Legacy in
+      List.for_all
+        (fun engine ->
+          let b = run engine in
+          a.Interp.memory = b.Interp.memory
+          && a.Interp.regs = b.Interp.regs
+          && a.Interp.dyn_instrs = b.Interp.dyn_instrs
+          && a.Interp.fuel_exhausted = b.Interp.fuel_exhausted
+          && profiles_equal f.Func.cfg a.Interp.profile b.Interp.profile)
+        [ `Decoded; `Jit ])
+
+let mt_results_equal (a : Mt_interp.result) (b : Mt_interp.result) =
+  a.Mt_interp.memory = b.Mt_interp.memory
+  && a.Mt_interp.threads = b.Mt_interp.threads
+  && a.Mt_interp.deadlocked = b.Mt_interp.deadlocked
+  && a.Mt_interp.fuel_exhausted = b.Mt_interp.fuel_exhausted
+  && a.Mt_interp.queues_drained = b.Mt_interp.queues_drained
+  && a.Mt_interp.blocked = b.Mt_interp.blocked
+
+let prop_mt_interp_engines_agree =
+  QCheck.Test.make ~count:60
+    ~name:"mt_interp engines agree (both schedulers)"
+    Test_props.arbitrary_case
+    (fun (stmts, seed, n_threads) ->
+      let f = Test_props.lower stmts in
+      let pdg = Gmt_pdg.Pdg.build f in
+      let part = Test_props.random_partition f ~n_threads ~seed in
+      let mtp = Gmt_mtcg.Mtcg.run pdg part in
+      List.for_all
+        (fun sched ->
+          let run engine =
+            Mt_interp.run ~fuel:500_000 ~sched ~engine
+              ~init_regs:Test_props.init_regs ~init_mem:Test_props.init_mem
+              mtp ~queue_capacity:4 ~mem_size:Test_props.mem_size
+          in
+          let a = run `Legacy in
+          List.for_all
+            (fun engine -> mt_results_equal a (run engine))
+            [ `Decoded; `Jit ])
+        [ Mt_interp.Round_robin; Mt_interp.Random seed ])
 
 (* --------------------- the domain pool --------------------- *)
 
@@ -197,10 +268,12 @@ let test_run_matrix_deterministic () =
 
 let tests =
   [
-    QCheck_alcotest.to_alcotest prop_decoded_equals_legacy_single;
-    QCheck_alcotest.to_alcotest prop_decoded_equals_legacy_mt;
-    Alcotest.test_case "decoded == legacy on workloads" `Quick
-      test_decoded_equals_legacy_workloads;
+    QCheck_alcotest.to_alcotest prop_kernels_agree_single;
+    QCheck_alcotest.to_alcotest prop_kernels_agree_mt;
+    Alcotest.test_case "sim kernels agree on workloads" `Quick
+      test_kernels_agree_workloads;
+    QCheck_alcotest.to_alcotest prop_interp_engines_agree;
+    QCheck_alcotest.to_alcotest prop_mt_interp_engines_agree;
     Alcotest.test_case "pool preserves order (jobs 1..4)" `Quick
       test_pool_order;
     Alcotest.test_case "pool propagates exceptions" `Quick
