@@ -17,8 +17,10 @@
                cross-checked against MT-interpreter equivalence on every
                technique cell, plus a seeded-miscompile detection pass
      service — gmtd daemon round-trip latency: cold compile vs
-               content-addressed cache hit, and throughput under four
-               concurrent clients; writes BENCH_service.json
+               content-addressed cache hit (with p50/p90/p99 and
+               per-stage means from the telemetry plane), and
+               throughput under four concurrent clients with telemetry
+               on vs off; writes BENCH_service.json
 
    Run with no arguments for the main figures; pass section names to
    select (e.g. `dune exec bench/main.exe fig7 fig8 ablate`). The
@@ -30,7 +32,11 @@
    3-kernel matrix through the pool plus a three-engine simulator
    equivalence check (CI's @smoke alias). `--bench-smoke` validates the
    committed BENCH_fig8.json and re-proves one cell's three-engine
-   equivalence (CI's @bench-smoke alias, folded into @smoke). `fig8`
+   equivalence (CI's @bench-smoke alias, folded into @smoke).
+   `--telemetry-smoke` validates the committed BENCH_service.json
+   (schema, percentile ordering, the telemetry overhead gate) and lints
+   a live daemon's stats/2 frame and Prometheus text (CI's @telemetry
+   alias, folded into @smoke). `fig8`
    additionally times every cell under all three engines and writes
    BENCH_fig8.json with per-cell wall-clock, simulated cycles, and the
    per-engine comparison column. *)
@@ -933,28 +939,34 @@ let fuzz_section () =
    the full pipeline plus the translation validator, a warm one serves
    the stored artifact and its verdict from the content-addressed cache
    (run requests re-simulate by design, so their cached gain is only the
-   compile share). A second phase hammers the daemon with four
-   concurrent clients for a throughput figure. Results land in
-   BENCH_service.json (schema gmt-bench-service/1, self-parsed before
-   writing, like BENCH_fig8.json). *)
+   compile share). Every warm round-trip also lands in a client-side
+   gmt_telemetry histogram, so each cell reports p50/p90/p99 next to the
+   mean, and per-stage means are read back from the daemon's own
+   stage.* histograms. The hammer phase (four concurrent clients on
+   cached cells) runs twice — against the telemetry-on daemon, then
+   against a fresh one started with telemetry off — and records the
+   throughput ratio, the artifact the overhead gate in
+   --telemetry-smoke checks. Results land in BENCH_service.json
+   (schema gmt-bench-service/2, self-parsed before writing, like
+   BENCH_fig8.json). *)
 let service_bench () =
   let module Server = Gmt_service.Server in
   let module Client = Gmt_service.Client in
   let module Cache = Gmt_cache.Cache in
   let module Text = Gmt_frontend.Text in
+  let module H = Gmt_telemetry.Histogram in
+  let module Registry = Gmt_telemetry.Registry in
+  let module Trace = Gmt_telemetry.Trace in
   print_endline "";
   print_endline "gmtd service: cold compile vs artifact-cache hit";
   hr ();
   let j = match !jobs with Some j -> j | None -> Pool.default_jobs () in
-  let socket =
+  let socket_for tag =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "gmtd-bench-%d.sock" (Unix.getpid ()))
+      (Printf.sprintf "gmtd-bench-%s-%d.sock" tag (Unix.getpid ()))
   in
-  let cfg = { (Server.default_config ~socket) with Server.jobs = j } in
-  let srv = Server.start cfg in
-  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
-  let request req =
+  let request ~socket req =
     match Client.request ~socket req with
     | Ok o when o.Gmt_service.Render.code = 0 -> o
     | Ok o ->
@@ -975,86 +987,147 @@ let service_bench () =
     [ ("ks", "gremio", false); ("ks", "dswp", true);
       ("adpcmdec", "gremio", true); ("mpeg2enc", "dswp", false) ]
   in
-  Printf.printf "%-12s %-8s %5s | %9s | %9s | %8s\n" "benchmark" "tech"
-    "coco" "cold (ms)" "hit (ms)" "speedup";
-  hr ();
-  let rows =
-    List.map
-      (fun (name, tech, coco) ->
-        let gmt = Text.print (Suite.find name) in
-        let req =
-          Client.check_request ~gmt ~technique:tech ~coco ~threads:2 ()
-        in
-        let cold_o, cold_s = time (fun () -> request req) in
-        if cold_o.Gmt_service.Render.cache_status <> "miss" then begin
-          Printf.eprintf "[service] cold request for %s was not a miss\n" name;
-          exit 1
-        end;
-        let _, warm_total =
-          time (fun () ->
-              for _ = 1 to warm_rounds do
-                let o = request req in
-                if o.Gmt_service.Render.cache_status <> "hit" then begin
-                  Printf.eprintf "[service] warm request for %s missed\n" name;
-                  exit 1
-                end
-              done)
-        in
-        let hit_s = warm_total /. float_of_int warm_rounds in
-        let ratio = if hit_s > 0.0 then cold_s /. hit_s else 0.0 in
-        Printf.printf "%-12s %-8s %5b | %9.2f | %9.3f | %7.1fx\n" name tech
-          coco (1e3 *. cold_s) (1e3 *. hit_s) ratio;
-        (name, tech, coco, cold_s, hit_s, ratio))
-      cells
+  let req_of (name, tech, coco) =
+    let gmt = Text.print (Suite.find name) in
+    Client.check_request ~gmt ~technique:tech ~coco ~threads:2 ()
   in
-  (* Throughput: four clients, each re-requesting its (cached) cell. *)
-  let per_client = 50 in
-  let clients =
-    List.map
-      (fun (name, tech, coco) ->
-        let gmt = Text.print (Suite.find name) in
-        let req =
-          Client.check_request ~gmt ~technique:tech ~coco ~threads:2 ()
-        in
-        Domain.spawn (fun () ->
-            for _ = 1 to per_client do
-              ignore (request req)
-            done))
-      cells
-  in
-  let _, hammer_s = time (fun () -> List.iter Domain.join clients) in
   let n_clients = List.length cells in
-  let rps = float_of_int (n_clients * per_client) /. hammer_s in
+  let per_client = 50 in
+  (* Four clients, each re-requesting its (cached) cell; best of two
+     timed runs so the on/off ratio measures telemetry, not scheduler
+     noise. *)
+  let hammer ~socket =
+    let once () =
+      let clients =
+        List.map
+          (fun cell ->
+            let req = req_of cell in
+            Domain.spawn (fun () ->
+                for _ = 1 to per_client do
+                  ignore (request ~socket req)
+                done))
+          cells
+      in
+      let _, s = time (fun () -> List.iter Domain.join clients) in
+      float_of_int (n_clients * per_client) /. s
+    in
+    Float.max (once ()) (once ())
+  in
+  (* Phase 1: telemetry-on daemon — per-cell latency distributions,
+     per-stage means, hammer throughput. *)
+  let socket = socket_for "on" in
+  let cfg = { (Server.default_config ~socket) with Server.jobs = j } in
+  let srv = Server.start cfg in
+  let rows, stage_means, cache_s, rps_on =
+    Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+    Printf.printf "%-12s %-8s %5s | %9s | %9s | %9s | %8s\n" "benchmark"
+      "tech" "coco" "cold (ms)" "hit (ms)" "p99 (ms)" "speedup";
+    hr ();
+    let rows =
+      List.map
+        (fun ((name, tech, coco) as cell) ->
+          let req = req_of cell in
+          let cold_o, cold_s = time (fun () -> request ~socket req) in
+          if cold_o.Gmt_service.Render.cache_status <> "miss" then begin
+            Printf.eprintf "[service] cold request for %s was not a miss\n"
+              name;
+            exit 1
+          end;
+          let h = H.create () in
+          for _ = 1 to warm_rounds do
+            let o, dt = time (fun () -> request ~socket req) in
+            if o.Gmt_service.Render.cache_status <> "hit" then begin
+              Printf.eprintf "[service] warm request for %s missed\n" name;
+              exit 1
+            end;
+            H.record h (int_of_float ((1e6 *. dt) +. 0.5))
+          done;
+          let hit_us = H.mean h in
+          let ratio = if hit_us > 0.0 then 1e6 *. cold_s /. hit_us else 0.0 in
+          Printf.printf "%-12s %-8s %5b | %9.2f | %9.3f | %9.3f | %7.1fx\n"
+            name tech coco (1e3 *. cold_s) (hit_us /. 1e3)
+            (float_of_int (H.quantile h 0.99) /. 1e3)
+            ratio;
+          (name, tech, coco, cold_s, h, ratio))
+        cells
+    in
+    let rps_on = hammer ~socket in
+    let stage_means =
+      match Server.registry srv with
+      | None -> []
+      | Some reg ->
+        List.filter_map
+          (fun s ->
+            Option.map
+              (fun h -> (s, H.mean h))
+              (Registry.find_histogram reg ("stage." ^ s)))
+          (Array.to_list Trace.stage_names)
+    in
+    (rows, stage_means, Cache.stats (Server.cache srv), rps_on)
+  in
+  (* Phase 2: same hammer against a telemetry-off daemon (cache
+     re-warmed with one cold round per cell first). *)
+  let socket_off = socket_for "off" in
+  let cfg_off =
+    { (Server.default_config ~socket:socket_off) with
+      Server.jobs = j;
+      Server.telemetry = false
+    }
+  in
+  let srv_off = Server.start cfg_off in
+  let rps_off =
+    Fun.protect ~finally:(fun () -> Server.stop srv_off) @@ fun () ->
+    List.iter
+      (fun cell -> ignore (request ~socket:socket_off (req_of cell)))
+      cells;
+    hammer ~socket:socket_off
+  in
+  let overhead = rps_off /. rps_on in
   hr ();
-  Printf.printf "throughput: %d clients x %d cached requests in %.2fs = %.0f \
-                 req/s\n"
-    n_clients per_client hammer_s rps;
-  let s = Cache.stats (Server.cache srv) in
-  Printf.printf "cache: %d hits, %d misses, %d stores\n" s.Cache.hits
-    s.Cache.misses s.Cache.stores;
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"gmt-bench-service/1\",\n";
+  Printf.printf
+    "throughput: %d clients x %d cached requests — telemetry on %.0f \
+     req/s, off %.0f req/s (overhead ratio %.3f)\n"
+    n_clients per_client rps_on rps_off overhead;
+  Printf.printf "cache: %d hits, %d misses, %d stores\n" cache_s.Cache.hits
+    cache_s.Cache.misses cache_s.Cache.stores;
+  List.iter
+    (fun (s, m) -> Printf.printf "stage %-18s mean %8.1f us\n" s m)
+    stage_means;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema\": \"gmt-bench-service/2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" j);
   Buffer.add_string buf
     (Printf.sprintf "  \"warm_rounds\": %d,\n" warm_rounds);
   Buffer.add_string buf
     (Printf.sprintf
        "  \"throughput\": {\"clients\": %d, \"requests_per_client\": %d, \
-        \"wall_s\": %.6f, \"req_per_s\": %.1f},\n"
-       n_clients per_client hammer_s rps);
+        \"telemetry_on_req_per_s\": %.1f, \"telemetry_off_req_per_s\": \
+        %.1f, \"overhead_ratio\": %.4f},\n"
+       n_clients per_client rps_on rps_off overhead);
   Buffer.add_string buf
     (Printf.sprintf
        "  \"cache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d},\n"
-       s.Cache.hits s.Cache.misses s.Cache.stores);
+       cache_s.Cache.hits cache_s.Cache.misses cache_s.Cache.stores);
+  Buffer.add_string buf "  \"stages\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (s, m) -> Printf.sprintf "%S: %.1f" s m)
+          stage_means));
+  Buffer.add_string buf "},\n";
   Buffer.add_string buf "  \"cells\": [\n";
   Buffer.add_string buf
     (String.concat ",\n"
        (List.map
-          (fun (name, tech, coco, cold_s, hit_s, ratio) ->
+          (fun (name, tech, coco, cold_s, h, ratio) ->
             Printf.sprintf
               "    {\"bench\": %S, \"technique\": %S, \"coco\": %b, \
-               \"cold_ms\": %.3f, \"hit_ms\": %.3f, \"hit_speedup\": %.1f}"
-              name tech coco (1e3 *. cold_s) (1e3 *. hit_s) ratio)
+               \"cold_ms\": %.3f, \"hit_ms\": %.3f, \"hit_p50_us\": %d, \
+               \"hit_p90_us\": %d, \"hit_p99_us\": %d, \"hit_speedup\": \
+               %.1f}"
+              name tech coco (1e3 *. cold_s) (H.mean h /. 1e3)
+              (H.quantile h 0.5) (H.quantile h 0.9) (H.quantile h 0.99)
+              ratio)
           rows));
   Buffer.add_string buf "\n  ]\n}\n";
   (match Json.parse (Buffer.contents buf) with
@@ -1069,7 +1142,144 @@ let service_bench () =
     List.fold_left (fun acc (_, _, _, _, _, r) -> min acc r) infinity rows
   in
   Printf.eprintf
-    "[service] BENCH_service.json written (worst hit speedup %.1fx)\n%!" worst
+    "[service] BENCH_service.json written (worst hit speedup %.1fx, \
+     telemetry overhead %.3f)\n%!"
+    worst overhead
+
+(* --telemetry-smoke: the CI gate for the telemetry plane. Validates the
+   committed BENCH_service.json — schema gmt-bench-service/2, monotone
+   per-cell p50<=p90<=p99, a mean for all seven req.* stages, and the
+   recorded telemetry-on/off throughput ratio at or under the 1.05
+   overhead gate — then starts a live in-process daemon, serves one
+   cold and one warm check, and proves the stats/2 frame self-parses
+   (schema, registry, counters) and its Prometheus text lints (every
+   sample gmt_-prefixed, the check-latency series present). Runs under
+   the @telemetry alias, folded into @smoke. *)
+let telemetry_smoke path =
+  let module Server = Gmt_service.Server in
+  let module Client = Gmt_service.Client in
+  let module Text = Gmt_frontend.Text in
+  let module Trace = Gmt_telemetry.Trace in
+  let t0 = Unix.gettimeofday () in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "[telemetry-smoke] FAIL: %s\n" s;
+        exit 1)
+      fmt
+  in
+  let text =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> s
+    | exception Sys_error e -> fail "cannot read %s: %s" path e
+  in
+  (match Json.parse text with
+  | Error e -> fail "%s malformed: %s" path e
+  | Ok bj ->
+    (match Json.member "schema" bj with
+    | Some (Json.Str "gmt-bench-service/2") -> ()
+    | _ -> fail "%s lacks schema gmt-bench-service/2" path);
+    (match
+       Option.bind (Json.member "throughput" bj)
+         (Json.member "overhead_ratio")
+     with
+    | Some (Json.Num r) when r > 0.0 && r <= 1.05 -> ()
+    | Some (Json.Num r) ->
+      fail "recorded telemetry overhead ratio %.3f exceeds the 1.05 gate" r
+    | _ -> fail "%s lacks throughput.overhead_ratio" path);
+    (match Json.member "stages" bj with
+    | Some (Json.Obj ss) ->
+      Array.iter
+        (fun s ->
+          match List.assoc_opt s ss with
+          | Some (Json.Num m) when m >= 0.0 -> ()
+          | _ -> fail "%s stages lack a non-negative %S mean" path s)
+        Trace.stage_names
+    | _ -> fail "%s lacks a stages object" path);
+    (match Json.member "cells" bj with
+    | Some (Json.Arr (_ :: _ as cs)) ->
+      List.iter
+        (fun c ->
+          let num k =
+            match Json.member k c with
+            | Some (Json.Num v) -> v
+            | _ -> fail "a cell in %s lacks %s" path k
+          in
+          let p50 = num "hit_p50_us" in
+          let p90 = num "hit_p90_us" in
+          let p99 = num "hit_p99_us" in
+          if not (p50 <= p90 && p90 <= p99) then
+            fail "cell percentiles not monotone (%.0f/%.0f/%.0f)" p50 p90
+              p99)
+        cs
+    | _ -> fail "%s lacks a cells array" path));
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gmtd-tsmoke-%d.sock" (Unix.getpid ()))
+  in
+  let cfg = { (Server.default_config ~socket) with Server.jobs = 2 } in
+  let srv = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let gmt = Text.print (Suite.find "ks") in
+  let req =
+    Client.check_request ~gmt ~technique:"gremio" ~coco:false ~threads:2 ()
+  in
+  let round () =
+    match Client.request ~socket req with
+    | Ok o when o.Gmt_service.Render.code = 0 -> ()
+    | Ok o -> fail "live check exited %d" o.Gmt_service.Render.code
+    | Error _ -> fail "live daemon unreachable"
+  in
+  round ();
+  round ();
+  (match Client.rpc ~socket Client.stats_request with
+  | Error _ -> fail "stats rpc failed"
+  | Ok sj ->
+    (match Json.member "schema" sj with
+    | Some (Json.Str "gmtd-stats/2") -> ()
+    | _ -> fail "stats frame lacks schema gmtd-stats/2");
+    (match
+       Option.bind (Json.member "telemetry" sj) (Json.member "schema")
+     with
+    | Some (Json.Str "gmt-telemetry/1") -> ()
+    | _ -> fail "stats frame lacks an embedded gmt-telemetry/1 registry");
+    (match
+       Option.bind (Json.member "telemetry" sj) (fun t ->
+           Option.bind (Json.member "counters" t)
+             (Json.member "req.total"))
+     with
+    | Some (Json.Num n) when n >= 2.0 -> ()
+    | _ -> fail "registry counters lack req.total >= 2");
+    (match Json.member "prometheus" sj with
+    | Some (Json.Str prom) ->
+      let lines = String.split_on_char '\n' prom in
+      List.iter
+        (fun l ->
+          let is_comment =
+            String.length l >= 1 && String.get l 0 = '#'
+          in
+          if l <> "" && not is_comment
+             && not (String.length l > 4 && String.sub l 0 4 = "gmt_")
+          then fail "prometheus sample not gmt_-prefixed: %s" l)
+        lines;
+      let has prefix =
+        List.exists
+          (fun l ->
+            String.length l >= String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix)
+          lines
+      in
+      if not (has "gmt_latency_check_bucket") then
+        fail "prometheus text lacks the check-latency bucket series";
+      if not (has "gmt_latency_check_count") then
+        fail "prometheus text lacks the check-latency count sample"
+    | _ -> fail "stats frame lacks prometheus text"));
+  Printf.printf
+    "[telemetry-smoke] ok: %s schema valid, overhead gate met, live \
+     stats/2 frame and Prometheus text lint clean (%.2fs)\n"
+    path
+    (Unix.gettimeofday () -. t0)
 
 let trace_out : string option ref = ref None
 let metrics_out : string option ref = ref None
@@ -1087,6 +1297,7 @@ let () =
     | "--smoke" :: rest -> "--smoke-marker" :: parse rest
     | "--verify-matrix" :: rest -> "--verify-marker" :: parse rest
     | "--bench-smoke" :: rest -> "--bench-smoke-marker" :: parse rest
+    | "--telemetry-smoke" :: rest -> "--telemetry-smoke-marker" :: parse rest
     | "--jobs" :: n :: rest ->
       jobs := Some (parse_jobs n);
       parse rest
@@ -1120,6 +1331,13 @@ let () =
        (match List.filter (fun a -> a <> "--bench-smoke-marker") args with
        | p :: _ -> p
        | [] -> "BENCH_fig8.json")
+   else if List.mem "--telemetry-smoke-marker" args then
+     telemetry_smoke
+       (match
+          List.filter (fun a -> a <> "--telemetry-smoke-marker") args
+        with
+       | p :: _ -> p
+       | [] -> "BENCH_service.json")
    else begin
      let want s = args = [] || List.mem s args in
      if want "fig6" then fig6 ();

@@ -573,9 +573,14 @@ let socket_arg =
         ~doc:"Unix-domain socket the daemon listens on.")
 
 let serve_cmd =
-  let run socket jobs cache_dir queue_bound fuel_cap trace metrics =
+  let run socket jobs cache_dir queue_bound fuel_cap no_telemetry trace
+      metrics =
     let jobs = resolve_jobs jobs in
     with_obs trace metrics @@ fun () ->
+    (* Degraded states (evictions, corrupt recoveries, busy replies)
+       surface in the daemon's log the moment they happen, not only in
+       post-mortem stats queries. *)
+    Gmt_telemetry.Events.set_sink (Some prerr_endline);
     let cfg =
       {
         (Server.default_config ~socket) with
@@ -583,6 +588,7 @@ let serve_cmd =
         cache_dir;
         queue_bound;
         fuel_cap;
+        telemetry = not no_telemetry;
       }
     in
     let srv = Server.start cfg in
@@ -626,6 +632,15 @@ let serve_cmd =
             "Server-side ceiling on per-request simulation fuel; requests \
              asking for more are clamped.")
   in
+  let no_telemetry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-telemetry" ]
+          ~doc:
+            "Disable the in-process stats plane (latency histograms, \
+             rolling windows, events); $(b,gmtc remote stats) and \
+             $(b,gmtc top) then report counters only.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -634,18 +649,41 @@ let serve_cmd =
           Unix-domain socket. SIGINT/SIGTERM drain gracefully.")
     Term.(
       const run $ socket_arg $ jobs_arg $ cache_dir_arg $ queue_bound_arg
-      $ fuel_cap_arg $ trace_arg $ metrics_arg)
+      $ fuel_cap_arg $ no_telemetry_arg $ trace_arg $ metrics_arg)
 
 (* ----------------------------- remote ----------------------------- *)
 
 (* The client resolves names/files locally (same exits 2/3 as offline),
    ships canonical GMT-IR text, and falls back to running the identical
    Render code in-process when nothing listens on the socket — so remote
-   output is byte-identical to offline output, daemon or not. *)
-let remote_finish ~socket ~fallback req =
-  match Client.request ~socket req with
+   output is byte-identical to offline output, daemon or not. The
+   fallback is loud: a one-line stderr warning plus a [client.fallback]
+   event/counter, never a silent mode switch.
+
+   With [--trace], the request carries a fresh trace id; the daemon
+   ships its per-request stage spans back and [Client.request] re-records
+   them here, so the written file holds the client's [remote.<op>] span
+   and the server's decode→…→encode children stitched into one Perfetto
+   timeline. *)
+let remote_finish ~socket ~trace ~metrics ~op ~fallback req =
+  with_obs trace metrics @@ fun () ->
+  let req =
+    if trace = None then req
+    else
+      Client.traced ~parent_span:("remote." ^ op)
+        ~trace_id:(Gmt_telemetry.Trace.genid ())
+        req
+  in
+  let reply =
+    Gmt_obs.Obs.span ~cat:"client" ("remote." ^ op) (fun () ->
+        Client.request ~socket req)
+  in
+  match reply with
   | Ok o -> finish_outcome o
-  | Error `No_daemon -> finish_outcome (fallback ())
+  | Error `No_daemon ->
+    prerr_string (Client.warn_fallback ~socket ());
+    flush stderr;
+    finish_outcome (fallback ())
   | Error (`Busy msg) ->
     prerr_string msg;
     flush stderr;
@@ -655,10 +693,10 @@ let remote_finish ~socket ~fallback req =
     exit 1
 
 let remote_run_cmd =
-  let run bench tech coco threads fuel kernel socket =
+  let run bench tech coco threads fuel kernel socket trace metrics =
     let w = resolve_workload bench in
     let gmt = Text.print w in
-    remote_finish ~socket
+    remote_finish ~socket ~trace ~metrics ~op:"run"
       ~fallback:(fun () ->
         let technique = resolve_technique tech in
         Render.run ~jobs:1 ?fuel ?kernel ~technique ~coco ~threads w)
@@ -668,16 +706,18 @@ let remote_run_cmd =
     (Cmd.info "run"
        ~doc:
          "Like $(b,gmtc run), but served by a gmtd daemon when one \
-          listens on the socket (local fallback otherwise).")
+          listens on the socket (local fallback otherwise). With \
+          $(b,--trace), the daemon's per-stage spans are stitched into \
+          the written trace.")
     Term.(
       const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
-      $ fuel_opt_arg $ kernel_arg $ socket_arg)
+      $ fuel_opt_arg $ kernel_arg $ socket_arg $ trace_arg $ metrics_arg)
 
 let remote_check_cmd =
-  let run bench tech coco threads socket =
+  let run bench tech coco threads socket trace metrics =
     let w = resolve_workload bench in
     let gmt = Text.print w in
-    remote_finish ~socket
+    remote_finish ~socket ~trace ~metrics ~op:"check"
       ~fallback:(fun () ->
         let technique = resolve_technique tech in
         Render.check ~technique ~coco ~threads w)
@@ -687,13 +727,13 @@ let remote_check_cmd =
     (Cmd.info "check" ~doc:"Like $(b,gmtc check), served by gmtd.")
     Term.(
       const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
-      $ socket_arg)
+      $ socket_arg $ trace_arg $ metrics_arg)
 
 let remote_sweep_cmd =
-  let run bench max_threads fuel kernel socket =
+  let run bench max_threads fuel kernel socket trace metrics =
     let w = resolve_workload bench in
     let gmt = Text.print w in
-    remote_finish ~socket
+    remote_finish ~socket ~trace ~metrics ~op:"sweep"
       ~fallback:(fun () -> Render.sweep ~jobs:1 ?fuel ?kernel ~max_threads w)
       (Client.sweep_request ~gmt ~max_threads ?fuel ?kernel ())
   in
@@ -701,7 +741,7 @@ let remote_sweep_cmd =
     (Cmd.info "sweep" ~doc:"Like $(b,gmtc sweep), served by gmtd.")
     Term.(
       const run $ bench_arg $ threads_arg $ fuel_opt_arg $ kernel_arg
-      $ socket_arg)
+      $ socket_arg $ trace_arg $ metrics_arg)
 
 let remote_ping_cmd =
   let run socket =
@@ -721,24 +761,136 @@ let remote_ping_cmd =
     (Cmd.info "ping" ~doc:"Report the protocol version of a listening gmtd.")
     Term.(const run $ socket_arg)
 
+(* ------------------------- stats rendering ------------------------- *)
+
+module Json = Gmt_obs.Json
+
+let jmember k j = Json.member k j
+
+let jnum k j =
+  match jmember k j with Some (Json.Num f) -> f | _ -> 0.0
+
+let jint k j = int_of_float (jnum k j)
+let jstr k j = match jmember k j with Some (Json.Str s) -> s | _ -> ""
+
+(* Human-readable rendering of a gmtd-stats/2 frame: the cache and
+   request counters (evictions and corrupt-entry recoveries included),
+   last-minute windows, per-op latency percentiles, per-stage means, and
+   the tail of the structured event log. *)
+let render_stats ~socket j =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "gmtd %s at %s  up %.0fs  jobs %d  in-flight %d\n" (jstr "version" j)
+    socket (jnum "uptime_s" j) (jint "jobs" j) (jint "in_flight" j);
+  (match jmember "cache" j with
+  | Some c ->
+    let hits = jint "hits" c and misses = jint "misses" c in
+    let rate =
+      if hits + misses = 0 then 0.0
+      else 100.0 *. float_of_int hits /. float_of_int (hits + misses)
+    in
+    pf
+      "cache     hits %d  misses %d  stores %d  evictions %d  corrupt %d  \
+       hit-rate %.1f%%\n"
+      hits misses (jint "stores" c) (jint "evictions" c) (jint "corrupt" c)
+      rate
+  | None -> ());
+  (match jmember "telemetry" j with
+  | Some (Json.Obj _ as tele) ->
+    (match jmember "counters" tele with
+    | Some c ->
+      pf "requests  total %d  errors %d  busy %d  fuel-timeouts %d  traced %d\n"
+        (jint "req.total" c) (jint "req.errors" c) (jint "req.busy" c)
+        (jint "req.fuel_timeouts" c) (jint "req.traced" c)
+    | None -> ());
+    (match jmember "windows" tele with
+    | Some w ->
+      let total name =
+        match jmember name w with Some o -> jint "total" o | None -> 0
+      in
+      pf
+        "last-60s  hits %d  misses %d  busy %d  fuel-timeouts %d  \
+         in-flight-peak %d\n"
+        (total "win.cache.hits") (total "win.cache.misses") (total "win.busy")
+        (total "win.fuel_timeouts")
+        (total "win.in_flight.peak")
+    | None -> ());
+    (match jmember "histograms" tele with
+    | Some (Json.Obj hs) ->
+      List.iter
+        (fun (name, h) ->
+          match String.index_opt name '.' with
+          | Some i when String.sub name 0 i = "latency" && jint "count" h > 0
+            ->
+            pf
+              "latency   %-6s p50 %6dus  p90 %6dus  p99 %6dus  (n=%d)\n"
+              (String.sub name (i + 1) (String.length name - i - 1))
+              (jint "p50" h) (jint "p90" h) (jint "p99" h) (jint "count" h)
+          | _ -> ())
+        hs;
+      List.iter
+        (fun (name, h) ->
+          match String.index_opt name '.' with
+          | Some i when String.sub name 0 i = "stage" && jint "count" h > 0 ->
+            pf "stage     %-18s mean %8.0fus  (n=%d)\n"
+              (String.sub name (i + 1) (String.length name - i - 1))
+              (jnum "mean" h) (jint "count" h)
+          | _ -> ())
+        hs
+    | _ -> ())
+  | _ -> pf "telemetry disabled\n");
+  (match jmember "events" j with
+  | Some (Json.Arr lines) when lines <> [] ->
+    pf "events    (most recent last)\n";
+    let n = List.length lines in
+    List.iteri
+      (fun i l ->
+        match l with
+        | Json.Str s when i >= n - 5 -> pf "  %s\n" s
+        | _ -> ())
+      lines
+  | _ -> ());
+  Buffer.contents buf
+
+let stats_rpc ~socket =
+  match Client.rpc ~socket Client.stats_request with
+  | Ok j -> j
+  | Error `No_daemon ->
+    Printf.eprintf "gmtc: no daemon at %s\n" socket;
+    exit 1
+  | Error (`Busy msg) ->
+    prerr_string msg;
+    exit Render.exit_busy
+  | Error (`Protocol msg) ->
+    Printf.eprintf "gmtc: remote: %s\n" msg;
+    exit 1
+
 let remote_stats_cmd =
-  let run socket =
-    match Client.rpc ~socket Client.stats_request with
-    | Ok j -> print_endline (Gmt_obs.Json.to_string j)
-    | Error `No_daemon ->
-      Printf.eprintf "gmtc: no daemon at %s\n" socket;
-      exit 1
-    | Error (`Busy msg) ->
-      prerr_string msg;
-      exit Render.exit_busy
-    | Error (`Protocol msg) ->
-      Printf.eprintf "gmtc: remote: %s\n" msg;
-      exit 1
+  let run socket json prometheus =
+    let j = stats_rpc ~socket in
+    if json then print_endline (Json.to_string j)
+    else if prometheus then print_string (jstr "prometheus" j)
+    else print_string (render_stats ~socket j)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw gmtd-stats/2 frame as JSON.")
+  in
+  let prometheus_arg =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:"Print the registry in Prometheus text-exposition format.")
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Print a listening gmtd's cache counters as JSON.")
-    Term.(const run $ socket_arg)
+       ~doc:
+         "Report a listening gmtd's cache counters, latency percentiles, \
+          per-stage breakdown and recent events (default human-readable; \
+          $(b,--json) for the raw frame, $(b,--prometheus) for scrape \
+          text).")
+    Term.(const run $ socket_arg $ json_arg $ prometheus_arg)
 
 let remote_cmd =
   Cmd.group
@@ -746,11 +898,51 @@ let remote_cmd =
        ~doc:
          "Execute compile requests against a gmtd daemon; responses are \
           byte-identical to the offline commands, and when no daemon \
-          listens the client silently compiles locally.")
+          listens the client compiles locally (with a stderr warning).")
     [
       remote_run_cmd; remote_check_cmd; remote_sweep_cmd; remote_ping_cmd;
       remote_stats_cmd;
     ]
+
+(* ------------------------------- top ------------------------------- *)
+
+let top_cmd =
+  let run socket interval once =
+    let rec loop () =
+      let j = stats_rpc ~socket in
+      (* Clear + home rather than full-screen alternate buffer: a ^C
+         leaves the last frame visible for copy-paste. *)
+      if not once then print_string "\027[2J\027[H";
+      print_string (render_stats ~socket j);
+      flush stdout;
+      if not once then begin
+        (try Unix.sleepf interval
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh period of the dashboard.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print one dashboard frame and exit (no screen clearing).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a gmtd daemon's stats plane: hit \
+          rate, request latency percentiles (p50/p90/p99), per-stage \
+          means, busy/timeout windows and recent events, refreshed every \
+          $(b,--interval) seconds.")
+    Term.(const run $ socket_arg $ interval_arg $ once_arg)
 
 let () =
   let doc =
@@ -761,4 +953,5 @@ let () =
        (Cmd.group
           (Cmd.info "gmtc" ~version:"1.0.0" ~doc)
           [ list_cmd; show_cmd; pdg_cmd; compile_cmd; check_cmd; run_cmd;
-            sweep_cmd; dot_cmd; export_cmd; fuzz_cmd; serve_cmd; remote_cmd ]))
+            sweep_cmd; dot_cmd; export_cmd; fuzz_cmd; serve_cmd; remote_cmd;
+            top_cmd ]))

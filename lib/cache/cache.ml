@@ -1,4 +1,6 @@
 module Obs = Gmt_obs.Obs
+module Json = Gmt_obs.Json
+module Events = Gmt_telemetry.Events
 
 type entry = {
   mtp : Gmt_ir.Mtprog.t;
@@ -76,7 +78,10 @@ let enforce_capacity t =
     | Some (k, _) ->
       Hashtbl.remove t.mem k;
       t.evictions <- t.evictions + 1;
-      Obs.Metrics.add "cache.evict" 1
+      Obs.Metrics.add "cache.evict" 1;
+      (* Debug so a thrashing cache can be rate-limited by sampling. *)
+      Events.emit ~severity:Events.Debug ~kind:"cache.evict"
+        [ ("key", Json.Str k) ]
   done
 
 let encode e =
@@ -107,11 +112,13 @@ let decode s =
           | exception _ -> Error "unmarshal failed"))
 
 (* Caller holds the lock. *)
-let evict_corrupt t key =
+let evict_corrupt ?(reason = "") t key =
   t.corrupt <- t.corrupt + 1;
   t.evictions <- t.evictions + 1;
   Obs.Metrics.add "cache.corrupt" 1;
   Obs.Metrics.add "cache.evict" 1;
+  Events.emit ~severity:Events.Warn ~kind:"cache.corrupt"
+    [ ("key", Json.Str key); ("reason", Json.Str reason) ];
   match entry_path t key with
   | None -> ()
   | Some p -> ( try Sys.remove p with Sys_error _ -> ())
@@ -138,8 +145,8 @@ let find t key =
       | None -> miss ()
       | Some raw -> (
         match decode raw with
-        | Error _ ->
-          evict_corrupt t key;
+        | Error reason ->
+          evict_corrupt ~reason t key;
           miss ()
         | Ok e ->
           let slot = { value = e; tick = 0 } in

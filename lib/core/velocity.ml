@@ -47,6 +47,7 @@ let machine_config ?(n_cores = 2) = function
    diagnostics (empty = verified). *)
 let verify_compiled c =
   let label = mt_label c.workload c.technique c.coco in
+  Obs.span ~cat:"stage" "req.verify" @@ fun () ->
   Obs.span ~args:[ ("cell", Obs.S label) ] "verify" (fun () ->
       Verify.run
         ~max_queues:(machine_config c.technique).Config.n_queues
@@ -181,11 +182,17 @@ let fingerprint ?(n_threads = 2) ?(coco = false) technique ~canonical =
 
 let compile_cached ?cache ?(n_threads = 2) ?(coco = false) ?(verify = true)
     ~canonical technique (w : Workload.t) =
-  let key = fingerprint ~n_threads ~coco technique ~canonical in
+  let key =
+    Obs.span ~cat:"stage" "req.fingerprint" (fun () ->
+        fingerprint ~n_threads ~coco technique ~canonical)
+  in
   (* Only verified artifacts are stored, so an unverified compile must
      not be served from (or written to) the cache. *)
   let cache = if verify then cache else None in
-  match Option.bind cache (fun c -> Gmt_cache.Cache.find c key) with
+  match
+    Obs.span ~cat:"stage" "req.cache.lookup" (fun () ->
+        Option.bind cache (fun c -> Gmt_cache.Cache.find c key))
+  with
   | Some e ->
     {
       a_workload = w;
@@ -198,7 +205,10 @@ let compile_cached ?cache ?(n_threads = 2) ?(coco = false) ?(verify = true)
       a_from_cache = true;
     }
   | None ->
-    let c = compile ~n_threads ~coco ~verify technique w in
+    let c =
+      Obs.span ~cat:"stage" "req.compile" (fun () ->
+          compile ~n_threads ~coco ~verify technique w)
+    in
     let comm_sites = List.length c.plan.Mtcg.comms in
     Option.iter
       (fun cch ->

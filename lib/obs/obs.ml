@@ -113,6 +113,10 @@ let span ?(cat = "pass") ?(args = []) name f =
       Printexc.raise_with_backtrace e bt
   end
 
+let record s =
+  List.iter (fun r -> r := s :: !r) (Domain.DLS.get collectors_key);
+  if Atomic.get tracing then record_global s
+
 let collect f =
   let r = ref [] in
   let stack = Domain.DLS.get collectors_key in

@@ -63,6 +63,12 @@ val reset : unit -> unit
     [f] raises. [cat] defaults to ["pass"]. *)
 val span : ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
 
+(** [record s] appends an already-completed span as if it had just
+    finished on this domain: into every active {!collect} scope here and,
+    when tracing is on, into the global sink. Lets spans captured in
+    another process (a gmtd reply) join this process's trace. *)
+val record : span -> unit
+
 (** [collect f] additionally captures every span completed by [f] on the
     current domain (independently of the global tracing switch) and
     returns them in completion order — how [Velocity.run_matrix] obtains

@@ -1,4 +1,7 @@
 module Json = Gmt_obs.Json
+module Obs = Gmt_obs.Obs
+module Events = Gmt_telemetry.Events
+module Trace = Gmt_telemetry.Trace
 
 type error = [ `No_daemon | `Busy of string | `Protocol of string ]
 
@@ -86,6 +89,25 @@ let sweep_request ~gmt ~max_threads ?fuel ?kernel () =
   compile_body ~op:"sweep" ~gmt ?fuel ?kernel
     [ ("max_threads", Json.Num (float_of_int max_threads)) ]
 
+(* Tag a compile request with a trace id: the server will collect its
+   per-stage spans under this id and ship them back in the reply.
+   [parent_span] names the client-side span the server's work nests
+   under when the two trace halves are stitched. *)
+let traced ?(parent_span = "remote") ~trace_id req =
+  match req.body with
+  | Json.Obj fields ->
+    {
+      req with
+      body =
+        Json.Obj
+          (fields
+          @ [
+              ("trace_id", Json.Str trace_id);
+              ("parent_span", Json.Str parent_span);
+            ]);
+    }
+  | _ -> req
+
 let ping_request = { body = Json.Obj [ ("op", Json.Str "ping") ]; payload = "" }
 let stats_request =
   { body = Json.Obj [ ("op", Json.Str "stats") ]; payload = "" }
@@ -96,6 +118,16 @@ let reply_error j =
   let err = Option.value (Proto.str_field j "err") ~default:"" in
   if Proto.bool_field j "busy" = Some true then `Busy err
   else `Protocol (if err = "" then "malformed reply" else err)
+
+(* Server-side spans riding on the reply re-enter this process's span
+   stream as if they had completed here — one [--trace] file then holds
+   both halves of the round trip. No-op when the reply carries no spans
+   or nothing here is recording. *)
+let adopt_spans j =
+  if Obs.recording () then
+    match Json.member "spans" j with
+    | Some arr -> List.iter Obs.record (Trace.spans_of_json arr)
+    | None -> ()
 
 let request ~socket req =
   match rpc ~socket req with
@@ -109,12 +141,25 @@ let request ~socket req =
           Proto.int_field j "exit" )
       with
       | Some out, Some err, Some code ->
+        adopt_spans j;
         let cache_status =
           Option.value (Proto.str_field j "cache") ~default:"none"
         in
         Ok { Render.out; err; code; cache_status }
       | _ -> Error (`Protocol "reply lacks out/err/exit fields"))
     | _ -> Error (reply_error j))
+
+(* The documented silent fallback, made loud: called by drivers when a
+   remote call found no daemon and is about to compile locally. The
+   reply bytes stay byte-identical to the daemon's (same [Render]
+   path); only this structured event, a metrics counter, and the
+   returned stderr line distinguish degraded mode. *)
+let warn_fallback ~socket () =
+  Events.emit ~severity:Events.Warn ~kind:"client.fallback"
+    [ ("socket", Json.Str socket) ];
+  Obs.Metrics.add "client.fallback" 1;
+  Printf.sprintf
+    "gmtc: warning: no daemon at %s; falling back to local compile\n" socket
 
 let ping ~socket =
   match rpc ~socket ping_request with

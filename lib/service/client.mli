@@ -47,6 +47,13 @@ val sweep_request :
 val ping_request : req
 val stats_request : req
 
+(** [traced ~trace_id req] tags a compile request so the daemon ships
+    its per-stage spans back in the reply; {!request} re-records them
+    locally, stitching the two halves into one trace. [parent_span]
+    (default ["remote"]) names the client-side span the server's work
+    conceptually nests under. *)
+val traced : ?parent_span:string -> trace_id:string -> req -> req
+
 (** {2 Typed round trips} *)
 
 (** Send a compile request and decode the reply into the exact outcome
@@ -56,3 +63,10 @@ val request : socket:string -> req -> (Render.outcome, [> error ]) result
 
 (** Protocol version of the listening daemon. *)
 val ping : socket:string -> (string, [> error ]) result
+
+(** Record that a remote call is falling back to offline compilation:
+    emits a [client.fallback] warning event, bumps the
+    [client.fallback] metrics counter, and returns the one-line stderr
+    warning for the driver to print. The outcome bytes themselves stay
+    identical to what the daemon would have served. *)
+val warn_fallback : socket:string -> unit -> string

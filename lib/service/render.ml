@@ -86,13 +86,19 @@ let run ?cache ?canonical ?(jobs = 1) ?fuel ?kernel ?(verify = true)
   let cells =
     Pool.run_list ~jobs
       [
-        (fun () -> `St (V.measure_single ?fuel ?kernel w));
+        (fun () ->
+          `St
+            (Obs.span ~cat:"stage" "req.simulate" (fun () ->
+                 V.measure_single ?fuel ?kernel w)));
         (fun () ->
           let a =
             V.compile_cached ?cache ~n_threads:threads ~coco ~verify
               ~canonical technique w
           in
-          `Mt (a, V.measure_artifact ?fuel ?kernel a));
+          `Mt
+            ( a,
+              Obs.span ~cat:"stage" "req.simulate" (fun () ->
+                  V.measure_artifact ?fuel ?kernel a) ));
       ]
   in
   let st, a, m =
@@ -137,10 +143,16 @@ let check ?cache ?canonical ?kernel ~technique ~coco ~threads (w : W.t) =
   let canonical =
     match canonical with Some c -> c | None -> Text.print w
   in
-  let key = V.fingerprint ~n_threads:threads ~coco technique ~canonical in
+  let key =
+    Obs.span ~cat:"stage" "req.fingerprint" (fun () ->
+        V.fingerprint ~n_threads:threads ~coco technique ~canonical)
+  in
   let verified_out = verified_out ~label ~threads in
   guarded (ref (if cache = None then "none" else "miss")) @@ fun () ->
-  match Option.bind cache (fun c -> Cache.find c key) with
+  match
+    Obs.span ~cat:"stage" "req.cache.lookup" (fun () ->
+        Option.bind cache (fun c -> Cache.find c key))
+  with
   | Some e ->
     {
       out =
@@ -150,7 +162,10 @@ let check ?cache ?canonical ?kernel ~technique ~coco ~threads (w : W.t) =
       cache_status = "hit";
     }
   | None ->
-    let c = V.compile ~n_threads:threads ~coco ~verify:false technique w in
+    let c =
+      Obs.span ~cat:"stage" "req.compile" (fun () ->
+          V.compile ~n_threads:threads ~coco ~verify:false technique w)
+    in
     let diags = V.verify_compiled c in
     let comm_sites = List.length c.V.plan.Gmt_mtcg.Mtcg.comms in
     if diags = [] then begin
@@ -188,8 +203,14 @@ let check ?cache ?canonical ?kernel ~technique ~coco ~threads (w : W.t) =
    lookup. Non-canonical text from a foreign client simply keys its own
    entry; the reply bytes are identical either way. *)
 let check_text ?cache ~technique ~coco ~threads text =
-  let key = V.fingerprint ~n_threads:threads ~coco technique ~canonical:text in
-  match Option.bind cache (fun c -> Cache.find c key) with
+  let key =
+    Obs.span ~cat:"stage" "req.fingerprint" (fun () ->
+        V.fingerprint ~n_threads:threads ~coco technique ~canonical:text)
+  in
+  match
+    Obs.span ~cat:"stage" "req.cache.lookup" (fun () ->
+        Option.bind cache (fun c -> Cache.find c key))
+  with
   | Some e ->
     let label =
       Printf.sprintf "%s/%s" e.Cache.w_name
@@ -219,8 +240,10 @@ let check_text ?cache ~technique ~coco ~threads text =
 let sweep ?(jobs = 1) ?fuel ?kernel ~max_threads (w : W.t) =
   guarded (ref "none") @@ fun () ->
   let train =
-    Gmt_machine.Interp.run ?fuel ?engine:kernel ~init_regs:w.W.train.W.regs
-      ~init_mem:w.W.train.W.mem w.W.func ~mem_size:w.W.mem_size
+    Obs.span ~cat:"stage" "req.simulate" (fun () ->
+        Gmt_machine.Interp.run ?fuel ?engine:kernel
+          ~init_regs:w.W.train.W.regs ~init_mem:w.W.train.W.mem w.W.func
+          ~mem_size:w.W.mem_size)
   in
   if train.Gmt_machine.Interp.fuel_exhausted then
     raise (Timeout (w.W.name ^ "/train"));

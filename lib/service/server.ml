@@ -4,6 +4,11 @@ module Cache = Gmt_cache.Cache
 module Pool = Gmt_parallel.Pool
 module Text = Gmt_frontend.Text
 module V = Gmt_core.Velocity
+module Registry = Gmt_telemetry.Registry
+module Histogram = Gmt_telemetry.Histogram
+module Rolling = Gmt_telemetry.Rolling
+module Events = Gmt_telemetry.Events
+module Trace = Gmt_telemetry.Trace
 
 type config = {
   socket : string;
@@ -12,6 +17,7 @@ type config = {
   mem_capacity : int;
   queue_bound : int;
   fuel_cap : int option;
+  telemetry : bool;
 }
 
 let default_config ~socket =
@@ -22,7 +28,67 @@ let default_config ~socket =
     mem_capacity = 128;
     queue_bound = 64;
     fuel_cap = None;
+    telemetry = true;
   }
+
+(* Every instrument the request path touches, resolved once at startup —
+   the hot path never does a registry (table) lookup. Histogram units
+   are microseconds. *)
+type instruments = {
+  reg : Registry.t;
+  c_requests : Registry.counter;
+  c_errors : Registry.counter;
+  c_busy : Registry.counter;
+  c_timeouts : Registry.counter;
+  c_hits : Registry.counter;
+  c_misses : Registry.counter;
+  c_traced : Registry.counter;
+  g_in_flight : Registry.gauge;
+  w_hits : Rolling.t;
+  w_misses : Rolling.t;
+  w_busy : Rolling.t;
+  w_timeouts : Rolling.t;
+  w_in_flight_peak : Rolling.t;
+  op_hists : (string * Histogram.t) array;
+  stage_hists : (string * Histogram.t) array;
+}
+
+let make_instruments () =
+  let reg = Registry.create () in
+  {
+    reg;
+    c_requests = Registry.counter reg "req.total";
+    c_errors = Registry.counter reg "req.errors";
+    c_busy = Registry.counter reg "req.busy";
+    c_timeouts = Registry.counter reg "req.fuel_timeouts";
+    c_hits = Registry.counter reg "req.cache.hits";
+    c_misses = Registry.counter reg "req.cache.misses";
+    c_traced = Registry.counter reg "req.traced";
+    g_in_flight = Registry.gauge reg "in_flight";
+    w_hits = Registry.window reg Rolling.Sum "win.cache.hits";
+    w_misses = Registry.window reg Rolling.Sum "win.cache.misses";
+    w_busy = Registry.window reg Rolling.Sum "win.busy";
+    w_timeouts = Registry.window reg Rolling.Sum "win.fuel_timeouts";
+    w_in_flight_peak = Registry.window reg Rolling.Peak "win.in_flight.peak";
+    op_hists =
+      Array.map
+        (fun op -> (op, Registry.histogram reg ("latency." ^ op)))
+        [| "run"; "check"; "sweep" |];
+    stage_hists =
+      Array.map
+        (fun s -> (s, Registry.histogram reg ("stage." ^ s)))
+        Trace.stage_names;
+  }
+
+let assoc_find key arr =
+  let n = Array.length arr in
+  let rec go i =
+    if i >= n then None
+    else
+      let k, v = arr.(i) in
+      if String.equal k key then Some v else go (i + 1)
+  in
+  go 0
 
 type t = {
   cfg : config;
@@ -31,11 +97,14 @@ type t = {
   listen_fd : Unix.file_descr;
   stop_flag : bool Atomic.t;
   in_flight : int Atomic.t;
+  ins : instruments option;
+  started : float;
   mutable accept_dom : unit Domain.t option;
 }
 
 let cache t = t.cache
 let socket t = t.cfg.socket
+let registry t = Option.map (fun i -> i.reg) t.ins
 
 (* ----------------------------- replies ----------------------------- *)
 
@@ -85,8 +154,31 @@ let technique_of_name = function
    [sweep] simulate and must parse regardless, but still key the cache
    on the received bytes. *)
 let compile_request t j payload op =
-  let gmt =
-    if payload <> "" then Some payload else Proto.str_field j "gmt"
+  let gmt, fuel, kernel =
+    Obs.span ~cat:"stage" "req.decode" (fun () ->
+        let gmt =
+          if payload <> "" then Some payload else Proto.str_field j "gmt"
+        in
+        let fuel = effective_fuel t.cfg (Proto.int_field j "fuel") in
+        (* Engine selection rides along on run/sweep requests; absent
+           means the engine default (jit). Replies are byte-identical
+           whichever engine runs — the field only exists so clients can
+           cross-check. *)
+        let kernel =
+          match Proto.str_field j "kernel" with
+          | None -> Ok None
+          | Some name -> (
+            match Gmt_machine.Sim.kernel_of_string name with
+            | Some k -> Ok (Some k)
+            | None ->
+              Error
+                (outcome_err ~code:Render.exit_unknown
+                   (Printf.sprintf
+                      "gmtc: unknown kernel %S (known: jit, decoded, \
+                       legacy)\n"
+                      name)))
+        in
+        (gmt, fuel, kernel))
   in
   match gmt with
   | None -> outcome_err ~code:Render.exit_parse "gmtc: request lacks GMT-IR\n"
@@ -98,23 +190,6 @@ let compile_request t j payload op =
           (outcome_err ~code:Render.exit_parse
              (Printf.sprintf "gmtc: %s\n" (Text.render_error e)))
       | Ok w -> Ok w
-    in
-    let fuel = effective_fuel t.cfg (Proto.int_field j "fuel") in
-    (* Engine selection rides along on run/sweep requests; absent means
-       the engine default (jit). Replies are byte-identical whichever
-       engine runs — the field only exists so clients can cross-check. *)
-    let kernel =
-      match Proto.str_field j "kernel" with
-      | None -> Ok None
-      | Some name -> (
-        match Gmt_machine.Sim.kernel_of_string name with
-        | Some k -> Ok (Some k)
-        | None ->
-          Error
-            (outcome_err ~code:Render.exit_unknown
-               (Printf.sprintf
-                  "gmtc: unknown kernel %S (known: jit, decoded, legacy)\n"
-                  name)))
     in
     match kernel with
     | Error o -> o
@@ -154,13 +229,16 @@ let compile_request t j payload op =
 
 let stats_json t =
   let s = Cache.stats t.cache in
+  let now = Unix.gettimeofday () in
   let n name v = (name, Json.Num (float_of_int v)) in
-  Json.Obj
+  let base =
     [
       ("ok", Json.Bool true);
       ("version", Json.Str Proto.version);
+      ("schema", Json.Str "gmtd-stats/2");
       n "jobs" t.cfg.jobs;
       n "in_flight" (Atomic.get t.in_flight);
+      ("uptime_s", Json.Num (now -. t.started));
       ( "cache",
         Json.Obj
           [
@@ -171,6 +249,48 @@ let stats_json t =
             n "corrupt" s.Cache.corrupt;
           ] );
     ]
+  in
+  let tele =
+    match t.ins with
+    | None -> [ ("telemetry", Json.Null) ]
+    | Some ins ->
+      [
+        ("telemetry", Registry.json ~now ins.reg);
+        ("prometheus", Json.Str (Registry.prometheus ~now ins.reg));
+        ("events", Json.Arr (List.map (fun l -> Json.Str l) (Events.recent ())));
+      ]
+  in
+  Json.Obj (base @ tele)
+
+(* Post-compile accounting: one histogram record per request and per
+   collected stage span, plus hit/miss/timeout counters and windows.
+   Everything here is lock-or-atomic on pre-resolved instruments. *)
+let account ins ~name ~t0 ~now (o : Render.outcome) spans =
+  Registry.incr ins.c_requests;
+  (match assoc_find name ins.op_hists with
+  | Some h -> Histogram.record h (int_of_float ((now -. t0) *. 1e6))
+  | None -> ());
+  List.iter
+    (fun (s : Obs.span) ->
+      match assoc_find s.Obs.name ins.stage_hists with
+      | Some h -> Histogram.record h (int_of_float s.Obs.dur_us)
+      | None -> ())
+    spans;
+  (match o.Render.cache_status with
+  | "hit" ->
+    Registry.incr ins.c_hits;
+    Rolling.add ins.w_hits ~now 1
+  | "miss" ->
+    Registry.incr ins.c_misses;
+    Rolling.add ins.w_misses ~now 1
+  | _ -> ());
+  if o.Render.code = Render.exit_timeout then begin
+    Registry.incr ins.c_timeouts;
+    Rolling.add ins.w_timeouts ~now 1;
+    Events.emit ~severity:Events.Warn ~kind:"server.fuel_timeout"
+      [ ("op", Json.Str name); ("err", Json.Str o.Render.err) ]
+  end;
+  if o.Render.code <> 0 then Registry.incr ins.c_errors
 
 let handle_request t j payload =
   match Proto.str_field j "op" with
@@ -189,11 +309,54 @@ let handle_request t j payload =
       | "check" -> `Check
       | _ -> `Sweep
     in
-    let o =
-      Obs.span ~cat:"service" ("serve." ^ name) (fun () ->
-          compile_request t j payload op)
+    let trace_id = Proto.str_field j "trace_id" in
+    let t0 = Unix.gettimeofday () in
+    (match t.ins with
+    | Some ins ->
+      Registry.set_gauge ins.g_in_flight (Atomic.get t.in_flight);
+      Rolling.add ins.w_in_flight_peak ~now:t0 (Atomic.get t.in_flight);
+      if trace_id <> None then Registry.incr ins.c_traced
+    | None -> ());
+    let serve_args =
+      match trace_id with
+      | Some id -> [ ("trace_id", Obs.S id) ]
+      | None -> []
     in
-    outcome_json o
+    (* Collect the request's span tree when either consumer wants it:
+       the stage histograms (telemetry on) or a traced client. [Render]
+       is always called with [~jobs:1], so every inner span completes on
+       this domain and lands in the collector. *)
+    let (o, reply), spans =
+      if t.ins <> None || trace_id <> None then
+        Obs.collect (fun () ->
+            let o =
+              Obs.span ~cat:"service" ~args:serve_args ("serve." ^ name)
+                (fun () -> compile_request t j payload op)
+            in
+            let reply =
+              Obs.span ~cat:"stage" "req.encode" (fun () -> outcome_json o)
+            in
+            (o, reply))
+      else
+        let o =
+          Obs.span ~cat:"service" ("serve." ^ name) (fun () ->
+              compile_request t j payload op)
+        in
+        ((o, outcome_json o), [])
+    in
+    let now = Unix.gettimeofday () in
+    (match t.ins with
+    | Some ins -> account ins ~name ~t0 ~now o spans
+    | None -> ());
+    (match (trace_id, reply) with
+    | Some id, Json.Obj fields ->
+      Json.Obj
+        (fields
+        @ [
+            ("trace_id", Json.Str id);
+            ("spans", Trace.spans_to_json spans);
+          ])
+    | _ -> reply)
   | Some op -> error_json (Printf.sprintf "gmtd: unknown op %S" op)
   | None -> error_json "gmtd: request lacks an \"op\" field"
 
@@ -208,11 +371,20 @@ let handle_conn t fd =
   let rec loop () =
     match Proto.read_frame fd with
     | Error `Eof -> ()
-    | Error (`Malformed msg) -> send fd (error_json ("gmtd: " ^ msg))
+    | Error (`Malformed msg) ->
+      if t.ins <> None then
+        Events.emit ~severity:Events.Warn ~kind:"server.malformed"
+          [ ("err", Json.Str msg) ];
+      send fd (error_json ("gmtd: " ^ msg))
     | Ok (j, payload) ->
       let reply =
         try handle_request t j payload
-        with e -> error_json ("gmtd: internal error: " ^ Printexc.to_string e)
+        with e ->
+          let msg = Printexc.to_string e in
+          if t.ins <> None then
+            Events.emit ~severity:Events.Error ~kind:"server.internal_error"
+              [ ("err", Json.Str msg) ];
+          error_json ("gmtd: internal error: " ^ msg)
       in
       send fd reply;
       loop ()
@@ -236,6 +408,16 @@ let accept_loop t =
           then begin
             (* Over the bound: an explicit busy reply, never a hang. *)
             Atomic.decr t.in_flight;
+            (match t.ins with
+            | Some ins ->
+              Registry.incr ins.c_busy;
+              Rolling.add ins.w_busy ~now:(Unix.gettimeofday ()) 1;
+              Events.emit ~severity:Events.Warn ~kind:"server.busy"
+                [
+                  ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight)));
+                  ("queue_bound", Json.Num (float_of_int t.cfg.queue_bound));
+                ]
+            | None -> ());
             send fd busy_json;
             try Unix.close fd with _ -> ()
           end
@@ -245,7 +427,12 @@ let accept_loop t =
                    Fun.protect
                      ~finally:(fun () ->
                        (try Unix.close fd with _ -> ());
-                       Atomic.decr t.in_flight)
+                       Atomic.decr t.in_flight;
+                       match t.ins with
+                       | Some ins ->
+                         Registry.set_gauge ins.g_in_flight
+                           (Atomic.get t.in_flight)
+                       | None -> ())
                      (fun () -> handle_conn t fd)))));
       go ()
     end
@@ -279,6 +466,7 @@ let start cfg =
    with e ->
      (try Unix.close listen_fd with _ -> ());
      raise e);
+  let ins = if cfg.telemetry then Some (make_instruments ()) else None in
   let t =
     {
       cfg;
@@ -287,9 +475,17 @@ let start cfg =
       listen_fd;
       stop_flag = Atomic.make false;
       in_flight = Atomic.make 0;
+      ins;
+      started = Unix.gettimeofday ();
       accept_dom = None;
     }
   in
+  if cfg.telemetry then
+    Events.emit ~kind:"server.start"
+      [
+        ("socket", Json.Str cfg.socket);
+        ("jobs", Json.Num (float_of_int cfg.jobs));
+      ];
   t.accept_dom <- Some (Domain.spawn (fun () -> accept_loop t));
   t
 
@@ -298,10 +494,14 @@ let request_stop t = Atomic.set t.stop_flag true
 let join t =
   (match t.accept_dom with
   | Some d ->
+    if t.ins <> None then
+      Events.emit ~kind:"server.drain"
+        [ ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight))) ];
     Domain.join d;
     t.accept_dom <- None
   | None -> ());
-  Pool.shutdown t.pool
+  Pool.shutdown t.pool;
+  if t.ins <> None then Events.emit ~kind:"server.stop" []
 
 let stop t =
   request_stop t;

@@ -31,10 +31,15 @@ type config = {
   fuel_cap : int option;
       (** server-side ceiling on per-request simulation fuel; a request's
           own fuel is clamped to this *)
+  telemetry : bool;
+      (** maintain the in-process stats plane (latency histograms,
+          rolling windows, events) and per-stage span aggregation; off
+          turns every instrument into a no-op — the A/B the bench
+          harness uses to price the plane *)
 }
 
 (** [jobs = Pool.default_jobs ()], no disk store, capacity 128, bound 64,
-    no fuel cap. *)
+    no fuel cap, telemetry on. *)
 val default_config : socket:string -> config
 
 type t
@@ -50,6 +55,11 @@ val start : config -> t
 val cache : t -> Gmt_cache.Cache.t
 
 val socket : t -> string
+
+(** The live telemetry registry, [None] when [telemetry = false]. The
+    [stats] op renders exactly this registry; in-process consumers (the
+    bench harness, tests) can read it without a socket round-trip. *)
+val registry : t -> Gmt_telemetry.Registry.t option
 
 (** Ask the accept loop to stop. Returns immediately; pair with
     {!join}. Safe from a signal handler's continuation. *)

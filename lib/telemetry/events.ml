@@ -1,0 +1,105 @@
+module Json = Gmt_obs.Json
+
+type severity = Debug | Info | Warn | Error
+
+let severity_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let default_capacity = 256
+
+type state = {
+  mutable ring : string array;
+  mutable head : int; (* next write position *)
+  mutable len : int;
+  mutable sample_every : int;
+  mutable sink : (string -> unit) option;
+  seen : (string, int) Hashtbl.t; (* kind -> total emissions *)
+}
+
+let lock = Mutex.create ()
+
+let st =
+  {
+    ring = Array.make default_capacity "";
+    head = 0;
+    len = 0;
+    sample_every = 1;
+    sink = None;
+    seen = Hashtbl.create 16;
+  }
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let render ~ts ~severity ~kind fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"ts\":%.6f,\"severity\":" ts);
+  Buffer.add_string buf (Json.escape (severity_name severity));
+  Buffer.add_string buf ",\"kind\":";
+  Buffer.add_string buf (Json.escape kind);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Json.escape k);
+      Buffer.add_char buf ':';
+      Json.to_buffer buf v)
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let emit ?(severity = Info) ~kind fields =
+  let ts = Unix.gettimeofday () in
+  let sink, line =
+    locked (fun () ->
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt st.seen kind) in
+        Hashtbl.replace st.seen kind n;
+        let keep =
+          match severity with
+          | Warn | Error -> true
+          | Debug | Info -> (n - 1) mod st.sample_every = 0
+        in
+        if not keep then (None, None)
+        else begin
+          let line = render ~ts ~severity ~kind fields in
+          let cap = Array.length st.ring in
+          st.ring.(st.head) <- line;
+          st.head <- (st.head + 1) mod cap;
+          if st.len < cap then st.len <- st.len + 1;
+          (st.sink, Some line)
+        end)
+  in
+  match (sink, line) with
+  | Some f, Some l -> f l
+  | _ -> ()
+
+let set_sample_every n = locked (fun () -> st.sample_every <- max 1 n)
+
+let set_capacity n =
+  locked (fun () ->
+      st.ring <- Array.make (max 1 n) "";
+      st.head <- 0;
+      st.len <- 0)
+
+let recent () =
+  locked (fun () ->
+      let cap = Array.length st.ring in
+      List.init st.len (fun i ->
+          st.ring.((st.head - st.len + i + (2 * cap)) mod cap)))
+
+let emitted ~kind =
+  locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt st.seen kind))
+
+let set_sink s = locked (fun () -> st.sink <- s)
+
+let reset () =
+  locked (fun () ->
+      st.ring <- Array.make default_capacity "";
+      st.head <- 0;
+      st.len <- 0;
+      st.sample_every <- 1;
+      st.sink <- None;
+      Hashtbl.reset st.seen)

@@ -1,0 +1,52 @@
+type kind = Sum | Peak
+
+type t = {
+  lock : Mutex.t;
+  k : kind;
+  slot_s : float;
+  values : int array;
+  (* Epoch (absolute slot id) that last wrote each ring slot; a stale
+     epoch means the slot's value belongs to a window long gone. *)
+  epochs : int array;
+}
+
+let create ?(slots = 60) ?(slot_s = 1.0) k =
+  let slots = max 1 slots in
+  {
+    lock = Mutex.create ();
+    k;
+    slot_s = (if slot_s > 0.0 then slot_s else 1.0);
+    values = Array.make slots 0;
+    epochs = Array.make slots min_int;
+  }
+
+let kind t = t.k
+let window_s t = float_of_int (Array.length t.values) *. t.slot_s
+let slot_id t now = int_of_float (Float.max 0.0 now /. t.slot_s)
+
+let add t ~now v =
+  let id = slot_id t now in
+  let i = id mod Array.length t.values in
+  Mutex.lock t.lock;
+  if t.epochs.(i) <> id then begin
+    t.epochs.(i) <- id;
+    t.values.(i) <- 0
+  end;
+  (match t.k with
+  | Sum -> t.values.(i) <- t.values.(i) + v
+  | Peak -> if v > t.values.(i) then t.values.(i) <- v);
+  Mutex.unlock t.lock
+
+let total t ~now =
+  let id = slot_id t now in
+  let n = Array.length t.values in
+  Mutex.lock t.lock;
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if id - t.epochs.(i) < n && t.epochs.(i) <= id then
+      match t.k with
+      | Sum -> acc := !acc + t.values.(i)
+      | Peak -> if t.values.(i) > !acc then acc := t.values.(i)
+  done;
+  Mutex.unlock t.lock;
+  !acc

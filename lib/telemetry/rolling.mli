@@ -1,0 +1,35 @@
+(** Windowed rolling counters: "what happened in the last N seconds",
+    with zero steady-state allocation.
+
+    A counter is a ring of time slots. {!add} maps the caller-supplied
+    wall-clock to a slot (lazily zeroing slots whose epoch has passed)
+    and either accumulates ([Sum] — request counts, hit counts, busy
+    replies) or max-merges ([Peak] — in-flight depth, queue pressure)
+    into it. {!total} folds the slots still inside the window.
+
+    Time is always an argument, never read inside the module, so tests
+    drive the window deterministically and the hot path shares one
+    [Unix.gettimeofday] call across every counter it touches. All
+    operations are thread-safe (one mutex per counter) and
+    allocation-free after {!create}. *)
+
+type kind = Sum | Peak
+
+type t
+
+(** [create kind] — a window of [slots] slots (default 60) of [slot_s]
+    seconds each (default 1.0), so the default window is one minute. *)
+val create : ?slots:int -> ?slot_s:float -> kind -> t
+
+val kind : t -> kind
+
+(** Window length in seconds. *)
+val window_s : t -> float
+
+(** [add t ~now v] — fold [v] into the slot containing [now]. *)
+val add : t -> now:float -> int -> unit
+
+(** [total t ~now] — fold every slot still inside the window ending at
+    [now]: the sum for [Sum] counters, the max (0 when empty) for
+    [Peak]. *)
+val total : t -> now:float -> int

@@ -17,6 +17,7 @@ let () =
       ("frontend", Test_frontend.tests);
       ("verify", Test_verify.tests);
       ("opt", Test_opt.tests);
+      ("telemetry", Test_telemetry.tests);
       ("cache", Test_cache.tests);
       ("service", Test_service.tests);
     ]

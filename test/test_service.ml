@@ -11,6 +11,9 @@ module Render = Gmt_service.Render
 module Proto = Gmt_service.Proto
 module Cache = Gmt_cache.Cache
 module Json = Gmt_obs.Json
+module Obs = Gmt_obs.Obs
+module Trace = Gmt_telemetry.Trace
+module Registry = Gmt_telemetry.Registry
 module V = Gmt_core.Velocity
 module Text = Gmt_frontend.Text
 module Suite = Gmt_workloads.Suite
@@ -234,6 +237,199 @@ let test_fuel_cap () =
   in
   check_outcome "capped" offline o
 
+(* --------------------------- trace + stats ------------------------- *)
+
+(* A traced cold run round-trips its trace id through the wire protocol
+   and ships back the server's per-stage span set; adopting the reply
+   spans into a local collect scope stitches both halves into one valid
+   Chrome trace. *)
+let test_traced_request () =
+  with_server @@ fun srv ->
+  let socket = Server.socket srv in
+  let gmt = Text.print (workload "ks") in
+  let trace_id = Trace.genid () in
+  Alcotest.(check int) "trace id is 16 chars" 16 (String.length trace_id);
+  let req =
+    Client.traced ~parent_span:"remote.run" ~trace_id
+      (Client.run_request ~gmt ~technique:"gremio" ~coco:false ~threads:2 ())
+  in
+  (* Raw frame first: the id must come back verbatim with a span array. *)
+  let reply =
+    match Client.rpc ~socket req with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "traced rpc failed"
+  in
+  Alcotest.(check (option string))
+    "trace id round-trips" (Some trace_id)
+    (Proto.str_field reply "trace_id");
+  let spans =
+    match Json.member "spans" reply with
+    | Some arr -> Trace.spans_of_json arr
+    | None -> Alcotest.fail "traced reply lacks spans"
+  in
+  let stage_names =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (s : Obs.span) ->
+           if s.Obs.cat = "stage" then Some s.Obs.name else None)
+         spans)
+  in
+  (* A cold run covers the whole pipeline: decode, fingerprint, cache
+     lookup, compile, verify, simulate, encode. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 6 stages (got %s)"
+       (String.concat "," stage_names))
+    true
+    (List.length stage_names >= 6);
+  Array.iter
+    (fun name ->
+      Alcotest.(check bool) ("stage present: " ^ name) true
+        (List.mem name stage_names))
+    Trace.stage_names;
+  Alcotest.(check bool) "serve span present" true
+    (List.exists (fun (s : Obs.span) -> s.Obs.name = "serve.run") spans);
+  (* Stitch: a typed client call inside a collect scope adopts the
+     reply's spans next to the local round-trip span, and the resulting
+     Chrome trace is well-formed JSON with both halves. *)
+  Obs.enable_tracing ();
+  Fun.protect ~finally:Obs.reset @@ fun () ->
+  let (), collected =
+    Obs.collect (fun () ->
+        Obs.span ~cat:"client" "remote.run" (fun () ->
+            match Client.request ~socket (Client.traced ~trace_id req) with
+            | Ok _ -> ()
+            | Error _ -> Alcotest.fail "traced request failed"))
+  in
+  let names = List.map (fun (s : Obs.span) -> s.Obs.name) collected in
+  Alcotest.(check bool) "stitched: client span" true
+    (List.mem "remote.run" names);
+  Alcotest.(check bool) "stitched: server stage" true
+    (List.mem "req.cache.lookup" names);
+  match Json.parse (Obs.trace_json ()) with
+  | Ok j ->
+    let events =
+      match Json.member "traceEvents" j with
+      | Some (Json.Arr evs) -> evs
+      | _ -> Alcotest.fail "no traceEvents array"
+    in
+    let has name =
+      List.exists
+        (fun e -> Json.member "name" e = Some (Json.Str name))
+        events
+    in
+    Alcotest.(check bool) "perfetto: remote.run" true (has "remote.run");
+    Alcotest.(check bool) "perfetto: req.fingerprint" true
+      (has "req.fingerprint")
+  | Error e -> Alcotest.failf "stitched trace is not valid JSON: %s" e
+
+(* The stats/2 frame: schema tag, telemetry registry (counters +
+   latency histograms fed by the requests above), and a Prometheus text
+   block whose sample lines all carry the gmt_ prefix. *)
+let test_stats2_frame () =
+  with_server @@ fun srv ->
+  let socket = Server.socket srv in
+  let gmt = Text.print (workload "ks") in
+  let req =
+    Client.run_request ~gmt ~technique:"gremio" ~coco:false ~threads:2 ()
+  in
+  ignore (request_ok ~socket req);
+  ignore (request_ok ~socket req);
+  let j =
+    match Client.rpc ~socket Client.stats_request with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "stats rpc failed"
+  in
+  Alcotest.(check (option string))
+    "schema" (Some "gmtd-stats/2")
+    (Proto.str_field j "schema");
+  Alcotest.(check bool) "uptime present" true
+    (match Json.member "uptime_s" j with
+    | Some (Json.Num f) -> f >= 0.0
+    | _ -> false);
+  let tele =
+    match Json.member "telemetry" j with
+    | Some t -> t
+    | None -> Alcotest.fail "no telemetry section"
+  in
+  Alcotest.(check (option string))
+    "registry schema" (Some "gmt-telemetry/1")
+    (match Json.member "schema" tele with
+    | Some (Json.Str s) -> Some s
+    | _ -> None);
+  let counter name =
+    match Option.bind (Json.member "counters" tele) (Json.member name) with
+    | Some (Json.Num f) -> int_of_float f
+    | _ -> -1
+  in
+  Alcotest.(check int) "two requests counted" 2 (counter "req.total");
+  Alcotest.(check int) "one hit" 1 (counter "req.cache.hits");
+  Alcotest.(check int) "one miss" 1 (counter "req.cache.misses");
+  (match
+     Option.bind (Json.member "histograms" tele) (Json.member "latency.run")
+   with
+  | Some h ->
+    Alcotest.(check (option (float 0.001)))
+      "latency.run count" (Some 2.0)
+      (match Json.member "count" h with
+      | Some (Json.Num f) -> Some f
+      | _ -> None);
+    List.iter
+      (fun q ->
+        Alcotest.(check bool) (q ^ " present") true
+          (match Json.member q h with Some (Json.Num _) -> true | _ -> false))
+      [ "p50"; "p90"; "p99"; "mean" ]
+  | None -> Alcotest.fail "no latency.run histogram");
+  (* In-process view agrees with the wire view. *)
+  (match Server.registry srv with
+  | Some reg ->
+    (match Registry.find_histogram reg "latency.run" with
+    | Some h ->
+      Alcotest.(check int) "registry count" 2
+        (Gmt_telemetry.Histogram.count h)
+    | None -> Alcotest.fail "registry lacks latency.run")
+  | None -> Alcotest.fail "telemetry on but no registry");
+  match Json.member "prometheus" j with
+  | Some (Json.Str text) ->
+    Alcotest.(check bool) "prometheus non-empty" true (String.length text > 0);
+    List.iter
+      (fun l ->
+        if l <> "" && not (String.length l >= 6 && String.sub l 0 6 = "# TYPE")
+        then
+          Alcotest.(check bool) ("gmt_ prefix: " ^ l) true
+            (String.length l > 4 && String.sub l 0 4 = "gmt_"))
+      (String.split_on_char '\n' text)
+  | _ -> Alcotest.fail "no prometheus text"
+
+(* telemetry = false: no registry, stats degrades to counters, compile
+   replies stay identical. *)
+let test_telemetry_off () =
+  let w = workload "ks" in
+  let offline = Render.run ~jobs:1 ~technique:V.Gremio ~coco:false ~threads:2 w in
+  let cfg =
+    {
+      (Server.default_config ~socket:(fresh_socket ())) with
+      Server.jobs = 2;
+      telemetry = false;
+    }
+  in
+  let srv = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let socket = Server.socket srv in
+  Alcotest.(check bool) "no registry" true (Server.registry srv = None);
+  let gmt = Text.print w in
+  let o =
+    request_ok ~socket
+      (Client.run_request ~gmt ~technique:"gremio" ~coco:false ~threads:2 ())
+  in
+  check_outcome "telemetry-off reply" offline o;
+  match Client.rpc ~socket Client.stats_request with
+  | Ok j ->
+    Alcotest.(check bool) "telemetry null" true
+      (Json.member "telemetry" j = Some Json.Null);
+    Alcotest.(check bool) "no prometheus" true
+      (Json.member "prometheus" j = None)
+  | Error _ -> Alcotest.fail "stats rpc failed"
+
 (* ------------------------------ ping ------------------------------- *)
 
 let test_ping () =
@@ -255,5 +451,8 @@ let tests =
     Alcotest.test_case "malformed frame rejected" `Quick test_malformed_frame;
     Alcotest.test_case "fuel timeout" `Quick test_fuel_timeout;
     Alcotest.test_case "server fuel cap" `Quick test_fuel_cap;
+    Alcotest.test_case "traced request round-trip" `Quick test_traced_request;
+    Alcotest.test_case "stats/2 frame" `Quick test_stats2_frame;
+    Alcotest.test_case "telemetry off" `Quick test_telemetry_off;
     Alcotest.test_case "ping" `Quick test_ping;
   ]
