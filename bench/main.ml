@@ -332,6 +332,21 @@ let write_fig8_json rs kcells =
     List.concat_map
       (fun (r : row) ->
         let st = st_m r in
+        (* Static-analysis columns, once per workload: memory arcs the
+           absint disambiguator prunes from the PDG (the MT cells all
+           compile from that pruned PDG; the single-thread cell never
+           builds one, so it records 0) and the wall-clock of a full
+           lint pass. *)
+        let arcs_pruned =
+          Gmt_pdg.Pdg.mem_pruned
+            (Gmt_pdg.Pdg.build ~prune_mem:r.V.rw.W.mem_size r.V.rw.W.func)
+        in
+        let lint_ms =
+          let t0 = Unix.gettimeofday () in
+          ignore
+            (Gmt_analysis.Lint.run ~mem_size:r.V.rw.W.mem_size r.V.rw.W.func);
+          1e3 *. (Unix.gettimeofday () -. t0)
+        in
         List.map2
           (fun kind (t : V.timed) ->
             let m = t.V.metrics in
@@ -342,10 +357,13 @@ let write_fig8_json rs kcells =
             Printf.sprintf
               "    {\"bench\": %S, \"config\": %S, \"cycles\": %d, \
                \"dyn_instrs\": %d, \"comm_instrs\": %d, \"mem_syncs\": %d, \
+               \"arcs_pruned\": %d, \"lint_ms\": %.3f, \
                \"wall_s\": %.6f, \"sim_speedup\": %.4f, \
                \"passes_ms\": {%s}, \"stalls\": [%s], \"queue_peak\": {%s}%s}"
               r.V.rw.W.name (V.cell_name kind) m.V.cycles m.V.dyn_instrs
-              m.V.comm_instrs m.V.mem_syncs t.V.wall_s sim_speedup
+              m.V.comm_instrs m.V.mem_syncs
+              (match kind with V.Single -> 0 | V.Mt _ -> arcs_pruned)
+              lint_ms t.V.wall_s sim_speedup
               (passes_json t) (stalls_json m) (queue_peak_json m)
               (kernels_json r.V.rw.W.name (V.cell_name kind)))
           V.matrix_kinds
@@ -366,7 +384,7 @@ let write_fig8_json rs kcells =
   in
   let kgeo = kernel_geomean kcells in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gmt-bench-fig8/3\",\n";
+  Buffer.add_string buf "  \"schema\": \"gmt-bench-fig8/4\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" j);
   Buffer.add_string buf
     (Printf.sprintf "  \"kernel\": %S,\n" (kernel_name ()));
@@ -848,8 +866,8 @@ let bench_smoke path =
   | Error e -> fail "%s malformed: %s" path e
   | Ok j ->
     (match Json.member "schema" j with
-    | Some (Json.Str "gmt-bench-fig8/3") -> ()
-    | _ -> fail "%s lacks schema gmt-bench-fig8/3" path);
+    | Some (Json.Str "gmt-bench-fig8/4") -> ()
+    | _ -> fail "%s lacks schema gmt-bench-fig8/4" path);
     (match Json.member "kernel_geomean_speedup" j with
     | Some (Json.Num g) when g >= 5.0 -> ()
     | Some (Json.Num g) ->
@@ -870,7 +888,23 @@ let bench_smoke path =
         List.length (Suite.all ()) * List.length V.matrix_kinds
       in
       if List.length cs <> expected then
-        fail "%s has %d cells, want %d" path (List.length cs) expected
+        fail "%s has %d cells, want %d" path (List.length cs) expected;
+      (* The static disambiguator must actually bite: at least one MT
+         cell records pruned memory arcs, and every cell carries the
+         lint wall-clock column. *)
+      let total_pruned =
+        List.fold_left
+          (fun acc c ->
+            (match Json.member "lint_ms" c with
+            | Some (Json.Num _) -> ()
+            | _ -> fail "a cell lacks lint_ms");
+            match Json.member "arcs_pruned" c with
+            | Some (Json.Num n) -> acc +. n
+            | _ -> fail "a cell lacks arcs_pruned")
+          0.0 cs
+      in
+      if total_pruned <= 0.0 then
+        fail "no cell records a positive arcs_pruned"
     | _ -> fail "%s lacks a cells array" path));
   let w = Suite.find "ks" in
   let c = V.compile ~coco:true V.Gremio w in

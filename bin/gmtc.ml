@@ -7,8 +7,10 @@
      gmtc check ks -t dswp --coco      translation-validate the thread code
      gmtc run prog.gmt -t dswp --coco  compile, verify, simulate, report
      gmtc export ks                    print a kernel as textual GMT-IR
+     gmtc lint prog.gmt                static diagnostics (GL001..GL006)
      gmtc sweep ks --threads 4         communication across thread counts
      gmtc fuzz --seed 7 --count 20     differential-fuzz the pipeline
+     gmtc fuzz --lint --count 200      lint soundness vs checking interp
      gmtc serve --socket S --jobs 4    run the gmtd compile daemon
      gmtc remote run ks -t gremio      compile via the daemon (or fall
                                        back to local when none listens)
@@ -19,7 +21,8 @@
    Exit codes: 1 deadlock, 2 parse error in a .gmt file, 3 unknown
    benchmark/technique name, 4 translation validation rejected the
    generated code, 5 the --fuel budget ran out mid-simulation, 6 the
-   daemon refused the request as over its bound. *)
+   daemon refused the request as over its bound, 7 lint reported
+   findings. *)
 
 open Cmdliner
 module V = Gmt_core.Velocity
@@ -493,30 +496,200 @@ let export_cmd =
           (re-parseable by every other command).")
     Term.(const run $ bench_opt_arg $ all_arg $ out_arg)
 
+(* ------------------------------ lint ------------------------------ *)
+
+(* Findings present is its own exit code so scripts (and the corpus
+   gate) can tell "program has diagnostics" from parse errors (2) and
+   crashes (1). *)
+let lint_exit = 7
+
+module Lint = Gmt_analysis.Lint
+module Json = Gmt_obs.Json
+
+(* Like [resolve_workload], but also recover instruction positions:
+   straight from the parser for file inputs, and by re-parsing the
+   canonical export for suite kernels — the same text [gmtc export]
+   prints, so reported line:col point into it. *)
+let resolve_workload_pos name =
+  if is_file_input name then
+    match Text.load_pos name with
+    | Ok wp -> wp
+    | Error e ->
+      Printf.eprintf "gmtc: %s\n" (Text.render_error e);
+      exit parse_error_exit
+  else
+    match Suite.lookup name with
+    | Ok w -> (
+      match Text.parse_pos ~file:(name ^ ".gmt") (Text.print w) with
+      | Ok (_, pos) -> (w, pos)
+      | Error _ -> (w, fun _ -> None))
+    | Error msg ->
+      Printf.eprintf "gmtc: %s\n" msg;
+      exit unknown_name_exit
+
+let lint_cmd =
+  let run inputs json jobs =
+    let jobs = resolve_jobs jobs in
+    (* Resolve sequentially (I/O and error exits), analyze in parallel;
+       [run_list] preserves input order, so the report is byte-identical
+       for any --jobs. *)
+    let resolved =
+      List.map (fun input -> (input, resolve_workload_pos input)) inputs
+    in
+    let reports =
+      Gmt_parallel.Pool.run_list ~jobs
+        (List.map
+           (fun (input, ((w : W.t), pos)) () ->
+             (input, w, Lint.run ~mem_size:w.W.mem_size ~pos w.W.func))
+           resolved)
+    in
+    let total =
+      List.fold_left (fun n (_, _, fs) -> n + List.length fs) 0 reports
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.Str "gmt-lint/1");
+                ("ok", Json.Bool (total = 0));
+                ("findings", Json.Num (float_of_int total));
+                ( "programs",
+                  Json.Arr
+                    (List.map
+                       (fun (input, (w : W.t), fs) ->
+                         Json.Obj
+                           [
+                             ("input", Json.Str input);
+                             ("function", Json.Str w.W.func_name);
+                             ( "findings",
+                               Json.Arr
+                                 (List.map
+                                    (fun (f : Lint.finding) ->
+                                      Json.Obj
+                                        [
+                                          ("code", Json.Str f.Lint.code);
+                                          ( "id",
+                                            Json.Num
+                                              (float_of_int f.Lint.iid) );
+                                          ( "line",
+                                            Json.Num
+                                              (float_of_int f.Lint.line) );
+                                          ( "col",
+                                            Json.Num (float_of_int f.Lint.col)
+                                          );
+                                          ("message", Json.Str f.Lint.msg);
+                                        ])
+                                    fs) );
+                           ])
+                       reports) );
+              ]))
+    else
+      List.iter
+        (fun (input, _, fs) ->
+          if fs = [] then Printf.printf "%s: clean\n" input
+          else
+            List.iter
+              (fun f -> Printf.printf "%s:%s\n" input (Lint.render f))
+              fs)
+        reports;
+    if total > 0 then exit lint_exit
+  in
+  let inputs_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"INPUT"
+          ~doc:
+            "Programs to lint: benchmark kernel names, $(b,*.gmt) files, \
+             or $(b,-) for stdin.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the machine-readable gmt-lint/1 JSON report on stdout \
+             instead of one finding per line.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check programs with the abstract-interpretation \
+          framework: uninitialized reads (GL001), unreachable blocks \
+          (GL002), dead stores (GL003), provably out-of-bounds accesses \
+          (GL004), produce/consume imbalance (GL005) and stray \
+          communication (GL006). Exit 7 when any finding is reported; \
+          findings are sorted by (line, col, code) and independent of \
+          $(b,--jobs).")
+    Term.(const run $ inputs_arg $ json_arg $ jobs_arg)
+
 (* ------------------------------ fuzz ------------------------------ *)
 
 let fuzz_cmd =
-  let run files seed count inject fuel out_dir =
-    let report =
-      if files <> [] then
-        Fuzz.fuzz_workloads ?mutate:inject ~fuel ~out_dir
-          (List.map (fun f -> (f, resolve_workload f)) files)
-      else
-        Fuzz.fuzz_seeds ?mutate:inject ~fuel ~out_dir
-          ~seeds:(List.init count (fun i -> seed + i))
-          ()
-    in
-    print_endline (Fuzz.render_report report);
-    (* Without an injected mutation, any finding is a real disagreement
-       between the validator and the interpreter. With one, the harness
-       must catch it: a mutated program that sails through is the
-       failure. *)
-    let failed =
-      match inject with
-      | None -> report.Fuzz.findings <> []
-      | Some _ -> report.Fuzz.tested > 0 && report.Fuzz.findings = []
-    in
-    if failed then exit 1
+  let run files seed count lint inject fuel out_dir =
+    if lint then begin
+      (* Lint soundness mode: static findings vs the checking
+         interpreter, see Fuzz.lint_soundness. *)
+      let inject =
+        Option.map
+          (fun s ->
+            match Fuzz.lint_mutation_of_string s with
+            | Some m -> m
+            | None ->
+              Printf.eprintf
+                "gmtc: unknown lint mutation %S (known: drop-def, \
+                 oob-base, stray-produce)\n"
+                s;
+              exit unknown_name_exit)
+          inject
+      in
+      let report =
+        if files <> [] then
+          Fuzz.lint_workloads ?inject ~fuel
+            (List.map (fun f -> (f, resolve_workload f)) files)
+        else
+          Fuzz.lint_seeds ?inject ~fuel
+            ~seeds:(List.init count (fun i -> seed + i))
+            ()
+      in
+      print_endline (Fuzz.render_lint_report report);
+      if report.Fuzz.l_problems <> [] then exit 1
+    end
+    else begin
+      let inject =
+        Option.map
+          (fun s ->
+            match Fuzz.mutation_of_string s with
+            | Some m -> m
+            | None ->
+              Printf.eprintf
+                "gmtc: unknown mutation %S (known: drop-produce, \
+                 swap-branch)\n"
+                s;
+              exit unknown_name_exit)
+          inject
+      in
+      let report =
+        if files <> [] then
+          Fuzz.fuzz_workloads ?mutate:inject ~fuel ~out_dir
+            (List.map (fun f -> (f, resolve_workload f)) files)
+        else
+          Fuzz.fuzz_seeds ?mutate:inject ~fuel ~out_dir
+            ~seeds:(List.init count (fun i -> seed + i))
+            ()
+      in
+      print_endline (Fuzz.render_report report);
+      (* Without an injected mutation, any finding is a real disagreement
+         between the validator and the interpreter. With one, the harness
+         must catch it: a mutated program that sails through is the
+         failure. *)
+      let failed =
+        match inject with
+        | None -> report.Fuzz.findings <> []
+        | Some _ -> report.Fuzz.tested > 0 && report.Fuzz.findings = []
+      in
+      if failed then exit 1
+    end
   in
   let files_arg =
     Arg.(
@@ -550,6 +723,30 @@ let fuzz_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Directory for minimized $(b,.gmt) counterexample repros.")
   in
+  let lint_flag_arg =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Lint soundness mode: run each program under the checking \
+             interpreter and assert every trap is covered by a lint \
+             finding, every computed address lies in its abstract \
+             interval, and statically-disjoint access pairs never share \
+             a dynamic address. With $(b,--inject) ($(b,drop-def), \
+             $(b,oob-base), $(b,stray-produce)), instead seed that bug \
+             class and assert the matching lint code fires.")
+  in
+  let fuzz_inject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"MUTATION"
+          ~doc:
+            "Seed a known bug and assert the harness catches it: \
+             $(b,drop-produce) or $(b,swap-branch) into the generated \
+             thread code, or (with $(b,--lint)) $(b,drop-def), \
+             $(b,oob-base) or $(b,stray-produce) into the source.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -557,10 +754,11 @@ let fuzz_cmd =
           (GREMIO/DSWP x ±COCO), cross-check the translation validator's \
           verdict against MT-interpreter equivalence with the \
           single-threaded oracle, and write shrunk $(b,.gmt) repros for \
-          any disagreement.")
+          any disagreement. With $(b,--lint), check the static linter's \
+          soundness against the checking interpreter instead.")
     Term.(
-      const run $ files_arg $ seed_arg $ count_arg $ inject_arg $ fuel_arg
-      $ out_dir_arg)
+      const run $ files_arg $ seed_arg $ count_arg $ lint_flag_arg
+      $ fuzz_inject_arg $ fuel_arg $ out_dir_arg)
 
 (* ------------------------------ serve ----------------------------- *)
 
@@ -763,7 +961,6 @@ let remote_ping_cmd =
 
 (* ------------------------- stats rendering ------------------------- *)
 
-module Json = Gmt_obs.Json
 
 let jmember k j = Json.member k j
 
@@ -953,5 +1150,5 @@ let () =
        (Cmd.group
           (Cmd.info "gmtc" ~version:"1.0.0" ~doc)
           [ list_cmd; show_cmd; pdg_cmd; compile_cmd; check_cmd; run_cmd;
-            sweep_cmd; dot_cmd; export_cmd; fuzz_cmd; serve_cmd; remote_cmd;
-            top_cmd ]))
+            sweep_cmd; dot_cmd; export_cmd; lint_cmd; fuzz_cmd; serve_cmd;
+            remote_cmd; top_cmd ]))

@@ -1,0 +1,433 @@
+type bound = Ninf | Fin of int | Pinf
+type t = Bot | Iv of bound * bound
+
+(* Concrete int arithmetic wraps (two's complement), so a bound
+   computation that overflows the OCaml int range cannot be saturated to
+   infinity on one side only — the wrapped concrete result may land
+   anywhere. [Wrap] aborts the transfer to [top]. *)
+exception Wrap
+
+let cmp_bound a b =
+  match (a, b) with
+  | Ninf, Ninf | Pinf, Pinf -> 0
+  | Ninf, _ | _, Pinf -> -1
+  | Pinf, _ | _, Ninf -> 1
+  | Fin x, Fin y -> compare x y
+
+let min_bound a b = if cmp_bound a b <= 0 then a else b
+let max_bound a b = if cmp_bound a b >= 0 then a else b
+let bot = Bot
+let top = Iv (Ninf, Pinf)
+let const k = Iv (Fin k, Fin k)
+
+let make lo hi =
+  match (lo, hi) with
+  | Pinf, _ | _, Ninf -> Bot
+  | _ -> if cmp_bound lo hi > 0 then Bot else Iv (lo, hi)
+
+let range lo hi = make (Fin lo) (Fin hi)
+let is_bot t = t = Bot
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Iv (l1, h1), Iv (l2, h2) -> cmp_bound l1 l2 = 0 && cmp_bound h1 h2 = 0
+  | _ -> false
+
+let lo = function Bot -> Pinf | Iv (l, _) -> l
+let hi = function Bot -> Ninf | Iv (_, h) -> h
+
+let singleton = function
+  | Iv (Fin a, Fin b) when a = b -> Some a
+  | _ -> None
+
+let mem k = function
+  | Bot -> false
+  | Iv (l, h) -> cmp_bound l (Fin k) <= 0 && cmp_bound (Fin k) h <= 0
+
+let subset a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | Iv (l1, h1), Iv (l2, h2) -> cmp_bound l2 l1 <= 0 && cmp_bound h1 h2 <= 0
+
+let join a b =
+  match (a, b) with
+  | Bot, t | t, Bot -> t
+  | Iv (l1, h1), Iv (l2, h2) -> Iv (min_bound l1 l2, max_bound h1 h2)
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (l1, h1), Iv (l2, h2) -> make (max_bound l1 l2) (min_bound h1 h2)
+
+let widen old next =
+  match (old, next) with
+  | Bot, t | t, Bot -> t
+  | Iv (l1, h1), Iv (l2, h2) ->
+    let l = if cmp_bound l2 l1 < 0 then Ninf else l1 in
+    let h = if cmp_bound h2 h1 > 0 then Pinf else h1 in
+    Iv (l, h)
+
+let narrow old next =
+  match (old, next) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (l1, h1), Iv (l2, h2) ->
+    let l = if l1 = Ninf then l2 else l1 in
+    let h = if h1 = Pinf then h2 else h1 in
+    make l h
+
+let disjoint a b = is_bot (meet a b)
+
+(* ------------------------ bound arithmetic ------------------------- *)
+
+let add_checked a b =
+  let s = a + b in
+  if a >= 0 = (b >= 0) && s >= 0 <> (a >= 0) then raise Wrap else s
+
+let neg_checked a = if a = min_int then raise Wrap else -a
+
+let mul_checked a b =
+  if a = 0 || b = 0 then 0
+  else if a = min_int || b = min_int then raise Wrap
+  else
+    let p = a * b in
+    if p / b <> a then raise Wrap else p
+
+let add_bound a b =
+  match (a, b) with
+  | Ninf, Pinf | Pinf, Ninf -> invalid_arg "Itv.add_bound"
+  | Ninf, _ | _, Ninf -> Ninf
+  | Pinf, _ | _, Pinf -> Pinf
+  | Fin x, Fin y -> Fin (add_checked x y)
+
+let neg_bound = function
+  | Ninf -> Pinf
+  | Pinf -> Ninf
+  | Fin x -> Fin (neg_checked x)
+
+let mul_bound a b =
+  match (a, b) with
+  | Fin 0, _ | _, Fin 0 -> Fin 0
+  | Fin x, Fin y -> Fin (mul_checked x y)
+  | (Pinf | Ninf), (Pinf | Ninf) -> if a = b then Pinf else Ninf
+  | (Pinf | Ninf), Fin y -> if y > 0 then a else neg_bound a
+  | Fin x, (Pinf | Ninf) -> if x > 0 then b else neg_bound b
+
+(* Truncated division on bounds; infinite divisors drive quotients toward
+   zero, so 0 is the sound endpoint candidate. *)
+let div_bound a b =
+  match (a, b) with
+  | Fin x, Fin y ->
+    if y = 0 then invalid_arg "Itv.div_bound"
+    else if x = min_int && y = -1 then raise Wrap
+    else Fin (x / y)
+  | (Pinf | Ninf), (Pinf | Ninf) -> if a = b then Pinf else Ninf
+  | (Pinf | Ninf), Fin y -> if y > 0 then a else neg_bound a
+  | Fin _, (Pinf | Ninf) -> Fin 0
+
+(* An infinite bound is a stand-in for a concrete extreme the analysis
+   lost track of, so overflow checks must use the concrete extremes: with
+   [hi = Pinf] the operand may be [max_int], and [max_int + 1] wraps even
+   though [Pinf + Fin 1] saturates happily. *)
+let conc = function Ninf -> min_int | Pinf -> max_int | Fin x -> x
+
+let bounds4 f al ah bl bh =
+  let c1 = f al bl and c2 = f al bh and c3 = f ah bl and c4 = f ah bh in
+  Iv
+    ( min_bound (min_bound c1 c2) (min_bound c3 c4),
+      max_bound (max_bound c1 c2) (max_bound c3 c4) )
+
+(* ------------------------ interval transfer ------------------------ *)
+
+let lift2 f a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (al, ah), Iv (bl, bh) -> ( try f al ah bl bh with Wrap -> top)
+
+(* Sums over a box are extreme at (lo+lo, hi+hi); if neither concrete
+   corner wraps, no interior sum does. *)
+let add =
+  lift2 (fun al ah bl bh ->
+      ignore (add_checked (conc al) (conc bl));
+      ignore (add_checked (conc ah) (conc bh));
+      Iv (add_bound al bl, add_bound ah bh))
+
+let neg = function
+  | Bot -> Bot
+  | Iv (l, h) ->
+    (* min_int negates to itself, far outside [-hi, -lo]; any interval
+       that may contain it goes to top. *)
+    if cmp_bound l (Fin min_int) <= 0 then top
+    else Iv (neg_bound h, neg_bound l)
+
+let sub a b = match b with Bot -> Bot | _ -> add a (neg b)
+
+(* Products are extreme at the four corners; checking the concrete
+   corners covers every interior product. *)
+let mul =
+  lift2 (fun al ah bl bh ->
+      ignore (mul_checked (conc al) (conc bl));
+      ignore (mul_checked (conc al) (conc bh));
+      ignore (mul_checked (conc ah) (conc bl));
+      ignore (mul_checked (conc ah) (conc bh));
+      bounds4 mul_bound al ah bl bh)
+
+let add_const k t =
+  match t with
+  | Bot -> Bot
+  | Iv (l, h) -> (
+    try
+      ignore (add_checked (conc l) k);
+      ignore (add_checked (conc h) k);
+      Iv (add_bound l (Fin k), add_bound h (Fin k))
+    with Wrap -> top)
+
+(* Division by a divisor interval of constant sign (no zero inside). *)
+let div_nonzero a b =
+  lift2 (fun al ah bl bh -> bounds4 div_bound al ah bl bh) a b
+
+let div a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ ->
+    (* min_int / -1 is the one wrapping quotient. *)
+    if mem min_int a && mem (-1) b then top
+    else
+      (* eval_binop: division by zero yields 0. *)
+      let zero = if mem 0 b then const 0 else Bot in
+      let pos = div_nonzero a (meet b (make (Fin 1) Pinf)) in
+      let neg_part = div_nonzero a (meet b (make Ninf (Fin (-1)))) in
+      join zero (join pos neg_part)
+
+let abs_hi_bound = function
+  | Ninf | Pinf -> Pinf
+  | Fin x -> if x = min_int then Pinf else Fin (abs x)
+
+let rem a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (al, ah), Iv (bl, bh) ->
+    (* |a mod b| < |b| and |a mod b| <= |a|; the sign follows a. *)
+    let mag =
+      match max_bound (abs_hi_bound bl) (abs_hi_bound bh) with
+      | Fin m -> Fin (max 0 (m - 1))
+      | b -> b
+    in
+    let h = if cmp_bound ah (Fin 0) <= 0 then Fin 0 else min_bound mag ah in
+    let l =
+      if cmp_bound al (Fin 0) >= 0 then Fin 0 else max_bound (neg_bound mag) al
+    in
+    let body = make l h in
+    if mem 0 b then join (const 0) body else body
+
+let nonneg = function Bot -> true | Iv (l, _) -> cmp_bound (Fin 0) l <= 0
+
+(* Saturating add for bounds of results that provably cannot wrap (e.g.
+   [lor] of non-negative ints fits an int, only the bound may not). *)
+let add_bound_sat a b = try add_bound a b with Wrap -> Pinf
+
+let band a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    match (singleton a, singleton b) with
+    | Some x, Some y -> const (x land y)
+    | _ ->
+      (* x >= 0 implies 0 <= x land y <= x, for any y. *)
+      let h =
+        match (nonneg a, nonneg b) with
+        | true, true -> Some (min_bound (hi a) (hi b))
+        | true, false -> Some (hi a)
+        | false, true -> Some (hi b)
+        | false, false -> None
+      in
+      (match h with Some h -> make (Fin 0) h | None -> top))
+
+let bor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    match (singleton a, singleton b) with
+    | Some x, Some y -> const (x lor y)
+    | _ ->
+      if nonneg a && nonneg b then
+        (* max a b <= a lor b <= a + b for non-negative a, b. *)
+        make (max_bound (lo a) (lo b)) (add_bound_sat (hi a) (hi b))
+      else top)
+
+let bxor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    match (singleton a, singleton b) with
+    | Some x, Some y -> const (x lxor y)
+    | _ ->
+      if nonneg a && nonneg b then
+        (* 0 <= a lxor b <= a + b for non-negative a, b. *)
+        make (Fin 0) (add_bound_sat (hi a) (hi b))
+      else top)
+
+let word_bits = Gmt_ir.Instr.word_bits
+let reduce_shift k = ((k mod word_bits) + word_bits) mod word_bits
+
+(* The effective shift amount interval: eval_binop reduces shifts to
+   [0, word_bits). *)
+let shift_amount b =
+  match singleton b with
+  | Some k -> const (reduce_shift k)
+  | None ->
+    if subset b (range 0 (word_bits - 1)) then b else range 0 (word_bits - 1)
+
+let shl a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    let k = shift_amount b in
+    match (singleton a, singleton k) with
+    | Some x, Some n -> const (x lsl n)
+    | _ -> (
+      match (a, k) with
+      | Iv (Fin al, Fin ah), Iv (Fin kl, Fin kh)
+        when al >= 0 && kh < word_bits - 2 -> (
+        (* Monotone in both for non-negative a; bail to top if the
+           largest product would wrap. *)
+        try range (mul_checked al (1 lsl kl)) (mul_checked ah (1 lsl kh))
+        with Wrap -> top)
+      | _ -> top))
+
+let shr a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (al, ah), _ -> (
+    match shift_amount b with
+    | Iv (Fin kl, Fin kh) ->
+      (* asr is monotone in the operand and drives it toward zero in the
+         amount: the four endpoint shifts bound every result. *)
+      let sb bound n =
+        match bound with Ninf -> Ninf | Pinf -> Pinf | Fin x -> Fin (x asr n)
+      in
+      let c1 = sb al kl and c2 = sb al kh and c3 = sb ah kl and c4 = sb ah kh in
+      Iv
+        ( min_bound (min_bound c1 c2) (min_bound c3 c4),
+          max_bound (max_bound c1 c2) (max_bound c3 c4) )
+    | _ -> assert false)
+
+(* Comparisons: 0/1 valued, decided when the operand ranges separate. *)
+let cmp_itv ~always ~never a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> if always a b then const 1 else if never a b then const 0 else range 0 1
+
+let lt_always a b = cmp_bound (hi a) (lo b) < 0
+let le_always a b = cmp_bound (hi a) (lo b) <= 0
+
+let eq_itv a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    match (singleton a, singleton b) with
+    | Some x, Some y -> const (if x = y then 1 else 0)
+    | _ -> if disjoint a b then const 0 else range 0 1)
+
+let ne_itv a b =
+  match eq_itv a b with
+  | Bot -> Bot
+  | t -> (
+    match singleton t with Some k -> const (1 - k) | None -> range 0 1)
+
+let min_itv =
+  lift2 (fun al ah bl bh -> Iv (min_bound al bl, min_bound ah bh))
+
+let max_itv =
+  lift2 (fun al ah bl bh -> Iv (max_bound al bl, max_bound ah bh))
+
+let binop (op : Gmt_ir.Instr.binop) a b =
+  match op with
+  | Add | Fadd -> add a b
+  | Sub | Fsub -> sub a b
+  | Mul | Fmul -> mul a b
+  | Div | Fdiv -> div a b
+  | Rem -> rem a b
+  | And -> band a b
+  | Or -> bor a b
+  | Xor -> bxor a b
+  | Shl -> shl a b
+  | Shr -> shr a b
+  | Lt -> cmp_itv ~always:lt_always ~never:(fun a b -> le_always b a) a b
+  | Le -> cmp_itv ~always:le_always ~never:(fun a b -> lt_always b a) a b
+  | Gt -> cmp_itv ~always:(fun a b -> lt_always b a) ~never:le_always a b
+  | Ge -> cmp_itv ~always:(fun a b -> le_always b a) ~never:lt_always a b
+  | Eq -> eq_itv a b
+  | Ne -> ne_itv a b
+  | Min | Fmin -> min_itv a b
+  | Max | Fmax -> max_itv a b
+
+let lnot_itv = function
+  | Bot -> Bot
+  | Iv (l, h) ->
+    (* lnot x = -x - 1, total and overflow-free. *)
+    let f = function
+      | Ninf -> Pinf
+      | Pinf -> Ninf
+      | Fin x -> Fin (lnot x)
+    in
+    Iv (f h, f l)
+
+let abs_itv t =
+  match t with
+  | Bot -> Bot
+  | Iv (l, h) ->
+    if cmp_bound l (Fin min_int) <= 0 then
+      (* abs min_int wraps to min_int; give up rather than special-case. *)
+      top
+    else if cmp_bound (Fin 0) l <= 0 then t
+    else if cmp_bound h (Fin 0) <= 0 then neg t
+    else make (Fin 0) (max_bound (neg_bound l) h)
+
+let isqrt_concrete a = if a <= 0 then 0 else int_of_float (sqrt (float_of_int a))
+
+let fsqrt_itv t =
+  match t with
+  | Bot -> Bot
+  | Iv (l, h) ->
+    (* eval_unop: non-positive inputs yield 0; +/-1 of slack absorbs any
+       float rounding in the concrete formula. *)
+    let h' =
+      match h with
+      | Pinf -> Pinf
+      | Ninf -> Fin 0
+      | Fin x -> Fin (isqrt_concrete x + 1)
+    in
+    let l' =
+      match l with
+      | Fin x when x > 0 -> Fin (max 0 (isqrt_concrete x - 1))
+      | _ -> Fin 0
+    in
+    make l' h'
+
+let unop (op : Gmt_ir.Instr.unop) t =
+  match op with
+  | Neg | Fneg -> neg t
+  | Not -> lnot_itv t
+  | Abs -> abs_itv t
+  | Fsqrt -> fsqrt_itv t
+
+let remove_zero t =
+  match t with
+  | Bot -> Bot
+  | Iv (Fin 0, Fin 0) -> Bot
+  | Iv (Fin 0, h) -> make (Fin 1) h
+  | Iv (l, Fin 0) -> make l (Fin (-1))
+  | _ -> t
+
+let pp_bound ppf = function
+  | Ninf -> Format.pp_print_string ppf "-inf"
+  | Pinf -> Format.pp_print_string ppf "+inf"
+  | Fin x -> Format.pp_print_int ppf x
+
+let pp ppf = function
+  | Bot -> Format.pp_print_string ppf "_|_"
+  | Iv (l, h) -> Format.fprintf ppf "[%a, %a]" pp_bound l pp_bound h
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,70 @@
+(** Integer intervals with infinite bounds — the base numeric domain of
+    the abstract interpreter ({!Absint}).
+
+    Every transfer function mirrors the concrete semantics of
+    {!Gmt_ir.Instr.eval_binop} / {!Gmt_ir.Instr.eval_unop} exactly,
+    including the total-function conventions ([div]/[rem] by zero yield 0,
+    shift amounts are reduced mod the word size, comparisons yield 0/1).
+    Arithmetic on bounds saturates to infinity instead of wrapping, so an
+    interval always over-approximates the set of concrete OCaml-int
+    results. *)
+
+(** An interval bound: minus infinity, a finite value, or plus infinity. *)
+type bound = Ninf | Fin of int | Pinf
+
+type t
+
+val bot : t
+val top : t
+val const : int -> t
+
+(** [make lo hi] — the interval [[lo, hi]]; [bot] when [lo > hi]. *)
+val make : bound -> bound -> t
+
+val range : int -> int -> t
+val is_bot : t -> bool
+val equal : t -> t -> bool
+val lo : t -> bound
+val hi : t -> bound
+
+(** [Some k] iff the interval is exactly [[k, k]]. *)
+val singleton : t -> int option
+
+(** Concrete membership. *)
+val mem : int -> t -> bool
+
+(** [subset a b] — every member of [a] is a member of [b]. *)
+val subset : t -> t -> bool
+
+val join : t -> t -> t
+val meet : t -> t -> t
+
+(** [widen old next] — standard interval widening: a bound that grew
+    since [old] jumps to the corresponding infinity. *)
+val widen : t -> t -> t
+
+(** [narrow old next] — refine infinite bounds of [old] with the
+    corresponding bound of [next]; finite bounds are kept. *)
+val narrow : t -> t -> t
+
+(** Forward transfer of a binary operator; sound w.r.t.
+    [Instr.eval_binop]. *)
+val binop : Gmt_ir.Instr.binop -> t -> t -> t
+
+(** Forward transfer of a unary operator; sound w.r.t.
+    [Instr.eval_unop]. *)
+val unop : Gmt_ir.Instr.unop -> t -> t
+
+(** [add_const k t] — translate by a compile-time constant. *)
+val add_const : int -> t -> t
+
+(** [remove_zero t] — best interval refinement of "value is non-zero"
+    (clips a zero endpoint; interior zeros cannot be expressed). *)
+val remove_zero : t -> t
+
+(** [disjoint a b] — no concrete value lies in both ([bot] is disjoint
+    from everything). *)
+val disjoint : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

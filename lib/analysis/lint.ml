@@ -1,0 +1,137 @@
+open Gmt_ir
+
+type finding = { code : string; iid : int; line : int; col : int; msg : string }
+
+let reg_name r = Format.asprintf "%a" Reg.pp r
+
+(* Pending candidate for the dead-store check: a store whose cell has not
+   been (possibly) read or invalidated yet. *)
+type pending = {
+  p_id : int;
+  p_itv : Itv.t;
+  p_sym : (int * int) option;
+}
+
+(* Must the pending store and the current access hit the same cell on
+   every execution? Singleton equal pre-mask addresses do; so do equal
+   affine symbols, provided the base definition did not re-execute in
+   between (the per-instruction [kill_base] sweep guarantees that for
+   surviving pendings). *)
+let must_equal_addr a (itv, sym) =
+  let by_itv =
+    match (Itv.singleton a.p_itv, Itv.singleton itv) with
+    | Some x, Some y -> x = y
+    | _ -> false
+  in
+  let by_sym =
+    match (a.p_sym, sym) with
+    | Some (s1, d1), Some (s2, d2) -> s1 = s2 && d1 = d2
+    | _ -> false
+  in
+  by_itv || by_sym
+
+let may_overlap a (itv, _) =
+  (* Interval disjointness is the only cheap refutation here; anything
+     else conservatively overlaps. *)
+  not (Itv.disjoint a.p_itv itv) || Itv.is_bot a.p_itv || Itv.is_bot itv
+
+let run ~mem_size ?(pos = fun _ -> None) (f : Func.t) =
+  let res = Absenv.analyze f in
+  let findings = ref [] in
+  let add code iid fmt =
+    Format.kasprintf
+      (fun msg ->
+        let line, col = Option.value (pos iid) ~default:(0, 0) in
+        findings := { code; iid; line; col; msg } :: !findings)
+      fmt
+  in
+  let cfg = f.Func.cfg in
+  let bounds = Itv.range 0 (mem_size - 1) in
+  Cfg.iter_blocks cfg (fun blk ->
+      let l = blk.Cfg.label in
+      let entry_state = Absenv.Engine.block_in res l in
+      if Absenv.env_is_bottom entry_state then begin
+        if l <> Cfg.entry cfg then
+          match blk.Cfg.body with
+          | first :: _ ->
+            add "GL002" first.Instr.id "unreachable block B%d" l
+          | [] -> ()
+      end
+      else begin
+        (* Dead stores: a pending store dies (is reported) when a later
+           store in the same block must hit the same cell before any
+           instruction that could observe or change the addressed value. *)
+        let pendings = ref [] in
+        let kill_base id =
+          pendings :=
+            List.filter
+              (fun p ->
+                match p.p_sym with Some (s, _) -> s <> id | None -> true)
+              !pendings
+        in
+        List.iter
+          (fun (i : Instr.t) ->
+            let before = Absenv.Engine.before res i.Instr.id in
+            (* GL001: uses of possibly-uninitialized registers. *)
+            List.iter
+              (fun r ->
+                if (Absenv.reg before r).Absenv.uninit then
+                  add "GL001" i.Instr.id
+                    "read of possibly-uninitialized register %s" (reg_name r))
+              (Instr.uses i);
+            (* GL004 + dead-store bookkeeping for memory accesses. *)
+            (match i.Instr.op with
+            | Load (_, _, base, off) | Store (_, base, off, _) ->
+              let itv, sym = Absenv.addr before ~base ~off in
+              if (not (Itv.is_bot itv)) && Itv.disjoint itv bounds then
+                add "GL004" i.Instr.id
+                  "region access provably out of bounds: address %s, memory \
+                   size %d"
+                  (Itv.to_string itv) mem_size;
+              let here = (itv, sym) in
+              (match i.Instr.op with
+              | Load _ ->
+                pendings :=
+                  List.filter (fun p -> not (may_overlap p here)) !pendings
+              | Store _ ->
+                List.iter
+                  (fun p ->
+                    if must_equal_addr p here then
+                      add "GL003" p.p_id
+                        "dead store: always overwritten by i%d before any read"
+                        i.Instr.id)
+                  !pendings;
+                pendings :=
+                  { p_id = i.Instr.id; p_itv = itv; p_sym = sym }
+                  :: List.filter
+                       (fun p -> not (must_equal_addr p here))
+                       !pendings
+              | _ -> ())
+            | _ -> ());
+            (* GL006: communication traps the reference interpreter. *)
+            if Instr.is_communication i then
+              add "GL006" i.Instr.id
+                "communication instruction in single-threaded code";
+            (* GL005: queue balance at function exit. *)
+            (match i.Instr.op with
+            | Return ->
+              List.iter
+                (fun (q, itv) ->
+                  add "GL005" i.Instr.id
+                    "queue q%d produce/consume balance may be %s at return" q
+                    (Itv.to_string itv))
+                (Absenv.queue_imbalance before)
+            | _ -> ());
+            (* Any definition invalidates pending stores whose symbolic
+               base it re-executes. *)
+            kill_base i.Instr.id)
+          blk.Cfg.body
+      end);
+  List.sort
+    (fun a b ->
+      compare (a.line, a.col, a.code, a.iid) (b.line, b.col, b.code, b.iid))
+    !findings
+
+let render f =
+  if f.line = 0 && f.col = 0 then Printf.sprintf "%s %s (i%d)" f.code f.msg f.iid
+  else Printf.sprintf "%d:%d: %s %s (i%d)" f.line f.col f.code f.msg f.iid

@@ -1,0 +1,33 @@
+(** Static diagnostics over GMT-IR functions, driven by {!Absenv}.
+
+    Codes are stable identifiers (CI greps for them):
+
+    - [GL001] read of a possibly-uninitialized register
+    - [GL002] unreachable basic block
+    - [GL003] dead store (always overwritten before any possible read)
+    - [GL004] region access provably out of memory bounds
+    - [GL005] per-path produce/consume queue imbalance
+    - [GL006] communication instruction in single-threaded code
+
+    [GL001] and [GL006] over-approximate the checking interpreter's traps
+    (clean programs cannot trap on those classes); [GL003]/[GL004] are
+    must-analyses (a finding holds on every execution reaching it).
+    Findings are deterministically sorted by (line, col, code, id). *)
+
+open Gmt_ir
+
+type finding = {
+  code : string;
+  iid : int;  (** instruction id the finding anchors to *)
+  line : int;  (** 0 when no position information is available *)
+  col : int;
+  msg : string;
+}
+
+(** [run ~mem_size ?pos f] — [pos] maps instruction ids to source
+    (line, col) when the function came from the textual frontend. *)
+val run :
+  mem_size:int -> ?pos:(int -> (int * int) option) -> Func.t -> finding list
+
+(** ["CODE message"] or ["line:col: CODE message"] when positioned. *)
+val render : finding -> string

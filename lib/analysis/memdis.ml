@@ -1,0 +1,69 @@
+open Gmt_ir
+module Digraph = Gmt_graphalg.Digraph
+module Scc = Gmt_graphalg.Scc
+
+type access = { itv : Itv.t; sym : (int * int) option }
+
+type t = {
+  accesses : (int, access) Hashtbl.t;
+  mem_size : int;
+  pow2 : bool;
+  once : int -> bool;
+  iterations : int;
+  n_nodes : int;
+}
+
+let analyze ~mem_size (f : Func.t) =
+  if mem_size <= 0 then invalid_arg "Memdis.analyze: mem_size";
+  let res = Absenv.analyze f in
+  let cfg = f.Func.cfg in
+  let accesses = Hashtbl.create 32 in
+  Cfg.iter_instrs cfg (fun _ i ->
+      match i.Instr.op with
+      | Load (_, _, base, off) | Store (_, base, off, _) ->
+        let st = Absenv.Engine.before res i.Instr.id in
+        let itv, sym = Absenv.addr st ~base ~off in
+        Hashtbl.replace accesses i.Instr.id { itv; sym }
+      | _ -> ());
+  (* A definition executes at most once per run iff its block lies on no
+     CFG cycle; entry pseudo-defs (negative ids) trivially qualify. *)
+  let g = Cfg.digraph cfg in
+  let comp, n_comps = Scc.components g in
+  let comp_size = Array.make n_comps 0 in
+  Array.iter (fun c -> comp_size.(c) <- comp_size.(c) + 1) comp;
+  let block_in_cycle l = comp_size.(comp.(l)) > 1 || Digraph.mem_edge g l l in
+  let once id =
+    if id < 0 then true
+    else
+      match Cfg.position cfg id with
+      | l, _ -> not (block_in_cycle l)
+      | exception Not_found -> false
+  in
+  {
+    accesses;
+    mem_size;
+    pow2 = mem_size land (mem_size - 1) = 0;
+    once;
+    iterations = Absenv.Engine.iterations res;
+    n_nodes = Absenv.Engine.n_nodes res;
+  }
+
+let in_bounds t itv = Itv.subset itv (Itv.range 0 (t.mem_size - 1))
+
+let disjoint t i j =
+  match (Hashtbl.find_opt t.accesses i, Hashtbl.find_opt t.accesses j) with
+  | Some a, Some b ->
+    if Itv.is_bot a.itv || Itv.is_bot b.itv then true
+    else if in_bounds t a.itv && in_bounds t b.itv && Itv.disjoint a.itv b.itv
+    then true
+    else begin
+      match (a.sym, b.sym) with
+      | Some (s1, d1), Some (s2, d2) ->
+        s1 = s2 && t.pow2 && t.once s1 && (d1 - d2) mod t.mem_size <> 0
+      | _ -> false
+    end
+  | _ -> false
+
+let addr_itv t i = Option.map (fun a -> a.itv) (Hashtbl.find_opt t.accesses i)
+let iterations t = t.iterations
+let n_nodes t = t.n_nodes

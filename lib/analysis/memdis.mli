@@ -1,0 +1,38 @@
+(** Static memory disambiguation from the {!Absenv} value analysis.
+
+    Two region accesses are reported disjoint when the analysis proves no
+    execution can make their (masked) addresses collide:
+
+    - {b interval}: both pre-mask address intervals lie inside
+      [[0, mem_size)] (so masking is the identity on them) and do not
+      overlap; or
+    - {b affine symbol}: both addresses are [base + delta] off the {e same}
+      base definition, that definition can execute at most once per run
+      (its block lies on no CFG cycle), and the deltas differ modulo
+      [mem_size] (masking is congruence modulo a power of two, so deltas
+      that are incongruent mod [mem_size] can never collide, wrap-around
+      included).
+
+    Unreachable accesses are vacuously disjoint from everything. *)
+
+open Gmt_ir
+
+type t
+
+(** [analyze ~mem_size f] — [mem_size] is the machine's memory size (the
+    interpreter masks addresses with [mem_size - 1]). The symbolic rule
+    is only used when [mem_size] is a power of two, matching the
+    machine's actual masking. *)
+val analyze : mem_size:int -> Func.t -> t
+
+(** [disjoint t i j] — instruction ids of two memory accesses; [false]
+    for unknown ids (conservative). *)
+val disjoint : t -> int -> int -> bool
+
+(** Abstract pre-mask address interval of a memory access id. *)
+val addr_itv : t -> int -> Itv.t option
+
+(** Solver telemetry for the metrics registry. *)
+val iterations : t -> int
+
+val n_nodes : t -> int

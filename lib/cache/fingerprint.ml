@@ -1,4 +1,4 @@
-let format_version = 2
+let format_version = 3
 
 let compute ?(version = format_version) ~text ~technique ~n_threads ~coco
     ~machine () =

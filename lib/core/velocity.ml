@@ -29,6 +29,7 @@ type compiled = {
   workload : Workload.t;
   technique : technique;
   coco : bool;
+  prune : bool;
   n_threads : int;
   pdg : Pdg.t;
   partition : Partition.t;
@@ -51,12 +52,13 @@ let verify_compiled c =
   Obs.span ~args:[ ("cell", Obs.S label) ] "verify" (fun () ->
       Verify.run
         ~max_queues:(machine_config c.technique).Config.n_queues
-        ~queue_of:c.queues.Queue_alloc.queue_of ~pdg:c.pdg
-        ~partition:c.partition ~plan:c.plan ~origin:c.origin c.mtp)
+        ~queue_of:c.queues.Queue_alloc.queue_of
+        ?prune_mem:(if c.prune then Some c.workload.Workload.mem_size else None)
+        ~pdg:c.pdg ~partition:c.partition ~plan:c.plan ~origin:c.origin c.mtp)
 
 let compile ?(n_threads = 2) ?(coco = false) ?(profile_mode = `Train)
-    ?(disambiguate_offsets = false) ?(optimize = false) ?(cleanup = true)
-    ?(verify = true) technique (w : Workload.t) =
+    ?(disambiguate_offsets = false) ?(prune = true) ?(optimize = false)
+    ?(cleanup = true) ?(verify = true) technique (w : Workload.t) =
   let label = mt_label w technique coco in
   Obs.span ~cat:"pipeline" ~args:[ ("cell", Obs.S label) ] "compile"
   @@ fun () ->
@@ -82,7 +84,11 @@ let compile ?(n_threads = 2) ?(coco = false) ?(profile_mode = `Train)
             failwith (w.name ^ ": train run exhausted fuel");
           r.Interp.profile)
   in
-  let pdg = Pdg.build ~disambiguate_offsets w.func in
+  let pdg =
+    Pdg.build ~disambiguate_offsets
+      ?prune_mem:(if prune then Some w.mem_size else None)
+      w.func
+  in
   let partition =
     Obs.span ~args:[ ("technique", Obs.S (technique_name technique)) ]
       "partition" (fun () ->
@@ -149,8 +155,8 @@ let compile ?(n_threads = 2) ?(coco = false) ?(profile_mode = `Train)
   Obs.span "validate.threads" (fun () ->
       Array.iter (Validate.check ~n_queues:limit) mtp.Mtprog.threads);
   let c =
-    { workload = w; technique; coco; n_threads; pdg; partition; plan; queues;
-      origin; mtp; coco_stats }
+    { workload = w; technique; coco; prune; n_threads; pdg; partition; plan;
+      queues; origin; mtp; coco_stats }
   in
   if verify then begin
     match verify_compiled c with

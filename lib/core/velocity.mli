@@ -23,6 +23,7 @@ type compiled = {
   workload : Workload.t;
   technique : technique;
   coco : bool;
+  prune : bool;  (** PDG memory-arc pruning was enabled for this compile *)
   n_threads : int;
   pdg : Gmt_pdg.Pdg.t;
   partition : Gmt_sched.Partition.t;
@@ -51,6 +52,12 @@ val verify_compiled : compiled -> Gmt_verify.Verify.diagnostic list
     [disambiguate_offsets] (default false) enables the loop-invariant
     base + distinct-offset memory disambiguation extension.
 
+    [prune] (default true) builds the PDG with
+    [Pdg.build ~prune_mem:mem_size]: the {!Gmt_analysis.Memdis}
+    abstract-interpretation disambiguator drops memory arcs between
+    accesses with provably disjoint address sets, and {!Gmt_verify}'s
+    race analysis independently re-proves each exclusion.
+
     [optimize] (default false) runs the classical pre-pass pipeline
     (constant folding, copy propagation, DCE, CFG simplification) before
     scheduling, as the paper's compiler does. [cleanup] (default true)
@@ -65,6 +72,7 @@ val compile :
   ?coco:bool ->
   ?profile_mode:[ `Train | `Static ] ->
   ?disambiguate_offsets:bool ->
+  ?prune:bool ->
   ?optimize:bool ->
   ?cleanup:bool ->
   ?verify:bool ->

@@ -295,3 +295,263 @@ let render_report r =
          (fun (where, f) ->
            Printf.sprintf "  %s [%s]: %s" where f.cell f.detail)
          r.findings)
+
+(* ---------------------- lint soundness harness -------------------- *)
+
+module Lint = Gmt_analysis.Lint
+module Memdis = Gmt_analysis.Memdis
+module Itv = Gmt_analysis.Itv
+module Checkrun = Gmt_machine.Checkrun
+
+type lint_mutation = Drop_def | Oob_base | Stray_produce
+
+let lint_mutation_name = function
+  | Drop_def -> "drop-def"
+  | Oob_base -> "oob-base"
+  | Stray_produce -> "stray-produce"
+
+let lint_mutation_of_string = function
+  | "drop-def" -> Some Drop_def
+  | "oob-base" -> Some Oob_base
+  | "stray-produce" -> Some Stray_produce
+  | _ -> None
+
+let lint_expected_code = function
+  | Drop_def -> "GL001"
+  | Oob_base -> "GL004"
+  | Stray_produce -> "GL006"
+
+let replace_op (f : Func.t) id op =
+  let cfg = f.Func.cfg in
+  let blocks =
+    Array.init (Cfg.n_blocks cfg) (fun l ->
+        let b = Cfg.block cfg l in
+        {
+          b with
+          Cfg.body =
+            List.map
+              (fun (i : Instr.t) ->
+                if i.Instr.id = id then { i with Instr.op } else i)
+              b.Cfg.body;
+        })
+  in
+  { f with Func.cfg = Cfg.make ~entry:(Cfg.entry cfg) blocks }
+
+(* Seed a bug of the class the corresponding lint code must flag.  None
+   when the workload has no applicable site. *)
+let apply_lint_mutation m (w : Workload.t) =
+  let f = w.Workload.func in
+  let cfg = f.Func.cfg in
+  match m with
+  | Drop_def ->
+    (* Nop out the only definition of some used, non-live-in register:
+       its uses become genuinely uninitialized reads. *)
+    let ndefs = Hashtbl.create 16 and used = Hashtbl.create 16 in
+    Cfg.iter_instrs cfg (fun _ i ->
+        List.iter
+          (fun r ->
+            Hashtbl.replace ndefs (Reg.to_int r)
+              ((i.Instr.id, i.Instr.op)
+              :: Option.value ~default:[]
+                   (Hashtbl.find_opt ndefs (Reg.to_int r))))
+          (Instr.defs i);
+        List.iter
+          (fun r -> Hashtbl.replace used (Reg.to_int r) ())
+          (Instr.uses i));
+    let live_in = List.map Reg.to_int f.Func.live_in in
+    let candidate =
+      Hashtbl.fold
+        (fun r defs acc ->
+          match (acc, defs) with
+          | None, [ (id, op) ]
+            when Hashtbl.mem used r
+                 && (not (List.mem r live_in))
+                 && (match op with
+                    | Instr.Const _ | Instr.Copy _ | Instr.Unop _
+                    | Instr.Binop _ | Instr.Load _ ->
+                      true
+                    | _ -> false) ->
+            Some id
+          | _ -> acc)
+        ndefs None
+    in
+    Option.map (fun id -> { w with Workload.func = replace_op f id Instr.Nop }) candidate
+  | Oob_base ->
+    (* Push a provably in-bounds access past the end of memory: the
+       interval analysis that proved it in-bounds now proves it out. *)
+    let ms = w.Workload.mem_size in
+    let s = Memdis.analyze ~mem_size:ms f in
+    let bounds = Itv.range 0 (ms - 1) in
+    let site = ref None in
+    Cfg.iter_instrs cfg (fun _ i ->
+        if !site = None then
+          match (i.Instr.op, Memdis.addr_itv s i.Instr.id) with
+          | (Instr.Load _ | Instr.Store _), Some itv
+            when (not (Itv.is_bot itv)) && Itv.subset itv bounds ->
+            site := Some i
+          | _ -> ());
+    Option.map
+      (fun (i : Instr.t) ->
+        let op =
+          match i.Instr.op with
+          | Instr.Load (rg, d, base, off) ->
+            Instr.Load (rg, d, base, off + (2 * ms))
+          | Instr.Store (rg, base, off, src) ->
+            Instr.Store (rg, base, off + (2 * ms), src)
+          | op -> op
+        in
+        { w with Workload.func = replace_op f i.Instr.id op })
+      !site
+  | Stray_produce ->
+    (* A memory-ordering token send has no business in single-threaded
+       code; always applicable. *)
+    let id = Cfg.max_instr_id cfg + 1 in
+    let entry = Cfg.entry cfg in
+    let blocks =
+      Array.init (Cfg.n_blocks cfg) (fun l ->
+          let b = Cfg.block cfg l in
+          if l = entry then
+            {
+              b with
+              Cfg.body = Instr.make ~id (Instr.Produce_sync 0) :: b.Cfg.body;
+            }
+          else b)
+    in
+    Some { w with Workload.func = { f with Func.cfg = Cfg.make ~entry blocks } }
+
+(* One workload's soundness obligations: every checking-interpreter trap
+   is covered by a lint finding of the right class at the right
+   instruction; every dynamically computed pre-mask address lies in its
+   abstract interval; pairs the disambiguator called disjoint never
+   overlap dynamically. *)
+let lint_soundness ?(fuel = 2_000_000) (w : Workload.t) =
+  let f = w.Workload.func in
+  let ms = w.Workload.mem_size in
+  let findings = Lint.run ~mem_size:ms f in
+  let has code iid =
+    List.exists
+      (fun (fd : Lint.finding) -> fd.Lint.code = code && fd.Lint.iid = iid)
+      findings
+  in
+  let s = Memdis.analyze ~mem_size:ms f in
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  List.iter
+    (fun ((iname : string), (inp : Workload.input)) ->
+      let r =
+        Checkrun.run ~fuel ~init_regs:inp.Workload.regs
+          ~init_mem:inp.Workload.mem f ~mem_size:ms
+      in
+      (match r.Checkrun.outcome with
+      | Checkrun.Finished | Checkrun.Out_of_fuel -> ()
+      | Checkrun.Trapped t -> (
+        if findings = [] then
+          problem "%s: lint-clean program trapped: %s" iname
+            (Checkrun.trap_to_string t);
+        match t with
+        | Checkrun.Uninit_read { iid; _ } ->
+          if not (has "GL001" iid) then
+            problem "%s: %s but no GL001 at i%d" iname
+              (Checkrun.trap_to_string t) iid
+        | Checkrun.Comm { iid } ->
+          if not (has "GL006" iid) then
+            problem "%s: %s but no GL006 at i%d" iname
+              (Checkrun.trap_to_string t) iid
+        | Checkrun.Oob _ -> ()
+        (* covered by the interval containment check below *)));
+      List.iter
+        (fun (iid, addrs) ->
+          match Memdis.addr_itv s iid with
+          | None -> ()
+          | Some itv ->
+            List.iter
+              (fun a ->
+                if not (Itv.mem a itv) then
+                  problem
+                    "%s: i%d computed address %d outside its abstract \
+                     interval %s"
+                    iname iid a (Itv.to_string itv))
+              addrs)
+        r.Checkrun.addr_trace;
+      let rec pairs = function
+        | [] -> ()
+        | (i, ai) :: rest ->
+          List.iter
+            (fun (j, aj) ->
+              if
+                Memdis.disjoint s i j
+                && List.exists (fun a -> List.mem a aj) ai
+              then
+                problem
+                  "%s: i%d and i%d proved disjoint but share a dynamic \
+                   address"
+                  iname i j)
+            rest;
+          pairs rest
+      in
+      pairs r.Checkrun.addr_trace)
+    [ ("train", w.Workload.train); ("ref", w.Workload.reference) ];
+  if !problems = [] then Ok () else Error (String.concat "; " (List.rev !problems))
+
+type lint_report = {
+  l_checked : int;
+  l_skipped : int;
+  l_problems : (string * string) list;
+}
+
+let lint_check_one ?inject ?fuel (label, (w : Workload.t)) =
+  match inject with
+  | None -> (
+    match lint_soundness ?fuel w with
+    | Ok () -> `Ok
+    | Error m -> `Problem (label, m))
+  | Some m -> (
+    match apply_lint_mutation m w with
+    | None -> `Skipped
+    | Some w' ->
+      let code = lint_expected_code m in
+      let findings =
+        Lint.run ~mem_size:w'.Workload.mem_size w'.Workload.func
+      in
+      if List.exists (fun (fd : Lint.finding) -> fd.Lint.code = code) findings
+      then `Ok
+      else
+        `Problem
+          ( label,
+            Printf.sprintf "seeded %s not flagged with %s"
+              (lint_mutation_name m) code ))
+
+let lint_run ?inject ?fuel ws =
+  let checked = ref 0 and skipped = ref 0 and problems = ref [] in
+  List.iter
+    (fun labeled ->
+      match lint_check_one ?inject ?fuel labeled with
+      | `Ok -> incr checked
+      | `Skipped -> incr skipped
+      | `Problem p ->
+        incr checked;
+        problems := p :: !problems)
+    ws;
+  { l_checked = !checked; l_skipped = !skipped; l_problems = List.rev !problems }
+
+let lint_seeds ?inject ?fuel ~seeds () =
+  lint_run ?inject ?fuel
+    (List.map
+       (fun seed ->
+         let name = Printf.sprintf "lint-seed%d" seed in
+         (name, Gen.workload ~name (Gen.gen ~seed)))
+       seeds)
+
+let lint_workloads ?inject ?fuel ws = lint_run ?inject ?fuel ws
+
+let render_lint_report r =
+  let head =
+    Printf.sprintf "lint-fuzz: %d program(s) checked, %d skipped, %d problem(s)"
+      r.l_checked r.l_skipped
+      (List.length r.l_problems)
+  in
+  String.concat "\n"
+    (head
+    :: List.map
+         (fun (where, m) -> Printf.sprintf "  %s: %s" where m)
+         r.l_problems)

@@ -67,3 +67,52 @@ val fuzz_workloads :
 
 (** One-line human summary. *)
 val render_report : report -> string
+
+(** {2 Lint soundness harness}
+
+    [gmtc fuzz --lint] mode: instead of cross-checking the MT pipeline,
+    confront the {!Gmt_analysis.Lint} static diagnostics and the
+    {!Gmt_analysis.Memdis} disambiguator with concrete executions under
+    the {!Gmt_machine.Checkrun} checking interpreter. A problem is any
+    violated soundness obligation: a trap with no covering finding of
+    the right class, a dynamically computed address outside its abstract
+    interval, or a "disjoint" pair sharing a dynamic address. *)
+
+(** Seeded source-level bug, each guaranteed to be of the class one lint
+    code covers: [Drop_def] nops out a register's only definition
+    ([GL001]), [Oob_base] pushes a provably in-bounds access past the
+    end of memory ([GL004]), [Stray_produce] plants a communication
+    instruction in single-threaded code ([GL006]). *)
+type lint_mutation = Drop_def | Oob_base | Stray_produce
+
+val lint_mutation_name : lint_mutation -> string
+val lint_mutation_of_string : string -> lint_mutation option
+
+(** The lint code the mutation must provoke. *)
+val lint_expected_code : lint_mutation -> string
+
+(** Apply a mutation to the workload's function; [None] when no
+    applicable site exists. *)
+val apply_lint_mutation : lint_mutation -> Workload.t -> Workload.t option
+
+(** Check one workload's soundness obligations on its train and
+    reference inputs; [Error] carries a ["; "]-joined problem list. *)
+val lint_soundness : ?fuel:int -> Workload.t -> (unit, string) result
+
+type lint_report = {
+  l_checked : int;
+  l_skipped : int;  (** mutation requested but not applicable *)
+  l_problems : (string * string) list;
+}
+
+(** Generated programs, one per seed. With [inject], each applicable
+    program must be flagged with the mutation's code. *)
+val lint_seeds :
+  ?inject:lint_mutation -> ?fuel:int -> seeds:int list -> unit -> lint_report
+
+(** Named workloads (the suite or .gmt files). *)
+val lint_workloads :
+  ?inject:lint_mutation -> ?fuel:int -> (string * Workload.t) list ->
+  lint_report
+
+val render_lint_report : lint_report -> string

@@ -230,6 +230,7 @@ type fctx = {
   mutable n_regions : int;  (* patched once the regions line is parsed *)
   mutable label_refs : (int * ptok) list;  (* every Bk use, for checking *)
   seen_iids : (int, unit) Hashtbl.t;
+  positions : (int, int * int) Hashtbl.t;  (* iid -> (line, col) *)
 }
 
 let check_reg st ctx (p : ptok) r =
@@ -434,7 +435,13 @@ let parse_func_section st =
   (* regions come later in the text but live lists need the register
      bound only; pre-fill a context and patch n_regions after. *)
   let ctx =
-    { n_regs; n_regions = 0; label_refs = []; seen_iids = Hashtbl.create 64 }
+    {
+      n_regs;
+      n_regions = 0;
+      label_refs = [];
+      seen_iids = Hashtbl.create 64;
+      positions = Hashtbl.create 64;
+    }
   in
   expect_kw st "live_in";
   expect_tok st COLON ~what:"':'";
@@ -498,6 +505,7 @@ let parse_func_section st =
       if !terminated then
         fail_at st ip "instruction after the terminator of block B%d" label;
       let id = parse_iid st ctx in
+      Hashtbl.replace ctx.positions id (ip.line, ip.col);
       let op = parse_op st ctx in
       let instr = Instr.make ~id op in
       if Instr.is_terminator instr then terminated := true;
@@ -671,16 +679,19 @@ let parse_document st =
   in
   inputs ();
   let empty = { Workload.regs = []; mem = [] } in
-  Workload.make
-    ~name:(Option.value d.workload ~default:f.Func.name)
-    ~suite:(Option.value d.suite ~default:"user")
-    ~func_name:(Option.value d.function_ ~default:f.Func.name)
-    ~exec_pct:(Option.value d.exec_pct ~default:0)
-    ~description:(Option.value d.description ~default:"")
-    ~func:f
-    ~train:(Option.value !train ~default:empty)
-    ~reference:(Option.value !reference ~default:empty)
-    ?mem_size:d.mem_size ()
+  let w =
+    Workload.make
+      ~name:(Option.value d.workload ~default:f.Func.name)
+      ~suite:(Option.value d.suite ~default:"user")
+      ~func_name:(Option.value d.function_ ~default:f.Func.name)
+      ~exec_pct:(Option.value d.exec_pct ~default:0)
+      ~description:(Option.value d.description ~default:"")
+      ~func:f
+      ~train:(Option.value !train ~default:empty)
+      ~reference:(Option.value !reference ~default:empty)
+      ?mem_size:d.mem_size ()
+  in
+  (w, fun id -> Hashtbl.find_opt ctx.positions id)
 
 (* --------------------------- entry points ------------------------- *)
 
@@ -697,8 +708,12 @@ let parse_func ?(file = "<string>") src =
       | _ -> unexpected st (peek st) ~expected:[ "end of input" ]);
       f)
 
+(* Like {!parse}, but also return the instruction-id -> (line, col) map
+   collected by the parser; [gmtc lint] anchors findings with it. *)
+let parse_pos ?(file = "<string>") src = with_state ~file src parse_document
+
 let parse ?(file = "<string>") src =
-  with_state ~file src parse_document
+  Result.map fst (parse_pos ~file src)
 
 let read_all ic =
   let buf = Buffer.create 4096 in
@@ -709,8 +724,8 @@ let read_all ic =
    with End_of_file -> ());
   Buffer.contents buf
 
-let load path =
-  if path = "-" then parse ~file:"<stdin>" (read_all stdin)
+let load_pos path =
+  if path = "-" then parse_pos ~file:"<stdin>" (read_all stdin)
   else
     match open_in_bin path with
     | exception Sys_error msg ->
@@ -718,7 +733,9 @@ let load path =
     | ic ->
       let src = read_all ic in
       close_in ic;
-      parse ~file:path src
+      parse_pos ~file:path src
+
+let load path = Result.map fst (load_pos path)
 
 (* -------------------------- serialization ------------------------- *)
 

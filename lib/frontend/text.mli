@@ -35,9 +35,21 @@ val parse_func : ?file:string -> string -> (Func.t, error) result
     description, mem_size [65536], empty inputs. *)
 val parse : ?file:string -> string -> (Workload.t, error) result
 
+(** Like {!parse}, but also return the instruction-id -> (line, col)
+    position map the parser collected; [gmtc lint] anchors findings with
+    it. Positions are 1-based, as in diagnostics. *)
+val parse_pos :
+  ?file:string ->
+  string ->
+  (Workload.t * (int -> (int * int) option), error) result
+
 (** [load path] reads [path] (or stdin when [path] is ["-"]) and parses
     it. I/O failures are reported as an [error] at [path:0:0]. *)
 val load : string -> (Workload.t, error) result
+
+(** {!load} with the position map, as in {!parse_pos}. *)
+val load_pos :
+  string -> (Workload.t * (int -> (int * int) option), error) result
 
 (** Canonical serialization of a workload; {!parse} inverts it. The
     [func] section is printed with {!Gmt_ir.Printer.func_to_string}. *)

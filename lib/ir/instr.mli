@@ -81,11 +81,19 @@ val targets : t -> label list
     @raise Invalid_argument on arity mismatch or non-terminators. *)
 val with_targets : t -> label list -> t
 
+(** The word size shift amounts are reduced modulo (= [Sys.int_size]). *)
+val word_bits : int
+
 val eval_binop : binop -> int -> int -> int
 (** Total semantics: division/remainder by zero yield 0; shifts are
     masked to the word size. *)
 
 val eval_unop : unop -> int -> int
+
+(** Mnemonic as printed in the textual syntax ([add], [fsqrt], ...). *)
+val binop_name : binop -> string
+
+val unop_name : unop -> string
 
 val pp : Format.formatter -> t -> unit
 val pp_op : Format.formatter -> op -> unit

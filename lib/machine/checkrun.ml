@@ -1,0 +1,128 @@
+open Gmt_ir
+
+type trap =
+  | Uninit_read of { iid : int; reg : Reg.t }
+  | Oob of { iid : int; addr : int }
+  | Comm of { iid : int }
+
+type outcome =
+  | Finished
+  | Trapped of trap
+  | Out_of_fuel
+
+type t = {
+  outcome : outcome;
+  addr_trace : (int * int list) list;
+  dyn : int;
+}
+
+let trap_to_string = function
+  | Uninit_read { iid; reg } ->
+    Printf.sprintf "i%d: read of uninitialized %s" iid (Reg.to_string reg)
+  | Oob { iid; addr } ->
+    Printf.sprintf "i%d: out-of-bounds address %d" iid addr
+  | Comm { iid } -> Printf.sprintf "i%d: communication instruction" iid
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+exception Trap of trap
+
+let run ?(fuel = 50_000_000) ?(init_regs = []) ?(init_mem = [])
+    (f : Func.t) ~mem_size =
+  if not (is_pow2 mem_size) then invalid_arg "Checkrun.run: mem_size not 2^k";
+  let mask = mem_size - 1 in
+  let memory = Array.make mem_size 0 in
+  List.iter (fun (a, v) -> memory.(a land mask) <- v) init_mem;
+  let nregs = max 1 f.n_regs in
+  let regs = Array.make nregs 0 in
+  let defined = Array.make nregs false in
+  List.iter (fun r -> defined.(Reg.to_int r) <- true) f.live_in;
+  List.iter
+    (fun (r, v) ->
+      regs.(Reg.to_int r) <- v;
+      defined.(Reg.to_int r) <- true)
+    init_regs;
+  let addrs : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let record iid a =
+    let tbl =
+      match Hashtbl.find_opt addrs iid with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 8 in
+        Hashtbl.add addrs iid t;
+        t
+    in
+    Hashtbl.replace tbl a ()
+  in
+  let cfg = f.cfg in
+  let dyn = ref 0 in
+  let fuel_left = ref fuel in
+  let get iid r =
+    if not defined.(Reg.to_int r) then raise (Trap (Uninit_read { iid; reg = r }));
+    regs.(Reg.to_int r)
+  in
+  let set r v =
+    regs.(Reg.to_int r) <- v;
+    defined.(Reg.to_int r) <- true
+  in
+  (* Effective address with the trace and bounds check: the pre-mask sum is
+     what the abstract domains reason about, so that is what we record and
+     test — the masked address always lands in range. *)
+  let addr iid base off =
+    let a = get iid base + off in
+    record iid a;
+    if a < 0 || a >= mem_size then raise (Trap (Oob { iid; addr = a }));
+    a
+  in
+  let outcome = ref Finished in
+  (try
+     let finished = ref false in
+     let block = ref (Cfg.entry cfg) in
+     while not !finished do
+       let body = Cfg.body cfg !block in
+       let next = ref None in
+       List.iter
+         (fun (i : Instr.t) ->
+           if !next = None && not !finished then begin
+             decr fuel_left;
+             if !fuel_left <= 0 then raise Exit;
+             incr dyn;
+             match i.op with
+             | Const (d, k) -> set d k
+             | Copy (d, s) -> set d (get i.id s)
+             | Unop (u, d, s) -> set d (Instr.eval_unop u (get i.id s))
+             | Binop (b, d, x, y) ->
+               let vx = get i.id x in
+               let vy = get i.id y in
+               set d (Instr.eval_binop b vx vy)
+             | Load (_, d, base, off) -> set d memory.(addr i.id base off)
+             | Store (_, base, off, s) ->
+               let a = addr i.id base off in
+               memory.(a) <- get i.id s
+             | Jump l -> next := Some l
+             | Branch (c, l1, l2) ->
+               next := Some (if get i.id c <> 0 then l1 else l2)
+             | Return -> finished := true
+             | Produce _ | Consume _ | Produce_sync _ | Consume_sync _ ->
+               raise (Trap (Comm { iid = i.id }))
+             | Nop -> ()
+           end)
+         body;
+       match !next with
+       | Some l -> block := l
+       | None ->
+         if not !finished then
+           failwith "Checkrun.run: block fell through without terminator"
+     done
+   with
+  | Exit -> outcome := Out_of_fuel
+  | Trap tr -> outcome := Trapped tr);
+  let addr_trace =
+    Hashtbl.fold
+      (fun iid tbl acc ->
+        let l = Hashtbl.fold (fun a () l -> a :: l) tbl [] in
+        (iid, List.sort compare l) :: acc)
+      addrs []
+    |> List.sort compare
+  in
+  { outcome = !outcome; addr_trace; dyn = !dyn }

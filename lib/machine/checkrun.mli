@@ -1,0 +1,49 @@
+(** A checking interpreter for single-threaded GMT-IR: the dynamic half of
+    the {!Gmt_analysis.Lint} soundness harness.
+
+    Unlike {!Interp}, which masks addresses silently and treats
+    uninitialized registers as zero, this engine {e traps} on the events
+    the linter claims to rule out — reading a register with no prior
+    definition, a pre-mask out-of-bounds address, a communication
+    instruction — and records every pre-mask address each memory
+    instruction touches, so fuzzing can confront {!Gmt_analysis.Absenv}'s
+    abstract address intervals and {!Gmt_analysis.Memdis}'s disjointness
+    verdicts with concrete executions. *)
+
+open Gmt_ir
+
+type trap =
+  | Uninit_read of { iid : int; reg : Reg.t }
+      (** a use of a register neither live-in, supplied by [init_regs],
+          nor defined earlier on this path *)
+  | Oob of { iid : int; addr : int }
+      (** pre-mask effective address outside [0, mem_size) *)
+  | Comm of { iid : int }
+      (** produce/consume in single-threaded code *)
+
+type outcome =
+  | Finished
+  | Trapped of trap
+  | Out_of_fuel
+
+type t = {
+  outcome : outcome;
+  addr_trace : (int * int list) list;
+      (** per memory-instruction id, the sorted distinct {e pre-mask}
+          addresses it computed (including the one a trap fired on) *)
+  dyn : int;  (** dynamic instructions retired *)
+}
+
+val trap_to_string : trap -> string
+
+(** Run [f] to completion, a trap, or fuel exhaustion. Initially-defined
+    registers are [f.live_in] plus the keys of [init_regs]; memory
+    contents follow {!Interp.run}'s convention ([init_mem] addresses are
+    masked). [mem_size] must be a power of two. *)
+val run :
+  ?fuel:int ->
+  ?init_regs:(Reg.t * int) list ->
+  ?init_mem:(int * int) list ->
+  Func.t ->
+  mem_size:int ->
+  t

@@ -1,6 +1,7 @@
 open Gmt_ir
 
-let round f = Simplify_cfg.run (Dce.run (Copyprop.run (Constfold.run f)))
+let round f =
+  Simplify_cfg.run (Dce.run (Copyprop.run (Rangeopt.run (Constfold.run f))))
 
 let pipeline f =
   let rec go f k =

@@ -1,7 +1,8 @@
 (** The classical-optimization pipeline the paper's compiler runs before
     multi-threaded scheduling ("all traditional code optimizations are
-    performed in VELOCITY"): constant folding, copy propagation, dead-code
-    elimination and CFG simplification, iterated to a fixpoint. *)
+    performed in VELOCITY"): constant folding, {!Rangeopt} range-driven
+    strengthening, copy propagation, dead-code elimination and CFG
+    simplification, iterated to a fixpoint. *)
 
 (** [pipeline f] — semantics-preserving; validates its output. *)
 val pipeline : Gmt_ir.Func.t -> Gmt_ir.Func.t

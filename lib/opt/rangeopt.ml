@@ -1,0 +1,82 @@
+open Gmt_ir
+module Absenv = Gmt_analysis.Absenv
+module Itv = Gmt_analysis.Itv
+
+(* A store's address as the analysis sees it just before the store. *)
+type saddr = { itv : Itv.t; sym : (int * int) option }
+
+let must_equal a b =
+  (match (Itv.singleton a.itv, Itv.singleton b.itv) with
+  | Some x, Some y -> x = y
+  | _ -> false)
+  || (match (a.sym, b.sym) with
+     | Some s1, Some s2 -> s1 = s2
+     | _ -> false)
+
+let may_overlap a b = not (Itv.disjoint a.itv b.itv)
+
+let run (f : Func.t) =
+  let r = Absenv.analyze f in
+  let before id = Absenv.Engine.before r id in
+  let after id = Absenv.Engine.after r id in
+  (* Dead stores: forward scan per block; a pending store dies when a
+     later store must-overwrite it first. Loads that may observe a
+     pending store release it; communication releases everything (the
+     scheduler may order another thread's accesses in between). *)
+  let dead = Hashtbl.create 8 in
+  Cfg.iter_blocks f.Func.cfg (fun b ->
+      let pending = ref [] in
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.op with
+          | Store (rg, base, off, _) ->
+            let st = before i.id in
+            if not (Absenv.env_is_bottom st) then begin
+              let itv, sym = Absenv.addr st ~base ~off in
+              let sa = { itv; sym } in
+              List.iter
+                (fun (id, rg', sa') ->
+                  if rg = rg' && must_equal sa sa' then
+                    Hashtbl.replace dead id ())
+                !pending;
+              pending :=
+                (i.id, rg, sa)
+                :: List.filter (fun (id, _, _) -> not (Hashtbl.mem dead id))
+                     !pending
+            end
+          | Load (_, _, base, off) ->
+            let st = before i.id in
+            let itv, sym = Absenv.addr st ~base ~off in
+            let la = { itv; sym } in
+            (* Region-agnostic on purpose: cheap, and still catches the
+               disjoint-range case the interval analysis is good at. *)
+            pending :=
+              List.filter (fun (_, _, sa) -> not (may_overlap la sa)) !pending
+          | Produce _ | Consume _ | Produce_sync _ | Consume_sync _ ->
+            pending := []
+          | _ -> ())
+        b.Cfg.body);
+  let rewrite (i : Instr.t) =
+    match i.op with
+    | Copy (d, _) | Unop (_, d, _) | Binop (_, d, _, _) -> (
+      match Itv.singleton (Absenv.reg (after i.id) d).Absenv.itv with
+      | Some k -> Some { i with op = Const (d, k) }
+      | None -> Some i)
+    | Branch (c, l1, l2) -> (
+      let civ = (Absenv.reg (before i.id) c).Absenv.itv in
+      match Itv.singleton civ with
+      | Some 0 -> Some { i with op = Jump l2 }
+      | Some _ -> Some { i with op = Jump l1 }
+      | None ->
+        if not (Itv.mem 0 civ) && not (Itv.is_bot civ) then
+          Some { i with op = Jump l1 }
+        else Some i)
+    | Store _ -> if Hashtbl.mem dead i.id then None else Some i
+    | _ -> Some i
+  in
+  let blocks =
+    Array.init (Cfg.n_blocks f.Func.cfg) (fun l ->
+        let b = Cfg.block f.Func.cfg l in
+        { b with Cfg.body = List.filter_map rewrite b.Cfg.body })
+  in
+  { f with Func.cfg = Cfg.make ~entry:(Cfg.entry f.Func.cfg) blocks }

@@ -1,0 +1,20 @@
+(** Range-driven strengthening: the {!Gmt_analysis.Absenv} abstract
+    interpretation applied as an optimizer.
+
+    Three rewrites, all justified by the computed value ranges:
+
+    - a pure definition ([Copy]/[Unop]/[Binop]) whose result interval is
+      a singleton becomes a [Const] — unlike {!Constfold} this sees
+      through joins, branches and loops, not just straight-line constant
+      chains;
+    - a [Branch] whose condition interval excludes (or is exactly) zero
+      becomes a [Jump] to the surviving side, after which
+      {!Simplify_cfg} collects the dead blocks;
+    - a [Store] provably overwritten later in its own block (same
+      must-equal address, no intervening load that may observe it, no
+      intervening communication) is dropped.
+
+    Instruction ids are preserved by the [Const] and [Jump] rewrites, so
+    profiles and PDG references remain meaningful. *)
+
+val run : Gmt_ir.Func.t -> Gmt_ir.Func.t

@@ -17,6 +17,7 @@ type t = {
   out_tbl : (int, arc list) Hashtbl.t;
   in_tbl : (int, arc list) Hashtbl.t;
   closure : int -> int list;
+  mem_pruned : int;
 }
 
 let kind_to_string = function
@@ -37,7 +38,7 @@ let build_reach cfg =
   fun (i_block, i_pos) (j_block, j_pos) ->
     (i_block = j_block && i_pos < j_pos) || from_succ.(i_block).(j_block)
 
-let build ?(disambiguate_offsets = false) (f : Func.t) =
+let build ?(disambiguate_offsets = false) ?prune_mem (f : Func.t) =
   Gmt_obs.Obs.span ~args:[ ("func", Gmt_obs.Obs.S f.name) ] "pdg.build"
   @@ fun () ->
   let cfg = f.cfg in
@@ -100,14 +101,41 @@ let build ?(disambiguate_offsets = false) (f : Func.t) =
       | _ -> false)
     | _ -> false
   in
+  (* Abstract-interpretation disambiguation: drop a memory arc when the
+     value analysis proves the two accesses' address sets disjoint. *)
+  let memdis =
+    match prune_mem with
+    | None -> None
+    | Some mem_size ->
+      Some
+        ( Gmt_obs.Obs.span
+            ~args:[ ("func", Gmt_obs.Obs.S f.name) ]
+            "pdg.absint"
+        @@ fun () ->
+          let s = Analysis.Memdis.analyze ~mem_size f in
+          if Gmt_obs.Obs.metrics_enabled () then begin
+            let module M = Gmt_obs.Obs.Metrics in
+            M.add "absint.nodes" (Analysis.Memdis.n_nodes s);
+            M.add "absint.iterations" (Analysis.Memdis.iterations s)
+          end;
+          s )
+  in
+  let mem_pruned = ref 0 in
   List.iter
     (fun ((i : Instr.t), pi) ->
       List.iter
         (fun ((j : Instr.t), pj) ->
           if i.id <> j.id && reach pi pj && not (provably_disjoint i j) then
             match Analysis.Alias.dep_kind ~earlier:i ~later:j with
-            | Some k -> add i.id j.id (Mem (k, Option.get (
-                match Instr.mem_read i with Some r -> Some r | None -> Instr.mem_write i)))
+            | Some k -> (
+              match memdis with
+              | Some s when Analysis.Memdis.disjoint s i.id j.id ->
+                incr mem_pruned
+              | _ ->
+                add i.id j.id (Mem (k, Option.get (
+                  match Instr.mem_read i with
+                  | Some r -> Some r
+                  | None -> Instr.mem_write i))))
             | None -> ())
         mem_instrs)
     mem_instrs;
@@ -203,7 +231,8 @@ let build ?(disambiguate_offsets = false) (f : Func.t) =
     M.add "pdg.arcs.reg" (count (fun a -> match a.kind with Reg _ -> true | _ -> false));
     M.add "pdg.arcs.mem" (count (fun a -> match a.kind with Mem _ -> true | _ -> false));
     M.add "pdg.arcs.ctrl" (count (fun a -> a.kind = Ctrl));
-    M.add "pdg.arcs.ctrl_trans" (count (fun a -> a.kind = Ctrl_trans))
+    M.add "pdg.arcs.ctrl_trans" (count (fun a -> a.kind = Ctrl_trans));
+    M.add "pdg.arcs.mem_pruned" !mem_pruned
   end;
   {
     func = f;
@@ -212,7 +241,26 @@ let build ?(disambiguate_offsets = false) (f : Func.t) =
     out_tbl;
     in_tbl;
     closure;
+    mem_pruned = !mem_pruned;
   }
+
+let mem_pruned t = t.mem_pruned
+
+(* Rebuild with a subset of the arcs — fault-injection tests use this to
+   simulate a compiler that wrongly pruned a true dependence. *)
+let filter_arcs t ~f =
+  let arcs = List.filter f t.arcs in
+  let out_tbl = Hashtbl.create 64 and in_tbl = Hashtbl.create 64 in
+  let push tbl k v =
+    Hashtbl.replace tbl k
+      (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (fun a ->
+      push out_tbl a.src a;
+      push in_tbl a.dst a)
+    (List.rev arcs);
+  { t with arcs; out_tbl; in_tbl }
 
 let func t = t.func
 let arcs t = t.arcs

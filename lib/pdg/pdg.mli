@@ -34,8 +34,23 @@ type t
     COCO. Soundness: the shared base must have a single reaching
     definition at both accesses and that definition must lie outside all
     loops (otherwise the base changes across iterations and distinct
-    offsets of different iterations can still collide). *)
-val build : ?disambiguate_offsets:bool -> Func.t -> t
+    offsets of different iterations can still collide).
+
+    With [prune_mem] (the machine memory size), the {!Gmt_analysis.Memdis}
+    abstract-interpretation disambiguator additionally drops memory arcs
+    between accesses whose address sets it proves disjoint; the count of
+    arcs so pruned is {!mem_pruned} (and the [pdg.arcs.mem_pruned]
+    metric). Off by default so the raw PDG semantics — and every direct
+    caller — are unchanged; {!Gmt_core.Velocity.compile} turns it on. *)
+val build : ?disambiguate_offsets:bool -> ?prune_mem:int -> Func.t -> t
+
+(** Memory arcs dropped by the [prune_mem] disambiguator (0 when off). *)
+val mem_pruned : t -> int
+
+(** [filter_arcs t ~f] keeps only arcs satisfying [f], rebuilding the
+    adjacency tables. Intended for fault-injection tests (simulating an
+    unsound pruner); everything else is preserved. *)
+val filter_arcs : t -> f:(arc -> bool) -> t
 
 val func : t -> Func.t
 val arcs : t -> arc list

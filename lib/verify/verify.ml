@@ -277,8 +277,8 @@ let op_matches (ci : cinfo) ~producer (i : Instr.t) =
   | Instr.Consume_sync q, Comm.Sync, false -> q = ci.q
   | _ -> false
 
-let run ?max_queues ?(queue_of = fun i -> i) ~pdg ~partition ~plan ~origin
-    (mtp : Mtprog.t) =
+let run ?max_queues ?(queue_of = fun i -> i) ?prune_mem ~pdg ~partition ~plan
+    ~origin (mtp : Mtprog.t) =
   let f = Pdg.func pdg in
   let cfg = f.Func.cfg in
   let threads = mtp.Mtprog.threads in
@@ -728,6 +728,21 @@ let run ?max_queues ?(queue_of = fun i -> i) ~pdg ~partition ~plan ~origin
 
     (* --------------------------- races ---------------------------- *)
     Obs.span "verify.race" (fun () ->
+        (* When the compile pruned memory arcs, re-derive the disjointness
+           facts from the source function rather than trusting the PDG:
+           a pair the analysis cannot re-prove disjoint stays subject to
+           the ordering-chain requirement, so an unsoundly pruned arc
+           surfaces here as a race. *)
+        let memdis =
+          Option.map
+            (fun mem_size -> Gmt_analysis.Memdis.analyze ~mem_size f)
+            prune_mem
+        in
+        let proven_disjoint i_id j_id =
+          match memdis with
+          | Some s -> Gmt_analysis.Memdis.disjoint s i_id j_id
+          | None -> false
+        in
         let mem_is = ref [] in
         Cfg.iter_instrs cfg (fun l i ->
             if Instr.is_memory i && source_reachable.(l) then
@@ -740,7 +755,8 @@ let run ?max_queues ?(queue_of = fun i -> i) ~pdg ~partition ~plan ~origin
           (fun ((i : Instr.t), ti) ->
             List.iter
               (fun ((j : Instr.t), tj) ->
-                if ti <> tj then
+                if ti <> tj && not (proven_disjoint i.Instr.id j.Instr.id)
+                then
                   match Alias.dep_kind ~earlier:i ~later:j with
                   | None -> ()
                   | Some k ->

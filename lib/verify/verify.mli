@@ -52,10 +52,19 @@ type diagnostic = {
     [origin] is the provenance returned by
     {!Gmt_mtcg.Mtcg.generate_with_origin}. [max_queues], when given,
     additionally bounds the program's queue count. Diagnostics are
-    deterministically ordered. *)
+    deterministically ordered.
+
+    [prune_mem] (the machine memory size) must mirror the [prune_mem]
+    the PDG was built with: the race check then independently re-runs
+    the {!Gmt_analysis.Memdis} disambiguator on the source function and
+    excuses cross-thread pairs it proves disjoint — so a compile that
+    legitimately pruned such an arc still verifies, while a pruned arc
+    the analysis can {e not} re-prove (an unsound pruner) is reported
+    as a race. *)
 val run :
   ?max_queues:int ->
   ?queue_of:(int -> int) ->
+  ?prune_mem:int ->
   pdg:Gmt_pdg.Pdg.t ->
   partition:Gmt_sched.Partition.t ->
   plan:Gmt_mtcg.Mtcg.plan ->

@@ -64,11 +64,11 @@ let build () =
   (* phase 1: compute pair forces into the scratch buffer *)
   let cc = Kit.bin k chead Instr.Lt q block_sz in
   Kit.branch k chead cc cbody sbody;
+  let three = Kit.const k cbody 3 in
   let pair = Kit.bin k cbody Instr.Mul blk block_sz in
   let pair2 = Kit.bin k cbody Instr.Add pair q in
   let ja = Kit.bin k cbody Instr.Add jx_b pair2 in
   let j3 = Kit.load k cbody rjx ja 0 in
-  let three = Kit.const k cbody 3 in
   let i3 = Kit.bin k cbody Instr.Mul pair2 three in
   let i3m = Kit.bin k cbody Instr.And i3 posmask in
   let ia = Kit.bin k cbody Instr.Add pos_b i3m in
@@ -104,7 +104,11 @@ let build () =
   Kit.store k cbody rscr sa 2 fz;
   Kit.bin_to k cbody Instr.Add ~dst:q q one;
   Kit.jump k cbody chead;
-  (* phase 2: scatter the scratch buffer into the force array *)
+  (* phase 2: scatter the scratch buffer into the force array. The
+     stride constant is re-materialized here rather than read from the
+     pair loop: sbody runs even for a block with no pairs, where the
+     phase-1 definition would be stale. *)
+  let three_s = Kit.const k sbody 3 in
   Kit.copy_to k sbody ~dst:q2 zero;
   Kit.jump k sbody btail;
   (* btail doubles as the scatter loop body (do-while) *)
@@ -113,7 +117,7 @@ let build () =
   let jab = Kit.bin k btail Instr.Add jx_b pairb2 in
   let j3b = Kit.load k btail rjx jab 0 in
   let j3bm = Kit.bin k btail Instr.And j3b posmask in
-  let q3b = Kit.bin k btail Instr.Mul q2 three in
+  let q3b = Kit.bin k btail Instr.Mul q2 three_s in
   let sab = Kit.bin k btail Instr.Add scr_b q3b in
   let sfx = Kit.load k btail rscr sab 0 in
   let sfy = Kit.load k btail rscr sab 1 in

@@ -1,0 +1,282 @@
+(* The abstract-interpretation framework: interval-domain soundness
+   against the concrete [Instr.eval_*] semantics, lattice laws the
+   engine relies on (widening covers join and stabilizes, narrowing
+   stays bracketed), fixpoint convergence in a linear number of block
+   steps on random structured programs, and end-to-end soundness of the
+   lint/memory-disambiguation clients under the checking interpreter. *)
+
+open Gmt_ir
+module Itv = Gmt_analysis.Itv
+module Absenv = Gmt_analysis.Absenv
+module Memdis = Gmt_analysis.Memdis
+module G = Gmt_frontend.Gen
+module Fuzz = Gmt_frontend.Fuzz
+
+let all_binops =
+  [
+    Instr.Add; Instr.Sub; Instr.Mul; Instr.Div; Instr.Rem; Instr.And;
+    Instr.Or; Instr.Xor; Instr.Shl; Instr.Shr; Instr.Lt; Instr.Le;
+    Instr.Eq; Instr.Ne; Instr.Gt; Instr.Ge; Instr.Min; Instr.Max;
+    Instr.Fadd; Instr.Fsub; Instr.Fmul; Instr.Fdiv; Instr.Fmin;
+    Instr.Fmax;
+  ]
+
+let all_unops = [ Instr.Neg; Instr.Not; Instr.Abs; Instr.Fneg; Instr.Fsqrt ]
+
+(* ----------------------- interval generators ---------------------- *)
+
+(* Mostly-small points with a tail of large magnitudes and the exact
+   overflow/mask corner cases the transfer functions special-case. *)
+let gen_point =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, int_range (-256) 256);
+        (2, int_range (-1_000_000) 1_000_000);
+        ( 1,
+          oneofl
+            [ min_int; min_int + 1; max_int - 1; max_int; 0; 1; -1; 63; 64 ]
+        );
+      ])
+
+(* An interval generated together with one of its members, so that
+   membership holds by construction and soundness can be tested by
+   sampling. *)
+let gen_itv_point =
+  QCheck.Gen.(
+    gen_point >>= fun p ->
+    let lo =
+      frequency
+        [
+          (1, return Itv.Ninf);
+          ( 4,
+            int_range 0 300 >|= fun d ->
+            Itv.Fin (if p < min_int + d then min_int else p - d) );
+        ]
+    and hi =
+      frequency
+        [
+          (1, return Itv.Pinf);
+          ( 4,
+            int_range 0 300 >|= fun d ->
+            Itv.Fin (if p > max_int - d then max_int else p + d) );
+        ]
+    in
+    pair lo hi >|= fun (lo, hi) -> (Itv.make lo hi, p))
+
+let print_itv_point (i, p) = Printf.sprintf "%d \xe2\x88\x88 %s" p (Itv.to_string i)
+
+let arb_binop_case =
+  QCheck.make
+    ~print:(fun (op, a, b) ->
+      Printf.sprintf "%s (%s) (%s)" (Instr.binop_name op) (print_itv_point a)
+        (print_itv_point b))
+    QCheck.Gen.(triple (oneofl all_binops) gen_itv_point gen_itv_point)
+
+let arb_unop_case =
+  QCheck.make
+    ~print:(fun (op, a) ->
+      Printf.sprintf "%s (%s)" (Instr.unop_name op) (print_itv_point a))
+    QCheck.Gen.(pair (oneofl all_unops) gen_itv_point)
+
+let arb_itv_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "%s / %s" (print_itv_point a) (print_itv_point b))
+    QCheck.Gen.(pair gen_itv_point gen_itv_point)
+
+(* ------------------------ transfer soundness ---------------------- *)
+
+let prop_binop_sound =
+  QCheck.Test.make ~count:2000
+    ~name:"Itv.binop over-approximates eval_binop on members"
+    arb_binop_case
+    (fun (op, (ia, x), (ib, y)) ->
+      Itv.mem (Instr.eval_binop op x y) (Itv.binop op ia ib))
+
+let prop_unop_sound =
+  QCheck.Test.make ~count:1000
+    ~name:"Itv.unop over-approximates eval_unop on members" arb_unop_case
+    (fun (op, (ia, x)) -> Itv.mem (Instr.eval_unop op x) (Itv.unop op ia))
+
+let prop_binop_monotone =
+  QCheck.Test.make ~count:1000
+    ~name:"Itv.binop is monotone (wider inputs, wider output)"
+    QCheck.Gen.(
+      QCheck.make
+        (quad (oneofl all_binops) gen_itv_point gen_itv_point gen_itv_point))
+    (fun (op, (a, _), (b, _), (c, _)) ->
+      Itv.subset (Itv.binop op a b) (Itv.binop op (Itv.join a c) b)
+      && Itv.subset (Itv.binop op a b) (Itv.binop op a (Itv.join b c)))
+
+(* ------------------------- lattice laws --------------------------- *)
+
+let prop_lattice_membership =
+  QCheck.Test.make ~count:1000
+    ~name:"join/meet/widen/narrow respect membership" arb_itv_pair
+    (fun ((a, x), (b, y)) ->
+      Itv.mem x (Itv.join a b)
+      && Itv.mem y (Itv.join a b)
+      && Itv.mem x (Itv.widen a b)
+      && Itv.mem y (Itv.widen a b)
+      && ((not (Itv.mem x b)) || Itv.mem x (Itv.meet a b))
+      && ((not (Itv.mem x b)) || Itv.mem x (Itv.narrow a b))
+      && Itv.subset (Itv.narrow a b) a
+      && Itv.subset a (Itv.widen a b))
+
+(* Interval widening has a bounded chain: each endpoint can only jump to
+   its infinity, so any widening sequence strictly grows at most a
+   handful of times no matter how adversarial the inputs. This is the
+   property the engine's termination rests on. *)
+let prop_widen_stabilizes =
+  QCheck.Test.make ~count:500 ~name:"widening chains stabilize in <= 4 steps"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 30) gen_itv_point))
+    (fun steps ->
+      let changes = ref 0 in
+      let _ =
+        List.fold_left
+          (fun acc (next, _) ->
+            let w = Itv.widen acc next in
+            if not (Itv.equal w acc) then incr changes;
+            w)
+          Itv.bot steps
+      in
+      !changes <= 4)
+
+(* --------------------- engine on a counted loop ------------------- *)
+
+(* for (i = 0; i < 10; i++): the branch refinement must bound the
+   counter inside the loop and pin it to exactly 10 at the exit, after
+   widening blew the head state to [0, +inf] and narrowing clawed the
+   bound back. *)
+let counted_loop () =
+  let b = Builder.create ~name:"counted" () in
+  let i = Builder.reg b in
+  let one = Builder.reg b and ten = Builder.reg b and c = Builder.reg b in
+  let b0 = Builder.block b in
+  let head = Builder.block b in
+  let body = Builder.block b in
+  let exit = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (i, 0)));
+  ignore (Builder.add b b0 (Instr.Const (one, 1)));
+  ignore (Builder.add b b0 (Instr.Const (ten, 10)));
+  ignore (Builder.terminate b b0 (Instr.Jump head));
+  ignore (Builder.add b head (Instr.Binop (Instr.Lt, c, i, ten)));
+  ignore (Builder.terminate b head (Instr.Branch (c, body, exit)));
+  let incr_i = Builder.add b body (Instr.Binop (Instr.Add, i, i, one)) in
+  ignore (Builder.terminate b body (Instr.Jump head));
+  ignore (Builder.terminate b exit Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[ i ] in
+  (f, i, incr_i.Instr.id, body, exit)
+
+let itv_in r lbl reg = (Absenv.reg (Absenv.Engine.block_in r lbl) reg).Absenv.itv
+
+let test_counted_loop_bounds () =
+  let f, i, incr_id, body, exit = counted_loop () in
+  let r = Absenv.analyze f in
+  Alcotest.(check string)
+    "i bounded in the body" "[0, 9]"
+    (Itv.to_string (itv_in r body i));
+  Alcotest.(check string)
+    "i pinned at the exit" "[10, 10]"
+    (Itv.to_string (itv_in r exit i));
+  let after = (Absenv.reg (Absenv.Engine.after r incr_id) i).Absenv.itv in
+  Alcotest.(check bool)
+    "increment lands in [1, 10]" true
+    (Itv.subset after (Itv.range 1 10));
+  Alcotest.(check bool)
+    "solver reports nodes and steps" true
+    (Absenv.Engine.n_nodes r = 4 && Absenv.Engine.iterations r > 0)
+
+(* Convergence: the widening/narrowing schedule solves random structured
+   programs (nested loops, hammocks) in a number of block steps linear
+   in the CFG, i.e. the worklist never thrashes. *)
+let prop_converges_linearly =
+  QCheck.Test.make ~count:100
+    ~name:"absenv fixpoint converges in O(blocks) steps"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100_000))
+    (fun seed ->
+      let f = G.lower (G.gen ~seed) in
+      let r = Absenv.analyze f in
+      Absenv.Engine.iterations r <= (60 * Absenv.Engine.n_nodes r) + 200)
+
+(* ------------------- memory disambiguation unit ------------------- *)
+
+(* Two stores, both through an unknown live-in base: the affine-symbol
+   rule must separate distinct constant offsets off the same base (the
+   mask preserves congruence mod a power-of-two memory size) and must
+   NOT separate the same offset. *)
+let sym_stores off2 =
+  let b = Builder.create ~name:"md-sym" () in
+  let x = Builder.reg b in
+  let v = Builder.reg b in
+  let m = Builder.region b "m" in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (v, 1)));
+  let s1 = Builder.add b b0 (Instr.Store (m, x, 0, v)) in
+  let s2 = Builder.add b b0 (Instr.Store (m, x, off2, v)) in
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[ x ] ~live_out:[] in
+  (Memdis.analyze ~mem_size:1024 f, s1.Instr.id, s2.Instr.id)
+
+let const_stores a1 a2 =
+  let b = Builder.create ~name:"md-itv" () in
+  let r1 = Builder.reg b and r2 = Builder.reg b and v = Builder.reg b in
+  let m = Builder.region b "m" in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (v, 1)));
+  ignore (Builder.add b b0 (Instr.Const (r1, a1)));
+  ignore (Builder.add b b0 (Instr.Const (r2, a2)));
+  let s1 = Builder.add b b0 (Instr.Store (m, r1, 0, v)) in
+  let s2 = Builder.add b b0 (Instr.Store (m, r2, 0, v)) in
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  (Memdis.analyze ~mem_size:1024 f, s1.Instr.id, s2.Instr.id)
+
+let test_memdis_rules () =
+  let d, s1, s2 = sym_stores 1 in
+  Alcotest.(check bool) "x+0 vs x+1 disjoint" true (Memdis.disjoint d s1 s2);
+  Alcotest.(check bool) "symmetric" true (Memdis.disjoint d s2 s1);
+  let d, s1, s2 = sym_stores 0 in
+  Alcotest.(check bool) "x+0 vs x+0 not disjoint" false
+    (Memdis.disjoint d s1 s2);
+  let d, s1, s2 = const_stores 5 9 in
+  Alcotest.(check bool) "5 vs 9 disjoint" true (Memdis.disjoint d s1 s2);
+  let d, s1, s2 = const_stores 5 5 in
+  Alcotest.(check bool) "5 vs 5 not disjoint" false (Memdis.disjoint d s1 s2);
+  (* 2000 is out of [0, 1024): masking can fold it onto 2000 & 1023 =
+     976, so the interval rule must refuse pre-mask reasoning. *)
+  let d, s1, s2 = const_stores 976 2000 in
+  Alcotest.(check bool) "masked collision kept" false
+    (Memdis.disjoint d s1 s2);
+  Alcotest.(check bool) "unknown ids conservative" false
+    (Memdis.disjoint d 999_999 0)
+
+(* ------------------- client soundness, end to end ----------------- *)
+
+(* Random generated programs through the full obligation set of
+   [gmtc fuzz --lint]: a checking-interpreter trap must be covered by a
+   finding, every traced address must lie in its abstract interval, and
+   "disjoint" pairs must never share a dynamic address. *)
+let prop_clients_sound =
+  QCheck.Test.make ~count:60
+    ~name:"lint + memdis sound under the checking interpreter"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100_000))
+    (fun seed ->
+      match Fuzz.lint_soundness (G.workload (G.gen ~seed)) with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "seed %d: %s" seed e)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_binop_sound;
+    QCheck_alcotest.to_alcotest prop_unop_sound;
+    QCheck_alcotest.to_alcotest prop_binop_monotone;
+    QCheck_alcotest.to_alcotest prop_lattice_membership;
+    QCheck_alcotest.to_alcotest prop_widen_stabilizes;
+    Alcotest.test_case "counted loop bounds" `Quick test_counted_loop_bounds;
+    QCheck_alcotest.to_alcotest prop_converges_linearly;
+    Alcotest.test_case "memdis interval + symbol rules" `Quick
+      test_memdis_rules;
+    QCheck_alcotest.to_alcotest prop_clients_sound;
+  ]

@@ -34,14 +34,14 @@ let fingerprint name technique coco =
    serializer changed. *)
 let golden =
   [
-    ("ks", V.Gremio, false, "157e002a28415b32228ee0b866b9c5cc");
-    ("ks", V.Gremio, true, "a94b66ff43fab593dfc4871933c72cb3");
-    ("ks", V.Dswp, false, "78885c61fb3c8b4637fbbf7aef0bae36");
-    ("ks", V.Dswp, true, "65f8e32cf9f80c0024c58136e188767b");
-    ("adpcmdec", V.Gremio, false, "f5ebf709f11e7a32ba5d2991ff153498");
-    ("adpcmdec", V.Gremio, true, "5010f3cd1cb23925fe174b7fa7551166");
-    ("adpcmdec", V.Dswp, false, "22151d58f4c402fc98710b8350be6f54");
-    ("adpcmdec", V.Dswp, true, "08d8ca9aeb11a268e0fa362505963f84");
+    ("ks", V.Gremio, false, "5e0fda7744e8cf7a60eec2b5dcbeddaf");
+    ("ks", V.Gremio, true, "1144c410eab8e7ce881cd611b77d318b");
+    ("ks", V.Dswp, false, "399db42592eca72cc0b2d1eeac6d000c");
+    ("ks", V.Dswp, true, "536ac4772a67d91a0ccef346b1f91544");
+    ("adpcmdec", V.Gremio, false, "8dab289467802a19cced2730482cebcd");
+    ("adpcmdec", V.Gremio, true, "629c94a825fb2776d8fb9b4de815943c");
+    ("adpcmdec", V.Dswp, false, "0b5c97fc77743210a039c0c145f658c3");
+    ("adpcmdec", V.Dswp, true, "a5819f405f0e13d6093ee83355c3d3ce");
   ]
 
 let test_golden_fingerprints () =

@@ -170,6 +170,41 @@ let test_fuzz_detects mutation () =
         Alcotest.fail "repro does not round-trip"
     | Error e -> Alcotest.failf "repro unparseable: %s" (Text.render_error e))
 
+(* ------------------------- position maps -------------------------- *)
+
+(* [parse_pos] must hand back a 1-based (line, col) for every
+   instruction of a parsed document and nothing for foreign ids — the
+   contract [gmtc lint] anchors its findings on. *)
+let test_parse_pos_total () =
+  List.iter
+    (fun (w : W.t) ->
+      match Text.parse_pos ~file:(w.W.name ^ ".gmt") (Text.print w) with
+      | Error e ->
+        Alcotest.failf "%s: %s" w.W.name (Text.render_error e)
+      | Ok (w', pos) ->
+        let lines = ref [] in
+        Gmt_ir.Cfg.iter_instrs w'.W.func.Gmt_ir.Func.cfg
+          (fun _ (i : Gmt_ir.Instr.t) ->
+            match pos i.Gmt_ir.Instr.id with
+            | None ->
+              Alcotest.failf "%s: i%d has no position" w.W.name
+                i.Gmt_ir.Instr.id
+            | Some (line, col) ->
+              if line < 1 || col < 1 then
+                Alcotest.failf "%s: i%d at non-1-based %d:%d" w.W.name
+                  i.Gmt_ir.Instr.id line col;
+              lines := line :: !lines);
+        (* Canonical printing emits one instruction per line. *)
+        let sorted = List.sort_uniq compare !lines in
+        Alcotest.(check int)
+          (w.W.name ^ " distinct lines")
+          (List.length !lines) (List.length sorted);
+        Alcotest.(check (option (pair int int)))
+          (w.W.name ^ " unknown id unmapped")
+          None
+          (pos (Gmt_ir.Cfg.max_instr_id w'.W.func.Gmt_ir.Func.cfg + 1000)))
+    (Suite.all ())
+
 let tests =
   golden_errors
   @ [
@@ -182,4 +217,6 @@ let tests =
         (test_fuzz_detects Fuzz.Drop_produce);
       Alcotest.test_case "fuzz detects swap-branch" `Quick
         (test_fuzz_detects Fuzz.Swap_branch);
+      Alcotest.test_case "parse_pos maps every instruction" `Quick
+        test_parse_pos_total;
     ]

@@ -1,0 +1,220 @@
+(* The static lint client: one surgical fixture per diagnostic code, the
+   deterministic (line, col, code, id) ordering the golden CLI test
+   relies on, position anchoring through the textual frontend, and the
+   corpus-cleanliness invariant ([gmtc lint] over the workload suite
+   must stay silent — the fuzz harness separately proves silence implies
+   no traps). *)
+
+open Gmt_ir
+module Lint = Gmt_analysis.Lint
+module Text = Gmt_frontend.Text
+
+let codes fs = List.map (fun f -> f.Lint.code) fs
+
+let has_code c fs =
+  List.exists (fun f -> f.Lint.code = c && f.Lint.msg <> "") fs
+
+let lint ?pos ~mem_size f = Lint.run ~mem_size ?pos f
+
+(* --------------------------- fixtures ----------------------------- *)
+
+let clean_func () =
+  let b = Builder.create ~name:"clean" () in
+  let a = Builder.reg b and v = Builder.reg b in
+  let m = Builder.region b "m" in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (a, 4)));
+  ignore (Builder.add b b0 (Instr.Const (v, 7)));
+  ignore (Builder.add b b0 (Instr.Store (m, a, 0, v)));
+  let ld = Builder.add b b0 (Instr.Load (m, v, a, 0)) in
+  ignore (Builder.terminate b b0 Instr.Return);
+  ignore ld;
+  Builder.finish b ~live_in:[] ~live_out:[ v ]
+
+let test_clean () =
+  Alcotest.(check (list string))
+    "no findings" []
+    (codes (lint ~mem_size:1024 (clean_func ())))
+
+let test_gl001_uninit_read () =
+  let b = Builder.create ~name:"uninit" () in
+  let u = Builder.reg b and d = Builder.reg b in
+  let b0 = Builder.block b in
+  let i = Builder.add b b0 (Instr.Binop (Instr.Add, d, u, u)) in
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[ d ] in
+  let fs = lint ~mem_size:1024 f in
+  Alcotest.(check bool) "GL001 reported" true (has_code "GL001" fs);
+  Alcotest.(check bool) "anchored at the read" true
+    (List.exists (fun x -> x.Lint.code = "GL001" && x.Lint.iid = i.Instr.id) fs);
+  (* The same register as live-in is fine: inputs initialize it. *)
+  let b = Builder.create ~name:"livein" () in
+  let u = Builder.reg b and d = Builder.reg b in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Binop (Instr.Add, d, u, u)));
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[ u ] ~live_out:[ d ] in
+  Alcotest.(check (list string))
+    "live-in read is clean" []
+    (codes (lint ~mem_size:1024 f))
+
+let test_gl002_unreachable () =
+  let b = Builder.create ~name:"unreach" () in
+  let r = Builder.reg b in
+  let b0 = Builder.block b in
+  let dead = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (r, 1)));
+  ignore (Builder.terminate b b0 Instr.Return);
+  let i = Builder.add b dead (Instr.Const (r, 2)) in
+  ignore (Builder.terminate b dead Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  let fs = lint ~mem_size:1024 f in
+  Alcotest.(check bool) "GL002 reported at the dead block's head" true
+    (List.exists (fun x -> x.Lint.code = "GL002" && x.Lint.iid = i.Instr.id) fs)
+
+let test_gl003_dead_store () =
+  let b = Builder.create ~name:"deadstore" () in
+  let a = Builder.reg b and v = Builder.reg b in
+  let m = Builder.region b "m" in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (a, 8)));
+  ignore (Builder.add b b0 (Instr.Const (v, 1)));
+  let s1 = Builder.add b b0 (Instr.Store (m, a, 0, v)) in
+  ignore (Builder.add b b0 (Instr.Store (m, a, 0, v)));
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  let fs = lint ~mem_size:1024 f in
+  Alcotest.(check bool) "GL003 anchored at the overwritten store" true
+    (List.exists
+       (fun x -> x.Lint.code = "GL003" && x.Lint.iid = s1.Instr.id)
+       fs);
+  (* An intervening possibly-aliasing load keeps the store alive. *)
+  let b = Builder.create ~name:"livestore" () in
+  let a = Builder.reg b and v = Builder.reg b and t = Builder.reg b in
+  let m = Builder.region b "m" in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (a, 8)));
+  ignore (Builder.add b b0 (Instr.Const (v, 1)));
+  ignore (Builder.add b b0 (Instr.Store (m, a, 0, v)));
+  ignore (Builder.add b b0 (Instr.Load (m, t, a, 0)));
+  ignore (Builder.add b b0 (Instr.Store (m, a, 0, v)));
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[ t ] in
+  Alcotest.(check (list string))
+    "read keeps the store" []
+    (codes (lint ~mem_size:1024 f))
+
+let test_gl004_out_of_bounds () =
+  let b = Builder.create ~name:"oob" () in
+  let a = Builder.reg b and v = Builder.reg b in
+  let m = Builder.region b "m" in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (a, 5000)));
+  ignore (Builder.add b b0 (Instr.Const (v, 1)));
+  let s = Builder.add b b0 (Instr.Store (m, a, 0, v)) in
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  let fs = lint ~mem_size:1024 f in
+  Alcotest.(check bool) "GL004 reported" true
+    (List.exists (fun x -> x.Lint.code = "GL004" && x.Lint.iid = s.Instr.id) fs);
+  (* Same function under a memory large enough to contain the address:
+     the must-analysis no longer applies. *)
+  Alcotest.(check (list string))
+    "in-bounds under 65536" []
+    (codes (lint ~mem_size:65536 f))
+
+let test_gl005_gl006_communication () =
+  let b = Builder.create ~name:"comm" () in
+  let r = Builder.reg b in
+  let b0 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (r, 1)));
+  let p = Builder.add b b0 (Instr.Produce_sync 0) in
+  ignore (Builder.terminate b b0 Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  let fs = lint ~mem_size:1024 f in
+  Alcotest.(check bool) "GL006 at the produce" true
+    (List.exists (fun x -> x.Lint.code = "GL006" && x.Lint.iid = p.Instr.id) fs);
+  Alcotest.(check bool) "GL005 queue imbalance at return" true
+    (has_code "GL005" fs)
+
+(* ------------------------ ordering + positions -------------------- *)
+
+let pos_source =
+  String.concat "\n"
+    [
+      "gmt-ir v1";
+      "workload \"lintpos\"";
+      "mem_size 1024";
+      "";
+      "func \"lintpos\" (regs: 3, live_in: [], live_out: [])";
+      "regions: [m0 = \"m\"]";
+      "entry: B0";
+      "B0:";
+      "  i0: r0 = 2000";
+      "  i1: store m0[r0 + 0] = r0";
+      "  i2: r1 = add r2, r2";
+      "  i3: return";
+      "";
+    ]
+
+let test_positions_and_order () =
+  let w, pos =
+    match Text.parse_pos ~file:"lintpos.gmt" pos_source with
+    | Ok wp -> wp
+    | Error e -> Alcotest.failf "parse: %s" (Text.render_error e)
+  in
+  let module W = Gmt_workloads.Workload in
+  let fs = lint ~pos ~mem_size:w.W.mem_size w.W.func in
+  Alcotest.(check (list string))
+    "both findings, source order" [ "GL004"; "GL001" ] (codes fs);
+  List.iter
+    (fun x ->
+      if x.Lint.line = 0 then
+        Alcotest.failf "finding %s not positioned" (Lint.render x))
+    fs;
+  (* i1 sits on line 10 of the source above, i2 on line 11. *)
+  (match fs with
+  | oob :: uninit :: _ ->
+    Alcotest.(check int) "GL004 line" 10 oob.Lint.line;
+    Alcotest.(check int) "GL001 line" 11 uninit.Lint.line;
+    Alcotest.(check bool) "columns 1-based" true
+      (oob.Lint.col >= 1 && uninit.Lint.col >= 1)
+  | _ -> Alcotest.fail "expected two findings");
+  (* Determinism: two runs render identically. *)
+  let render fs = String.concat "\n" (List.map Lint.render fs) in
+  Alcotest.(check string)
+    "re-run renders identically" (render fs)
+    (render (lint ~pos ~mem_size:w.W.mem_size w.W.func));
+  (* The report order is the documented sort key. *)
+  let keys =
+    List.map (fun x -> (x.Lint.line, x.Lint.col, x.Lint.code, x.Lint.iid)) fs
+  in
+  Alcotest.(check bool) "sorted by (line, col, code, id)" true
+    (List.sort compare keys = keys)
+
+(* --------------------------- the corpus --------------------------- *)
+
+let test_suite_clean () =
+  let module W = Gmt_workloads.Workload in
+  List.iter
+    (fun (w : W.t) ->
+      match lint ~mem_size:w.W.mem_size w.W.func with
+      | [] -> ()
+      | fs ->
+        Alcotest.failf "%s: %s" w.W.name
+          (String.concat "; " (List.map Lint.render fs)))
+    (Gmt_workloads.Suite.all ())
+
+let tests =
+  [
+    Alcotest.test_case "clean function" `Quick test_clean;
+    Alcotest.test_case "GL001 uninitialized read" `Quick test_gl001_uninit_read;
+    Alcotest.test_case "GL002 unreachable block" `Quick test_gl002_unreachable;
+    Alcotest.test_case "GL003 dead store" `Quick test_gl003_dead_store;
+    Alcotest.test_case "GL004 out of bounds" `Quick test_gl004_out_of_bounds;
+    Alcotest.test_case "GL005/GL006 stray communication" `Quick
+      test_gl005_gl006_communication;
+    Alcotest.test_case "positions and ordering" `Quick
+      test_positions_and_order;
+    Alcotest.test_case "workload suite lints clean" `Quick test_suite_clean;
+  ]

@@ -4,6 +4,8 @@ let () =
       ("graphalg", Test_graphalg.tests);
       ("ir", Test_ir.tests);
       ("analysis", Test_analysis.tests);
+      ("absint", Test_absint.tests);
+      ("lint", Test_lint.tests);
       ("pdg", Test_pdg.tests);
       ("sched", Test_sched.tests);
       ("mtcg", Test_mtcg.tests);

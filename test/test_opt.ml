@@ -123,6 +123,87 @@ let test_cleanup_threads () =
   Alcotest.(check (array int)) "memory" st.Interp.memory
     r.Gmt_machine.Mt_interp.memory
 
+(* Range-driven strengthening: the rewrites Constfold cannot see (the
+   operands are not compile-time constants, only their ranges are
+   known). *)
+let test_rangeopt_folds () =
+  let b = Builder.create ~name:"ro" () in
+  let y = Builder.reg b and x = Builder.reg b in
+  let mask = Builder.reg b and hundred = Builder.reg b in
+  let six = Builder.reg b and c = Builder.reg b and d = Builder.reg b in
+  let v = Builder.reg b in
+  let m = Builder.region b "out" in
+  let b0 = Builder.block b in
+  let b1 = Builder.block b in
+  let b2 = Builder.block b in
+  ignore (Builder.add b b0 (Instr.Const (mask, 63)));
+  ignore (Builder.add b b0 (Instr.Const (hundred, 100)));
+  ignore (Builder.add b b0 (Instr.Const (six, 6)));
+  (* x = y & 63 is in [0, 63] though y is a live-in unknown. *)
+  ignore (Builder.add b b0 (Instr.Binop (Instr.And, x, y, mask)));
+  let shr = Builder.add b b0 (Instr.Binop (Instr.Shr, d, x, six)) in
+  let cmp = Builder.add b b0 (Instr.Binop (Instr.Lt, c, x, hundred)) in
+  ignore (Builder.terminate b b0 (Instr.Branch (c, b1, b2)));
+  ignore (Builder.add b b1 (Instr.Const (v, 7)));
+  ignore (Builder.add b b1 (Instr.Store (m, x, 0, v)));
+  ignore (Builder.terminate b b1 Instr.Return);
+  ignore (Builder.add b b2 (Instr.Const (v, 9)));
+  ignore (Builder.add b b2 (Instr.Store (m, x, 0, v)));
+  ignore (Builder.terminate b b2 Instr.Return);
+  let f = Builder.finish b ~live_in:[ y ] ~live_out:[] in
+  let f' = Gmt_opt.Rangeopt.run f in
+  (* [0,63] >> 6 = 0 and [0,63] < 100 = 1: singleton folds, branch
+     becomes a jump to the taken side, ids preserved. *)
+  Alcotest.(check bool) "shr folded to const 0" true
+    (match (Cfg.find_instr f'.Func.cfg shr.Instr.id).Instr.op with
+    | Instr.Const (r, 0) -> r = d
+    | _ -> false);
+  Alcotest.(check bool) "comparison folded to const 1" true
+    (match (Cfg.find_instr f'.Func.cfg cmp.Instr.id).Instr.op with
+    | Instr.Const (r, 1) -> r = c
+    | _ -> false);
+  Alcotest.(check bool) "branch folded to the taken side" true
+    (match List.rev (Cfg.block f'.Func.cfg b0).Cfg.body with
+    | { Instr.op = Instr.Jump l; _ } :: _ -> l = b1
+    | _ -> false);
+  (* Semantics unchanged, and the full pipeline shrinks the function. *)
+  Alcotest.(check (array int))
+    "semantics preserved"
+    (run_mem ~init_regs:[ (y, 1000) ] f)
+    (run_mem ~init_regs:[ (y, 1000) ] f');
+  Alcotest.(check bool) "pipeline shrinks it" true
+    (n_instrs (Opt.pipeline f) < n_instrs f)
+
+let test_rangeopt_dead_store () =
+  let store_pair ~with_load =
+    let b = Builder.create ~name:"ds" () in
+    let a = Builder.reg b and v = Builder.reg b and t = Builder.reg b in
+    let m = Builder.region b "m" in
+    let b0 = Builder.block b in
+    ignore (Builder.add b b0 (Instr.Const (a, 8)));
+    ignore (Builder.add b b0 (Instr.Const (v, 1)));
+    let s1 = Builder.add b b0 (Instr.Store (m, a, 0, v)) in
+    if with_load then ignore (Builder.add b b0 (Instr.Load (m, t, a, 0)));
+    ignore (Builder.add b b0 (Instr.Store (m, a, 0, v)));
+    ignore (Builder.terminate b b0 Instr.Return);
+    let live_out = if with_load then [ t ] else [] in
+    (Builder.finish b ~live_in:[] ~live_out, s1.Instr.id)
+  in
+  let f, s1 = store_pair ~with_load:false in
+  let f' = Gmt_opt.Rangeopt.run f in
+  Alcotest.(check bool) "overwritten store dropped" true
+    (match Cfg.find_instr f'.Func.cfg s1 with
+    | exception Not_found -> true
+    | _ -> false);
+  Alcotest.(check (array int)) "dead-store drop preserves memory"
+    (run_mem f) (run_mem f');
+  let f, s1 = store_pair ~with_load:true in
+  let f' = Gmt_opt.Rangeopt.run f in
+  Alcotest.(check bool) "observed store kept" true
+    (match Cfg.find_instr f'.Func.cfg s1 with
+    | exception Not_found -> false
+    | _ -> true)
+
 (* Property: the pipeline preserves semantics on random programs. *)
 let prop_pipeline_preserves =
   QCheck.Test.make ~count:100 ~name:"opt pipeline preserves semantics"
@@ -149,5 +230,7 @@ let tests =
     Alcotest.test_case "pipeline on workloads" `Quick
       test_pipeline_on_workloads;
     Alcotest.test_case "cleanup threads" `Quick test_cleanup_threads;
+    Alcotest.test_case "rangeopt folds" `Quick test_rangeopt_folds;
+    Alcotest.test_case "rangeopt dead store" `Quick test_rangeopt_dead_store;
     QCheck_alcotest.to_alcotest prop_pipeline_preserves;
   ]

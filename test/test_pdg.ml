@@ -199,6 +199,51 @@ let test_no_self_arcs () =
         (Pdg.arcs pdg))
     (Gmt_workloads.Suite.all ())
 
+(* Static memory-arc pruning ([prune_mem]) must stay opt-in, must only
+   remove memory arcs, and must actually fire on the suite (gromacs's
+   scratch-buffer accesses are the paper's motivating case). *)
+let n_arcs pred pdg =
+  List.length (List.filter (fun (a : Pdg.arc) -> pred a.Pdg.kind) (Pdg.arcs pdg))
+
+let test_prune_mem_opt_in () =
+  let module W = Gmt_workloads.Workload in
+  let w = Gmt_workloads.Suite.find "435.gromacs" in
+  let plain = Pdg.build w.W.func in
+  Alcotest.(check int) "default build prunes nothing" 0 (Pdg.mem_pruned plain);
+  let pruned = Pdg.build ~prune_mem:w.W.mem_size w.W.func in
+  Alcotest.(check bool) "gromacs arcs pruned" true (Pdg.mem_pruned pruned > 0);
+  Alcotest.(check int) "memory arc count drops by exactly the pruned count"
+    (n_arcs is_mem plain - Pdg.mem_pruned pruned)
+    (n_arcs is_mem pruned);
+  Alcotest.(check int) "non-memory arcs untouched"
+    (n_arcs (fun k -> not (is_mem k)) plain)
+    (n_arcs (fun k -> not (is_mem k)) pruned);
+  let total =
+    List.fold_left
+      (fun acc (w : W.t) ->
+        acc + Pdg.mem_pruned (Pdg.build ~prune_mem:w.W.mem_size w.W.func))
+      0
+      (Gmt_workloads.Suite.all ())
+  in
+  Alcotest.(check bool) "suite prunes at least one arc" true (total > 0)
+
+let test_filter_arcs () =
+  let fx = Test_util.fig3 () in
+  let pdg = Test_util.pdg_of fx.Test_util.func in
+  let all = Pdg.filter_arcs pdg ~f:(fun _ -> true) in
+  Alcotest.(check int) "identity filter keeps every arc"
+    (List.length (Pdg.arcs pdg))
+    (List.length (Pdg.arcs all));
+  let victim = List.hd (Pdg.arcs pdg) in
+  let cut = Pdg.filter_arcs pdg ~f:(fun a -> a <> victim) in
+  Alcotest.(check int) "one arc dropped"
+    (List.length (Pdg.arcs pdg) - 1)
+    (List.length (Pdg.arcs cut));
+  Alcotest.(check bool) "dropped arc gone from succs" false
+    (List.exists
+       (fun (a : Pdg.arc) -> a.Pdg.dst = victim.Pdg.dst && a.Pdg.kind = victim.Pdg.kind)
+       (Pdg.succs cut victim.Pdg.src))
+
 let tests =
   [
     Alcotest.test_case "fig3 register arcs" `Quick test_fig3_register_arcs;
@@ -219,4 +264,6 @@ let tests =
     Alcotest.test_case "preds/succs consistent" `Quick
       test_preds_succs_consistent;
     Alcotest.test_case "no self arcs (suite)" `Quick test_no_self_arcs;
+    Alcotest.test_case "prune_mem opt-in + counts" `Quick test_prune_mem_opt_in;
+    Alcotest.test_case "filter_arcs" `Quick test_filter_arcs;
   ]

@@ -302,6 +302,69 @@ let prop_verify_sound_and_sensitive =
       in
       equivalent && mutant_rejected)
 
+(* ------------------- static pruning fault injection ---------------- *)
+
+(* An unsound memory-arc pruner: drop the TRUE i3 -> i4 store/load arc
+   (same address!) from the PDG, emit no sync for it, and claim the
+   pruning was proven ([prune_mem]). The verifier re-derives the
+   disjointness facts with its own {!Gmt_analysis.Memdis} run, cannot
+   excuse the pair, and must report the race. *)
+let test_pruned_true_arc_rejected () =
+  let fx = fixture () in
+  let pdg' =
+    Pdg.filter_arcs fx.pdg ~f:(fun a ->
+        not
+          (a.Pdg.src = fx.i3.Instr.id
+          && a.Pdg.dst = fx.i4.Instr.id
+          && match a.Pdg.kind with Pdg.Mem _ -> true | _ -> false))
+  in
+  let specs =
+    List.filter (fun (p, _, _, _) -> p <> Comm.Sync) (full_specs fx)
+  in
+  let plan = plan_of specs in
+  let mtp, origin = Mtcg.generate_with_origin pdg' fx.part plan in
+  let diags =
+    Verify.run ~prune_mem:1024 ~pdg:pdg' ~partition:fx.part ~plan ~origin mtp
+  in
+  Alcotest.(check bool) "race reported despite the pruning claim" true
+    (has (fun d -> analysis_is Verify.Race d) diags)
+
+(* The sound counterpart: two threads storing to provably-disjoint
+   constant cells need no synchronization once the WAW arc is pruned,
+   and the verifier's independent re-proof accepts the sync-free code —
+   while the same code against the unpruned PDG is still rejected. *)
+let test_sound_prune_accepted () =
+  let b = Builder.create ~name:"sp" () in
+  let a1 = Builder.reg b and a2 = Builder.reg b in
+  let v1 = Builder.reg b and v2 = Builder.reg b in
+  let m = Builder.region b "m" in
+  let blk = Builder.block b in
+  let i0 = Builder.add b blk (Instr.Const (a1, 4)) in
+  let i1 = Builder.add b blk (Instr.Const (v1, 1)) in
+  let i2 = Builder.add b blk (Instr.Store (m, a1, 0, v1)) in
+  let i3 = Builder.add b blk (Instr.Const (a2, 8)) in
+  let i4 = Builder.add b blk (Instr.Const (v2, 2)) in
+  let i5 = Builder.add b blk (Instr.Store (m, a2, 0, v2)) in
+  ignore (Builder.terminate b blk Instr.Return);
+  let f = Builder.finish b ~live_in:[] ~live_out:[] in
+  let part =
+    Partition.make ~n_threads:2
+      [
+        (i0.Instr.id, 0); (i1.Instr.id, 0); (i2.Instr.id, 0);
+        (i3.Instr.id, 1); (i4.Instr.id, 1); (i5.Instr.id, 1);
+      ]
+  in
+  let pruned = Pdg.build ~prune_mem:1024 f in
+  Alcotest.(check int) "the WAW arc is pruned" 1 (Pdg.mem_pruned pruned);
+  let plan = plan_of [] in
+  let mtp, origin = Mtcg.generate_with_origin pruned part plan in
+  Alcotest.(check int) "sync-free code accepted under re-proof" 0
+    (List.length
+       (Verify.run ~prune_mem:1024 ~pdg:pruned ~partition:part ~plan ~origin
+          mtp));
+  Alcotest.(check bool) "same code rejected against the unpruned PDG" true
+    (Verify.run ~pdg:(Pdg.build f) ~partition:part ~plan ~origin mtp <> [])
+
 let tests =
   [
     Alcotest.test_case "accepts correct program + json" `Quick
@@ -316,5 +379,8 @@ let tests =
       test_reordered_consume_rejected;
     Alcotest.test_case "unsynchronized store/load races" `Quick
       test_unsynchronized_store_load_races;
+    Alcotest.test_case "pruned true arc rejected" `Quick
+      test_pruned_true_arc_rejected;
+    Alcotest.test_case "sound prune accepted" `Quick test_sound_prune_accepted;
     QCheck_alcotest.to_alcotest prop_verify_sound_and_sensitive;
   ]
