@@ -626,7 +626,8 @@ let lint_cmd =
 (* ------------------------------ fuzz ------------------------------ *)
 
 let fuzz_cmd =
-  let run files seed count lint inject fuel out_dir =
+  let run files seed count lint inject fuel out_dir jobs =
+    let jobs = resolve_jobs jobs in
     if lint then begin
       (* Lint soundness mode: static findings vs the checking
          interpreter, see Fuzz.lint_soundness. *)
@@ -645,10 +646,10 @@ let fuzz_cmd =
       in
       let report =
         if files <> [] then
-          Fuzz.lint_workloads ?inject ~fuel
+          Fuzz.lint_workloads ?inject ~fuel ~jobs
             (List.map (fun f -> (f, resolve_workload f)) files)
         else
-          Fuzz.lint_seeds ?inject ~fuel
+          Fuzz.lint_seeds ?inject ~fuel ~jobs
             ~seeds:(List.init count (fun i -> seed + i))
             ()
       in
@@ -671,10 +672,10 @@ let fuzz_cmd =
       in
       let report =
         if files <> [] then
-          Fuzz.fuzz_workloads ?mutate:inject ~fuel ~out_dir
+          Fuzz.fuzz_workloads ?mutate:inject ~fuel ~out_dir ~jobs
             (List.map (fun f -> (f, resolve_workload f)) files)
         else
-          Fuzz.fuzz_seeds ?mutate:inject ~fuel ~out_dir
+          Fuzz.fuzz_seeds ?mutate:inject ~fuel ~out_dir ~jobs
             ~seeds:(List.init count (fun i -> seed + i))
             ()
       in
@@ -758,7 +759,7 @@ let fuzz_cmd =
           soundness against the checking interpreter instead.")
     Term.(
       const run $ files_arg $ seed_arg $ count_arg $ lint_flag_arg
-      $ fuzz_inject_arg $ fuel_arg $ out_dir_arg)
+      $ fuzz_inject_arg $ fuel_arg $ out_dir_arg $ jobs_arg)
 
 (* ------------------------------ serve ----------------------------- *)
 
@@ -991,6 +992,18 @@ let render_stats ~socket j =
        hit-rate %.1f%%\n"
       hits misses (jint "stores" c) (jint "evictions" c) (jint "corrupt" c)
       rate
+  | None -> ());
+  (match jmember "pool" j with
+  | Some p when jint "workers" p > 0 ->
+    pf
+      "pool      workers %d  tasks %d  injected %d  steals %d/%d  parks %d  \
+       deque-peak %d\n"
+      (jint "workers" p) (jint "tasks_run" p) (jint "injected" p)
+      (jint "steals_succeeded" p)
+      (jint "steals_attempted" p)
+      (jint "parks" p)
+      (jint "deque_depth_peak" p)
+  | Some _ -> pf "pool      inline (jobs 1)\n"
   | None -> ());
   (match jmember "telemetry" j with
   | Some (Json.Obj _ as tele) ->

@@ -1,0 +1,70 @@
+(* The old Gmt_parallel.Pool engine, kept as the benchmark baseline:
+   one FIFO, one mutex, one condvar, all workers contending. *)
+
+type t = {
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker pool =
+  let rec next () =
+    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    else if pool.closed then None
+    else begin
+      Condition.wait pool.nonempty pool.lock;
+      next ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let job = next () in
+    Mutex.unlock pool.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+      job ();
+      loop ()
+  in
+  loop ()
+
+let create ~workers =
+  if workers < 1 then
+    invalid_arg
+      (Printf.sprintf "Central.create: workers must be >= 1 (got %d)" workers);
+  let pool =
+    {
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let submit pool job =
+  Mutex.lock pool.lock;
+  if pool.closed then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Central.submit: pool is shut down"
+  end;
+  Queue.push job pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let already = pool.closed in
+  pool.closed <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  if not already then begin
+    let ws = pool.workers in
+    pool.workers <- [];
+    List.iter Domain.join ws
+  end

@@ -1,0 +1,24 @@
+(** Central-queue domain pool: the pre-[gmt_exec] runtime, preserved
+    verbatim as the A/B baseline for the pool microbenchmark.
+
+    One global FIFO under one mutex/condvar pair; every worker contends
+    on that lock for every task. Fine for the coarse Fig-8 matrix cells
+    it was built for, and exactly the contention profile the
+    work-stealing {!Sched} exists to beat on fine-grained task floods —
+    keeping it alive makes that claim measurable forever
+    ([BENCH_pool.json]). Not used by any production fan-out path. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] (>= 1) domains. No inline mode: the benchmark
+    compares runtime machinery, so even [workers = 1] spawns a real
+    domain, mirroring {!Sched.create}.
+    @raise Invalid_argument when [workers < 1]. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue under the central lock.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Close the queue, let workers drain it, join them. Idempotent. *)

@@ -1,0 +1,117 @@
+(* Chase-Lev deque, all shared locations atomic (see deque.mli and the
+   DESIGN.md gmt_exec section for the memory-model argument).
+
+   Invariants:
+   - [top] is monotonically increasing; logical indices in [top, bottom)
+     are live.
+   - only the owner writes [bottom] and the buffer contents; thieves
+     advance [top] (and the owner does too, once, in the last-element
+     race of [pop]).
+   - a slot is overwritten by [push] only when its previous logical
+     index has left the live window, and the live window never exceeds
+     the buffer size (push grows first), so a successful CAS on [top]
+     proves the value read from the slot was the live value for that
+     logical index — in whichever buffer generation the thief read,
+     because [grow] copies the live window and old generations are
+     never mutated again. *)
+
+type 'a buffer = {
+  mask : int; (* size - 1; size is a power of two *)
+  slots : 'a option Atomic.t array;
+}
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let make_buffer size =
+  { mask = size - 1; slots = Array.init size (fun _ -> Atomic.make None) }
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (make_buffer 64);
+  }
+
+let slot buf i = Array.unsafe_get buf.slots (i land buf.mask)
+
+(* Owner only: double the buffer, copying the live window [t, b). Stale
+   generations stay intact — a thief holding one still reads the correct
+   value for any logical index its CAS can validate. *)
+let grow q old ~t ~b =
+  let nbuf = make_buffer (2 * (old.mask + 1)) in
+  for i = t to b - 1 do
+    Atomic.set (slot nbuf i) (Atomic.get (slot old i))
+  done;
+  Atomic.set q.buf nbuf;
+  nbuf
+
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  let buf = if b - t > buf.mask then grow q buf ~t ~b else buf in
+  Atomic.set (slot buf b) (Some v);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  let buf = Atomic.get q.buf in
+  (* Publish the claim on index [b] before reading [top]: thieves that
+     subsequently observe [bottom = b] refuse to steal index [b]. *)
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Empty; restore the canonical empty shape bottom = top. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else if b > t then begin
+    (* More than one element: index [b] is unreachable by thieves. *)
+    let s = slot buf b in
+    let v = Atomic.get s in
+    Atomic.set s None;
+    (match v with Some _ -> () | None -> assert false);
+    v
+  end
+  else begin
+    (* Last element: race thieves for index [t] with a CAS on [top]. *)
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (t + 1);
+    if won then begin
+      let s = slot buf b in
+      let v = Atomic.get s in
+      Atomic.set s None;
+      (match v with Some _ -> () | None -> assert false);
+      v
+    end
+    else None
+  end
+
+type 'a steal_result = Empty | Retry | Stolen of 'a
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then Empty
+  else begin
+    (* Read the buffer after [top]/[bottom]: the generation seen here is
+       at least as new as the one the live window was published in. *)
+    let buf = Atomic.get q.buf in
+    let v = Atomic.get (slot buf t) in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      match v with
+      | Some x -> Stolen x
+      | None -> assert false
+    else Retry
+  end
+
+let size q =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  if b > t then b - t else 0
+
+let is_empty q = size q = 0

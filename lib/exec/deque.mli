@@ -1,0 +1,43 @@
+(** Chase–Lev work-stealing deque over OCaml [Atomic].
+
+    One {e owner} domain pushes and pops at the bottom (LIFO, cheap: no
+    compare-and-set on the common path); any number of {e thief} domains
+    steal from the top (FIFO, one compare-and-set per successful steal).
+    The buffer is a growable circular array; only the owner ever
+    resizes.
+
+    Memory-model argument (the DESIGN.md [gmt_exec] section carries the
+    full version): the original algorithm (Chase & Lev, SPAA 2005; C11
+    formalization Lê et al., PPoPP 2013) needs acquire/release pairs on
+    [top]/[bottom] plus a seq_cst fence in [pop] and [steal]. Here
+    {e every} shared location — [top], [bottom], the buffer pointer and
+    each buffer slot — is an [Atomic.t], and OCaml atomics are
+    sequentially consistent, which subsumes all of those orderings; the
+    published proof therefore applies unchanged. The [is_empty]/[size]
+    snapshots are the only intentionally racy reads (monotone hints for
+    parking decisions, never for correctness). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. Grows the buffer (amortized O(1)) when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only. Takes the {e most recently pushed} element (LIFO); on
+    the last element, races thieves with a compare-and-set so the
+    element is taken exactly once. *)
+
+type 'a steal_result = Empty | Retry | Stolen of 'a
+
+val steal : 'a t -> 'a steal_result
+(** Any domain. Takes the {e oldest} element (FIFO). [Retry] means the
+    compare-and-set lost to a concurrent steal or to the owner's
+    last-element pop — the caller may retry or move to another victim. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the current length ([>= 0]); a scheduling hint. *)
+
+val is_empty : 'a t -> bool
+(** Racy snapshot; [true] means "nothing to steal right now". *)

@@ -1,0 +1,101 @@
+(* Vyukov-style intrusive MPMC injection queue.
+
+   Producers append with ONE wait-free [Atomic.exchange] on [tail] plus
+   one atomic store linking the previous tail — no CAS loop, nothing to
+   retry under contention. Consumers serialize on a tiny spinlock and
+   drain privately: the lock is taken once per BATCH, so its cost is
+   amortized to noise, and a consumer that finds the lock busy treats
+   the queue as momentarily empty (some sibling is already draining —
+   exactly the work-conserving answer the scheduler wants, which then
+   moves on to stealing or napping instead of piling onto the lock).
+
+   Allocation discipline matters as much as the fence count here: in
+   OCaml 5 a minor collection is a stop-the-world rendezvous of every
+   domain, and on an oversubscribed host the rendezvous inherits OS
+   scheduling latency, so each word allocated per queued task is paid
+   for twice. A push allocates exactly one node and its [next] atomic —
+   no option boxes (a physically-unique sentinel marks "no successor"
+   and "value consumed"), and [drain] hands values straight to a
+   callback instead of materializing lists.
+
+   Publication gap: a producer preempted between its [exchange] and the
+   [prev.next] store has committed the element (the tail moved) without
+   making it reachable from the head yet. Walkers treat the gap as
+   end-of-queue; the element appears the moment the store lands.
+   [is_empty] can therefore transiently report empty for a committed
+   element — the scheduler's parking protocol stays sound because every
+   [push] completes its publication BEFORE the caller re-reads the
+   sleeper count (see sched.ml), so the Dekker handshake covers the
+   gap. *)
+
+type 'a node = {
+  mutable value : 'a;
+      (* written before the node is published, overwritten with the
+         sentinel by the draining consumer that claimed it *)
+  next : 'a node Atomic.t; (* the sentinel when last in the chain *)
+}
+
+(* One physically-unique heap block serves as both the "no successor"
+   and the "value consumed" mark. It is never dereferenced as a node —
+   every traversal tests physical equality against it first — so its
+   actual shape is irrelevant; it only has to be a valid GC object. *)
+let nil_repr : Obj.t = Obj.repr (ref 0)
+let nil : unit -> 'a node = fun () -> Obj.obj nil_repr
+
+type 'a t = {
+  tail : 'a node Atomic.t; (* producers exchange here *)
+  head : 'a node Atomic.t; (* last drained node; consumer-lock protected *)
+  lock : bool Atomic.t; (* consumer spinlock, held once per drain *)
+}
+
+let create () =
+  let dummy = { value = Obj.obj nil_repr; next = Atomic.make (nil ()) } in
+  {
+    tail = Atomic.make dummy;
+    head = Atomic.make dummy;
+    lock = Atomic.make false;
+  }
+
+let push q v =
+  let n = { value = v; next = Atomic.make (nil ()) } in
+  let prev = Atomic.exchange q.tail n in
+  (* Linearization: the exchange committed the element; this store
+     publishes it to walkers. *)
+  Atomic.set prev.next n
+
+let drain q ~max f =
+  if max <= 0 then 0
+  else if not (Atomic.compare_and_set q.lock false true) then
+    (* A sibling is draining; behave as empty rather than spin. *)
+    0
+  else begin
+    let rec walk node n =
+      if n >= max then (node, n)
+      else begin
+        let nxt = Atomic.get node.next in
+        if nxt == nil () then (node, n)
+        else begin
+          let v = nxt.value in
+          (* Consumer-exclusive under the lock; drop the reference so
+             the queue does not retain consumed closures. *)
+          nxt.value <- Obj.obj nil_repr;
+          f v;
+          walk nxt (n + 1)
+        end
+      end
+    in
+    let last, n = walk (Atomic.get q.head) 0 in
+    Atomic.set q.head last;
+    Atomic.set q.lock false;
+    n
+  end
+
+let pop_batch q ~max =
+  let acc = ref [] in
+  let n = drain q ~max (fun v -> acc := v :: !acc) in
+  if n = 0 then [] else List.rev !acc
+
+let pop q =
+  match pop_batch q ~max:1 with [] -> None | [ v ] -> Some v | _ -> assert false
+
+let is_empty q = Atomic.get (Atomic.get q.head).next == nil ()

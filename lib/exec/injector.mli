@@ -1,0 +1,52 @@
+(** Injection queue for external task submission (Vyukov-style
+    intrusive MPSC spine behind a per-batch consumer spinlock).
+
+    External submitters — the main domain fanning out a task list, the
+    daemon's accept loop — push here; any worker may drain, so the
+    visible contract is multi-producer/multi-consumer. FIFO, unbounded.
+    The producer path is wait-free: one [Atomic.exchange] plus one
+    atomic link store, no CAS loop — chosen over Michael–Scott because
+    the two-CAS push alone measured more expensive than an entire
+    mutex+queue engine's per-task budget on the micro-task flood.
+
+    All shared fields are [Atomic.t]; OCaml atomics are sequentially
+    consistent, so the informal linearization arguments in the
+    implementation apply directly (see the DESIGN.md [gmt_exec]
+    section). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue at the tail. Wait-free: one [Atomic.exchange] commits the
+    element, one store publishes it; exactly one node (plus its [next]
+    atomic) is allocated — minor-GC frequency is part of the submit
+    path's cost model, since OCaml 5 minor collections rendezvous every
+    domain. A producer preempted between the two stores leaves a
+    transient publication gap during which walkers treat the queue as
+    ending early; the scheduler's Dekker handshake (push completes
+    before the sleeper count is read) makes that safe. *)
+
+val drain : 'a t -> max:int -> ('a -> unit) -> int
+(** [drain q ~max f] claims up to [max] elements in FIFO order,
+    applying [f] to each, and returns how many were claimed — [0] when
+    empty or when a sibling holds the drain lock (callers treat both
+    the same: look elsewhere, then retry). [f] runs under the drain
+    lock and must be cheap and non-raising — the scheduler passes a
+    store into a preallocated worker-private ring, keeping the whole
+    consumer path allocation-free. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from the head; [None] when empty — or when another
+    consumer momentarily holds the drain lock, which callers must
+    treat the same as empty (retry later / look elsewhere). *)
+
+val pop_batch : 'a t -> max:int -> 'a list
+(** [drain] materialized as a list, for tests and callers that want
+    the simple interface; the scheduler's hot path uses [drain]
+    directly to avoid the per-element conses. *)
+
+val is_empty : 'a t -> bool
+(** Racy snapshot; used only as a parking hint, never for
+    correctness. *)

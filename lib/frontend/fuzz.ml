@@ -243,45 +243,62 @@ type report = {
 let write_file path contents = Gmt_cache.Diskio.write_atomic path contents
 let ensure_dir = Gmt_cache.Diskio.ensure_dir
 
-let fuzz_seeds ?mutate ?fuel ?(out_dir = ".") ~seeds () =
-  let tested = ref 0 and skipped = ref 0 and findings = ref [] in
-  List.iter
-    (fun seed ->
-      let stmts = Gen.gen ~seed in
-      let name = Printf.sprintf "fuzz-seed%d" seed in
-      match
-        check_workload_counted ?mutate ?fuel (Gen.workload ~name stmts)
-      with
-      | Ok 0 -> incr skipped
-      | Ok _ -> incr tested
-      | Error f ->
-        incr tested;
-        let small = minimize ?mutate ?fuel stmts in
-        ensure_dir out_dir;
-        let path = Filename.concat out_dir (name ^ ".gmt") in
-        write_file path (Text.print (Gen.workload ~name small));
-        findings := (path, f) :: !findings)
-    seeds;
-  { tested = !tested; skipped = !skipped; findings = List.rev !findings }
+(* Fold per-program outcomes back into a report in submission order:
+   the fan-out below runs programs on the pool, but the report (and the
+   rendered output) is byte-identical for every --jobs value. Each task
+   touches only its own repro file (names are unique per seed/workload)
+   and [ensure_dir]/[write_atomic] are concurrency-safe. *)
+let collect outcomes =
+  let r =
+    List.fold_left
+      (fun r outcome ->
+        match outcome with
+        | `Skipped -> { r with skipped = r.skipped + 1 }
+        | `Tested -> { r with tested = r.tested + 1 }
+        | `Finding pf ->
+          { r with tested = r.tested + 1; findings = pf :: r.findings })
+      { tested = 0; skipped = 0; findings = [] }
+      outcomes
+  in
+  { r with findings = List.rev r.findings }
 
-let fuzz_workloads ?mutate ?fuel ?(out_dir = ".") ws =
-  let tested = ref 0 and skipped = ref 0 and findings = ref [] in
-  List.iter
-    (fun (label, w) ->
-      match check_workload_counted ?mutate ?fuel w with
-      | Ok 0 -> incr skipped
-      | Ok _ -> incr tested
-      | Error f ->
-        incr tested;
-        ensure_dir out_dir;
-        let path =
-          Filename.concat out_dir
-            (Printf.sprintf "fuzz-%s.gmt" w.Workload.name)
-        in
-        write_file path (Text.print w);
-        findings := (label ^ " -> " ^ path, f) :: !findings)
-    ws;
-  { tested = !tested; skipped = !skipped; findings = List.rev !findings }
+let fuzz_seeds ?mutate ?fuel ?(out_dir = ".") ?jobs ~seeds () =
+  collect
+    (Gmt_parallel.Pool.run_list ?jobs
+       (List.map
+          (fun seed () ->
+            let stmts = Gen.gen ~seed in
+            let name = Printf.sprintf "fuzz-seed%d" seed in
+            match
+              check_workload_counted ?mutate ?fuel (Gen.workload ~name stmts)
+            with
+            | Ok 0 -> `Skipped
+            | Ok _ -> `Tested
+            | Error f ->
+              let small = minimize ?mutate ?fuel stmts in
+              ensure_dir out_dir;
+              let path = Filename.concat out_dir (name ^ ".gmt") in
+              write_file path (Text.print (Gen.workload ~name small));
+              `Finding (path, f))
+          seeds))
+
+let fuzz_workloads ?mutate ?fuel ?(out_dir = ".") ?jobs ws =
+  collect
+    (Gmt_parallel.Pool.run_list ?jobs
+       (List.map
+          (fun (label, (w : Workload.t)) () ->
+            match check_workload_counted ?mutate ?fuel w with
+            | Ok 0 -> `Skipped
+            | Ok _ -> `Tested
+            | Error f ->
+              ensure_dir out_dir;
+              let path =
+                Filename.concat out_dir
+                  (Printf.sprintf "fuzz-%s.gmt" w.Workload.name)
+              in
+              write_file path (Text.print w);
+              `Finding (label ^ " -> " ^ path, f))
+          ws))
 
 let render_report r =
   let head =
@@ -521,28 +538,35 @@ let lint_check_one ?inject ?fuel (label, (w : Workload.t)) =
             Printf.sprintf "seeded %s not flagged with %s"
               (lint_mutation_name m) code ))
 
-let lint_run ?inject ?fuel ws =
-  let checked = ref 0 and skipped = ref 0 and problems = ref [] in
-  List.iter
-    (fun labeled ->
-      match lint_check_one ?inject ?fuel labeled with
-      | `Ok -> incr checked
-      | `Skipped -> incr skipped
-      | `Problem p ->
-        incr checked;
-        problems := p :: !problems)
-    ws;
-  { l_checked = !checked; l_skipped = !skipped; l_problems = List.rev !problems }
+let lint_run ?inject ?fuel ?jobs ws =
+  (* Same submission-order fold as [collect]: deterministic for any
+     --jobs. *)
+  let outcomes =
+    Gmt_parallel.Pool.run_list ?jobs
+      (List.map (fun labeled () -> lint_check_one ?inject ?fuel labeled) ws)
+  in
+  let r =
+    List.fold_left
+      (fun r outcome ->
+        match outcome with
+        | `Ok -> { r with l_checked = r.l_checked + 1 }
+        | `Skipped -> { r with l_skipped = r.l_skipped + 1 }
+        | `Problem p ->
+          { r with l_checked = r.l_checked + 1; l_problems = p :: r.l_problems })
+      { l_checked = 0; l_skipped = 0; l_problems = [] }
+      outcomes
+  in
+  { r with l_problems = List.rev r.l_problems }
 
-let lint_seeds ?inject ?fuel ~seeds () =
-  lint_run ?inject ?fuel
+let lint_seeds ?inject ?fuel ?jobs ~seeds () =
+  lint_run ?inject ?fuel ?jobs
     (List.map
        (fun seed ->
          let name = Printf.sprintf "lint-seed%d" seed in
          (name, Gen.workload ~name (Gen.gen ~seed)))
        seeds)
 
-let lint_workloads ?inject ?fuel ws = lint_run ?inject ?fuel ws
+let lint_workloads ?inject ?fuel ?jobs ws = lint_run ?inject ?fuel ?jobs ws
 
 let render_lint_report r =
   let head =

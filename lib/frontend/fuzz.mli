@@ -54,15 +54,18 @@ type report = {
 
 (** Fuzz generated programs for each seed: check, and on a finding
     shrink it and write a standalone repro to
-    [out_dir/fuzz-seed<N>.gmt]. *)
+    [out_dir/fuzz-seed<N>.gmt]. Programs fan out across [jobs] domains
+    ({!Gmt_parallel.Pool.run_list}; default {!Gmt_parallel.Pool.default_jobs});
+    the report is byte-identical for every [jobs]. *)
 val fuzz_seeds :
-  ?mutate:mutation -> ?fuel:int -> ?out_dir:string -> seeds:int list ->
-  unit -> report
+  ?mutate:mutation -> ?fuel:int -> ?out_dir:string -> ?jobs:int ->
+  seeds:int list -> unit -> report
 
 (** Fuzz named workloads (the on-disk corpus); no shrinking — the
-    repro written on a finding is the workload itself. *)
+    repro written on a finding is the workload itself. Same [jobs]
+    fan-out and determinism contract as {!fuzz_seeds}. *)
 val fuzz_workloads :
-  ?mutate:mutation -> ?fuel:int -> ?out_dir:string ->
+  ?mutate:mutation -> ?fuel:int -> ?out_dir:string -> ?jobs:int ->
   (string * Workload.t) list -> report
 
 (** One-line human summary. *)
@@ -106,13 +109,16 @@ type lint_report = {
 }
 
 (** Generated programs, one per seed. With [inject], each applicable
-    program must be flagged with the mutation's code. *)
+    program must be flagged with the mutation's code. Fans out across
+    [jobs] domains with a deterministic (submission-order) report, like
+    {!fuzz_seeds}. *)
 val lint_seeds :
-  ?inject:lint_mutation -> ?fuel:int -> seeds:int list -> unit -> lint_report
+  ?inject:lint_mutation -> ?fuel:int -> ?jobs:int -> seeds:int list ->
+  unit -> lint_report
 
 (** Named workloads (the suite or .gmt files). *)
 val lint_workloads :
-  ?inject:lint_mutation -> ?fuel:int -> (string * Workload.t) list ->
-  lint_report
+  ?inject:lint_mutation -> ?fuel:int -> ?jobs:int ->
+  (string * Workload.t) list -> lint_report
 
 val render_lint_report : lint_report -> string

@@ -1,10 +1,15 @@
+(* Futures + determinism contract over the work-stealing runtime.
+
+   This module used to own a central mutex/condvar queue; that engine
+   now lives on as Gmt_exec.Central (benchmark baseline) and the
+   execution itself is delegated to Gmt_exec.Sched. Everything callers
+   could observe — inline jobs<=1 mode, error strings, submission-order
+   collection, exception/backtrace propagation — is unchanged. *)
+
 type t = {
   n_workers : int;
-  queue : (unit -> unit) Queue.t;
-  lock : Mutex.t;
-  nonempty : Condition.t;
-  mutable closed : bool;
-  mutable workers : unit Domain.t list;
+  sched : Gmt_exec.Sched.t option; (* None <=> inline (jobs <= 1) *)
+  closed : bool Atomic.t;
 }
 
 type 'a state =
@@ -18,27 +23,6 @@ type 'a future = {
   mutable state : 'a state;
 }
 
-let worker pool =
-  let rec next () =
-    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
-    else if pool.closed then None
-    else begin
-      Condition.wait pool.nonempty pool.lock;
-      next ()
-    end
-  in
-  let rec loop () =
-    Mutex.lock pool.lock;
-    let job = next () in
-    Mutex.unlock pool.lock;
-    match job with
-    | None -> ()
-    | Some job ->
-      job ();
-      loop ()
-  in
-  loop ()
-
 let check_jobs where jobs =
   if jobs <= 0 then
     invalid_arg
@@ -47,21 +31,15 @@ let check_jobs where jobs =
 let create ~jobs =
   check_jobs "Pool.create" jobs;
   let n_workers = if jobs <= 1 then 0 else jobs in
-  let pool =
-    {
-      n_workers;
-      queue = Queue.create ();
-      lock = Mutex.create ();
-      nonempty = Condition.create ();
-      closed = false;
-      workers = [];
-    }
+  let sched =
+    if n_workers = 0 then None
+    else Some (Gmt_exec.Sched.create ~workers:n_workers)
   in
-  pool.workers <-
-    List.init n_workers (fun _ -> Domain.spawn (fun () -> worker pool));
-  pool
+  { n_workers; sched; closed = Atomic.make false }
 
 let size pool = pool.n_workers
+
+let stats pool = Option.map Gmt_exec.Sched.stats pool.sched
 
 let submit pool f =
   let fut =
@@ -78,20 +56,14 @@ let submit pool f =
     Condition.broadcast fut.fdone;
     Mutex.unlock fut.flock
   in
-  if pool.n_workers = 0 then begin
-    if pool.closed then invalid_arg "Pool.submit: pool is shut down";
-    job ()
-  end
-  else begin
-    Mutex.lock pool.lock;
-    if pool.closed then begin
-      Mutex.unlock pool.lock;
-      invalid_arg "Pool.submit: pool is shut down"
-    end;
-    Queue.push job pool.queue;
-    Condition.signal pool.nonempty;
-    Mutex.unlock pool.lock
-  end;
+  if Atomic.get pool.closed then invalid_arg "Pool.submit: pool is shut down";
+  (match pool.sched with
+  | None -> job ()
+  | Some sched -> (
+    try Gmt_exec.Sched.submit sched job
+    with Invalid_argument _ ->
+      (* Raced with shutdown: report it as ours, not the scheduler's. *)
+      invalid_arg "Pool.submit: pool is shut down"));
   fut
 
 let await fut =
@@ -111,26 +83,10 @@ let await fut =
   wait ()
 
 let shutdown pool =
-  let to_join =
-    if pool.n_workers = 0 then begin
-      pool.closed <- true;
-      []
-    end
-    else begin
-      Mutex.lock pool.lock;
-      let already = pool.closed in
-      pool.closed <- true;
-      Condition.broadcast pool.nonempty;
-      Mutex.unlock pool.lock;
-      if already then []
-      else begin
-        let ws = pool.workers in
-        pool.workers <- [];
-        ws
-      end
-    end
-  in
-  List.iter Domain.join to_join
+  if Atomic.compare_and_set pool.closed false true then
+    match pool.sched with
+    | None -> ()
+    | Some sched -> Gmt_exec.Sched.shutdown sched
 
 let default_jobs () =
   match Sys.getenv_opt "GMT_JOBS" with
@@ -145,6 +101,8 @@ let default_jobs () =
   | None -> Domain.recommended_domain_count ()
 
 let run_list ?jobs tasks =
+  (* Validate [jobs] before any fast path: a bad jobs count is a bug
+     even when the task list happens to be trivial. *)
   let jobs =
     match jobs with
     | Some j ->
@@ -152,12 +110,18 @@ let run_list ?jobs tasks =
       j
     | None -> default_jobs ()
   in
-  if jobs <= 1 then List.map (fun f -> f ()) tasks
-  else begin
-    let pool = create ~jobs in
-    Fun.protect
-      ~finally:(fun () -> shutdown pool)
-      (fun () ->
-        let futures = List.map (submit pool) tasks in
-        List.map await futures)
-  end
+  match tasks with
+  | [] -> []
+  | [ f ] -> [ f () ] (* never spawn a domain for one task *)
+  | tasks ->
+    if jobs <= 1 then List.map (fun f -> f ()) tasks
+    else begin
+      (* More workers than tasks would just park and get joined. *)
+      let jobs = min jobs (List.length tasks) in
+      let pool = create ~jobs in
+      Fun.protect
+        ~finally:(fun () -> shutdown pool)
+        (fun () ->
+          let futures = List.map (submit pool) tasks in
+          List.map await futures)
+    end

@@ -1,17 +1,23 @@
-(** Fixed-size domain pool (stdlib [Domain] + [Mutex]/[Condition] only).
+(** Futures and deterministic fan-out over the work-stealing runtime.
 
     The evaluation matrix — (workload, partitioner, ±COCO) cells, each an
     independent compile + simulate — fans out across OCaml 5 domains
-    through this pool. Determinism contract: futures are fulfilled with
-    whatever the task computes, and callers collect them in submission
-    order, so results are byte-identical for every [jobs] value (the
-    cells share no mutable state; only scheduling differs).
+    through this pool. Execution is delegated to {!Gmt_exec.Sched}
+    (per-worker Chase–Lev deques, lock-free injection, randomized
+    stealing); this module adds futures and the determinism contract:
+    futures are fulfilled with whatever the task computes, and callers
+    collect them in submission order, so results are byte-identical for
+    every [jobs] value (the cells share no mutable state; only
+    scheduling differs).
 
     With [jobs <= 1] no domain is ever spawned and tasks run inline at
-    submission, preserving the exact single-threaded execution. *)
+    submission, preserving the exact single-threaded execution.
+    {!run_list} additionally never spawns for an empty or singleton task
+    list, whatever [jobs] says. *)
 
 type t
-(** A pool of worker domains consuming a shared FIFO task queue. *)
+(** A pool of worker domains backed by a private work-stealing
+    scheduler. *)
 
 type 'a future
 
@@ -31,12 +37,19 @@ val await : 'a future -> 'a
     original backtrace) if it failed. *)
 
 val shutdown : t -> unit
-(** Drain the queue, then join all workers. Idempotent. *)
+(** Drain remaining tasks, then join all workers. Idempotent. *)
+
+val stats : t -> Gmt_exec.Sched.stats option
+(** Scheduler counters (tasks run, steals, parks, deque depth peak);
+    [None] for an inline pool. Exact after {!shutdown}, racy-but-safe
+    while running — see {!Gmt_exec.Sched.stats}. *)
 
 val run_list : ?jobs:int -> (unit -> 'a) list -> 'a list
 (** [run_list ~jobs tasks] runs all tasks on a fresh pool of [jobs]
-    workers and returns their results in task order. [jobs] defaults to
-    {!default_jobs}. The pool is shut down even if a task raises.
+    workers (capped at [List.length tasks]) and returns their results in
+    task order. [jobs] defaults to {!default_jobs}. Empty and singleton
+    lists run inline without spawning, for any [jobs]. The pool is shut
+    down even if a task raises.
     @raise Invalid_argument when [jobs <= 0]. *)
 
 val default_jobs : unit -> int

@@ -44,6 +44,17 @@ type instruments = {
   c_misses : Registry.counter;
   c_traced : Registry.counter;
   g_in_flight : Registry.gauge;
+  (* Scheduler counters mirrored as gauges: refreshed from
+     [Pool.stats] on every stats request, so the Prometheus exposition
+     and the telemetry JSON carry the work-stealing runtime's health
+     without the scheduler ever touching the registry on its hot
+     paths. *)
+  g_pool_tasks : Registry.gauge;
+  g_pool_injected : Registry.gauge;
+  g_pool_steal_att : Registry.gauge;
+  g_pool_steal_ok : Registry.gauge;
+  g_pool_parks : Registry.gauge;
+  g_pool_depth_peak : Registry.gauge;
   w_hits : Rolling.t;
   w_misses : Rolling.t;
   w_busy : Rolling.t;
@@ -65,6 +76,12 @@ let make_instruments () =
     c_misses = Registry.counter reg "req.cache.misses";
     c_traced = Registry.counter reg "req.traced";
     g_in_flight = Registry.gauge reg "in_flight";
+    g_pool_tasks = Registry.gauge reg "pool.tasks_run";
+    g_pool_injected = Registry.gauge reg "pool.injected";
+    g_pool_steal_att = Registry.gauge reg "pool.steals_attempted";
+    g_pool_steal_ok = Registry.gauge reg "pool.steals_succeeded";
+    g_pool_parks = Registry.gauge reg "pool.parks";
+    g_pool_depth_peak = Registry.gauge reg "pool.deque_depth_peak";
     w_hits = Registry.window reg Rolling.Sum "win.cache.hits";
     w_misses = Registry.window reg Rolling.Sum "win.cache.misses";
     w_busy = Registry.window reg Rolling.Sum "win.busy";
@@ -229,8 +246,48 @@ let compile_request t j payload op =
 
 let stats_json t =
   let s = Cache.stats t.cache in
+  let ps = Pool.stats t.pool in
+  (* Racy-but-safe live snapshot (Sched.stats); mirror it into the
+     registry gauges so the prometheus/telemetry exposition sees it. *)
+  (match (t.ins, ps) with
+  | Some ins, Some st ->
+    let module S = Gmt_exec.Sched in
+    Registry.set_gauge ins.g_pool_tasks st.S.tasks_run;
+    Registry.set_gauge ins.g_pool_injected st.S.injected;
+    Registry.set_gauge ins.g_pool_steal_att st.S.steals_attempted;
+    Registry.set_gauge ins.g_pool_steal_ok st.S.steals_succeeded;
+    Registry.set_gauge ins.g_pool_parks st.S.parks;
+    Registry.set_gauge ins.g_pool_depth_peak st.S.deque_depth_peak
+  | _ -> ());
   let now = Unix.gettimeofday () in
   let n name v = (name, Json.Num (float_of_int v)) in
+  let pool_obj =
+    match ps with
+    | None ->
+      (* Inline pool (jobs = 1): no scheduler, all-zero counters. *)
+      Json.Obj
+        [
+          n "workers" 0;
+          n "tasks_run" 0;
+          n "injected" 0;
+          n "steals_attempted" 0;
+          n "steals_succeeded" 0;
+          n "parks" 0;
+          n "deque_depth_peak" 0;
+        ]
+    | Some st ->
+      let module S = Gmt_exec.Sched in
+      Json.Obj
+        [
+          n "workers" st.S.workers;
+          n "tasks_run" st.S.tasks_run;
+          n "injected" st.S.injected;
+          n "steals_attempted" st.S.steals_attempted;
+          n "steals_succeeded" st.S.steals_succeeded;
+          n "parks" st.S.parks;
+          n "deque_depth_peak" st.S.deque_depth_peak;
+        ]
+  in
   let base =
     [
       ("ok", Json.Bool true);
@@ -248,6 +305,7 @@ let stats_json t =
             n "evictions" s.Cache.evictions;
             n "corrupt" s.Cache.corrupt;
           ] );
+      ("pool", pool_obj);
     ]
   in
   let tele =

@@ -12,6 +12,7 @@ let () =
       ("coco", Test_coco.tests);
       ("machine", Test_machine.tests);
       ("simkernel", Test_simkernel.tests);
+      ("exec", Test_exec.tests);
       ("obs", Test_obs.tests);
       ("workloads", Test_workloads.tests);
       ("pipeline", Test_pipeline.tests);

@@ -185,6 +185,63 @@ let test_busy_reply () =
   | Error `No_daemon -> Alcotest.fail "expected busy, got No_daemon"
   | Error (`Protocol m) -> Alcotest.failf "expected busy, got protocol: %s" m
 
+(* Busy semantics under real concurrent load, on the work-stealing
+   dispatch path (jobs >= 2): with queue_bound 1, four client domains
+   firing back-to-back requests must each either get a well-formed
+   exit-6 busy reply or the exact offline bytes — and the server must
+   survive the storm with its scheduler counters advancing. *)
+let test_busy_under_load () =
+  let offline =
+    Render.run ~jobs:1 ~technique:V.Gremio ~coco:false ~threads:2
+      (workload "ks")
+  in
+  Alcotest.(check int) "busy exit code is 6" 6 Render.exit_busy;
+  with_server ~jobs:2 ~queue_bound:1 @@ fun srv ->
+  let socket = Server.socket srv in
+  let gmt = Text.print (workload "ks") in
+  let req =
+    Client.run_request ~gmt ~technique:"gremio" ~coco:false ~threads:2 ()
+  in
+  let clients =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let ok = ref [] and busy = ref 0 in
+            for _ = 1 to 20 do
+              match Client.request ~socket req with
+              | Ok o -> ok := o :: !ok
+              | Error (`Busy msg) ->
+                Alcotest.(check bool) "busy names itself" true
+                  (String.length msg >= 10
+                  && String.sub msg 0 10 = "gmtd: busy");
+                incr busy
+              | Error `No_daemon -> Alcotest.fail "daemon vanished under load"
+              | Error (`Protocol m) ->
+                Alcotest.failf "protocol error under load: %s" m
+            done;
+            (!ok, !busy)))
+  in
+  let replies = List.map Domain.join clients in
+  let oks = List.concat_map fst replies in
+  let busy = List.fold_left (fun a (_, b) -> a + b) 0 replies in
+  Alcotest.(check bool) "some requests answered" true (oks <> []);
+  Alcotest.(check bool) "bound actually pushed back" true (busy > 0);
+  List.iter (fun o -> check_outcome "loaded reply" offline o) oks;
+  (* The storm went through the scheduler: stats/2 must show it. *)
+  match Client.rpc ~socket Client.stats_request with
+  | Error _ -> Alcotest.fail "stats rpc after load failed"
+  | Ok j -> (
+    match Json.member "pool" j with
+    | Some p ->
+      let f name =
+        match Json.member name p with
+        | Some (Json.Num v) -> int_of_float v
+        | _ -> -1
+      in
+      Alcotest.(check int) "pool.workers" 2 (f "workers");
+      Alcotest.(check bool) "pool.tasks_run advanced" true (f "tasks_run" > 0);
+      Alcotest.(check bool) "pool.injected advanced" true (f "injected" > 0)
+    | None -> Alcotest.fail "stats/2 frame lacks pool object")
+
 (* -------------------------- malformed frame ------------------------ *)
 
 let test_malformed_frame () =
@@ -346,6 +403,17 @@ let test_stats2_frame () =
     (match Json.member "uptime_s" j with
     | Some (Json.Num f) -> f >= 0.0
     | _ -> false);
+  Alcotest.(check bool) "pool object with scheduler counters" true
+    (match Json.member "pool" j with
+    | Some p ->
+      List.for_all
+        (fun k ->
+          match Json.member k p with Some (Json.Num _) -> true | _ -> false)
+        [
+          "workers"; "tasks_run"; "injected"; "steals_attempted";
+          "steals_succeeded"; "parks"; "deque_depth_peak";
+        ]
+    | None -> false);
   let tele =
     match Json.member "telemetry" j with
     | Some t -> t
@@ -448,6 +516,8 @@ let tests =
     Alcotest.test_case "corrupt entry recompiled" `Quick
       test_corrupt_entry_recompiled;
     Alcotest.test_case "busy reply" `Quick test_busy_reply;
+    Alcotest.test_case "busy under concurrent load" `Quick
+      test_busy_under_load;
     Alcotest.test_case "malformed frame rejected" `Quick test_malformed_frame;
     Alcotest.test_case "fuel timeout" `Quick test_fuel_timeout;
     Alcotest.test_case "server fuel cap" `Quick test_fuel_cap;
