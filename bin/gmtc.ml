@@ -12,8 +12,13 @@
      gmtc fuzz --seed 7 --count 20     differential-fuzz the pipeline
      gmtc fuzz --lint --count 200      lint soundness vs checking interp
      gmtc serve --socket S --jobs 4    run the gmtd compile daemon
+     gmtc serve --listen 0.0.0.0:7070  ... also on TCP (the farm transport)
      gmtc remote run ks -t gremio      compile via the daemon (or fall
                                        back to local when none listens)
+     gmtc farm run ks --shards a=h:1,b=h:2
+                                       route by cache fingerprint over a
+                                       consistent-hash ring of shards
+     gmtc farm stats --shards ...      per-shard farm health
 
    Anywhere a benchmark name is accepted, a path to a textual GMT-IR
    file ([*.gmt]) or [-] (stdin) works too.
@@ -34,6 +39,9 @@ module Fuzz = Gmt_frontend.Fuzz
 module Render = Gmt_service.Render
 module Server = Gmt_service.Server
 module Client = Gmt_service.Client
+module Farm = Gmt_farm.Farm
+module FarmRouter = Gmt_farm.Router
+module Shard = Gmt_farm.Shard
 open Gmt_ir
 
 (* Unknown names and malformed input files are user input errors, not
@@ -771,9 +779,24 @@ let socket_arg =
         ~env:(Cmd.Env.info "GMTD_SOCKET")
         ~doc:"Unix-domain socket the daemon listens on.")
 
+(* HOST:PORT for --listen; port 0 is allowed (ephemeral, printed at
+   startup so harnesses can discover it). *)
+let parse_listen s =
+  let bad () =
+    Printf.eprintf "gmtc: bad --listen %S (want HOST:PORT)\n" s;
+    exit unknown_name_exit
+  in
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 -> (
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+    with
+    | Some p when p >= 0 && p < 65536 -> (String.sub s 0 i, p)
+    | _ -> bad ())
+  | _ -> bad ()
+
 let serve_cmd =
-  let run socket jobs cache_dir queue_bound fuel_cap no_telemetry trace
-      metrics =
+  let run socket listen self peers mem_capacity jobs cache_dir queue_bound
+      fuel_cap no_telemetry no_coalesce trace metrics =
     let jobs = resolve_jobs jobs in
     with_obs trace metrics @@ fun () ->
     (* Degraded states (evictions, corrupt recoveries, busy replies)
@@ -783,26 +806,64 @@ let serve_cmd =
     let cfg =
       {
         (Server.default_config ~socket) with
-        Server.jobs;
+        Server.tcp = Option.map parse_listen listen;
+        jobs;
         cache_dir;
+        mem_capacity;
         queue_bound;
         fuel_cap;
         telemetry = not no_telemetry;
+        coalesce = not no_coalesce;
       }
     in
-    let srv = Server.start cfg in
+    let peer_list =
+      List.map
+        (fun spec ->
+          let s = Farm.shard_of_spec spec in
+          (s.FarmRouter.name, s.FarmRouter.endpoint))
+        peers
+    in
+    (* With --peers this daemon is a farm shard: same server, plus the
+       cache-warming replication pusher aimed at its ring successor. *)
+    let tcp_port, stop_server =
+      if peer_list = [] then begin
+        let srv = Server.start cfg in
+        ((fun () -> Server.tcp_port srv), fun () -> Server.stop srv)
+      end
+      else begin
+        let self =
+          match self with
+          | Some s -> s
+          | None ->
+            Printf.eprintf "gmtc: --peers requires --self NAME\n";
+            exit unknown_name_exit
+        in
+        if not (List.mem_assoc self peer_list) then begin
+          Printf.eprintf "gmtc: --self %S is not among --peers\n" self;
+          exit unknown_name_exit
+        end;
+        let sh = Shard.start { Shard.server = cfg; self; peers = peer_list } in
+        ( (fun () -> Server.tcp_port (Shard.server sh)),
+          fun () -> Shard.stop sh )
+      end
+    in
     let stop = Atomic.make false in
     let ask_stop _ = Atomic.set stop true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle ask_stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle ask_stop);
     Printf.printf "gmtd: listening on %s (%d jobs, cache %s)\n%!" socket jobs
       (Option.value cache_dir ~default:"in-memory");
+    (* The bound TCP port on its own line: with --listen host:0 this is
+       the only way a harness learns the kernel's pick. *)
+    (match tcp_port () with
+    | Some p -> Printf.printf "gmtd: tcp port %d\n%!" p
+    | None -> ());
     (* Park until a signal asks for the graceful drain. *)
     while not (Atomic.get stop) do
       try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done;
     Printf.printf "gmtd: draining\n%!";
-    Server.stop srv;
+    stop_server ();
     Printf.printf "gmtd: stopped\n%!"
   in
   let cache_dir_arg =
@@ -840,15 +901,61 @@ let serve_cmd =
              rolling windows, events); $(b,gmtc remote stats) and \
              $(b,gmtc top) then report counters only.")
   in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Also listen on TCP — the farm transport, same gmtd/2 frame \
+             protocol as the Unix socket. Port $(b,0) binds an ephemeral \
+             port, printed at startup as $(b,gmtd: tcp port N).")
+  in
+  let self_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "self" ] ~docv:"NAME"
+          ~doc:
+            "This shard's ring name (required with $(b,--peers); must be \
+             one of them).")
+  in
+  let peers_arg =
+    Arg.(
+      value & opt (list string) []
+      & info [ "peers" ] ~docv:"NAME=ENDPOINT,..."
+          ~doc:
+            "Every farm member (this one included) as NAME=ENDPOINT; \
+             enables cache-warming replication: each compile-served miss \
+             is pushed to the key's ring successor.")
+  in
+  let mem_capacity_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "mem-capacity" ] ~docv:"N"
+          ~doc:"In-memory LRU bound of the artifact cache (entries).")
+  in
+  let no_coalesce_arg =
+    Arg.(
+      value & flag
+      & info [ "no-coalesce" ]
+          ~doc:
+            "Disable single-flight coalescing of concurrent identical \
+             compile requests (on by default; the A/B the farm bench \
+             prices).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run gmtd: a concurrent compile service with a content-addressed \
           artifact cache, answering $(b,gmtc remote) clients over a \
-          Unix-domain socket. SIGINT/SIGTERM drain gracefully.")
+          Unix-domain socket — and, with $(b,--listen), TCP farm clients \
+          on the same frame protocol. SIGINT/SIGTERM drain gracefully.")
     Term.(
-      const run $ socket_arg $ jobs_arg $ cache_dir_arg $ queue_bound_arg
-      $ fuel_cap_arg $ no_telemetry_arg $ trace_arg $ metrics_arg)
+      const run $ socket_arg $ listen_arg $ self_arg $ peers_arg
+      $ mem_capacity_arg $ jobs_arg $ cache_dir_arg $ queue_bound_arg
+      $ fuel_cap_arg $ no_telemetry_arg $ no_coalesce_arg $ trace_arg
+      $ metrics_arg)
 
 (* ----------------------------- remote ----------------------------- *)
 
@@ -1114,16 +1221,234 @@ let remote_cmd =
       remote_stats_cmd;
     ]
 
+(* ------------------------------ farm ------------------------------ *)
+
+let shards_arg =
+  Arg.(
+    non_empty & opt (list string) []
+    & info [ "shards" ] ~docv:"SPEC,..."
+        ~env:(Cmd.Env.info "GMTD_SHARDS")
+        ~doc:
+          "Comma-separated farm members, each $(b,NAME=ENDPOINT) (endpoint \
+           = $(b,host:port) or a Unix socket path) or a bare endpoint that \
+           names itself. Ring placement depends only on the names.")
+
+(* The farm analogue of [remote_finish]: route by the cache fingerprint,
+   fail over along the ring, honor busy (exit 6). Only when every shard
+   refuses a connection does the client fall back to a local compile —
+   loudly, like [gmtc remote]. *)
+let farm_finish ~shards ~key ~trace ~metrics ~op ~fallback req =
+  with_obs trace metrics @@ fun () ->
+  let farm = Farm.of_specs shards in
+  let req =
+    if trace = None then req
+    else
+      Client.traced ~parent_span:("farm." ^ op)
+        ~trace_id:(Gmt_telemetry.Trace.genid ())
+        req
+  in
+  let reply =
+    Gmt_obs.Obs.span ~cat:"client" ("farm." ^ op) (fun () ->
+        Farm.request farm ~key req)
+  in
+  match reply with
+  | Ok (o, _shard) -> finish_outcome o
+  | Error `No_shard ->
+    Printf.eprintf
+      "gmtc: warning: no farm shard reachable; falling back to local \
+       compile\n";
+    flush stderr;
+    finish_outcome (fallback ())
+  | Error (`Busy msg) ->
+    prerr_string msg;
+    flush stderr;
+    exit Render.exit_busy
+  | Error (`Protocol msg) ->
+    Printf.eprintf "gmtc: farm: %s\n" msg;
+    exit 1
+
+let farm_run_cmd =
+  let run bench tech coco threads fuel kernel shards trace metrics =
+    let w = resolve_workload bench in
+    let gmt = Text.print w in
+    let technique = resolve_technique tech in
+    let key = Farm.compile_key ~technique ~coco ~threads ~canonical:gmt in
+    farm_finish ~shards ~key ~trace ~metrics ~op:"run"
+      ~fallback:(fun () ->
+        Render.run ~jobs:1 ?fuel ?kernel ~technique ~coco ~threads w)
+      (Client.run_request ~gmt ~technique:tech ~coco ~threads ?fuel ?kernel ())
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Like $(b,gmtc remote run), routed to the shard owning the \
+          request's cache fingerprint on the consistent-hash ring, with \
+          failover to the next ring node when it is down.")
+    Term.(
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
+      $ fuel_opt_arg $ kernel_arg $ shards_arg $ trace_arg $ metrics_arg)
+
+let farm_check_cmd =
+  let run bench tech coco threads shards trace metrics =
+    let w = resolve_workload bench in
+    let gmt = Text.print w in
+    let technique = resolve_technique tech in
+    let key = Farm.compile_key ~technique ~coco ~threads ~canonical:gmt in
+    farm_finish ~shards ~key ~trace ~metrics ~op:"check"
+      ~fallback:(fun () -> Render.check ~technique ~coco ~threads w)
+      (Client.check_request ~gmt ~technique:tech ~coco ~threads ())
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Like $(b,gmtc remote check), ring-routed.")
+    Term.(
+      const run $ bench_arg $ technique_arg $ coco_arg $ threads_arg
+      $ shards_arg $ trace_arg $ metrics_arg)
+
+let farm_sweep_cmd =
+  let run bench max_threads fuel kernel shards trace metrics =
+    let w = resolve_workload bench in
+    let gmt = Text.print w in
+    let key = Farm.sweep_key ~canonical:gmt in
+    farm_finish ~shards ~key ~trace ~metrics ~op:"sweep"
+      ~fallback:(fun () -> Render.sweep ~jobs:1 ?fuel ?kernel ~max_threads w)
+      (Client.sweep_request ~gmt ~max_threads ?fuel ?kernel ())
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Like $(b,gmtc remote sweep), routed by program digest so every \
+          sweep of one program warms the same shard.")
+    Term.(
+      const run $ bench_arg $ threads_arg $ fuel_opt_arg $ kernel_arg
+      $ shards_arg $ trace_arg $ metrics_arg)
+
+(* One line per shard plus a farm aggregate; data straight out of each
+   shard's stats frame (cache counters + telemetry counters). *)
+let render_farm_stats results =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let up = ref 0 in
+  let agg_req = ref 0 and agg_hits = ref 0 and agg_misses = ref 0 in
+  List.iter
+    (fun ((s : FarmRouter.shard), r) ->
+      match r with
+      | Error e -> pf "shard %-10s %-24s DOWN (%s)\n" s.FarmRouter.name
+                     s.FarmRouter.endpoint e
+      | Ok j ->
+        incr up;
+        let hits, misses =
+          match Json.member "cache" j with
+          | Some c -> (jint "hits" c, jint "misses" c)
+          | None -> (0, 0)
+        in
+        let cnt k =
+          match Json.member "telemetry" j with
+          | Some (Json.Obj _ as tele) -> (
+            match Json.member "counters" tele with
+            | Some c -> jint k c
+            | None -> 0)
+          | _ -> 0
+        in
+        let req = cnt "req.total" in
+        agg_req := !agg_req + req;
+        agg_hits := !agg_hits + hits;
+        agg_misses := !agg_misses + misses;
+        let rate h m =
+          if h + m = 0 then 0.0
+          else 100.0 *. float_of_int h /. float_of_int (h + m)
+        in
+        pf
+          "shard %-10s %-24s up %5.0fs  in-flight %d  req %d  hit-rate \
+           %5.1f%%  sf lead/wait %d/%d  repl push/ingest %d/%d\n"
+          s.FarmRouter.name s.FarmRouter.endpoint (jnum "uptime_s" j)
+          (jint "in_flight" j) req (rate hits misses)
+          (cnt "farm.singleflight.leads")
+          (cnt "farm.singleflight.waits")
+          (cnt "farm.replication.pushed")
+          (cnt "farm.replication.ingested"))
+    results;
+  let n = List.length results in
+  let agg_rate =
+    if !agg_hits + !agg_misses = 0 then 0.0
+    else
+      100.0 *. float_of_int !agg_hits /. float_of_int (!agg_hits + !agg_misses)
+  in
+  pf "farm      shards %d (%d up)  req %d  hits %d  misses %d  hit-rate %.1f%%\n"
+    n !up !agg_req !agg_hits !agg_misses agg_rate;
+  Buffer.contents buf
+
+let farm_stats_cmd =
+  let run shards json =
+    let farm = Farm.of_specs shards in
+    let results = Farm.stats farm in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.Str "gmt-farm-stats/1");
+                ( "shards",
+                  Json.Arr
+                    (List.map
+                       (fun ((s : FarmRouter.shard), r) ->
+                         Json.Obj
+                           [
+                             ("name", Json.Str s.FarmRouter.name);
+                             ("endpoint", Json.Str s.FarmRouter.endpoint);
+                             ( "stats",
+                               match r with
+                               | Ok j -> j
+                               | Error e ->
+                                 Json.Obj
+                                   [
+                                     ("ok", Json.Bool false);
+                                     ("err", Json.Str e);
+                                   ] );
+                           ])
+                       results) );
+              ]))
+    else print_string (render_farm_stats results)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print every shard's raw stats frame under one JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Per-shard farm health: uptime, in-flight, hit rate, single-flight \
+          and replication counters, plus a farm aggregate line.")
+    Term.(const run $ shards_arg $ json_arg)
+
+let farm_cmd =
+  Cmd.group
+    (Cmd.info "farm"
+       ~doc:
+         "Execute compile requests against a sharded gmtd farm: each \
+          request routes to the shard owning its cache fingerprint on a \
+          consistent-hash ring, fails over along the ring when a shard is \
+          down, and honors busy load-shedding (exit 6).")
+    [ farm_run_cmd; farm_check_cmd; farm_sweep_cmd; farm_stats_cmd ]
+
 (* ------------------------------- top ------------------------------- *)
 
 let top_cmd =
-  let run socket interval once =
+  let run socket shards interval once =
+    (* With --shards the dashboard is the farm view: one line per shard
+       plus the aggregate, same data the single-daemon panel shows. *)
+    let frame () =
+      match shards with
+      | [] -> render_stats ~socket (stats_rpc ~socket)
+      | specs -> render_farm_stats (Farm.stats (Farm.of_specs specs))
+    in
     let rec loop () =
-      let j = stats_rpc ~socket in
+      let s = frame () in
       (* Clear + home rather than full-screen alternate buffer: a ^C
          leaves the last frame visible for copy-paste. *)
       if not once then print_string "\027[2J\027[H";
-      print_string (render_stats ~socket j);
+      print_string s;
       flush stdout;
       if not once then begin
         (try Unix.sleepf interval
@@ -1132,6 +1457,14 @@ let top_cmd =
       end
     in
     loop ()
+  in
+  let top_shards_arg =
+    Arg.(
+      value & opt (list string) []
+      & info [ "shards" ] ~docv:"SPEC,..."
+          ~doc:
+            "Watch a farm instead of one daemon: comma-separated \
+             NAME=ENDPOINT shard list, one dashboard line per shard.")
   in
   let interval_arg =
     Arg.(
@@ -1151,8 +1484,9 @@ let top_cmd =
          "Live terminal dashboard over a gmtd daemon's stats plane: hit \
           rate, request latency percentiles (p50/p90/p99), per-stage \
           means, busy/timeout windows and recent events, refreshed every \
-          $(b,--interval) seconds.")
-    Term.(const run $ socket_arg $ interval_arg $ once_arg)
+          $(b,--interval) seconds. With $(b,--shards), one line per farm \
+          shard plus the aggregate instead.")
+    Term.(const run $ socket_arg $ top_shards_arg $ interval_arg $ once_arg)
 
 let () =
   let doc =
@@ -1164,4 +1498,4 @@ let () =
           (Cmd.info "gmtc" ~version:"1.0.0" ~doc)
           [ list_cmd; show_cmd; pdg_cmd; compile_cmd; check_cmd; run_cmd;
             sweep_cmd; dot_cmd; export_cmd; lint_cmd; fuzz_cmd; serve_cmd;
-            remote_cmd; top_cmd ]))
+            remote_cmd; farm_cmd; top_cmd ]))

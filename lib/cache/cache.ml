@@ -25,11 +25,13 @@ type t = {
   mem_capacity : int;
   disk : string option;
   mutable clock : int;  (** LRU timestamp source *)
+  mutable cold_clock : int;  (** replica timestamp source, always < any clock tick *)
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
   mutable evictions : int;
   mutable corrupt : int;
+  mutable on_store : (string -> entry -> unit) option;
 }
 
 let header = Printf.sprintf "gmt-cache/%d" Fingerprint.format_version
@@ -42,11 +44,13 @@ let create ?(mem_capacity = 128) ?dir () =
     mem_capacity = max 1 mem_capacity;
     disk = dir;
     clock = 0;
+    cold_clock = 0;
     hits = 0;
     misses = 0;
     stores = 0;
     evictions = 0;
     corrupt = 0;
+    on_store = None;
   }
 
 let dir t = t.disk
@@ -159,16 +163,40 @@ let find t key =
           Some e)))
 
 let store t key e =
+  (locked t @@ fun () ->
+   let slot = { value = e; tick = 0 } in
+   touch t slot;
+   Hashtbl.replace t.mem key slot;
+   enforce_capacity t;
+   t.stores <- t.stores + 1;
+   Obs.Metrics.add "cache.store" 1;
+   match entry_path t key with
+   | None -> ()
+   | Some path -> Diskio.write_atomic path (encode e));
+  (* Hook runs outside the lock: the farm's replication pusher enqueues
+     from here, and nothing it might do (including touching this cache)
+     may deadlock against the store. *)
+  match t.on_store with None -> () | Some f -> f key e
+
+let set_on_store t f = t.on_store <- f
+
+(* Replicas enter colder than every owned entry (ticks strictly below
+   any [touch] has issued), so LRU pressure always evicts a replica
+   before a key this shard actually served. A later [find] promotes the
+   replica with a real tick — at that point it has earned residency. *)
+let ingest t key e =
   locked t @@ fun () ->
-  let slot = { value = e; tick = 0 } in
-  touch t slot;
-  Hashtbl.replace t.mem key slot;
-  enforce_capacity t;
-  t.stores <- t.stores + 1;
-  Obs.Metrics.add "cache.store" 1;
-  match entry_path t key with
-  | None -> ()
-  | Some path -> Diskio.write_atomic path (encode e)
+  if Hashtbl.mem t.mem key then false
+  else begin
+    t.cold_clock <- t.cold_clock - 1;
+    Hashtbl.replace t.mem key { value = e; tick = t.cold_clock };
+    enforce_capacity t;
+    Obs.Metrics.add "cache.ingest" 1;
+    true
+  end
+
+let encode_entry = encode
+let decode_entry = decode
 
 let stats t =
   locked t @@ fun () ->

@@ -70,8 +70,33 @@ val find : t -> string -> entry option
 
 (** [store t key e] — inserts into memory (evicting least-recently-used
     entries beyond capacity) and, when a directory is configured, writes
-    the entry to disk atomically. *)
+    the entry to disk atomically. After releasing the lock, invokes the
+    {!set_on_store} hook, if any. *)
 val store : t -> string -> entry -> unit
+
+(** [set_on_store t f] registers a hook called after every {!store}
+    (outside the cache lock) with the stored key and entry. The farm's
+    replication pusher hangs off this; [None] clears it. The hook is
+    {e not} called by {!ingest}, which is what keeps replication from
+    cascading shard-to-shard forever. *)
+val set_on_store : t -> (string -> entry -> unit) option -> unit
+
+(** [ingest t key e] — replication intake: inserts [e] {e colder} than
+    every owned entry (LRU evicts replicas first, so warming a shard can
+    never push out keys it earned by serving), skips keys already
+    present, fires no [on_store] hook, and bumps no hit/miss/store
+    counter. Returns [true] when the entry was inserted. A later {!find}
+    promotes a replica to a normally-ticked resident. *)
+val ingest : t -> string -> entry -> bool
+
+(** {2 Entry wire codec}
+
+    The same header + md5 + Marshal encoding the disk store uses,
+    exposed so the farm can ship entries between shards ([put] op)
+    with end-to-end corruption detection. *)
+
+val encode_entry : entry -> string
+val decode_entry : string -> (entry, string) result
 
 (** Point-in-time snapshot of this cache's counters. *)
 val stats : t -> stats

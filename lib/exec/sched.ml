@@ -36,6 +36,13 @@ type t = {
      scheduling latency, and on a one-core host that single effect was
      measured DOUBLING a fine-grained flood's wall clock. *)
   active : int;
+  (* Blocking-task mode (the gmtd request pool): tasks park in I/O or
+     on condvars, so batching them into one worker's private ring would
+     serialize them behind whichever blocks first. Spread mode drains
+     the injector one task per grab and wakes a sleeper on every
+     submit, trading batch amortization (pointless when each task
+     blocks for milliseconds) for immediate dispersal. *)
+  spread : bool;
   injector : task Injector.t;
   stop : bool Atomic.t;
   (* Plain on purpose: one more fenced RMW on the submit hot path was
@@ -159,8 +166,11 @@ let grab_injector t w =
   (* Only called with an empty ring, so restart it from slot 0. *)
   w.buf_head <- 0;
   w.buf_tail <- 0;
+  (* A blocking pool takes ONE task per grab: a private batch would
+     serialize its whole tail behind the first task that parks. *)
+  let max = if t.spread then 1 else drain_batch in
   let n =
-    Injector.drain t.injector ~max:drain_batch (fun task ->
+    Injector.drain t.injector ~max (fun task ->
         w.buffer.(w.buf_tail) <- task;
         w.buf_tail <- w.buf_tail + 1)
   in
@@ -268,7 +278,7 @@ let worker_loop t w =
   in
   go 0
 
-let create ~workers =
+let create ?(blocking = false) ~workers () =
   if workers < 1 then
     invalid_arg
       (Printf.sprintf "Sched.create: workers must be >= 1 (got %d)" workers);
@@ -292,7 +302,15 @@ let create ~workers =
   let t =
     {
       ws;
-      active = min workers (max 1 (Domain.recommended_domain_count ()));
+      (* CPU-bound fan-out wants at most one worker per hardware
+         thread; a host with fewer cores than [workers] keeps the rest
+         on standby. A blocking pool overrides the clamp: its workers
+         sleep in I/O or on a single-flight condvar, so it needs all of
+         them schedulable even on a small host. *)
+      active =
+        (if blocking then workers
+         else min workers (max 1 (Domain.recommended_domain_count ())));
+      spread = blocking;
       injector = Injector.create ();
       stop = Atomic.make false;
       injected = 0;
@@ -325,8 +343,17 @@ let submit t task =
      read happens after [Injector.push] completes publication, which is
      the Dekker ordering that also covers the producer's publication
      gap: either this read observes the full condvar and signals, or
-     the last parker's re-check observed the published element. *)
-  if Atomic.get t.sleepers >= t.active then wake_one t
+     the last parker's re-check observed the published element.
+
+     A blocking (spread-mode) pool wakes a sleeper on EVERY push
+     instead: its non-parked workers may all be inside tasks, blocked
+     for milliseconds, so "someone awake will notice" does not hold —
+     each task needs a worker dispatched now, and the wake syscall is
+     noise against a request that blocks anyway. *)
+  if t.spread then begin
+    if Atomic.get t.sleepers > 0 then wake_one t
+  end
+  else if Atomic.get t.sleepers >= t.active then wake_one t
 
 let shutdown t =
   if not t.stopped then begin

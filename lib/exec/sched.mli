@@ -53,11 +53,22 @@ type stats = {
   deque_depth_peak : int;  (** max per-worker deque depth observed *)
 }
 
-val create : workers:int -> t
+val create : ?blocking:bool -> workers:int -> unit -> t
 (** Spawn [workers] (>= 1) worker domains. Unlike
     {!Gmt_parallel.Pool.create} there is no inline mode: [workers = 1]
     spawns one real domain (the A/B microbenchmark compares the two
     runtimes' machinery, not inline execution).
+
+    The default ([blocking = false]) is tuned for CPU-bound fan-out:
+    active workers are clamped to the host's parallel capacity (the
+    rest stand by), and injector drains are batched into a private
+    ring. Pools whose tasks {e park} — request handlers sleeping in
+    I/O or on a single-flight condvar, as in the gmtd daemon — must
+    pass [~blocking:true]: every worker stays active regardless of
+    core count, each grab takes one task (a private batch would
+    serialize its tail behind the first task that blocks), and every
+    submit wakes a sleeper. Without it a small host serializes
+    requests and coalescing never triggers.
     @raise Invalid_argument when [workers < 1]. *)
 
 val submit : t -> task -> unit

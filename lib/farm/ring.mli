@@ -1,0 +1,31 @@
+(** Consistent-hash ring over shard names, with virtual nodes.
+
+    Deterministic: placement is a pure function of the {e set} of shard
+    names (insertion order is erased; the golden tests in
+    [test/test_farm.ml] pin it). Each shard contributes {!vnodes} points
+    — the MD5 of ["<name>#<i>"] — and a key belongs to the first point
+    clockwise of its own MD5. When a shard joins an N+1-shard ring, only
+    ~K/(N+1) of K keys move, all of them {e to} the new shard. *)
+
+(** Virtual nodes per shard (64). *)
+val vnodes : int
+
+type t
+
+(** [create names] — duplicates collapse; the empty list is a valid
+    (empty) ring on which {!lookup} is [None]. *)
+val create : string list -> t
+
+(** Distinct shard names, sorted. *)
+val shards : t -> string list
+
+val size : t -> int
+val is_empty : t -> bool
+
+(** Owning shard of [key] (its MD5's clockwise point). *)
+val lookup : t -> string -> string option
+
+(** [successors t key n] — up to [n] distinct shards in ring order
+    starting at the owner: the failover order for [key], whose second
+    element (when the ring has ≥ 2 shards) is the replication target. *)
+val successors : t -> string -> int -> string list

@@ -1,0 +1,71 @@
+(* Shard routing = the ring plus health. A shard that refused a
+   connection is marked down for a cooldown window; [plan] returns the
+   ring's failover order for a key with down shards demoted to the tail
+   (still tried last — a marked-down shard may have come back, and a
+   stale DOWN must never make a reachable farm unreachable). *)
+
+type shard = { name : string; endpoint : string }
+
+type t = {
+  ring : Ring.t;
+  by_name : (string, shard) Hashtbl.t;
+  down_until : (string, float ref) Hashtbl.t;
+  lock : Mutex.t;
+  cooldown : float;
+}
+
+let default_cooldown = 1.0
+
+let create ?(cooldown = default_cooldown) shards =
+  let by_name = Hashtbl.create 8 in
+  let down_until = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace by_name s.name s;
+      Hashtbl.replace down_until s.name (ref 0.0))
+    shards;
+  {
+    ring = Ring.create (List.map (fun s -> s.name) shards);
+    by_name;
+    down_until;
+    lock = Mutex.create ();
+    cooldown;
+  }
+
+let ring t = t.ring
+let shards t = List.filter_map (Hashtbl.find_opt t.by_name) (Ring.shards t.ring)
+let size t = Ring.size t.ring
+
+let mark_down t name =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.down_until name with
+  | Some r -> r := Unix.gettimeofday () +. t.cooldown
+  | None -> ());
+  Mutex.unlock t.lock
+
+let mark_up t name =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.down_until name with
+  | Some r -> r := 0.0
+  | None -> ());
+  Mutex.unlock t.lock
+
+let healthy t name =
+  Mutex.lock t.lock;
+  let h =
+    match Hashtbl.find_opt t.down_until name with
+    | Some r -> Unix.gettimeofday () >= !r
+    | None -> false
+  in
+  Mutex.unlock t.lock;
+  h
+
+(* Failover plan for [key]: every shard, in ring order from the owner,
+   healthy ones first (each group keeping ring order). *)
+let plan t ~key =
+  let order = Ring.successors t.ring key (Ring.size t.ring) in
+  let up, down = List.partition (healthy t) order in
+  List.filter_map (Hashtbl.find_opt t.by_name) (up @ down)
+
+let owner t ~key =
+  Option.bind (Ring.lookup t.ring key) (Hashtbl.find_opt t.by_name)

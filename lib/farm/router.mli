@@ -1,0 +1,37 @@
+(** Key → shard routing: the consistent-hash {!Ring} plus per-shard
+    health.
+
+    Health is a cooldown, not a verdict: {!mark_down} (called by the
+    farm driver on a refused/timed-out connect) demotes a shard for
+    [cooldown] seconds, after which it is probed again naturally by
+    being back in plan order. Down shards are demoted to the tail of
+    {!plan}, never removed — a router must not make a reachable farm
+    unreachable on stale health. *)
+
+type shard = {
+  name : string;  (** ring identity — placement depends only on names *)
+  endpoint : string;
+      (** where to connect: a Unix path or [host:port]
+          ({!Gmt_service.Client.endpoint_of_string} grammar) *)
+}
+
+type t
+
+(** [create shards] — [cooldown] (default 1.0 s) is how long a
+    {!mark_down} demotes a shard. *)
+val create : ?cooldown:float -> shard list -> t
+
+val ring : t -> Ring.t
+val shards : t -> shard list
+val size : t -> int
+
+(** Failover order for [key]: all shards, ring order from the owner,
+    healthy ones first. *)
+val plan : t -> key:string -> shard list
+
+(** Ring owner of [key], health ignored. *)
+val owner : t -> key:string -> shard option
+
+val mark_down : t -> string -> unit
+val mark_up : t -> string -> unit
+val healthy : t -> string -> bool

@@ -1,0 +1,36 @@
+(** One farm shard: a {!Gmt_service.Server} wrapped with cache-warming
+    replication.
+
+    When a compile-served miss stores an artifact, the cache's
+    [on_store] hook enqueues it and a dedicated pusher domain ships one
+    [put] frame to the key's ring successor — asynchronously, so the
+    serving path never blocks on a peer, and best-effort (a failed or
+    dropped push costs warmth, never correctness: artifacts are
+    content-addressed and compilation deterministic, so a replica can
+    never conflict with a local compile). The successor ingests cold
+    and hook-free, so pushes cannot cascade around the ring.
+
+    Counters (in the wrapped server's registry):
+    [farm.replication.pushed], [farm.replication.dropped] on the
+    pushing side; [farm.replication.ingested] on the receiving side. *)
+
+type config = {
+  server : Gmt_service.Server.config;
+  self : string;  (** this shard's ring name *)
+  peers : (string * string) list;
+      (** (name, endpoint) of every farm member, this one included;
+          fewer than two members disables replication *)
+}
+
+type t
+
+val start : config -> t
+val server : t -> Gmt_service.Server.t
+
+val request_stop : t -> unit
+
+(** Joins the server (draining in-flight requests), then lets the
+    pusher drain its queue and joins it. *)
+val join : t -> unit
+
+val stop : t -> unit

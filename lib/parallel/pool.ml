@@ -28,12 +28,12 @@ let check_jobs where jobs =
     invalid_arg
       (Printf.sprintf "%s: jobs must be >= 1 (got %d)" where jobs)
 
-let create ~jobs =
+let create ?blocking ~jobs () =
   check_jobs "Pool.create" jobs;
   let n_workers = if jobs <= 1 then 0 else jobs in
   let sched =
     if n_workers = 0 then None
-    else Some (Gmt_exec.Sched.create ~workers:n_workers)
+    else Some (Gmt_exec.Sched.create ?blocking ~workers:n_workers ())
   in
   { n_workers; sched; closed = Atomic.make false }
 
@@ -118,7 +118,7 @@ let run_list ?jobs tasks =
     else begin
       (* More workers than tasks would just park and get joined. *)
       let jobs = min jobs (List.length tasks) in
-      let pool = create ~jobs in
+      let pool = create ~jobs () in
       Fun.protect
         ~finally:(fun () -> shutdown pool)
         (fun () ->

@@ -21,9 +21,14 @@ type t
 
 type 'a future
 
-val create : jobs:int -> t
+val create : ?blocking:bool -> jobs:int -> unit -> t
 (** [create ~jobs] spawns [jobs] worker domains ([jobs = 1]: none, tasks
-    run inline). @raise Invalid_argument when [jobs <= 0]. *)
+    run inline). [blocking] is forwarded to {!Gmt_exec.Sched.create}:
+    pools whose tasks park in I/O or on condvars (the gmtd request
+    handlers) pass [~blocking:true] so a host with fewer cores than
+    [jobs] still runs them concurrently; CPU-bound fan-out keeps the
+    default core clamp and batch draining.
+    @raise Invalid_argument when [jobs <= 0]. *)
 
 val size : t -> int
 (** Number of worker domains (0 for an inline pool). *)

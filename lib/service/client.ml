@@ -5,48 +5,155 @@ module Trace = Gmt_telemetry.Trace
 
 type error = [ `No_daemon | `Busy of string | `Protocol of string ]
 
-let connect socket_path =
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
-  | () -> Ok fd
-  | exception
-      Unix.Unix_error
-        ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.ENOTSOCK | Unix.EACCES), _, _)
-    ->
-    (try Unix.close fd with _ -> ());
-    Error `No_daemon
-  | exception e ->
-    (try Unix.close fd with _ -> ());
-    raise e
+(* ---------------------------- endpoints ----------------------------- *)
+
+type endpoint = Unix_path of string | Tcp of string * int
+
+(* A socket argument with no '/' that ends in ':<port>' is TCP;
+   everything else is a Unix-domain path. ["./host:1"] stays a path, so
+   pathological filenames remain reachable. *)
+let endpoint_of_string s =
+  if s = "" || String.contains s '/' then Unix_path s
+  else
+    match String.rindex_opt s ':' with
+    | Some i when i > 0 && i < String.length s - 1 -> (
+      let host = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some port when port > 0 && port < 65536 -> Tcp (host, port)
+      | _ -> Unix_path s)
+    | _ -> Unix_path s
+
+let endpoint_to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let connect_timeout = 2.0
+let read_deadline = 60.0
+let retry_backoff = 0.05
+
+let resolve host port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+  with
+  | [] -> None
+  | ai :: _ -> Some ai.Unix.ai_addr
+
+(* TCP connect under a deadline: nonblocking connect, select for
+   writability, then read the socket's error slot. A shard that is down
+   (refused), unreachable, or black-holed (timeout) all collapse to
+   [`No_daemon] — the router's failover signal. *)
+let connect_tcp ~timeout host port =
+  match resolve host port with
+  | None -> Error `No_daemon
+  | Some addr -> (
+    let fd =
+      Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM
+        0
+    in
+    let fail () =
+      (try Unix.close fd with _ -> ());
+      Error `No_daemon
+    in
+    Unix.set_nonblock fd;
+    match Unix.connect fd addr with
+    | () ->
+      Unix.clear_nonblock fd;
+      Ok fd
+    | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+      match Unix.select [] [ fd ] [] timeout with
+      | [], [], [] -> fail () (* connect timeout *)
+      | _ -> (
+        match Unix.getsockopt_error fd with
+        | None ->
+          Unix.clear_nonblock fd;
+          Ok fd
+        | Some _ -> fail ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fail ())
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENETUNREACH), _, _)
+      ->
+      fail ()
+    | exception e ->
+      (try Unix.close fd with _ -> ());
+      raise e)
+
+let connect_endpoint ?(timeout = connect_timeout) ep =
+  match ep with
+  | Tcp (host, port) -> (
+    match connect_tcp ~timeout host port with
+    | Error _ as e -> e
+    | Ok fd ->
+      (* Receive deadline: a shard that accepts and then wedges must not
+         hang the client forever. Proto maps the resulting EAGAIN to a
+         clean "read timeout" protocol error. *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_deadline
+       with Unix.Unix_error _ -> ());
+      Ok fd)
+  | Unix_path socket_path -> (
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () -> Ok fd
+    | exception
+        Unix.Unix_error
+          ( (Unix.ENOENT | Unix.ECONNREFUSED | Unix.ENOTSOCK | Unix.EACCES),
+            _,
+            _ ) ->
+      (try Unix.close fd with _ -> ());
+      Error `No_daemon
+    | exception e ->
+      (try Unix.close fd with _ -> ());
+      raise e)
 
 (* A request is a small JSON document plus the GMT-IR text as the
    frame's raw attachment — see {!Proto} for why the program does not
    ride inside the JSON. *)
 type req = { body : Json.t; payload : string }
 
-let rpc ~socket { body; payload } =
-  match connect socket with
-  | Error _ as e -> e
+(* One connection, one round trip. [`Lost] is the ambiguous outcome: the
+   connection died after the request was (at least partially) written
+   and before a reply frame arrived — the daemon may or may not have
+   seen the request. *)
+let attempt ep { body; payload } =
+  match connect_endpoint ep with
+  | Error `No_daemon -> Error `No_daemon
   | Ok fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with _ -> ())
       (fun () ->
-        let read_reply ~on_eof () =
+        let read_reply () =
           match Proto.read_frame fd with
           | Ok (j, _) -> Ok j
-          | Error `Eof -> on_eof
+          | Error `Eof -> Error `Lost
           | Error (`Malformed msg) -> Error (`Protocol msg)
         in
         match Proto.write_frame fd ~payload body with
         | exception Unix.Unix_error _ ->
           (* EPIPE: the daemon hung up before our request landed — but it
              may have answered first (the busy reply does exactly that),
-             and that frame is still in our receive buffer. Only a silent
-             hangup means nobody is really serving. *)
-          read_reply ~on_eof:(Error `No_daemon) ()
-        | () ->
-          read_reply ~on_eof:(Error (`Protocol "connection closed before reply"))
-            ())
+             and that frame is still in our receive buffer. *)
+          read_reply ()
+        | () -> read_reply ())
+
+(* Retry classification. Connection refused means nobody is serving:
+   surface [`No_daemon] so the caller fails over (farm) or falls back to
+   a local compile (gmtc remote). A mid-reply EOF means the daemon
+   restarted or crashed under us: retry ONCE on a fresh connection — a
+   restarted shard answers the retry (usually from cache), whereas the
+   old behaviour reported [`No_daemon] and the client silently compiled
+   locally, doubling the work. Lost twice is reported loudly as a
+   protocol error rather than risking a third compile of the same
+   request. *)
+let rpc ~socket req =
+  let ep = endpoint_of_string socket in
+  match attempt ep req with
+  | Error `Lost -> (
+    (try Unix.sleepf retry_backoff with _ -> ());
+    match attempt ep req with
+    | Error `Lost ->
+      Error (`Protocol "connection lost twice; not retrying further")
+    | (Error (`No_daemon | `Protocol _) | Ok _) as r -> r)
+  | (Error (`No_daemon | `Protocol _) | Ok _) as r -> r
 
 (* --------------------------- request bodies ------------------------ *)
 
@@ -111,6 +218,12 @@ let traced ?(parent_span = "remote") ~trace_id req =
 let ping_request = { body = Json.Obj [ ("op", Json.Str "ping") ]; payload = "" }
 let stats_request =
   { body = Json.Obj [ ("op", Json.Str "stats") ]; payload = "" }
+
+(* Replication intake: the pre-encoded cache entry rides as the
+   attachment (it already carries its own checksum), the key in the
+   document. *)
+let put_request ~key ~entry () =
+  { body = Json.Obj [ ("op", Json.Str "put"); ("key", Json.Str key) ]; payload = entry }
 
 (* ----------------------------- replies ----------------------------- *)
 

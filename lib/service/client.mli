@@ -11,12 +11,39 @@
 
 type error = [ `Busy of string | `No_daemon | `Protocol of string ]
 
+(** {2 Endpoints}
+
+    A socket argument is either a Unix-domain path or a TCP
+    [host:port]. The grammar: a string containing no ['/'] whose last
+    [':'] is followed by a port number parses as TCP; everything else is
+    a path (so relative paths like [./gmtd.sock] still work, and a
+    pathological file literally named [host:1] is reachable as
+    [./host:1]). *)
+
+type endpoint = Unix_path of string | Tcp of string * int
+
+val endpoint_of_string : string -> endpoint
+val endpoint_to_string : endpoint -> string
+
+(** TCP connects run under this deadline (seconds) before the shard is
+    declared down. *)
+val connect_timeout : float
+
+(** Receive deadline set (SO_RCVTIMEO) on TCP connections: a wedged
+    shard surfaces as a ["read timeout"] protocol error, never a hang. *)
+val read_deadline : float
+
 (** A framed request: the JSON document plus the GMT-IR program as the
     frame's raw attachment (empty for ping/stats). *)
 type req = { body : Gmt_obs.Json.t; payload : string }
 
-(** One framed request/reply round trip on a fresh connection.
-    [`No_daemon] when nothing accepts on [socket]. *)
+(** One framed request/reply exchange, with retry classification:
+    connection refused (or TCP connect timeout) is [`No_daemon] — the
+    failover / local-fallback signal; a connection lost {e after} the
+    request was written (daemon restart, crash) is retried exactly once
+    on a fresh connection after a short backoff, and reported as a
+    [`Protocol] error if lost again — never a silent second compile.
+    [socket] may be a Unix path or [host:port]. *)
 val rpc : socket:string -> req -> (Gmt_obs.Json.t, [> error ]) result
 
 (** {2 Request builders} *)
@@ -46,6 +73,13 @@ val sweep_request :
 
 val ping_request : req
 val stats_request : req
+
+(** [put_request ~key ~entry ()] — replication intake: [entry] is a
+    pre-encoded cache entry ({!Gmt_cache.Cache.encode_entry}), shipped
+    as the attachment. The receiving shard ingests it cold
+    ({!Gmt_cache.Cache.ingest}); the reply carries
+    [("ingested", bool)]. *)
+val put_request : key:string -> entry:string -> unit -> req
 
 (** [traced ~trace_id req] tags a compile request so the daemon ships
     its per-stage spans back in the reply; {!request} re-records them

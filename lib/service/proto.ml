@@ -31,7 +31,11 @@ let write_frame fd ?(payload = "") j =
   if pn > 0 then write_all_sub fd payload 0 pn
 
 (* Read exactly [len] bytes; [Ok false] on EOF before the first byte,
-   [Error] on EOF mid-buffer. *)
+   [Error] on EOF mid-buffer. Loops on short reads — Unix-domain sockets
+   rarely fragment but TCP will, so no caller may assume one [read]
+   returns one frame's worth. A receive deadline (SO_RCVTIMEO on the
+   farm's TCP client sockets) surfaces as EAGAIN/EWOULDBLOCK and is
+   mapped to a clean ["read timeout"] error rather than an exception. *)
 let read_exact fd b len =
   let rec go pos =
     if pos >= len then Ok true
@@ -40,6 +44,8 @@ let read_exact fd b len =
       | 0 -> if pos = 0 then Ok false else Error "unexpected EOF"
       | n -> go (pos + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error "read timeout"
   in
   go 0
 
@@ -56,7 +62,8 @@ let read_frame fd =
       (* Document and attachment land in separate exact-size buffers:
          no oversized read buffer to slice (and copy) afterwards. *)
       match read_exact fd header 4 with
-      | Ok false | Error _ -> Error (`Malformed "truncated payload")
+      | Ok false -> Error (`Malformed "truncated payload")
+      | Error e -> Error (`Malformed ("truncated payload: " ^ e))
       | Ok true -> (
         let jn = Int32.to_int (Bytes.get_int32_be header 0) in
         if jn <= 0 || jn > len - 4 then
@@ -64,7 +71,8 @@ let read_frame fd =
         else
           let doc = Bytes.create jn in
           match read_exact fd doc jn with
-          | Ok false | Error _ -> Error (`Malformed "truncated payload")
+          | Ok false -> Error (`Malformed "truncated payload")
+          | Error e -> Error (`Malformed ("truncated payload: " ^ e))
           | Ok true -> (
             (* Safe: [doc] is never touched again. *)
             match Json.parse (Bytes.unsafe_to_string doc) with
@@ -73,7 +81,8 @@ let read_frame fd =
               let pn = len - 4 - jn in
               let payload = Bytes.create pn in
               match read_exact fd payload pn with
-              | Ok false | Error _ -> Error (`Malformed "truncated payload")
+              | Ok false -> Error (`Malformed "truncated payload")
+              | Error e -> Error (`Malformed ("truncated payload: " ^ e))
               | Ok true ->
                 (* Safe: [payload] is never touched again. *)
                 Ok (j, Bytes.unsafe_to_string payload)))))

@@ -12,23 +12,27 @@ module Trace = Gmt_telemetry.Trace
 
 type config = {
   socket : string;
+  tcp : (string * int) option;
   jobs : int;
   cache_dir : string option;
   mem_capacity : int;
   queue_bound : int;
   fuel_cap : int option;
   telemetry : bool;
+  coalesce : bool;
 }
 
 let default_config ~socket =
   {
     socket;
+    tcp = None;
     jobs = Pool.default_jobs ();
     cache_dir = None;
     mem_capacity = 128;
     queue_bound = 64;
     fuel_cap = None;
     telemetry = true;
+    coalesce = true;
   }
 
 (* Every instrument the request path touches, resolved once at startup —
@@ -43,6 +47,9 @@ type instruments = {
   c_hits : Registry.counter;
   c_misses : Registry.counter;
   c_traced : Registry.counter;
+  c_sf_leads : Registry.counter;
+  c_sf_waits : Registry.counter;
+  c_repl_ingested : Registry.counter;
   g_in_flight : Registry.gauge;
   (* Scheduler counters mirrored as gauges: refreshed from
      [Pool.stats] on every stats request, so the Prometheus exposition
@@ -75,6 +82,9 @@ let make_instruments () =
     c_hits = Registry.counter reg "req.cache.hits";
     c_misses = Registry.counter reg "req.cache.misses";
     c_traced = Registry.counter reg "req.traced";
+    c_sf_leads = Registry.counter reg "farm.singleflight.leads";
+    c_sf_waits = Registry.counter reg "farm.singleflight.waits";
+    c_repl_ingested = Registry.counter reg "farm.replication.ingested";
     g_in_flight = Registry.gauge reg "in_flight";
     g_pool_tasks = Registry.gauge reg "pool.tasks_run";
     g_pool_injected = Registry.gauge reg "pool.injected";
@@ -112,6 +122,8 @@ type t = {
   cache : Cache.t;
   pool : Pool.t;
   listen_fd : Unix.file_descr;
+  tcp_fd : Unix.file_descr option;
+  flight : Render.outcome Singleflight.t option;
   stop_flag : bool Atomic.t;
   in_flight : int Atomic.t;
   ins : instruments option;
@@ -122,6 +134,16 @@ type t = {
 let cache t = t.cache
 let socket t = t.cfg.socket
 let registry t = Option.map (fun i -> i.reg) t.ins
+
+(* The bound TCP port — the bind-time one unless the config asked for an
+   ephemeral port (0), in which case the kernel's pick. *)
+let tcp_port t =
+  match t.tcp_fd with
+  | None -> None
+  | Some fd -> (
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> Some p
+    | _ -> None)
 
 (* ----------------------------- replies ----------------------------- *)
 
@@ -350,6 +372,25 @@ let account ins ~name ~t0 ~now (o : Render.outcome) spans =
   end;
   if o.Render.code <> 0 then Registry.incr ins.c_errors
 
+(* The single-flight key: every request field that enters the outcome,
+   plus the program text — and deliberately NOT the trace id, so traced
+   and untraced clients coalesce (each reply still carries its own
+   trace id; waiters just ship no server-side spans). *)
+let flight_key j payload =
+  let b = Buffer.create (String.length payload + 128) in
+  List.iter
+    (fun k ->
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      (match Json.member k j with
+      | Some v -> Buffer.add_string b (Json.to_string v)
+      | None -> ());
+      Buffer.add_char b ';')
+    [ "op"; "technique"; "coco"; "threads"; "fuel"; "kernel"; "max_threads" ];
+  Buffer.add_char b '\x00';
+  Buffer.add_string b payload;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let handle_request t j payload =
   match Proto.str_field j "op" with
   | Some "ping" ->
@@ -360,6 +401,26 @@ let handle_request t j payload =
         ("jobs", Json.Num (float_of_int t.cfg.jobs));
       ]
   | Some "stats" -> stats_json t
+  | Some "put" -> (
+    (* Replication intake: a peer shard pushing a just-compiled entry.
+       The attachment is a self-checksummed encoded entry; anything that
+       fails to decode is refused (and the pusher's problem). Ingest is
+       cold and silent — no hook, no hit/miss accounting — so pushes can
+       never cascade or distort the serving stats. *)
+    match Proto.str_field j "key" with
+    | None -> error_json "gmtd: put lacks a \"key\" field"
+    | Some key -> (
+      if payload = "" then error_json "gmtd: put lacks an entry attachment"
+      else
+        match Cache.decode_entry payload with
+        | Error reason -> error_json ("gmtd: put rejected: " ^ reason)
+        | Ok e ->
+          let ingested = Cache.ingest t.cache key e in
+          (match t.ins with
+          | Some ins when ingested -> Registry.incr ins.c_repl_ingested
+          | _ -> ());
+          Json.Obj [ ("ok", Json.Bool true); ("ingested", Json.Bool ingested) ]
+      ))
   | Some (("run" | "check" | "sweep") as name) ->
     let op =
       match name with
@@ -380,31 +441,56 @@ let handle_request t j payload =
       | Some id -> [ ("trace_id", Obs.S id) ]
       | None -> []
     in
+    (* Single-flight: concurrent requests on one key run the compile
+       once. The leader's inner stage spans complete on its own domain
+       (so only the leader feeds the stage histograms); a waiter's span
+       tree holds just its serve.* wait — its reply is byte-identical to
+       the leader's but ships no server-side stage spans. *)
+    let compiled () =
+      match t.flight with
+      | None -> (compile_request t j payload op, `Led)
+      | Some sf ->
+        Singleflight.run sf (flight_key j payload) (fun () ->
+            compile_request t j payload op)
+    in
     (* Collect the request's span tree when either consumer wants it:
        the stage histograms (telemetry on) or a traced client. [Render]
        is always called with [~jobs:1], so every inner span completes on
        this domain and lands in the collector. *)
-    let (o, reply), spans =
+    let ((o, role), reply), spans =
       if t.ins <> None || trace_id <> None then
         Obs.collect (fun () ->
-            let o =
+            let res =
               Obs.span ~cat:"service" ~args:serve_args ("serve." ^ name)
-                (fun () -> compile_request t j payload op)
+                (fun () -> compiled ())
             in
             let reply =
-              Obs.span ~cat:"stage" "req.encode" (fun () -> outcome_json o)
+              Obs.span ~cat:"stage" "req.encode" (fun () ->
+                  outcome_json (fst res))
             in
-            (o, reply))
+            (res, reply))
       else
-        let o =
-          Obs.span ~cat:"service" ("serve." ^ name) (fun () ->
-              compile_request t j payload op)
+        let res =
+          Obs.span ~cat:"service" ("serve." ^ name) (fun () -> compiled ())
         in
-        ((o, outcome_json o), [])
+        ((res, outcome_json (fst res)), [])
     in
     let now = Unix.gettimeofday () in
     (match t.ins with
-    | Some ins -> account ins ~name ~t0 ~now o spans
+    | Some ins ->
+      (* The lead/wait split is a coalescing metric, so it counts only
+         coalescing-relevant flights: a lead that was served from the
+         cache is an ordinary hit (nothing was deduplicated), and with
+         the flight table disabled every request trivially "leads" —
+         neither may inflate the counters. What remains makes
+         [waits / (leads + waits)] exactly the share of duplicate
+         concurrent misses collapsed into an already-running compile. *)
+      if t.flight <> None then (
+        match role with
+        | `Led ->
+          if o.Render.cache_status = "miss" then Registry.incr ins.c_sf_leads
+        | `Joined -> Registry.incr ins.c_sf_waits);
+      account ins ~name ~t0 ~now o spans
     | None -> ());
     (match (trace_id, reply) with
     | Some id, Json.Obj fields ->
@@ -451,52 +537,57 @@ let handle_conn t fd =
 
 (* --------------------------- accept loop --------------------------- *)
 
+(* One ready listener: accept, admit or shed, dispatch. Identical for
+   the Unix-domain and TCP listeners — the protocol upward never cares
+   which transport a connection arrived on. *)
+let accept_one t lfd =
+  match Unix.accept ~cloexec:true lfd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+    if Atomic.get t.stop_flag then (try Unix.close fd with _ -> ())
+    else if Atomic.fetch_and_add t.in_flight 1 >= t.cfg.queue_bound then begin
+      (* Over the bound: an explicit busy reply, never a hang. *)
+      Atomic.decr t.in_flight;
+      (match t.ins with
+      | Some ins ->
+        Registry.incr ins.c_busy;
+        Rolling.add ins.w_busy ~now:(Unix.gettimeofday ()) 1;
+        Events.emit ~severity:Events.Warn ~kind:"server.busy"
+          [
+            ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight)));
+            ("queue_bound", Json.Num (float_of_int t.cfg.queue_bound));
+          ]
+      | None -> ());
+      send fd busy_json;
+      try Unix.close fd with _ -> ()
+    end
+    else
+      ignore
+        (Pool.submit t.pool (fun () ->
+             Fun.protect
+               ~finally:(fun () ->
+                 (try Unix.close fd with _ -> ());
+                 Atomic.decr t.in_flight;
+                 match t.ins with
+                 | Some ins ->
+                   Registry.set_gauge ins.g_in_flight (Atomic.get t.in_flight)
+                 | None -> ())
+               (fun () -> handle_conn t fd)))
+
 let accept_loop t =
+  let listeners =
+    t.listen_fd :: (match t.tcp_fd with Some fd -> [ fd ] | None -> [])
+  in
   let rec go () =
     if not (Atomic.get t.stop_flag) then begin
-      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      (match Unix.select listeners [] [] 0.2 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | [], _, _ -> ()
-      | _ -> (
-        match Unix.accept ~cloexec:true t.listen_fd with
-        | exception Unix.Unix_error _ -> ()
-        | fd, _ ->
-          if Atomic.get t.stop_flag then (try Unix.close fd with _ -> ())
-          else if Atomic.fetch_and_add t.in_flight 1 >= t.cfg.queue_bound
-          then begin
-            (* Over the bound: an explicit busy reply, never a hang. *)
-            Atomic.decr t.in_flight;
-            (match t.ins with
-            | Some ins ->
-              Registry.incr ins.c_busy;
-              Rolling.add ins.w_busy ~now:(Unix.gettimeofday ()) 1;
-              Events.emit ~severity:Events.Warn ~kind:"server.busy"
-                [
-                  ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight)));
-                  ("queue_bound", Json.Num (float_of_int t.cfg.queue_bound));
-                ]
-            | None -> ());
-            send fd busy_json;
-            try Unix.close fd with _ -> ()
-          end
-          else
-            ignore
-              (Pool.submit t.pool (fun () ->
-                   Fun.protect
-                     ~finally:(fun () ->
-                       (try Unix.close fd with _ -> ());
-                       Atomic.decr t.in_flight;
-                       match t.ins with
-                       | Some ins ->
-                         Registry.set_gauge ins.g_in_flight
-                           (Atomic.get t.in_flight)
-                       | None -> ())
-                     (fun () -> handle_conn t fd)))));
+      | ready, _, _ -> List.iter (accept_one t) ready);
       go ()
     end
   in
   go ();
-  (try Unix.close t.listen_fd with _ -> ());
+  List.iter (fun fd -> try Unix.close fd with _ -> ()) listeners;
   try Unix.unlink t.cfg.socket with _ -> ()
 
 (* ---------------------------- lifecycle ---------------------------- *)
@@ -512,7 +603,13 @@ let start cfg =
   Gc.set { (Gc.get ()) with Gc.space_overhead = 800 };
   let cache = Cache.create ~mem_capacity:cfg.mem_capacity ?dir:cfg.cache_dir ()
   in
-  let pool = Pool.create ~jobs:(max 1 cfg.jobs) in
+  (* Request handlers block — in read_frame on a slow client, and on
+     the single-flight condvar while joining a leader's compile — so
+     the pool runs in blocking mode: all [jobs] workers active whatever
+     the core count, one task per grab, a wake per submit. With the
+     CPU-bound defaults a 1-core box would serialize requests and
+     coalescing could never trigger. *)
+  let pool = Pool.create ~blocking:true ~jobs:(max 1 cfg.jobs) () in
   (* A stale socket file from a crashed daemon would make bind fail;
      replace it. A live daemon on the same path loses its socket — the
      operator picked the path, so last-started wins. *)
@@ -524,6 +621,36 @@ let start cfg =
    with e ->
      (try Unix.close listen_fd with _ -> ());
      raise e);
+  (* The TCP listener (the farm transport) rides alongside the Unix
+     socket; port 0 asks the kernel for an ephemeral port, read back
+     through [tcp_port]. *)
+  let tcp_fd =
+    match cfg.tcp with
+    | None -> None
+    | Some (host, port) ->
+      let addr =
+        match
+          Unix.getaddrinfo host (string_of_int port)
+            [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_PASSIVE ]
+        with
+        | ai :: _ -> ai.Unix.ai_addr
+        | [] -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+      in
+      let fd =
+        Unix.socket ~cloexec:true
+          (Unix.domain_of_sockaddr addr)
+          Unix.SOCK_STREAM 0
+      in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd addr;
+         Unix.listen fd 64
+       with e ->
+         (try Unix.close fd with _ -> ());
+         (try Unix.close listen_fd with _ -> ());
+         raise e);
+      Some fd
+  in
   let ins = if cfg.telemetry then Some (make_instruments ()) else None in
   let t =
     {
@@ -531,6 +658,8 @@ let start cfg =
       cache;
       pool;
       listen_fd;
+      tcp_fd;
+      flight = (if cfg.coalesce then Some (Singleflight.create ()) else None);
       stop_flag = Atomic.make false;
       in_flight = Atomic.make 0;
       ins;
@@ -542,6 +671,13 @@ let start cfg =
     Events.emit ~kind:"server.start"
       [
         ("socket", Json.Str cfg.socket);
+        ( "listen",
+          match cfg.tcp with
+          | None -> Json.Null
+          | Some (h, _) -> (
+            match tcp_port t with
+            | Some p -> Json.Str (Printf.sprintf "%s:%d" h p)
+            | None -> Json.Null) );
         ("jobs", Json.Num (float_of_int cfg.jobs));
       ];
   t.accept_dom <- Some (Domain.spawn (fun () -> accept_loop t));

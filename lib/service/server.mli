@@ -24,6 +24,10 @@
 
 type config = {
   socket : string;  (** path of the Unix-domain socket *)
+  tcp : (string * int) option;
+      (** additional TCP listener (the farm transport), e.g.
+          [Some ("127.0.0.1", 7070)]; port [0] binds an ephemeral port,
+          read back with {!tcp_port} *)
   jobs : int;  (** worker pool size (min 1) *)
   cache_dir : string option;  (** on-disk artifact store, [None] = memory only *)
   mem_capacity : int;  (** in-memory LRU bound *)
@@ -36,10 +40,16 @@ type config = {
           rolling windows, events) and per-stage span aggregation; off
           turns every instrument into a no-op — the A/B the bench
           harness uses to price the plane *)
+  coalesce : bool;
+      (** single-flight request coalescing: concurrent compile requests
+          with identical (op, parameters, program) run the compile once
+          and share the outcome; the [`Led]/[`Joined] split shows up as
+          the [farm.singleflight.leads]/[farm.singleflight.waits]
+          counters *)
 }
 
-(** [jobs = Pool.default_jobs ()], no disk store, capacity 128, bound 64,
-    no fuel cap, telemetry on. *)
+(** [jobs = Pool.default_jobs ()], no TCP listener, no disk store,
+    capacity 128, bound 64, no fuel cap, telemetry on, coalescing on. *)
 val default_config : socket:string -> config
 
 type t
@@ -55,6 +65,11 @@ val start : config -> t
 val cache : t -> Gmt_cache.Cache.t
 
 val socket : t -> string
+
+(** The port the TCP listener actually bound ([None] without one) —
+    matters when the config asked for port [0] (ephemeral): this is the
+    kernel's pick, the one to advertise to clients. *)
+val tcp_port : t -> int option
 
 (** The live telemetry registry, [None] when [telemetry = false]. The
     [stats] op renders exactly this registry; in-process consumers (the

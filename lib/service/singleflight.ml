@@ -1,0 +1,53 @@
+(* Single-flight request coalescing: concurrent computations of the same
+   key collapse into one. The first caller for a key becomes the leader
+   and runs the computation; callers arriving while it runs park on the
+   cell's condition variable and share the leader's result. The cell is
+   unpublished before waiters wake, so a caller arriving after completion
+   starts a fresh flight — by then the artifact is in the cache and the
+   fresh flight is a cheap hit.
+
+   Exceptions propagate to every participant: the leader re-raises after
+   waking its waiters, and each waiter re-raises the same exception. *)
+
+type 'a outcome = Ok_v of 'a | Exn of exn
+
+type 'a cell = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable state : 'a outcome option;  (* [None] while the leader runs *)
+}
+
+type 'a t = { lock : Mutex.t; tbl : (string, 'a cell) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 16 }
+
+let run t key f =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.tbl key with
+  | Some cell ->
+    Mutex.unlock t.lock;
+    Mutex.lock cell.m;
+    let rec wait () =
+      match cell.state with
+      | None ->
+        Condition.wait cell.c cell.m;
+        wait ()
+      | Some o -> o
+    in
+    let o = wait () in
+    Mutex.unlock cell.m;
+    (match o with Ok_v v -> (v, `Joined) | Exn e -> raise e)
+  | None ->
+    let cell = { m = Mutex.create (); c = Condition.create (); state = None } in
+    Hashtbl.add t.tbl key cell;
+    Mutex.unlock t.lock;
+    let o = try Ok_v (f ()) with e -> Exn e in
+    (* Unpublish before waking: no new waiter may join a finished cell. *)
+    Mutex.lock t.lock;
+    Hashtbl.remove t.tbl key;
+    Mutex.unlock t.lock;
+    Mutex.lock cell.m;
+    cell.state <- Some o;
+    Condition.broadcast cell.c;
+    Mutex.unlock cell.m;
+    (match o with Ok_v v -> (v, `Led) | Exn e -> raise e)

@@ -53,6 +53,9 @@ let histogram t name = intern t.histograms t name Histogram.create
 let find_histogram t name =
   locked t (fun () -> Hashtbl.find_opt t.histograms name)
 
+let find_counter t name =
+  locked t (fun () -> Hashtbl.find_opt t.counters name)
+
 (* Stable export order: sorted names within each family. *)
 let sorted tbl =
   List.sort

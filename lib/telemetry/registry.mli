@@ -44,6 +44,11 @@ val histogram : t -> string -> Histogram.t
 (** Histogram by name, if created ([stats] consumers, tests). *)
 val find_histogram : t -> string -> Histogram.t option
 
+(** Counter by name, if created — lets tests and the bench harness read
+    a server's counters (e.g. the farm single-flight pair) without
+    racing instrument creation. *)
+val find_counter : t -> string -> counter option
+
 (** {1 Export} *)
 
 (** The registry as a JSON value:

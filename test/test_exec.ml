@@ -190,7 +190,7 @@ let test_injector_mpmc () =
 (* ------- scheduler ------- *)
 
 let test_sched_runs_everything () =
-  let s = Sched.create ~workers:3 in
+  let s = Sched.create ~workers:3 () in
   let hits = Atomic.make 0 in
   let n = 500 in
   for _ = 1 to n do
@@ -206,7 +206,7 @@ let test_sched_runs_everything () =
     (st.Sched.steals_succeeded <= st.Sched.steals_attempted)
 
 let test_sched_shutdown_idempotent () =
-  let s = Sched.create ~workers:2 in
+  let s = Sched.create ~workers:2 () in
   Sched.submit s ignore;
   Sched.shutdown s;
   Sched.shutdown s;
@@ -219,7 +219,7 @@ exception Kaboom of int
 
 let test_sched_exception_surfaces () =
   (* Raw tasks (no future wrapper) leak exceptions to shutdown. *)
-  let s = Sched.create ~workers:2 in
+  let s = Sched.create ~workers:2 () in
   for i = 1 to 10 do
     Sched.submit s (fun () -> if i = 5 then raise (Kaboom i))
   done;
@@ -249,8 +249,8 @@ let test_pool_singleton_validates_jobs_first () =
 
 let test_pool_stats () =
   check Alcotest.bool "inline pool has no scheduler stats" true
-    (Pool.stats (Pool.create ~jobs:1) = None);
-  let p = Pool.create ~jobs:2 in
+    (Pool.stats (Pool.create ~jobs:1 ()) = None);
+  let p = Pool.create ~jobs:2 () in
   let futs = List.init 64 (fun i -> Pool.submit p (fun () -> i * i)) in
   let out = List.map Pool.await futs in
   Pool.shutdown p;

@@ -23,4 +23,5 @@ let () =
       ("telemetry", Test_telemetry.tests);
       ("cache", Test_cache.tests);
       ("service", Test_service.tests);
+      ("farm", Test_farm.tests);
     ]

@@ -177,7 +177,7 @@ let test_pool_exceptions () =
     [ 1; 2 ]
 
 let test_pool_shutdown_idempotent () =
-  let p = Pool.create ~jobs:2 in
+  let p = Pool.create ~jobs:2 () in
   Alcotest.(check int) "size" 2 (Pool.size p);
   let f = Pool.submit p (fun () -> 41 + 1) in
   Alcotest.(check int) "await" 42 (Pool.await f);
@@ -200,7 +200,7 @@ let test_pool_invalid_jobs () =
     (fun jobs ->
       expect_invalid_arg
         (Printf.sprintf "create ~jobs:%d" jobs)
-        (fun () -> Pool.create ~jobs);
+        (fun () -> Pool.create ~jobs ());
       expect_invalid_arg
         (Printf.sprintf "run_list ~jobs:%d" jobs)
         (fun () -> Pool.run_list ~jobs [ (fun () -> 0) ]))
