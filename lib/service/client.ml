@@ -61,16 +61,25 @@ let connect_tcp ~timeout host port =
     | () ->
       Unix.clear_nonblock fd;
       Ok fd
-    | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
-      match Unix.select [] [ fd ] [] timeout with
-      | [], [], [] -> fail () (* connect timeout *)
-      | _ -> (
-        match Unix.getsockopt_error fd with
-        | None ->
-          Unix.clear_nonblock fd;
-          Ok fd
-        | Some _ -> fail ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fail ())
+    | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) ->
+      (* A stray signal interrupting the select says nothing about the
+         shard; resume waiting for whatever is left of the deadline. *)
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec await () =
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0. then fail () (* connect timeout *)
+        else
+          match Unix.select [] [ fd ] [] left with
+          | [], [], [] -> fail () (* connect timeout *)
+          | _ -> (
+            match Unix.getsockopt_error fd with
+            | None ->
+              Unix.clear_nonblock fd;
+              Ok fd
+            | Some _ -> fail ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+      in
+      await ()
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENETUNREACH), _, _)
       ->
       fail ()

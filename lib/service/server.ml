@@ -373,9 +373,11 @@ let account ins ~name ~t0 ~now (o : Render.outcome) spans =
   if o.Render.code <> 0 then Registry.incr ins.c_errors
 
 (* The single-flight key: every request field that enters the outcome,
-   plus the program text — and deliberately NOT the trace id, so traced
-   and untraced clients coalesce (each reply still carries its own
-   trace id; waiters just ship no server-side spans). *)
+   plus the program text in both forms it may arrive in — the frame
+   payload and the legacy "gmt" JSON field that [compile_request] falls
+   back to when the payload is empty. Deliberately NOT the trace id, so
+   traced and untraced clients coalesce (each reply still carries its
+   own trace id; waiters just ship no server-side spans). *)
 let flight_key j payload =
   let b = Buffer.create (String.length payload + 128) in
   List.iter
@@ -386,7 +388,8 @@ let flight_key j payload =
       | Some v -> Buffer.add_string b (Json.to_string v)
       | None -> ());
       Buffer.add_char b ';')
-    [ "op"; "technique"; "coco"; "threads"; "fuel"; "kernel"; "max_threads" ];
+    [ "op"; "technique"; "coco"; "threads"; "fuel"; "kernel"; "max_threads";
+      "gmt" ];
   Buffer.add_char b '\x00';
   Buffer.add_string b payload;
   Digest.to_hex (Digest.string (Buffer.contents b))
@@ -490,7 +493,16 @@ let handle_request t j payload =
         | `Led ->
           if o.Render.cache_status = "miss" then Registry.incr ins.c_sf_leads
         | `Joined -> Registry.incr ins.c_sf_waits);
-      account ins ~name ~t0 ~now o spans
+      (* A waiter shares the leader's outcome verbatim, so its
+         cache_status reflects the leader's cache probe, not one of its
+         own — counting it would log N misses for one compile and drift
+         from [Cache.stats]. The wait itself is already counted above. *)
+      let o_acct =
+        match role with
+        | `Joined -> { o with Render.cache_status = "none" }
+        | `Led -> o
+      in
+      account ins ~name ~t0 ~now o_acct spans
     | None -> ());
     (match (trace_id, reply) with
     | Some id, Json.Obj fields ->
